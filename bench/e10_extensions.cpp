@@ -1,0 +1,151 @@
+// E10 — the §4 extension mechanisms, measured:
+//
+// (a) M5 variable delays: how incentive quality degrades with the spread
+//     of delay factors (the paper's predicted difficulty), and who bears
+//     the delay.
+// (b) M2-MinFee: the seller-fee floor's cost in dropped liquidity and
+//     buyer truthfulness, across floor levels.
+#include <cstdio>
+
+#include "core/m2_minfee.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m5_variable_delay.hpp"
+#include "core/properties.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+const std::vector<double> kScales{0.0, 0.3, 0.5, 0.7, 0.9, 1.1};
+
+// Single-cycle rings isolate the pricing-rule incentives from cycle-
+// selection externalities (cf. E3).
+core::Game ring_game(util::Rng& rng, flow::NodeId n) {
+  core::Game game(n);
+  for (flow::NodeId u = 0; u < n; ++u) {
+    const auto v = static_cast<flow::NodeId>((u + 1) % n);
+    if (rng.bernoulli(0.5)) {
+      game.add_edge(u, v, rng.uniform_int(5, 40), 0.0,
+                    rng.uniform_real(0.01, 0.05));
+    } else {
+      game.add_edge(u, v, rng.uniform_int(5, 40),
+                    -rng.uniform_real(0.0, 0.004), 0.0);
+    }
+  }
+  return game;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10a: M5 variable delays — deviation gain vs delay-factor "
+              "spread\n(single-cycle games, all players probed, 10 seeds "
+              "per spread)\n\n");
+  {
+    util::Table table({"d spread (min..max)", "mean dev gain",
+                       "max dev gain", "mean release t",
+                       "bonus gap (max/min)"});
+    for (double spread : {1.0, 2.0, 8.0, 32.0}) {
+      util::Accumulator gains, release, gap;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        util::Rng rng(seed * 101);
+        const auto n = static_cast<flow::NodeId>(rng.uniform_int(3, 7));
+        const core::Game game = ring_game(rng, n);
+        std::vector<double> factors;
+        for (flow::NodeId v = 0; v < n; ++v) {
+          factors.push_back(rng.uniform_real(10.0, 10.0 * spread));
+        }
+        const core::M5VariableDelay m5(factors);
+        for (core::PlayerId v = 0; v < n; ++v) {
+          gains.add(core::probe_truthfulness(m5, game, v, kScales).gain());
+        }
+        const core::Outcome outcome = m5.run_truthful(game);
+        for (const core::PricedCycle& pc : outcome.cycles) {
+          release.add(pc.release_time);
+          double lo = 1e18, hi = 0;
+          for (const core::PlayerPrice& b : pc.player_delay_bonuses) {
+            lo = std::min(lo, b.price);
+            hi = std::max(hi, b.price);
+          }
+          if (hi > 0) gap.add(hi / std::max(lo, 1e-12));
+        }
+      }
+      table.add_row({util::format("10..%.0f", 10.0 * spread),
+                     util::format("%.5f", gains.mean()),
+                     util::format("%.5f", gains.max()),
+                     release.empty() ? "-" : util::fmt_double(release.mean(), 3),
+                     gap.empty() ? "-" : util::fmt_double(gap.mean(), 1)});
+    }
+    table.print();
+  }
+
+  std::printf("\nE10b: M2-MinFee — seller floors vs liquidity and "
+              "truthfulness\n(random BA games, zero seller costs per M2's "
+              "model, 10 seeds per floor)\n\n");
+  {
+    util::Table table({"floor fee", "volume ratio vs M2", "seller income",
+                       "cycles dropped%", "buyer dev gain (max)"});
+    for (double floor : {0.0, 0.0005, 0.002, 0.005}) {
+      util::Accumulator vol_ratio, income, dropped, gains;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        util::Rng rng(seed * 7 + 3);
+        gen::GameConfig config;
+        config.seller_min = 0.0;
+        config.seller_max = 0.0;
+        config.depleted_share = 0.3;
+        const core::Game game = gen::random_ba_game(14, 2, config, rng);
+        const core::M2Vcg m2;
+        const core::M2MinFee minfee(floor);
+        const core::Outcome base = m2.run_truthful(game);
+        const core::Outcome floored = minfee.run_truthful(game);
+        const auto base_vol = flow::total_volume(base.circulation);
+        vol_ratio.add(base_vol > 0
+                          ? static_cast<double>(
+                                flow::total_volume(floored.circulation)) /
+                                static_cast<double>(base_vol)
+                          : 1.0);
+        double inc = 0.0;
+        for (const core::PricedCycle& pc : floored.cycles) {
+          for (const core::PlayerPrice& p : pc.prices) {
+            if (p.price < 0) inc -= p.price;
+          }
+        }
+        income.add(inc);
+        dropped.add(base.cycles.empty()
+                        ? 0.0
+                        : 100.0 *
+                              static_cast<double>(base.cycles.size() -
+                                                  floored.cycles.size()) /
+                              static_cast<double>(base.cycles.size()));
+        // Probe the highest-value buyer.
+        core::PlayerId top = 0;
+        double best = -1.0;
+        for (core::EdgeId e = 0; e < game.num_edges(); ++e) {
+          if (game.edge(e).head_valuation > best) {
+            best = game.edge(e).head_valuation;
+            top = game.edge(e).to;
+          }
+        }
+        gains.add(core::probe_truthfulness(minfee, game, top, kScales).gain());
+      }
+      table.add_row({util::fmt_double(floor, 4),
+                     util::fmt_double(vol_ratio.mean(), 3),
+                     util::fmt_double(income.mean(), 4),
+                     util::fmt_double(dropped.mean(), 1),
+                     util::format("%.5f", gains.max())});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nexpected shape: (a) with homogeneous delay factors M5 = M4 and\n"
+      "deviation gains vanish; as the spread widens, low-d participants'\n"
+      "compensation drifts from the telescoping value and gains appear —\n"
+      "the paper's predicted incentive obstacle, quantified. (b) raising\n"
+      "the floor buys sellers guaranteed income at the price of dropped\n"
+      "cycles (liquidity) and growing buyer manipulability: the exact\n"
+      "trade-off behind the Section-4 open question.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E11 — the motivating economics (§1/§2.1): off-chain rebalancing fees
+// vs on-chain top-ups. Regenerates the "routing fees are orders of
+// magnitude smaller than blockchain fees" comparison as a break-even
+// table, then prices an actual simulated rebalancing round both ways.
+#include <cstdio>
+
+#include "core/m3_double_auction.hpp"
+#include "pcn/onchain.hpp"
+#include "pcn/rebalancer.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+int main() {
+  std::printf("E11: rebalancing vs on-chain top-up economics\n\n");
+
+  // (a) Break-even deficits across fee regimes.
+  util::Table breakeven({"on-chain base fee", "rebalance fee rate",
+                         "break-even deficit", "cost @ deficit 100",
+                         "on-chain @ 100"});
+  for (flow::Amount base : {500, 2000, 10000}) {
+    for (double rate : {0.0005, 0.001, 0.005}) {
+      pcn::OnChainCostModel model;
+      model.base_fee = base;
+      model.delay_cost_rate = 0.0;
+      breakeven.add_row(
+          {util::fmt_int(base), util::fmt_double(rate, 4),
+           util::fmt_int(pcn::breakeven_deficit(model, rate)),
+           util::fmt_double(pcn::rebalancing_cost(rate, 100), 3),
+           util::fmt_double(pcn::onchain_cost(model, 100), 0)});
+    }
+  }
+  breakeven.print();
+
+  // (b) Price one simulated rebalancing round both ways: what the
+  // mechanism's buyers actually paid vs what topping the same deficits up
+  // on-chain would have cost.
+  sim::SimulationConfig config;
+  config.num_nodes = 80;
+  config.initial_skew = 0.4;
+  config.skew_fraction = 0.5;
+  config.seed = 17;
+  util::Rng rng(config.seed);
+  pcn::Network network = sim::build_network(config, rng);
+
+  pcn::RebalancePolicy policy;
+  policy.depleted_threshold = 0.25;
+  policy.seller_floor_share = 0.35;
+  policy.buyer_bid_base = 0.01;
+  const pcn::ExtractedGame extracted = pcn::extract_game(network, policy);
+
+  // Count deficits (one on-chain tx per depleted channel direction).
+  int depleted_edges = 0;
+  flow::Amount total_deficit = 0;
+  for (core::EdgeId e = 0; e < extracted.game.num_edges(); ++e) {
+    if (extracted.game.is_depleted(e)) {
+      ++depleted_edges;
+      total_deficit += extracted.game.edge(e).capacity;
+    }
+  }
+
+  pcn::Network working = network;
+  const pcn::ExtractedGame locked = pcn::extract_and_lock(working, policy);
+  const core::Outcome outcome =
+      core::M3DoubleAuction().run_truthful(locked.game);
+  const pcn::RebalanceStats stats =
+      pcn::apply_outcome(working, locked, outcome);
+
+  flow::Amount repaired = 0;
+  for (core::EdgeId e = 0; e < locked.game.num_edges(); ++e) {
+    if (locked.game.is_depleted(e)) {
+      repaired += outcome.circulation[static_cast<std::size_t>(e)];
+    }
+  }
+
+  pcn::OnChainCostModel model;  // defaults: base 2000, delay 0.0005
+  const double onchain_for_repaired =
+      static_cast<double>(depleted_edges) *
+      static_cast<double>(model.base_fee) *
+      (total_deficit > 0 ? static_cast<double>(repaired) /
+                               static_cast<double>(total_deficit)
+                         : 0.0);
+
+  std::printf("\none simulated round (n=%d, %d depleted directions, "
+              "total deficit %lld):\n",
+              config.num_nodes, depleted_edges,
+              static_cast<long long>(total_deficit));
+  util::Table round({"metric", "value"});
+  round.add_row({"deficit repaired off-chain",
+                 util::fmt_int(static_cast<long long>(repaired))});
+  round.add_row({"buyer fees paid (coins)",
+                 util::fmt_double(stats.fees_paid, 3)});
+  round.add_row({"pro-rated on-chain cost for the same repair",
+                 util::fmt_double(onchain_for_repaired, 0)});
+  round.add_row(
+      {"cost ratio (on-chain / rebalancing)",
+       stats.fees_paid > 0
+           ? util::format("%.0fx", onchain_for_repaired / stats.fees_paid)
+           : "inf"});
+  round.print();
+  std::printf("\nexpected shape: rebalancing repairs liquidity for fees\n"
+              "orders of magnitude below the fixed on-chain cost — the\n"
+              "paper's motivation for keeping rebalancing off-chain, with\n"
+              "on-chain only worthwhile past the break-even deficits in\n"
+              "the first table.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E12 — §4 "Finer Analysis of Incentives": equilibrium shading and the
+// empirical price of anarchy.
+//
+// Round-robin best-response dynamics over a discrete shading grid, from
+// the truthful profile, per mechanism. Reports where the dynamics settle
+// (how deep equilibrium shading goes), how often they converge, and the
+// welfare realized at equilibrium relative to the truthful optimum.
+#include <cstdio>
+
+#include "core/equilibrium.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+int main() {
+  std::printf("E12: best-response equilibria and price of anarchy "
+              "(10 random BA games per size)\n\n");
+
+  const core::M2Vcg m2;
+  const core::M3DoubleAuction m3;
+  const core::M4DelayedAuction m4(100.0);
+
+  util::Table table({"mechanism", "n", "converged", "mean passes",
+                     "mean eq shading", "welfare ratio (mean)",
+                     "welfare ratio (min)"});
+  for (const core::Mechanism* mech :
+       {static_cast<const core::Mechanism*>(&m2),
+        static_cast<const core::Mechanism*>(&m3),
+        static_cast<const core::Mechanism*>(&m4)}) {
+    for (flow::NodeId n : {8, 14}) {
+      util::Accumulator passes, shading, ratio;
+      int converged = 0;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        util::Rng rng(seed * 47 + 11);
+        gen::GameConfig config;
+        config.depleted_share = 0.35;
+        const core::Game game = gen::random_ba_game(n, 2, config, rng);
+        const core::EquilibriumResult result =
+            core::best_response_dynamics(*mech, game);
+        converged += result.converged;
+        passes.add(result.passes);
+        shading.add(util::mean(result.strategy));
+        ratio.add(result.welfare_ratio());
+      }
+      table.add_row({std::string(mech->name()), util::fmt_int(n),
+                     util::format("%d/10", converged),
+                     util::fmt_double(passes.mean(), 1),
+                     util::fmt_double(shading.mean(), 2),
+                     util::fmt_double(ratio.mean(), 3),
+                     util::fmt_double(ratio.min(), 3)});
+    }
+  }
+  table.print();
+  util::maybe_export_csv(table, "e12_equilibrium");
+  std::printf(
+      "\nexpected shape: M3's equilibria shade deepest (mean factor ~0.4,\n"
+      "and best-response cycling appears — first-price dynamics), yet most\n"
+      "of the shading is absorbed by prices rather than allocations, so\n"
+      "its welfare ratio stays near 1. M2 sits closest to truthful. M4\n"
+      "converges fast but its residual shading — driven purely by the\n"
+      "multi-cycle selection externality of E3b, not the pricing rule —\n"
+      "can cost more welfare at equilibrium than M3's price shading: the\n"
+      "allocation itself moves. A quantitative answer to Section 4's\n"
+      "\"finer analysis of incentives\" question.\n");
+  return 0;
+}

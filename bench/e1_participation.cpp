@@ -1,0 +1,125 @@
+// E1 — the headline claim: involving *all* users (Musketeer's double
+// auction) rebalances more liquidity and creates more welfare than
+// buyers-only global rebalancing (Hide & Seek), local search, or nothing.
+//
+// Sweeps topology family and network size; reports rebalanced volume and
+// realized welfare per strategy, plus the seller-participation ablation
+// (Musketeer's advantage grows with the share of indifferent channels).
+#include <cstdio>
+#include <functional>
+
+#include "core/baselines.hpp"
+#include "core/m3_double_auction.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+struct Row {
+  double volume = 0.0;
+  double welfare = 0.0;
+};
+
+Row evaluate(const core::Mechanism& mechanism, const core::Game& game) {
+  const core::Outcome outcome = mechanism.run_truthful(game);
+  return Row{static_cast<double>(flow::total_volume(outcome.circulation)),
+             outcome.realized_welfare(game)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: all-user participation vs baselines "
+              "(volume = rebalanced coins, SW = realized welfare)\n\n");
+
+  util::Rng rng(20240601);
+  const core::NoRebalancing none;
+  const core::LocalRebalancing local(4, 0.001);
+  const core::HideSeek hide_seek;
+  const core::M3DoubleAuction musketeer;
+
+  using TopologyFn =
+      std::function<gen::Topology(flow::NodeId, util::Rng&)>;
+  const std::pair<const char*, TopologyFn> topologies[] = {
+      {"barabasi-albert", [](flow::NodeId n, util::Rng& r) {
+         return gen::barabasi_albert(n, 2, r);
+       }},
+      {"erdos-renyi", [](flow::NodeId n, util::Rng& r) {
+         return gen::erdos_renyi(n, 6.0 / static_cast<double>(n), r);
+       }},
+      {"watts-strogatz", [](flow::NodeId n, util::Rng& r) {
+         return gen::watts_strogatz(n, 2, 0.1, r);
+       }},
+  };
+
+  util::Table table({"topology", "n", "local vol", "hide&seek vol",
+                     "musketeer vol", "local SW", "hide&seek SW",
+                     "musketeer SW", "SW gain vs h&s"});
+  for (const auto& [name, make_topology] : topologies) {
+    for (flow::NodeId n : {20, 50, 100, 200}) {
+      util::Accumulator lv, hv, mv, lc_sw, hs_sw, mk_sw;
+      for (int trial = 0; trial < 5; ++trial) {
+        gen::GameConfig config;
+        config.depleted_share = 0.3;
+        const gen::Topology topology = make_topology(n, rng);
+        const core::Game game = gen::random_game(n, topology, config, rng);
+        const Row l = evaluate(local, game);
+        const Row h = evaluate(hide_seek, game);
+        const Row m = evaluate(musketeer, game);
+        lv.add(l.volume);
+        hv.add(h.volume);
+        mv.add(m.volume);
+        lc_sw.add(l.welfare);
+        hs_sw.add(h.welfare);
+        mk_sw.add(m.welfare);
+      }
+      table.add_row(
+          {name, util::fmt_int(n), util::fmt_double(lv.mean(), 0),
+           util::fmt_double(hv.mean(), 0), util::fmt_double(mv.mean(), 0),
+           util::fmt_double(lc_sw.mean(), 3),
+           util::fmt_double(hs_sw.mean(), 3),
+           util::fmt_double(mk_sw.mean(), 3),
+           util::format("%.2fx", hs_sw.mean() > 0
+                                     ? mk_sw.mean() / hs_sw.mean()
+                                     : 0.0)});
+    }
+  }
+  table.print();
+  util::maybe_export_csv(table, "e1_participation");
+
+  // Ablation: Musketeer's edge over Hide & Seek vs seller share. With no
+  // indifferent channels the two coincide; the more sellers, the larger
+  // the advantage (the paper's core motivation).
+  std::printf("\nablation: welfare vs depleted-channel share "
+              "(n=100, barabasi-albert):\n\n");
+  util::Table ablation({"depleted share", "hide&seek SW", "musketeer SW",
+                        "gain"});
+  for (double share : {1.0, 0.7, 0.5, 0.3, 0.15}) {
+    util::Accumulator hs_sw, mk_sw;
+    for (int trial = 0; trial < 5; ++trial) {
+      gen::GameConfig config;
+      config.depleted_share = share;
+      const core::Game game = gen::random_ba_game(100, 2, config, rng);
+      hs_sw.add(evaluate(hide_seek, game).welfare);
+      mk_sw.add(evaluate(musketeer, game).welfare);
+    }
+    ablation.add_row({util::fmt_double(share, 2),
+                      util::fmt_double(hs_sw.mean(), 3),
+                      util::fmt_double(mk_sw.mean(), 3),
+                      util::format("%.2fx", hs_sw.mean() > 0
+                                                ? mk_sw.mean() / hs_sw.mean()
+                                                : 0.0)});
+  }
+  ablation.print();
+  util::maybe_export_csv(ablation, "e1_ablation");
+  std::printf("\nexpected shape: in realized welfare, musketeer >= hide&seek "
+              "and musketeer >= local\neverywhere (raw volume counts every "
+              "traversed edge, so long local cycles can\ninflate it); the "
+              "welfare gain over hide&seek grows as the depleted share\n"
+              "shrinks — more seller liquidity to recruit.\n");
+  (void)none;
+  return 0;
+}

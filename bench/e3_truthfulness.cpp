@@ -1,0 +1,131 @@
+// E3 — truthfulness, measured: best-response deviation gains per
+// mechanism, on (a) single-cycle instances where the paper's theorems
+// are airtight, and (b) general multi-cycle games where cycle-selection
+// externalities leave residual manipulability (see EXPERIMENTS.md).
+//
+// Expected shape: M3 gains strictly positive everywhere (first-price
+// shading); M2 ~ 0 for buyers; M4 exactly 0 on single-cycle instances
+// and small-but-nonzero on general games.
+#include <cstdio>
+#include <memory>
+
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/properties.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+const std::vector<double> kScales{0.0, 0.25, 0.5, 0.7, 0.85, 0.95,
+                                  1.05, 1.25, 1.5, 2.0};
+
+core::Game random_ring_game(util::Rng& rng) {
+  const auto n = static_cast<flow::NodeId>(rng.uniform_int(3, 8));
+  core::Game game(n);
+  for (flow::NodeId u = 0; u < n; ++u) {
+    const auto v = static_cast<flow::NodeId>((u + 1) % n);
+    if (rng.bernoulli(0.5)) {
+      game.add_edge(u, v, rng.uniform_int(5, 50), 0.0,
+                    rng.uniform_real(0.01, 0.05));
+    } else {
+      game.add_edge(u, v, rng.uniform_int(5, 50),
+                    -rng.uniform_real(0.0, 0.004), 0.0);
+    }
+  }
+  return game;
+}
+
+struct GainStats {
+  util::Accumulator gain;
+};
+
+void probe_all_players(const core::Mechanism& mechanism,
+                       const core::Game& game, GainStats& stats) {
+  for (core::PlayerId v = 0; v < game.num_players(); ++v) {
+    const core::DeviationReport r =
+        core::probe_truthfulness(mechanism, game, v, kScales);
+    stats.gain.add(r.gain());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: best-response deviation gains "
+              "(grid of %zu bid scalings per player)\n\n",
+              kScales.size());
+  util::Rng rng(31337);
+
+  const core::M2Vcg m2;
+  const core::M3DoubleAuction m3;
+  const core::M4DelayedAuction m4(/*delay_factor=*/100.0);
+
+  // (a) single-cycle instances: the regime of the paper's proofs.
+  {
+    GainStats g2, g3, g4;
+    for (int trial = 0; trial < 20; ++trial) {
+      const core::Game game = random_ring_game(rng);
+      probe_all_players(m2, game, g2);
+      probe_all_players(m3, game, g3);
+      probe_all_players(m4, game, g4);
+    }
+    util::Table table({"mechanism", "mean gain", "max gain",
+                       "players with gain>1e-9"});
+    auto row = [&](const char* name, GainStats& s) {
+      int manipulable = 0;
+      for (double g : s.gain.values()) manipulable += (g > 1e-9);
+      table.add_row({name, util::format("%.5f", s.gain.mean()),
+                     util::format("%.5f", s.gain.max()),
+                     util::format("%d/%zu", manipulable, s.gain.count())});
+    };
+    std::printf("(a) single-cycle (ring) instances:\n");
+    row("M2-vcg", g2);
+    row("M3-double-auction", g3);
+    row("M4-delayed", g4);
+    table.print();
+  }
+
+  // (b) general scale-free games: residual manipulability through cycle
+  // selection (an honesty gap the brief announcement glosses over).
+  {
+    GainStats g2, g3, g4;
+    for (int trial = 0; trial < 8; ++trial) {
+      gen::GameConfig config;
+      config.depleted_share = 0.35;
+      const core::Game game = gen::random_ba_game(14, 2, config, rng);
+      probe_all_players(m2, game, g2);
+      probe_all_players(m3, game, g3);
+      probe_all_players(m4, game, g4);
+    }
+    util::Table table({"mechanism", "mean gain", "median gain", "max gain",
+                       "players with gain>1e-9"});
+    auto row = [&](const char* name, GainStats& s) {
+      int manipulable = 0;
+      for (double g : s.gain.values()) manipulable += (g > 1e-9);
+      table.add_row({name, util::format("%.5f", s.gain.mean()),
+                     util::format("%.5f", s.gain.quantile(0.5)),
+                     util::format("%.5f", s.gain.max()),
+                     util::format("%d/%zu", manipulable, s.gain.count())});
+    };
+    std::printf("\n(b) general multi-cycle games:\n");
+    row("M2-vcg", g2);
+    row("M3-double-auction", g3);
+    row("M4-delayed", g4);
+    table.print();
+  }
+
+  std::printf(
+      "\nexpected shape: (a) M3 manipulable (first-price shading), M2/M4\n"
+      "gains = 0 exactly — the regime where Theorems 3 and 5 are airtight.\n"
+      "(b) with multiple competing cycles, deviations can steer *which*\n"
+      "cycles the welfare maximizer selects; M4's per-cycle utility stays\n"
+      "bid-independent, but selection externalities create real residual\n"
+      "gains the brief announcement's proof does not cover (documented in\n"
+      "EXPERIMENTS.md). M3 remains the most manipulable throughout.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// E4 — end-to-end throughput, two regimes:
+//
+// (a) RECOVERY (the Revive/Hide&Seek-style evaluation): every channel
+//     starts heavily skewed (10/90); each strategy rebalances ONCE, then
+//     an identical payment batch is replayed on each copy. Isolates how
+//     much depletion each mechanism actually undoes.
+// (b) STEADY STATE: epoch loop with payments depleting channels and
+//     per-epoch rebalancing. An honest negative-ish result: source
+//     routing already routes around most transient imbalance, so
+//     steady-state gains are small (documented in EXPERIMENTS.md).
+#include <cstdio>
+
+#include "sim/engine.hpp"
+#include "sim/strategies.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+sim::SimulationConfig base_config() {
+  sim::SimulationConfig config;
+  config.num_nodes = 80;
+  config.balance_min = 30;
+  config.balance_max = 90;
+  config.workload.zipf_exponent = 0.9;
+  config.workload.balanced_popularity = true;
+  config.workload.amount_max = 20;
+  // Coherent policy: sellers never drop below 0.35, strictly above the
+  // 0.25 depletion threshold, so selling liquidity can never *create*
+  // depleted directions.
+  config.policy.depleted_threshold = 0.25;
+  config.policy.seller_floor_share = 0.35;
+  config.policy.seller_liquidity_fraction = 0.9;
+  config.policy.buyer_bid_base = 0.01;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  // ------------------------------------------------------- (a) recovery
+  std::printf("E4a: recovery from depletion (half the channels start "
+              "10/90; one rebalancing pass;\nidentical 1000-payment batch "
+              "per strategy; means over 5 seeds)\n\n");
+  util::Table rec({"strategy", "success%", "depleted% before -> after",
+                   "mean imbalance", "rebalanced volume", "fees"});
+  const std::vector<sim::Strategy> strategies = sim::all_strategies();
+  for (sim::Strategy s : strategies) {
+    util::Accumulator succ, before, after, imb, vol, fees;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      sim::SimulationConfig config = base_config();
+      config.initial_skew = 0.4;   // 10/90 splits...
+      config.skew_fraction = 0.5;  // ...on half the channels
+      config.workload.amount_max = 40;
+      config.max_hops = 4;  // realistic short routes: depletion bites
+      config.payments_per_epoch = 1000;
+      config.seed = seed;
+      const auto mechanism = sim::make_strategy(s);
+      const sim::RecoveryResult r =
+          sim::run_recovery(config, mechanism.get());
+      succ.add(100.0 * r.success_rate);
+      before.add(100.0 * r.depleted_before);
+      after.add(100.0 * r.depleted_after);
+      imb.add(r.mean_imbalance_after);
+      vol.add(static_cast<double>(r.rebalanced_volume));
+      fees.add(r.rebalance_fees);
+    }
+    rec.add_row({strategy_name(s), util::fmt_double(succ.mean(), 1),
+                 util::format("%.0f%% -> %.0f%%", before.mean(), after.mean()),
+                 util::fmt_double(imb.mean(), 3),
+                 util::fmt_double(vol.mean(), 0),
+                 util::fmt_double(fees.mean(), 2)});
+  }
+  rec.print();
+  util::maybe_export_csv(rec, "e4_recovery");
+
+  // --------------------------------------------------- (b) steady state
+  sim::SimulationConfig config = base_config();
+  config.epochs = 16;
+  config.payments_per_epoch = 500;
+  config.seed = 424242;
+
+  std::printf("\nE4b: steady state — success rate by epoch "
+              "(n=%d scale-free, %d payments/epoch, shared stream)\n\n",
+              config.num_nodes, config.payments_per_epoch);
+
+  std::vector<sim::SimulationResult> results;
+  for (sim::Strategy s : strategies) {
+    const auto mechanism = sim::make_strategy(s);
+    results.push_back(sim::run_simulation(config, mechanism.get()));
+  }
+
+  std::vector<std::string> headers{"epoch"};
+  for (sim::Strategy s : strategies) headers.push_back(strategy_name(s));
+  util::Table table(headers);
+  for (int epoch = 0; epoch < config.epochs; epoch += 3) {
+    std::vector<std::string> row{util::fmt_int(epoch)};
+    for (const auto& result : results) {
+      row.push_back(util::fmt_double(
+          100.0 * result.epochs[static_cast<std::size_t>(epoch)].success_rate(),
+          1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\naggregates:\n");
+  util::Table agg({"strategy", "overall success%", "failure vs none",
+                   "volume delivered", "rebalanced volume",
+                   "rebalance fees"});
+  const double none_failure = 1.0 - results[0].overall_success_rate();
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    double fees = 0.0;
+    for (const auto& m : results[i].epochs) fees += m.rebalance_fees;
+    const double failure = 1.0 - results[i].overall_success_rate();
+    agg.add_row({strategy_name(strategies[i]),
+                 util::fmt_double(100.0 * results[i].overall_success_rate(), 1),
+                 none_failure > 0
+                     ? util::format("%+.1f%%",
+                                    100.0 * (failure - none_failure) /
+                                        none_failure)
+                     : "-",
+                 util::fmt_int(results[i].total_volume_succeeded()),
+                 util::fmt_int(results[i].total_rebalanced_volume()),
+                 util::fmt_double(fees, 2)});
+  }
+  agg.print();
+  util::maybe_export_csv(agg, "e4_steady_state");
+
+  // ------------------------------------------- (c) churn sensitivity
+  std::printf("\nE4c: rebalancing value under channel churn "
+              "(downtime fraction swept, none vs M3):\n\n");
+  util::Table churn({"downtime", "success% none", "success% M3",
+                     "rebalanced volume M3"});
+  for (double downtime : {0.0, 0.1, 0.3}) {
+    sim::SimulationConfig cc = base_config();
+    cc.epochs = 8;
+    cc.payments_per_epoch = 300;
+    cc.channel_downtime = downtime;
+    cc.seed = 777;
+    const auto m3 = sim::make_strategy(sim::Strategy::kM3DoubleAuction);
+    const sim::SimulationResult none_r = sim::run_simulation(cc, nullptr);
+    const sim::SimulationResult m3_r = sim::run_simulation(cc, m3.get());
+    churn.add_row({util::fmt_double(downtime, 1),
+                   util::fmt_double(100.0 * none_r.overall_success_rate(), 1),
+                   util::fmt_double(100.0 * m3_r.overall_success_rate(), 1),
+                   util::fmt_int(m3_r.total_rebalanced_volume())});
+  }
+  churn.print();
+  util::maybe_export_csv(churn, "e4_churn");
+
+  std::printf(
+      "\nexpected shape: in (a) the all-user auctions repair depletion the\n"
+      "deepest (25%% -> ~14%% of directions, vs ~23%% for buyers-only\n"
+      "hide&seek, whose all-depleted cycles barely exist) and lower mean\n"
+      "imbalance the most — they are the only strategies that can recruit\n"
+      "the balanced channels as sellers. Success-rate deltas stay within a\n"
+      "point: fee-aware source routing already masks most imbalance, in\n"
+      "(a) and (b) alike. The honest conclusion for the paper (which has\n"
+      "no evaluation of its own): Musketeer\'s measurable edge is in\n"
+      "welfare and restored liquidity (E1/E2 and the depletion columns\n"
+      "here); throughput follows only where routing cannot already detour\n"
+      "around the damage.\n");
+  return 0;
+}

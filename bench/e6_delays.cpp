@@ -1,0 +1,98 @@
+// E6 — the M4 delay mechanism under the microscope: release-time
+// distribution vs the delay factor d, the welfare-to-delay trade-off,
+// and the clamping regime where truthfulness erodes.
+//
+// Expected shape: larger d => later releases (delays scale as 1 - SW/d)
+// but no clamping and exact per-cycle truthfulness; small d => cycles
+// clamp at t=0, the bonus saturates, and underbidding starts to pay.
+#include <cstdio>
+
+#include "core/m4_delayed.hpp"
+#include "core/properties.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+const std::vector<double> kScales{0.25, 0.5, 0.75, 0.9, 1.1};
+
+}  // namespace
+
+int main() {
+  std::printf("E6: M4 delay mechanics vs the delay factor d "
+              "(10 random games per d)\n\n");
+
+  util::Rng rng(555);
+  util::Table table({"d", "mean release t", "p90 release t",
+                     "clamped cycles%", "mean delay bonus",
+                     "max deviation gain"});
+  for (double d : {0.5, 2.0, 10.0, 50.0, 200.0}) {
+    const core::M4DelayedAuction m4(d);
+    util::Accumulator release, bonus, gains;
+    int clamped = 0, cycles = 0;
+    util::Rng trial_rng(555);  // same games for every d
+    for (int trial = 0; trial < 10; ++trial) {
+      gen::GameConfig config;
+      config.depleted_share = 0.3;
+      const core::Game game = gen::random_ba_game(12, 2, config, trial_rng);
+      const core::Outcome outcome = m4.run_truthful(game);
+      for (const core::PricedCycle& pc : outcome.cycles) {
+        release.add(pc.release_time);
+        bonus.add(pc.delay_bonus);
+        ++cycles;
+        clamped += (pc.release_time == 0.0);
+      }
+      // Deviation probe on two players per game.
+      for (core::PlayerId v = 0;
+           v < std::min<core::PlayerId>(2, game.num_players()); ++v) {
+        gains.add(core::probe_truthfulness(m4, game, v, kScales).gain());
+      }
+    }
+    table.add_row(
+        {util::fmt_double(d, 1),
+         release.empty() ? "-" : util::fmt_double(release.mean(), 3),
+         release.empty() ? "-" : util::fmt_double(release.quantile(0.9), 3),
+         cycles ? util::fmt_double(100.0 * clamped / cycles, 1) : "-",
+         bonus.empty() ? "-" : util::fmt_double(bonus.mean(), 4),
+         gains.empty() ? "-" : util::format("%.5f", gains.max())});
+  }
+  table.print();
+
+  std::printf("\nwelfare/delay trade-off on one game, by d:\n\n");
+  util::Table trade({"d", "realized SW", "welfare-weighted mean delay",
+                     "total delay bonus paid"});
+  gen::GameConfig config;
+  config.depleted_share = 0.3;
+  util::Rng one(808);
+  const core::Game game = gen::random_ba_game(30, 2, config, one);
+  for (double d : {0.5, 2.0, 10.0, 50.0}) {
+    const core::Outcome outcome = core::M4DelayedAuction(d).run_truthful(game);
+    double sw = outcome.realized_welfare(game);
+    double weighted_delay = 0.0, weight = 0.0, bonus_total = 0.0;
+    for (const core::PricedCycle& pc : outcome.cycles) {
+      const double w = game.cycle_welfare(game.truthful_bids(), pc.cycle);
+      weighted_delay += w * pc.release_time;
+      weight += w;
+      bonus_total +=
+          pc.delay_bonus * static_cast<double>(pc.cycle.length());
+    }
+    trade.add_row({util::fmt_double(d, 1), util::fmt_double(sw, 4),
+                   util::fmt_double(weight > 0 ? weighted_delay / weight : 0,
+                                    3),
+                   util::fmt_double(bonus_total, 4)});
+  }
+  trade.print();
+  std::printf("\nreading guide: the liquidity outcome is d-independent (the\n"
+              "circulation ignores d); what d buys is incentive quality.\n"
+              "Small d clamps releases at t=0, the delay bonus saturates,\n"
+              "and deviation gains rise *above* the d-independent baseline\n"
+              "(that baseline is the cycle-selection externality measured\n"
+              "in E3 — it persists for every d). Larger d removes the\n"
+              "clamping component at the price of slower releases: the\n"
+              "paper's \"economic efficiency only w.r.t. liquidity\"\n"
+              "trade-off, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E7 — solver ablation: Bellman–Ford cycle cancelling vs min-mean-cycle
+// cancelling vs the LP simplex referee. Same optimum everywhere (checked
+// exactly); very different runtimes and iteration counts.
+#include <chrono>
+#include <cstdio>
+
+#include "flow/min_mean_cycle.hpp"
+#include "flow/residual.hpp"
+#include "flow/solver.hpp"
+#include "gen/game_gen.hpp"
+#include "lp/flow_lp.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7: solver ablation (3 random games per size; welfare "
+              "agreement checked exactly)\n\n");
+
+  util::Rng rng(2468);
+  util::Table table({"n", "edges", "BF ms", "scaling ms", "minmean ms",
+                     "simplex ms", "simplex pivots", "LP ms", "agree"});
+  for (flow::NodeId n : {16, 32, 64, 128}) {
+    util::Accumulator bf_ms, cs_ms, mm_ms, ns_ms, lp_ms, bf_cycles,
+        cs_cycles, mm_cycles, ns_pivots, lp_iters;
+    int edges = 0;
+    bool all_agree = true;
+    for (int trial = 0; trial < 3; ++trial) {
+      gen::GameConfig config;
+      config.depleted_share = 0.3;
+      config.capacity_max = 50;
+      const core::Game game = gen::random_ba_game(n, 2, config, rng);
+      const flow::Graph g = game.build_graph(game.truthful_bids());
+      edges = g.num_edges();
+
+      auto t0 = std::chrono::steady_clock::now();
+      flow::SolveStats bf_stats;
+      const flow::Circulation f_bf =
+          flow::solve_max_welfare(g, flow::SolverKind::kBellmanFord, &bf_stats);
+      bf_ms.add(ms_since(t0));
+      bf_cycles.add(bf_stats.cycles_cancelled);
+
+      t0 = std::chrono::steady_clock::now();
+      flow::SolveStats cs_stats;
+      const flow::Circulation f_cs = flow::solve_max_welfare(
+          g, flow::SolverKind::kCapacityScaling, &cs_stats);
+      cs_ms.add(ms_since(t0));
+      cs_cycles.add(cs_stats.cycles_cancelled);
+
+      t0 = std::chrono::steady_clock::now();
+      flow::SolveStats mm_stats;
+      const flow::Circulation f_mm =
+          flow::solve_max_welfare(g, flow::SolverKind::kMinMean, &mm_stats);
+      mm_ms.add(ms_since(t0));
+      mm_cycles.add(mm_stats.cycles_cancelled);
+
+      t0 = std::chrono::steady_clock::now();
+      flow::SolveStats ns_stats;
+      const flow::Circulation f_ns = flow::solve_max_welfare(
+          g, flow::SolverKind::kNetworkSimplex, &ns_stats);
+      ns_ms.add(ms_since(t0));
+      ns_pivots.add(ns_stats.cycles_cancelled);
+
+      t0 = std::chrono::steady_clock::now();
+      const lp::FlowLpResult lp_result = lp::solve_circulation_lp(g);
+      lp_ms.add(ms_since(t0));
+      lp_iters.add(lp_result.iterations > 0 ? lp_result.iterations : 0);
+
+      const auto w_bf = flow::scaled_welfare(g, f_bf);
+      const auto w_mm = flow::scaled_welfare(g, f_mm);
+      const double w_lp = lp_result.welfare;
+      if (flow::scaled_welfare(g, f_cs) != w_bf) all_agree = false;
+      if (flow::scaled_welfare(g, f_ns) != w_bf ||
+          !flow::is_optimal(g, f_ns)) {
+        all_agree = false;
+      }
+      if (w_bf != w_mm ||
+          std::abs(w_lp - static_cast<double>(w_bf) / flow::kGainScale) >
+              1e-5) {
+        all_agree = false;
+      }
+      // Exact optimality certificate on both combinatorial solutions.
+      if (!flow::is_optimal(g, f_bf) || !flow::is_optimal(g, f_mm)) {
+        all_agree = false;
+      }
+    }
+    table.add_row({util::fmt_int(n), util::fmt_int(edges),
+                   util::fmt_double(bf_ms.mean(), 2),
+                   util::fmt_double(cs_ms.mean(), 2),
+                   util::fmt_double(mm_ms.mean(), 2),
+                   util::fmt_double(ns_ms.mean(), 2),
+                   util::fmt_double(ns_pivots.mean(), 0),
+                   util::fmt_double(lp_ms.mean(), 2),
+                   all_agree ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: all five solvers agree on the optimum exactly\n"
+      "(checked via scaled-integer welfare plus the residual-cycle\n"
+      "certificate). Network simplex dominates at scale (~20x over the\n"
+      "cancellers at n=512+); min-mean pays the Karp overhead for its\n"
+      "strongly-polynomial bound; the dense LP simplex is the slow\n"
+      "independent referee.\n");
+  return 0;
+}

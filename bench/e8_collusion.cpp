@@ -1,0 +1,108 @@
+// E8 — the §4 extension: group strategyproofness. Measures joint
+// deviation gains for channel-partner pairs under M2 and M4 (both
+// strategyproof against unilateral deviations) and reproduces the
+// depleted-to-indifferent misreporting pattern the paper describes.
+#include <cstdio>
+
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/strategy.hpp"
+#include "gen/game_gen.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+const std::vector<double> kScales{0.0, 0.5, 1.0, 1.5};
+
+// The paper's hand-constructed pattern (see examples/collusion_demo for a
+// narrated version): a depleted channel whose honest declaration blocks a
+// lucrative through-route.
+core::Game paper_pattern() {
+  core::Game game(4);
+  game.add_edge(1, 0, 20, 0.0, 0.015);   // depleted channel u-v
+  game.add_edge(3, 2, 20, 0.0, 0.04);    // big demand elsewhere
+  game.add_edge(2, 1, 20, -0.001, 0.0);
+  game.add_edge(0, 3, 20, -0.001, 0.0);
+  return game;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: collusion (group strategyproofness) probes\n\n");
+
+  const core::M2Vcg m2;
+  const core::M4DelayedAuction m4(100.0);
+  const core::M3DoubleAuction m3;
+
+  // (a) the paper's pattern: adjacent channel partners.
+  {
+    const core::Game game = paper_pattern();
+    util::Table table({"mechanism", "honest joint u", "best joint u",
+                       "collusion gain"});
+    for (const core::Mechanism* mech :
+         {static_cast<const core::Mechanism*>(&m2),
+          static_cast<const core::Mechanism*>(&m3),
+          static_cast<const core::Mechanism*>(&m4)}) {
+      const core::CollusionReport report =
+          core::probe_collusion(*mech, game, /*first=*/0, /*second=*/1,
+                                kScales);
+      table.add_row({std::string(mech->name()),
+                     util::fmt_double(report.honest_joint_utility, 4),
+                     util::fmt_double(report.best_joint_utility, 4),
+                     util::fmt_double(report.gain(), 4)});
+    }
+    std::printf("(a) the Section-4 pattern (players 0 and 1 share the "
+                "depleted channel):\n");
+    table.print();
+  }
+
+  // (b) random games: how often can a random adjacent pair gain jointly?
+  {
+    util::Rng rng(97531);
+    util::Table table(
+        {"mechanism", "pairs probed", "pairs with gain", "mean gain",
+         "max gain"});
+    for (const core::Mechanism* mech :
+         {static_cast<const core::Mechanism*>(&m2),
+          static_cast<const core::Mechanism*>(&m4)}) {
+      util::Accumulator gains;
+      int with_gain = 0, probed = 0;
+      util::Rng local_rng(97531);
+      for (int trial = 0; trial < 6; ++trial) {
+        gen::GameConfig config;
+        config.depleted_share = 0.35;
+        const core::Game game = gen::random_ba_game(10, 2, config, local_rng);
+        // Probe the endpoints of the first three depleted edges.
+        int done = 0;
+        for (core::EdgeId e = 0; e < game.num_edges() && done < 3; ++e) {
+          if (!game.is_depleted(e)) continue;
+          ++done;
+          ++probed;
+          const core::CollusionReport report = core::probe_collusion(
+              *mech, game, game.edge(e).from, game.edge(e).to, kScales);
+          gains.add(report.gain());
+          with_gain += (report.gain() > 1e-9);
+        }
+      }
+      table.add_row({std::string(mech->name()), util::fmt_int(probed),
+                     util::fmt_int(with_gain),
+                     util::format("%.5f", gains.mean()),
+                     util::format("%.5f", gains.max())});
+    }
+    std::printf("\n(b) random channel-partner pairs:\n");
+    table.print();
+    (void)rng;
+  }
+
+  std::printf("\nexpected shape: single-player strategyproofness does not\n"
+              "survive pairs — a positive fraction of channel partners can\n"
+              "jointly gain, and the paper-pattern gain is strictly\n"
+              "positive for every mechanism. Designing group-strategyproof\n"
+              "rebalancing is the paper's open problem.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E9 — the §4 "Repeated Games" hypothesis, tested: does underbidding pay
+// when the rebalancing auction runs frequently (demand persists across
+// rounds), and is it punished when rounds are rare?
+//
+// Adaptive buyers learn a shading factor by epsilon-greedy bandit over
+// their realized utilities; the mechanism and the persistence of unmet
+// demand are swept.
+#include <cstdio>
+
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/repeated.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+// A competitive market: two buyers share one seller bottleneck, so
+// shading risks losing the allocation to the rival — the interesting
+// regime for the frequency question.
+core::GameSampler competitive_market() {
+  return [](util::Rng& rng) {
+    core::Game game(4);
+    game.add_edge(2, 3, 8, -rng.uniform_real(0.0005, 0.002), 0.0);
+    game.add_edge(3, 0, 10, 0.0, rng.uniform_real(0.015, 0.035));
+    game.add_edge(0, 2, 10, 0.0, 0.0);
+    game.add_edge(3, 1, 10, 0.0, rng.uniform_real(0.015, 0.035));
+    game.add_edge(1, 2, 10, 0.0, 0.0);
+    return game;
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: repeated rebalancing with adaptive buyers "
+              "(600 rounds, 5 seeds per cell)\n\n");
+
+  util::Table table({"mechanism", "persistence", "learned shading (mean)",
+                     "late-round shading", "welfare ratio",
+                     "adaptive utility share"});
+  const core::M3DoubleAuction m3;
+  const core::M4DelayedAuction m4(10.0);
+  for (const core::Mechanism* mech :
+       {static_cast<const core::Mechanism*>(&m3),
+        static_cast<const core::Mechanism*>(&m4)}) {
+    for (double persistence : {0.0, 0.5, 0.95}) {
+      util::Accumulator learned, late, ratio, share;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        util::Rng rng(seed * 31 + 7);
+        core::RepeatedConfig config;
+        config.rounds = 600;
+        config.persistence = persistence;
+        const core::RepeatedResult result = core::run_repeated_game(
+            *mech, competitive_market(), {0, 1}, config, rng);
+        for (double s : result.learned_shading) learned.add(s);
+        // Mean shading over the last quarter of rounds.
+        double tail = 0.0;
+        const std::size_t q = result.mean_shading_per_round.size() / 4;
+        for (std::size_t r = result.mean_shading_per_round.size() - q;
+             r < result.mean_shading_per_round.size(); ++r) {
+          tail += result.mean_shading_per_round[r];
+        }
+        late.add(tail / static_cast<double>(q));
+        ratio.add(result.welfare_ratio);
+        double total = 0.0, adaptive = 0.0;
+        for (std::size_t v = 0; v < result.total_utility.size(); ++v) {
+          total += result.total_utility[v];
+          if (v <= 1) adaptive += result.total_utility[v];
+        }
+        share.add(total > 0 ? adaptive / total : 0.0);
+      }
+      table.add_row({std::string(mech->name()),
+                     util::fmt_double(persistence, 2),
+                     util::fmt_double(learned.mean(), 2),
+                     util::fmt_double(late.mean(), 2),
+                     util::fmt_double(ratio.mean(), 3),
+                     util::fmt_double(share.mean(), 3)});
+    }
+  }
+  table.print();
+  util::maybe_export_csv(table, "e9_repeated_games");
+  std::printf(
+      "\nexpected shape: under M3 (first-price) buyers learn to shade and\n"
+      "shade *more* as persistence rises — losing a round is cheap when\n"
+      "demand survives to retry, confirming the paper's conjecture. Under\n"
+      "M4 the per-trade utility is bid-independent, so learned shading\n"
+      "stays near the highest factor that never loses trades; persistence\n"
+      "has little to exploit. The welfare ratio records what shading-\n"
+      "killed trades cost the market.\n");
+  return 0;
+}

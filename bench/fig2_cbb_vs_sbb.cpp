@@ -1,0 +1,86 @@
+// FIG2 — reproduces Figure 2's separation between cyclic budget balance
+// and strong budget balance.
+//
+// Player u's depleted edge (bid 0.1, capacity 11) participates in two
+// candidate cycles: cycle A has two indifferent edges bidding -0.1 each
+// (capacity 1), cycle B two free edges (capacity 10). Any IR pricing of
+// cycle A alone runs a deficit of 0.1 per unit, so cyclic budget balance
+// excludes A; strong budget balance may cross-subsidize A from B and run
+// both. The bench constructs the instance, runs the CBB mechanism (M3),
+// and contrasts it with the cross-subsidized strong-BB solution.
+#include <cstdio>
+
+#include "core/m3_double_auction.hpp"
+#include "flow/solver.hpp"
+
+using namespace musketeer;
+
+int main() {
+  std::printf("FIG2: cyclic vs strong budget balance\n\n");
+
+  // Valid bids must be strictly below the 10%% cap, so the figure's 0.1 /
+  // -0.1 become 0.09 / -0.09 (the separation argument is unchanged:
+  // per-unit cycle-A welfare is 0.09 - 0.18 < 0).
+  const double buyer = 0.09, seller = -0.09;
+  // Player 0 = u; cycle A via players 1, 2; cycle B via players 3, 4.
+  // u's depleted inbound edge is split across the two cycles' entry
+  // points: both cycles route through u's depleted channel (1->0 and
+  // 4->0 model its two cycle memberships with capacities 1 and 10).
+  core::Game game(5);
+  // Cycle A: 0 -> 1 -> 2 -> 0? We want the depleted edge shared; keep the
+  // paper's accounting: A = [u-edge (cap 1), two -0.09 edges],
+  // B = [u-edge (cap 10), two free edges].
+  const auto a1 = game.add_edge(0, 1, 1, seller, 0.0);
+  const auto a2 = game.add_edge(1, 2, 1, seller, 0.0);
+  const auto a3 = game.add_edge(2, 0, 1, 0.0, buyer);  // u buys, cycle A
+  const auto b1 = game.add_edge(0, 3, 10, 0.0, 0.0);
+  const auto b2 = game.add_edge(3, 4, 10, 0.0, 0.0);
+  const auto b3 = game.add_edge(4, 0, 10, 0.0, buyer);  // u buys, cycle B
+  (void)a1; (void)a2; (void)b1; (void)b2;
+
+  const core::BidVector bids = game.truthful_bids();
+  const flow::Graph g = game.build_graph(bids);
+
+  // CBB mechanism (M3): only cycle B survives.
+  const core::Outcome cbb = core::M3DoubleAuction().run(game, bids);
+  flow::Amount cbb_volume_a = cbb.circulation[static_cast<std::size_t>(a3)];
+  flow::Amount cbb_volume_b = cbb.circulation[static_cast<std::size_t>(b3)];
+
+  // Strong-BB benchmark: run both cycles, cross-subsidizing A's deficit
+  // from B's surplus. Total u payment = 0.2*0.9... = |2*seller|*1 per
+  // unit of A plus 0 for B; average fee rate below u's bid.
+  const double sbb_deficit_a = (buyer + 2 * seller) * 1.0;   // -0.09
+  const double sbb_surplus_b = buyer * 10.0;                 //  0.90
+  const double u_total_fee_sbb = -2.0 * seller * 1.0;        //  0.18
+  const double u_rate_sbb = u_total_fee_sbb / 11.0;
+
+  std::printf("cycle A (cap 1): per-unit welfare %.2f -> CBB infeasible\n",
+              buyer + 2 * seller);
+  std::printf("cycle B (cap 10): per-unit welfare %.2f -> always runs\n\n",
+              buyer);
+  std::printf("%-34s %10s %10s\n", "", "CBB (M3)", "strong BB");
+  std::printf("%-34s %10lld %10d\n", "rebalanced on u's edge via cycle A",
+              static_cast<long long>(cbb_volume_a), 1);
+  std::printf("%-34s %10lld %10d\n", "rebalanced on u's edge via cycle B",
+              static_cast<long long>(cbb_volume_b), 10);
+  std::printf("%-34s %10lld %10d\n", "total rebalanced liquidity for u",
+              static_cast<long long>(cbb_volume_a + cbb_volume_b), 11);
+  std::printf("%-34s %10s %10.4f\n", "u's average fee rate", "0.0000",
+              u_rate_sbb);
+  std::printf("\nstrong-BB internals: cycle A deficit %.2f funded by cycle "
+              "B surplus %.2f\n",
+              sbb_deficit_a, sbb_surplus_b);
+  std::printf("=> strong budget balance admits strictly more rebalancing "
+              "(11 vs %lld units)\n   but needs cross-cycle transfers that "
+              "PCN cycles cannot execute atomically;\n   u still pays below "
+              "its 0.09 bid (%.4f), so the SBB solution is IR.\n",
+              static_cast<long long>(cbb_volume_a + cbb_volume_b),
+              u_rate_sbb);
+
+  // Sanity: the CBB solution is the welfare optimum (cycle A has negative
+  // welfare and is rightly excluded).
+  std::printf("\nwelfare check: CBB circulation SW = %.4f (optimal: %s)\n",
+              flow::welfare(g, cbb.circulation),
+              flow::is_optimal(g, cbb.circulation) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// THM1 — the Myerson–Satterthwaite impossibility, demonstrated.
+//
+// Sweeps bilateral-trade valuations (V_a seller, V_b buyer) over a grid
+// of triangle instances and reports, for each mechanism, which of the
+// four desiderata fails where. The table regenerates the paper's
+// Theorem 1 message empirically: every mechanism gives something up.
+//   * M3: efficient, IR, CBB — but buyer/seller deviation gains > 0.
+//   * M2: truthful for buyers, efficient under reported bids, CBB — but
+//     trades against the seller's will when V_a > V_b (seller IR < 0).
+//   * M4: truthful, IR, CBB — but pays with delay (inefficiency in time).
+#include <cstdio>
+
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/myerson.hpp"
+#include "core/properties.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+namespace {
+
+const std::vector<double> kScales{0.3, 0.5, 0.7, 0.8, 0.9, 1.1, 1.3};
+
+}  // namespace
+
+int main() {
+  std::printf("THM1: Myerson-Satterthwaite triangle sweep "
+              "(V_a seller cost, V_b buyer value)\n\n");
+
+  const std::vector<double> grid{0.01, 0.03, 0.05, 0.07, 0.09};
+  util::Accumulator m3_gain, m4_gain;
+  int m2_seller_ir_violations = 0, trades_expected = 0, m3_efficient = 0,
+      cases = 0, m4_delayed_cases = 0;
+
+  util::Table table({"V_a", "V_b", "efficient trade?", "M3 dev gain",
+                     "M4 dev gain", "M4 delay", "M2 seller utility"});
+  for (double va : grid) {
+    for (double vb : grid) {
+      ++cases;
+      const core::MyersonInstance inst =
+          core::make_myerson_instance(va, vb, /*capacity=*/10);
+      const bool should_trade = core::efficient_trade(va, vb);
+      trades_expected += should_trade;
+
+      const core::M3DoubleAuction m3;
+      const core::M4DelayedAuction m4(/*delay_factor=*/5.0);
+      const core::M2Vcg m2;
+
+      const core::Outcome m3_out = m3.run_truthful(inst.game);
+      m3_efficient += ((m3_out.cycles.size() == 1) == should_trade);
+
+      double best_m3 = 0.0, best_m4 = 0.0;
+      for (core::PlayerId v : {inst.seller, inst.buyer}) {
+        best_m3 = std::max(
+            best_m3, core::probe_truthfulness(m3, inst.game, v, kScales).gain());
+        best_m4 = std::max(
+            best_m4, core::probe_truthfulness(m4, inst.game, v, kScales).gain());
+      }
+      m3_gain.add(best_m3);
+      m4_gain.add(best_m4);
+
+      const core::Outcome m4_out = m4.run_truthful(inst.game);
+      double delay = 0.0;
+      for (const core::PricedCycle& pc : m4_out.cycles) {
+        delay = std::max(delay, pc.release_time);
+        if (pc.release_time > 0) ++m4_delayed_cases;
+      }
+
+      const core::Outcome m2_out = m2.run_truthful(inst.game);
+      const double seller_u = m2_out.player_utility(inst.game, inst.seller);
+      if (seller_u < -1e-12) ++m2_seller_ir_violations;
+
+      table.add_row({util::fmt_double(va, 2), util::fmt_double(vb, 2),
+                     should_trade ? "yes" : "no",
+                     util::fmt_double(best_m3, 4),
+                     util::fmt_double(best_m4, 4),
+                     util::fmt_double(delay, 3),
+                     util::fmt_double(seller_u, 3)});
+    }
+  }
+  table.print();
+
+  std::printf("\nsummary over %d instances:\n", cases);
+  std::printf("  M3 trades exactly when efficient: %d/%d; mean deviation "
+              "gain %.4f (> 0: not truthful)\n",
+              m3_efficient, cases, m3_gain.mean());
+  std::printf("  M4 deviation gain: max %.2e (truthful), but %d runs were "
+              "delayed (the cost)\n",
+              m4_gain.max(), m4_delayed_cases);
+  std::printf("  M2 seller-IR violations: %d — with a single feasible cycle "
+              "the VCG surplus is zero,\n     so sellers route at cost V_a "
+              "for no fee (the Section-4 limitation), and when\n     "
+              "V_a > V_b the trade itself destroys welfare\n",
+              m2_seller_ir_violations);
+  std::printf("=> no mechanism satisfied all four desiderata on the family, "
+              "as Theorem 1 requires.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Compare the paper's four mechanisms side by side on one mid-size
+// rebalancing game: welfare achieved, fees collected, property margins,
+// and (for M4) the delay cost.
+//
+//   $ ./examples/auction_comparison
+#include <cstdio>
+#include <memory>
+
+#include "core/m1_fixed_fee.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/properties.hpp"
+#include "gen/game_gen.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+
+int main() {
+  util::Rng rng(99);
+  gen::GameConfig config;
+  config.depleted_share = 0.3;
+  config.seller_max = 0.003;
+  const core::Game game = gen::random_ba_game(60, 2, config, rng);
+  const core::BidVector bids = game.truthful_bids();
+
+  std::printf("Random Lightning-like game: %d players, %d channel edges\n\n",
+              game.num_players(), game.num_edges());
+
+  struct Entry {
+    std::unique_ptr<core::Mechanism> mechanism;
+  };
+  std::vector<std::unique_ptr<core::Mechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<core::M1FixedFee>(0.001, 3.0));
+  mechanisms.push_back(std::make_unique<core::M2Vcg>());
+  mechanisms.push_back(std::make_unique<core::M3DoubleAuction>());
+  mechanisms.push_back(std::make_unique<core::M4DelayedAuction>(2.0));
+
+  util::Table table({"mechanism", "welfare", "volume", "cycles",
+                     "buyer fees", "max |cycle budget|", "min cycle utility",
+                     "max delay"});
+  for (const auto& mechanism : mechanisms) {
+    const core::Outcome outcome = mechanism->run(game, bids);
+    const auto balance = core::check_cyclic_budget_balance(outcome);
+    const auto rationality =
+        core::check_individual_rationality(game, outcome);
+    double fees = 0.0, max_delay = 0.0;
+    for (const core::PricedCycle& pc : outcome.cycles) {
+      for (const core::PlayerPrice& p : pc.prices) {
+        if (p.price > 0) fees += p.price;
+      }
+      max_delay = std::max(max_delay, pc.release_time);
+    }
+    table.add_row({std::string(mechanism->name()),
+                   util::fmt_double(outcome.realized_welfare(game), 4),
+                   util::fmt_int(flow::total_volume(outcome.circulation)),
+                   util::fmt_int(static_cast<long long>(outcome.cycles.size())),
+                   util::fmt_double(fees, 4),
+                   util::format("%.1e", balance.max_cycle_imbalance),
+                   util::fmt_double(rationality.min_cycle_utility, 5),
+                   util::fmt_double(max_delay, 3)});
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: M3/M4 maximize bid-weighted welfare over all\n"
+      "participants; M2 ignores seller costs (welfare under true\n"
+      "valuations can dip); M1's fixed fees admit only cycles with at\n"
+      "most k indifferent edges per depleted edge. Budget imbalance ~0\n"
+      "everywhere: all four are cyclic budget balanced.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The §4 group-strategyproofness counterexample, executable.
+//
+// A channel is depleted from u's perspective; honest u reports a positive
+// buyer bid, which (by the paper's preclusion rule) bars counterparty v
+// from selling that channel direction. If u *withholds* its bid — turning
+// the channel indifferent — v can earn routing fees and the pair can be
+// jointly better off, even under mechanisms that are strategyproof
+// against unilateral deviations.
+//
+//   $ ./examples/collusion_demo
+#include <cstdio>
+
+#include "core/m3_double_auction.hpp"
+#include "core/strategy.hpp"
+
+using namespace musketeer;
+
+int main() {
+  // Players: 0 = u (buyer side of the depleted channel), 1 = v (its
+  // counterparty), 2 and 3 = the rest of the network.
+  //
+  // Channel u-v is depleted toward u: honestly, edge (1 -> 0) carries u's
+  // buyer bid. A second, bigger rebalancing demand exists elsewhere
+  // (player 2's channel with 3), whose cheapest cycle would route
+  // *through* the u-v channel in the same direction — if v were allowed
+  // to sell it.
+  core::Game game(4);
+  // Honest declaration: depleted edge, u buys at 1.5%.
+  const core::EdgeId uv =
+      game.add_edge(1, 0, 20, /*tail=*/0.0, /*head=*/0.015);
+  // Player 2 urgently wants rebalancing (4%) of its channel with 3,
+  // and the only return path passes through v -> u -> ... -> 3.
+  game.add_edge(3, 2, 20, 0.0, 0.04);   // depleted: buyer 2
+  game.add_edge(2, 1, 20, -0.001, 0.0); // seller leg into v
+  game.add_edge(0, 3, 20, -0.001, 0.0); // seller leg out of u
+  const core::M3DoubleAuction mechanism;
+
+  const core::BidVector honest = game.truthful_bids();
+  const core::Outcome honest_outcome = mechanism.run(game, honest);
+  const double honest_u = honest_outcome.player_utility(game, 0);
+  const double honest_v = honest_outcome.player_utility(game, 1);
+
+  // Collusion: u withholds its buyer bid on the u-v channel. The channel
+  // becomes indifferent, and the big cycle for player 2 can now route
+  // through it — with v collecting the seller share.
+  core::BidVector collusive = core::withhold_edge_bid(game, honest, uv);
+  const core::Outcome collusive_outcome = mechanism.run(game, collusive);
+  const double collusive_u = collusive_outcome.player_utility(game, 0);
+  const double collusive_v = collusive_outcome.player_utility(game, 1);
+
+  std::printf("Group-strategyproofness counterexample (Section 4)\n\n");
+  std::printf("                 honest        collusive\n");
+  std::printf("u (buyer)      %8.4f       %8.4f\n", honest_u, collusive_u);
+  std::printf("v (partner)    %8.4f       %8.4f\n", honest_v, collusive_v);
+  std::printf("joint          %8.4f       %8.4f\n", honest_u + honest_v,
+              collusive_u + collusive_v);
+  if (collusive_u + collusive_v > honest_u + honest_v + 1e-12) {
+    std::printf("\n=> the pair strictly gains by misreporting the channel "
+                "as indifferent:\n   the mechanism is strategyproof but "
+                "not *group* strategyproof.\n");
+  } else {
+    std::printf("\n=> no joint gain on this instance.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// A rebalancing market that runs every hour: two buyers compete for one
+// seller bottleneck, round after round, and learn how to bid from their
+// own realized utilities. Shows the §4 repeated-game API and why the
+// choice of mechanism changes what players learn.
+//
+//   $ ./examples/repeated_market
+#include <cstdio>
+#include <string>
+
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/repeated.hpp"
+
+using namespace musketeer;
+
+int main() {
+  // Each round, buyers 0 and 1 want rebalancing through seller 2's
+  // bottleneck channel with player 3; valuations resample every round.
+  const core::GameSampler market = [](util::Rng& rng) {
+    core::Game game(4);
+    game.add_edge(2, 3, 8, -rng.uniform_real(0.0005, 0.002), 0.0);
+    game.add_edge(3, 0, 10, 0.0, rng.uniform_real(0.015, 0.035));
+    game.add_edge(0, 2, 10, 0.0, 0.0);
+    game.add_edge(3, 1, 10, 0.0, rng.uniform_real(0.015, 0.035));
+    game.add_edge(1, 2, 10, 0.0, 0.0);
+    return game;
+  };
+
+  core::RepeatedConfig config;
+  config.rounds = 600;
+  config.persistence = 0.9;  // demand usually survives a lost round
+
+  const core::M3DoubleAuction m3;
+  const core::M4DelayedAuction m4(10.0);
+
+  std::printf("Repeated rebalancing market: 2 adaptive buyers, %d rounds, "
+              "persistence %.1f\n\n",
+              config.rounds, config.persistence);
+  for (const core::Mechanism* mech :
+       {static_cast<const core::Mechanism*>(&m3),
+        static_cast<const core::Mechanism*>(&m4)}) {
+    util::Rng rng(2026);
+    const core::RepeatedResult result =
+        core::run_repeated_game(*mech, market, {0, 1}, config, rng);
+    std::printf("%s:\n", std::string(mech->name()).c_str());
+    std::printf("  learned shading factors: buyer0 x%.2f, buyer1 x%.2f\n",
+                result.learned_shading[0], result.learned_shading[1]);
+    std::printf("  welfare achieved vs all-truthful: %.1f%%\n",
+                100.0 * result.welfare_ratio);
+    std::printf("  total buyer utilities: %.3f / %.3f coins\n\n",
+                result.total_utility[0], result.total_utility[1]);
+  }
+  std::printf("Under the first-price-style M3, buyers learn to shade their\n"
+              "bids (and the market loses the trades that shading kills);\n"
+              "under M4 the delay bonus makes per-trade utility independent\n"
+              "of the bid, so honest bidding survives repetition.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Baseline rebalancing schemes the paper positions Musketeer against.
+//
+//  * HideSeek — the globally optimal buyers-only rebalancing of Hide &
+//    Seek [10] / Revive [25]: only depleted edges (channels whose owners
+//    personally want rebalancing) form the rebalancing subgraph; flow is
+//    maximized over them; nobody pays or earns fees. Sellers' idle
+//    liquidity is left unused — the under-utilization Musketeer fixes.
+//  * LocalRebalancing — the Lightning `rebalance`-plugin model [1]: each
+//    buyer independently searches for a return path through the network
+//    (bounded depth), paying the public fee rate per hop, greedily and
+//    sequentially. Finds only what a local search can see.
+//  * NoRebalancing — the do-nothing control.
+//
+// All three implement the common Mechanism interface so E1/E4 can sweep
+// {none, local, hide&seek, M1..M4} uniformly.
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::core {
+
+class NoRebalancing : public Mechanism {
+ public:
+  Outcome run(const Game& game, const BidVector& bids) const override;
+  std::string_view name() const override { return "no-rebalancing"; }
+};
+
+class HideSeek : public Mechanism {
+ public:
+  explicit HideSeek(flow::SolverKind solver = flow::SolverKind::kBellmanFord)
+      : solver_(solver) {}
+
+  Outcome run(const Game& game, const BidVector& bids) const override;
+  std::string_view name() const override { return "hide-and-seek"; }
+
+ private:
+  flow::SolverKind solver_;
+};
+
+class LocalRebalancing : public Mechanism {
+ public:
+  /// `max_path_length` bounds the return-path search depth (total cycle
+  /// length is max_path_length + 1); `fee_rate` is the public per-hop fee
+  /// the buyer pays to intermediaries.
+  explicit LocalRebalancing(int max_path_length = 4, double fee_rate = 0.001);
+
+  Outcome run(const Game& game, const BidVector& bids) const override;
+  std::string_view name() const override { return "local-rebalancing"; }
+
+ private:
+  int max_path_length_;
+  double fee_rate_;
+};
+
+}  // namespace musketeer::core

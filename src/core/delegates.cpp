@@ -1,0 +1,96 @@
+#include "core/delegates.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+namespace sharing {
+
+std::vector<std::uint64_t> split(std::uint64_t secret, int num_shares,
+                                 util::Rng& rng) {
+  MUSK_ASSERT(num_shares >= 2);
+  std::vector<std::uint64_t> shares(static_cast<std::size_t>(num_shares));
+  std::uint64_t sum = 0;
+  for (int i = 1; i < num_shares; ++i) {
+    shares[static_cast<std::size_t>(i)] = rng();
+    sum += shares[static_cast<std::size_t>(i)];
+  }
+  shares[0] = secret - sum;  // wraps mod 2^64
+  return shares;
+}
+
+std::uint64_t reconstruct(const std::vector<std::uint64_t>& shares) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t s : shares) sum += s;
+  return sum;
+}
+
+std::uint64_t encode_rate(double rate) {
+  MUSK_ASSERT(std::abs(rate) < 0.1);
+  const auto fixed = static_cast<std::int64_t>(std::llround(rate * 1e9));
+  return static_cast<std::uint64_t>(fixed);
+}
+
+double decode_rate(std::uint64_t encoded) {
+  return static_cast<double>(static_cast<std::int64_t>(encoded)) / 1e9;
+}
+
+}  // namespace sharing
+
+DelegateCommittee::DelegateCommittee(int num_delegates, NodeId num_players,
+                                     util::Rng& rng)
+    : num_delegates_(num_delegates), num_players_(num_players), rng_(&rng) {
+  MUSK_ASSERT_MSG(num_delegates >= 2,
+                  "a single delegate would learn every secret");
+  MUSK_ASSERT(num_players >= 0);
+}
+
+void DelegateCommittee::submit_edge(NodeId from, NodeId to, Amount capacity,
+                                    double tail_valuation,
+                                    double head_valuation) {
+  MUSK_ASSERT(from >= 0 && from < num_players_);
+  MUSK_ASSERT(to >= 0 && to < num_players_);
+  MUSK_ASSERT(capacity >= 0);
+  SharedEdge edge{
+      from, to,
+      sharing::split(static_cast<std::uint64_t>(capacity), num_delegates_,
+                     *rng_),
+      sharing::split(sharing::encode_rate(tail_valuation), num_delegates_,
+                     *rng_),
+      sharing::split(sharing::encode_rate(head_valuation), num_delegates_,
+                     *rng_)};
+  edges_.push_back(std::move(edge));
+}
+
+DelegateCommittee::DelegateView DelegateCommittee::view(
+    int delegate, int submission) const {
+  MUSK_ASSERT(delegate >= 0 && delegate < num_delegates_);
+  MUSK_ASSERT(submission >= 0 && submission < num_submissions());
+  const SharedEdge& edge = edges_[static_cast<std::size_t>(submission)];
+  const auto d = static_cast<std::size_t>(delegate);
+  return DelegateView{edge.capacity_shares[d], edge.tail_shares[d],
+                      edge.head_shares[d]};
+}
+
+Game DelegateCommittee::reconstruct_game() const {
+  Game game(num_players_);
+  for (const SharedEdge& edge : edges_) {
+    const auto capacity = static_cast<Amount>(
+        sharing::reconstruct(edge.capacity_shares));
+    const double tail =
+        sharing::decode_rate(sharing::reconstruct(edge.tail_shares));
+    const double head =
+        sharing::decode_rate(sharing::reconstruct(edge.head_shares));
+    game.add_edge(edge.from, edge.to, capacity, tail, head);
+  }
+  return game;
+}
+
+Outcome DelegateCommittee::run(const Mechanism& mechanism) const {
+  const Game game = reconstruct_game();
+  return mechanism.run_truthful(game);
+}
+
+}  // namespace musketeer::core

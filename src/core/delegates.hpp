@@ -1,0 +1,90 @@
+// The Hide & Seek delegate layer (§2.1/§2.2), simulated.
+//
+// In Hide & Seek — and by extension Musketeer — users do not broadcast
+// their liquidity and bids: they *secret-share* them to a small committee
+// of delegates, who jointly compute the optimal rebalancing (the paper
+// uses MPC; privacy is orthogonal to the mechanism's incentive
+// properties, cf. DESIGN.md). This module implements the transport
+// faithfully at the information level:
+//
+//   * every submitted scalar is split into additive shares over Z_{2^64}
+//     (capacities, and bids in fixed-point), one share per delegate;
+//   * any proper subset of delegates sees only uniformly random values;
+//   * the full committee reconstructs the exact game and runs the
+//     mechanism on it.
+//
+// The MPC evaluation itself is modeled as reconstruct-then-compute,
+// which yields byte-identical outcomes to computing on plaintext — the
+// guarantee the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::core {
+
+/// Additive secret sharing over Z_{2^64}.
+namespace sharing {
+
+/// Splits `secret` into `num_shares` values summing to it (mod 2^64).
+std::vector<std::uint64_t> split(std::uint64_t secret, int num_shares,
+                                 util::Rng& rng);
+
+/// Sums shares back to the secret (mod 2^64).
+std::uint64_t reconstruct(const std::vector<std::uint64_t>& shares);
+
+/// Fixed-point encoding of a fee rate in (-0.1, 0.1) as a two's-
+/// complement 64-bit integer scaled by 1e9.
+std::uint64_t encode_rate(double rate);
+double decode_rate(std::uint64_t encoded);
+
+}  // namespace sharing
+
+/// A delegate committee collecting secret-shared channel submissions.
+class DelegateCommittee {
+ public:
+  /// `num_delegates` >= 2 (one delegate would see everything).
+  DelegateCommittee(int num_delegates, NodeId num_players, util::Rng& rng);
+
+  /// A user submits one channel direction: endpoints are public routing
+  /// metadata (as in Hide & Seek), capacity and both stakes are shared.
+  void submit_edge(NodeId from, NodeId to, Amount capacity,
+                   double tail_valuation, double head_valuation);
+
+  int num_delegates() const { return num_delegates_; }
+  int num_submissions() const { return static_cast<int>(edges_.size()); }
+
+  /// The view of a single delegate for a given submission: its shares of
+  /// (capacity, tail, head). Uniformly random in isolation.
+  struct DelegateView {
+    std::uint64_t capacity_share = 0;
+    std::uint64_t tail_share = 0;
+    std::uint64_t head_share = 0;
+  };
+  DelegateView view(int delegate, int submission) const;
+
+  /// Full-committee reconstruction of the submitted game.
+  Game reconstruct_game() const;
+
+  /// Reconstruct-and-run: what the committee's joint computation outputs.
+  Outcome run(const Mechanism& mechanism) const;
+
+ private:
+  struct SharedEdge {
+    NodeId from, to;
+    std::vector<std::uint64_t> capacity_shares;
+    std::vector<std::uint64_t> tail_shares;
+    std::vector<std::uint64_t> head_shares;
+  };
+
+  int num_delegates_;
+  NodeId num_players_;
+  util::Rng* rng_;
+  std::vector<SharedEdge> edges_;
+};
+
+}  // namespace musketeer::core

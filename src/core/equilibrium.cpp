@@ -1,0 +1,76 @@
+#include "core/equilibrium.hpp"
+
+#include "core/properties.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+namespace {
+
+// Builds the bid profile from per-player scales applied to truthful
+// stakes. Rebuilt from scratch so repeated scaling never compounds.
+BidVector profile_bids(const Game& game, const std::vector<double>& strategy) {
+  BidVector bids = game.truthful_bids();
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    bids = scale_player_bids(game, bids, v,
+                             strategy[static_cast<std::size_t>(v)]);
+  }
+  return bids;
+}
+
+}  // namespace
+
+EquilibriumResult best_response_dynamics(const Mechanism& mechanism,
+                                         const Game& game,
+                                         const BestResponseConfig& config) {
+  MUSK_ASSERT(!config.scales.empty());
+  MUSK_ASSERT(config.max_passes >= 1);
+
+  EquilibriumResult result;
+  result.strategy.assign(static_cast<std::size_t>(game.num_players()), 1.0);
+
+  {
+    const Outcome truthful = mechanism.run_truthful(game);
+    result.truthful_welfare = truthful.realized_welfare(game);
+  }
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    ++result.passes;
+    bool changed = false;
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      // Current utility under the standing profile.
+      std::vector<double> candidate = result.strategy;
+      double best_scale = result.strategy[static_cast<std::size_t>(v)];
+      candidate[static_cast<std::size_t>(v)] = best_scale;
+      double best_utility =
+          mechanism.run(game, profile_bids(game, candidate))
+              .player_utility(game, v);
+      for (double scale : config.scales) {
+        if (scale == best_scale) continue;
+        candidate[static_cast<std::size_t>(v)] = scale;
+        const double utility =
+            mechanism.run(game, profile_bids(game, candidate))
+                .player_utility(game, v);
+        if (utility > best_utility + config.improvement_tolerance) {
+          best_utility = utility;
+          best_scale = scale;
+        }
+      }
+      if (best_scale != result.strategy[static_cast<std::size_t>(v)]) {
+        result.strategy[static_cast<std::size_t>(v)] = best_scale;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.bids = profile_bids(game, result.strategy);
+  result.equilibrium_welfare =
+      mechanism.run(game, result.bids).realized_welfare(game);
+  return result;
+}
+
+}  // namespace musketeer::core

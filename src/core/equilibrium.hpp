@@ -1,0 +1,56 @@
+// Best-response dynamics and equilibrium welfare analysis
+// (§4 "Finer Analysis of Incentives").
+//
+// The paper asks for a quantitative theory of misreporting: how much do
+// players gain by shading, and what does strategic play cost the market?
+// This module computes an (approximate, pure-strategy) Nash equilibrium
+// of the induced bidding game by round-robin best-response over a
+// discrete strategy space — each player's strategy is a scaling factor
+// applied to its truthful stakes — and reports the equilibrium's welfare
+// relative to the truthful optimum (an empirical price of anarchy).
+//
+// For a truthful mechanism the dynamics converge immediately to all-ones;
+// for M3 they converge to a shaded profile whose welfare deficit is the
+// measured cost of first-price-style pricing (bench/e12_equilibrium).
+#pragma once
+
+#include <vector>
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::core {
+
+struct BestResponseConfig {
+  /// Strategy grid: candidate scaling factors for each player's stakes.
+  std::vector<double> scales{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  /// Maximum full round-robin passes before giving up.
+  int max_passes = 40;
+  /// A deviation must improve utility by more than this to be taken
+  /// (breaks limit cycles caused by exact ties).
+  double improvement_tolerance = 1e-9;
+};
+
+struct EquilibriumResult {
+  /// Final scaling factor per player.
+  std::vector<double> strategy;
+  /// Bid profile realizing the strategies.
+  BidVector bids;
+  bool converged = false;
+  int passes = 0;
+  /// Realized welfare (true valuations) at the final profile.
+  double equilibrium_welfare = 0.0;
+  /// Realized welfare under truthful bidding (the efficient benchmark).
+  double truthful_welfare = 0.0;
+  /// equilibrium_welfare / truthful_welfare (1 = no strategic loss).
+  double welfare_ratio() const {
+    return truthful_welfare > 0 ? equilibrium_welfare / truthful_welfare
+                                : 1.0;
+  }
+};
+
+/// Runs round-robin best response from the truthful profile.
+EquilibriumResult best_response_dynamics(const Mechanism& mechanism,
+                                         const Game& game,
+                                         const BestResponseConfig& config = {});
+
+}  // namespace musketeer::core

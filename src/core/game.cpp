@@ -1,0 +1,141 @@
+#include "core/game.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+Game::Game(NodeId num_players) : num_players_(num_players) {
+  MUSK_ASSERT(num_players >= 0);
+}
+
+EdgeId Game::add_edge(NodeId from, NodeId to, Amount capacity,
+                      double tail_valuation, double head_valuation) {
+  MUSK_ASSERT(from >= 0 && from < num_players_);
+  MUSK_ASSERT(to >= 0 && to < num_players_);
+  MUSK_ASSERT(from != to);
+  MUSK_ASSERT(capacity >= 0);
+  MUSK_ASSERT_MSG(tail_valuation <= 0.0 && tail_valuation > -kMaxFeeRate,
+                  "tail (seller) valuation must lie in (-0.1, 0]");
+  MUSK_ASSERT_MSG(head_valuation >= 0.0 && head_valuation < kMaxFeeRate,
+                  "head (buyer) valuation must lie in [0, 0.1)");
+  edges_.push_back(
+      GameEdge{from, to, capacity, tail_valuation, head_valuation});
+  return num_edges() - 1;
+}
+
+const GameEdge& Game::edge(EdgeId e) const {
+  MUSK_ASSERT(e >= 0 && e < num_edges());
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+BidVector Game::truthful_bids() const {
+  BidVector bids;
+  bids.tail.reserve(edges_.size());
+  bids.head.reserve(edges_.size());
+  for (const GameEdge& e : edges_) {
+    bids.tail.push_back(e.tail_valuation);
+    bids.head.push_back(e.head_valuation);
+  }
+  return bids;
+}
+
+bool Game::is_valid(const BidVector& bids) const {
+  if (bids.tail.size() != edges_.size() || bids.head.size() != edges_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (bids.tail[i] > 0.0 || bids.tail[i] <= -kMaxFeeRate) return false;
+    if (bids.head[i] < 0.0 || bids.head[i] >= kMaxFeeRate) return false;
+  }
+  return true;
+}
+
+flow::Graph Game::build_graph(const BidVector& bids) const {
+  MUSK_ASSERT(bids.size() == edges_.size());
+  flow::Graph g(num_players_);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const GameEdge& e = edges_[i];
+    g.add_edge(e.from, e.to, e.capacity, bids.tail[i] + bids.head[i]);
+  }
+  return g;
+}
+
+flow::Graph Game::build_graph_without(const BidVector& bids,
+                                      PlayerId excluded) const {
+  MUSK_ASSERT(bids.size() == edges_.size());
+  flow::Graph g(num_players_);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const GameEdge& e = edges_[i];
+    const bool incident = (e.from == excluded || e.to == excluded);
+    g.add_edge(e.from, e.to, incident ? 0 : e.capacity,
+               bids.tail[i] + bids.head[i]);
+  }
+  return g;
+}
+
+double Game::player_value(PlayerId v, const BidVector& stakes,
+                          const flow::Circulation& f) const {
+  MUSK_ASSERT(stakes.size() == edges_.size());
+  MUSK_ASSERT(f.size() == edges_.size());
+  double value = 0.0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (f[i] == 0) continue;
+    const GameEdge& e = edges_[i];
+    const double amount = static_cast<double>(f[i]);
+    if (e.from == v) value += stakes.tail[i] * amount;
+    if (e.to == v) value += stakes.head[i] * amount;
+  }
+  return value;
+}
+
+double Game::player_cycle_value(PlayerId v, const BidVector& stakes,
+                                const flow::CycleFlow& cycle) const {
+  double value = 0.0;
+  const double amount = static_cast<double>(cycle.amount);
+  for (EdgeId eid : cycle.edges) {
+    const GameEdge& e = edge(eid);
+    const auto i = static_cast<std::size_t>(eid);
+    if (e.from == v) value += stakes.tail[i] * amount;
+    if (e.to == v) value += stakes.head[i] * amount;
+  }
+  return value;
+}
+
+bool Game::participates(PlayerId v, const flow::CycleFlow& cycle) const {
+  return std::any_of(cycle.edges.begin(), cycle.edges.end(), [&](EdgeId eid) {
+    const GameEdge& e = edge(eid);
+    return e.from == v || e.to == v;
+  });
+}
+
+std::vector<PlayerId> Game::cycle_players(const flow::CycleFlow& cycle) const {
+  std::vector<PlayerId> players;
+  players.reserve(cycle.edges.size());
+  for (EdgeId eid : cycle.edges) players.push_back(edge(eid).from);
+  return players;
+}
+
+double Game::social_welfare(const BidVector& stakes,
+                            const flow::Circulation& f) const {
+  MUSK_ASSERT(stakes.size() == edges_.size());
+  MUSK_ASSERT(f.size() == edges_.size());
+  double sw = 0.0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    sw += (stakes.tail[i] + stakes.head[i]) * static_cast<double>(f[i]);
+  }
+  return sw;
+}
+
+double Game::cycle_welfare(const BidVector& stakes,
+                           const flow::CycleFlow& cycle) const {
+  double sw = 0.0;
+  for (EdgeId eid : cycle.edges) {
+    const auto i = static_cast<std::size_t>(eid);
+    sw += (stakes.tail[i] + stakes.head[i]) * static_cast<double>(cycle.amount);
+  }
+  return sw;
+}
+
+}  // namespace musketeer::core

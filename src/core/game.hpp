@@ -1,0 +1,112 @@
+// The Musketeer rebalancing game (Definition 1).
+//
+// Players are vertices of a directed capacitated graph; each directed edge
+// (u, v) is one direction of a payment channel submitted to the
+// rebalancing mechanism. Following §2.3:
+//   * the tail u authorizes outgoing flow, earns any routing fees, and is
+//     the potential *seller* of the edge — its valuation is non-positive;
+//   * the head v is the party that benefits from inbound rebalancing flow
+//     and is the potential *buyer* — its valuation is non-negative.
+// Every edge therefore carries two stakes (tail, head), at most one of
+// which is typically non-zero. With this convention a simple cycle of n
+// edges has exactly n participating vertices (each vertex of the cycle is
+// head of one cycle edge and tail of the next), which is precisely the
+// accounting under which the paper's per-cycle price formulas are exactly
+// cyclic-budget-balanced.
+//
+// Valuations are the players' private types; bids are what they submit.
+// The Game stores valuations; BidVector carries (possibly untruthful)
+// bids so strategy probes can perturb them independently.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "flow/circulation.hpp"
+#include "flow/decompose.hpp"
+#include "flow/graph.hpp"
+
+namespace musketeer::core {
+
+/// Per-edge bid pair: what the tail (seller) and head (buyer) report.
+struct BidVector {
+  std::vector<double> tail;  // <= 0, one per edge
+  std::vector<double> head;  // >= 0, one per edge
+
+  std::size_t size() const { return tail.size(); }
+};
+
+/// One direction of a channel offered to the mechanism.
+struct GameEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  Amount capacity = 0;
+  /// Tail (seller) valuation per unit flow; in (-kMaxFeeRate, 0].
+  double tail_valuation = 0.0;
+  /// Head (buyer) valuation per unit flow; in [0, kMaxFeeRate).
+  double head_valuation = 0.0;
+};
+
+class Game {
+ public:
+  explicit Game(NodeId num_players);
+
+  /// Adds a directed edge. `head_valuation > 0` marks a depleted edge
+  /// (the head wants rebalancing); `tail_valuation < 0` a seller cost.
+  EdgeId add_edge(NodeId from, NodeId to, Amount capacity,
+                  double tail_valuation, double head_valuation);
+
+  NodeId num_players() const { return num_players_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  const GameEdge& edge(EdgeId e) const;
+  const std::vector<GameEdge>& edges() const { return edges_; }
+
+  /// An edge is depleted iff its head values inbound flow positively
+  /// (the paper's D set).
+  bool is_depleted(EdgeId e) const { return edge(e).head_valuation > 0.0; }
+
+  /// The truthful bid vector b = v.
+  BidVector truthful_bids() const;
+
+  /// True iff bids are "valid" per §2.3: tail in (-0.1, 0], head in
+  /// [0, 0.1), sizes matching.
+  bool is_valid(const BidVector& bids) const;
+
+  /// Flow graph whose per-edge gain is the aggregate bid
+  /// tail + head (the edge's contribution to social welfare per unit).
+  flow::Graph build_graph(const BidVector& bids) const;
+
+  /// Same, but with every edge incident to `excluded` given capacity 0
+  /// (the paper's G_{-v}).
+  flow::Graph build_graph_without(const BidVector& bids,
+                                  PlayerId excluded) const;
+
+  /// Player v's value for a circulation under the given per-edge stakes
+  /// (bids or valuations): sum over edges where v is tail/head.
+  double player_value(PlayerId v, const BidVector& stakes,
+                      const flow::Circulation& f) const;
+
+  /// Player v's value for a single cycle flow.
+  double player_cycle_value(PlayerId v, const BidVector& stakes,
+                            const flow::CycleFlow& cycle) const;
+
+  /// True iff v is an endpoint of some edge of the cycle.
+  bool participates(PlayerId v, const flow::CycleFlow& cycle) const;
+
+  /// The distinct vertices of a cycle, in traversal order.
+  std::vector<PlayerId> cycle_players(const flow::CycleFlow& cycle) const;
+
+  /// Social welfare of f under stakes: sum over players of player_value.
+  double social_welfare(const BidVector& stakes,
+                        const flow::Circulation& f) const;
+
+  /// Social welfare of one cycle under stakes.
+  double cycle_welfare(const BidVector& stakes,
+                       const flow::CycleFlow& cycle) const;
+
+ private:
+  NodeId num_players_;
+  std::vector<GameEdge> edges_;
+};
+
+}  // namespace musketeer::core

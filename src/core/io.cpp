@@ -1,0 +1,140 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/properties.hpp"
+#include "util/table.hpp"
+
+namespace musketeer::core {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& message) {
+  throw std::runtime_error("musketeer-game parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+std::string to_text(const Game& game) {
+  std::ostringstream out;
+  out << "musketeer-game v1\n";
+  out << "players " << game.num_players() << "\n";
+  out.precision(12);
+  for (EdgeId e = 0; e < game.num_edges(); ++e) {
+    const GameEdge& edge = game.edge(e);
+    out << "edge " << edge.from << " " << edge.to << " " << edge.capacity
+        << " " << edge.tail_valuation << " " << edge.head_valuation << "\n";
+  }
+  return out.str();
+}
+
+Game game_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  auto next_meaningful = [&](std::string& out_line) {
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const auto start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos) continue;
+      out_line = line.substr(start);
+      return true;
+    }
+    return false;
+  };
+
+  std::string current;
+  if (!next_meaningful(current) || current.rfind("musketeer-game v1", 0) != 0) {
+    parse_error(line_no, "expected header 'musketeer-game v1'");
+  }
+  if (!next_meaningful(current)) parse_error(line_no, "missing 'players'");
+  std::istringstream header(current);
+  std::string keyword;
+  long long num_players = -1;
+  header >> keyword >> num_players;
+  if (keyword != "players" || num_players < 0 || header.fail()) {
+    parse_error(line_no, "expected 'players <n>'");
+  }
+
+  Game game(static_cast<NodeId>(num_players));
+  while (next_meaningful(current)) {
+    std::istringstream row(current);
+    long long from = 0, to = 0, capacity = 0;
+    double tail = 0.0, head = 0.0;
+    row >> keyword >> from >> to >> capacity >> tail >> head;
+    if (keyword != "edge" || row.fail()) {
+      parse_error(line_no, "expected 'edge <from> <to> <cap> <tail> <head>'");
+    }
+    if (from < 0 || from >= num_players || to < 0 || to >= num_players ||
+        from == to) {
+      parse_error(line_no, "edge endpoints out of range");
+    }
+    if (capacity < 0) parse_error(line_no, "negative capacity");
+    if (tail > 0.0 || tail <= -kMaxFeeRate) {
+      parse_error(line_no, "tail valuation outside (-0.1, 0]");
+    }
+    if (head < 0.0 || head >= kMaxFeeRate) {
+      parse_error(line_no, "head valuation outside [0, 0.1)");
+    }
+    game.add_edge(static_cast<NodeId>(from), static_cast<NodeId>(to),
+                  capacity, tail, head);
+  }
+  return game;
+}
+
+Game load_game(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open game file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return game_from_text(buffer.str());
+}
+
+void save_game(const Game& game, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write game file: " + path);
+  out << to_text(game);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string describe_outcome(const Game& game, const Outcome& outcome) {
+  std::ostringstream out;
+  out << "cycles: " << outcome.cycles.size()
+      << ", rebalanced volume: " << flow::total_volume(outcome.circulation)
+      << ", realized welfare: "
+      << util::fmt_double(outcome.realized_welfare(game), 6) << "\n";
+  for (std::size_t i = 0; i < outcome.cycles.size(); ++i) {
+    const PricedCycle& pc = outcome.cycles[i];
+    out << "  cycle " << i << ": amount " << pc.cycle.amount << ", edges [";
+    for (std::size_t j = 0; j < pc.cycle.edges.size(); ++j) {
+      const GameEdge& e = game.edge(pc.cycle.edges[j]);
+      out << e.from << "->" << e.to
+          << (j + 1 < pc.cycle.edges.size() ? " " : "");
+    }
+    out << "]";
+    if (pc.release_time > 0.0) {
+      out << ", release t=" << util::fmt_double(pc.release_time, 3);
+    }
+    out << "\n";
+    for (const PlayerPrice& p : pc.prices) {
+      out << "    player " << p.player
+          << (p.price >= 0 ? " pays " : " receives ")
+          << util::fmt_double(p.price >= 0 ? p.price : -p.price, 6) << "\n";
+    }
+  }
+  const auto balance = check_cyclic_budget_balance(outcome);
+  const auto rationality = check_individual_rationality(game, outcome);
+  out << "cyclic budget balance: max |cycle sum| = "
+      << util::format("%.2e", balance.max_cycle_imbalance) << "\n";
+  out << "individual rationality: min cycle utility = "
+      << util::fmt_double(rationality.min_cycle_utility, 6) << "\n";
+  return out.str();
+}
+
+}  // namespace musketeer::core

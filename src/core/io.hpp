@@ -1,0 +1,38 @@
+// Plain-text serialization of rebalancing games.
+//
+// A small, diff-friendly line format so games can be stored in files,
+// shared in bug reports, and fed to the CLI:
+//
+//     musketeer-game v1
+//     players <n>
+//     edge <from> <to> <capacity> <tail_valuation> <head_valuation>
+//     ...
+//
+// '#' starts a comment; blank lines are ignored. Parsing throws
+// std::runtime_error with a line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/game.hpp"
+#include "core/outcome.hpp"
+
+namespace musketeer::core {
+
+/// Serializes the game to the v1 text format.
+std::string to_text(const Game& game);
+
+/// Parses the v1 text format.
+Game game_from_text(const std::string& text);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+Game load_game(const std::string& path);
+void save_game(const Game& game, const std::string& path);
+
+/// Renders an outcome as a human-readable report (cycles, prices,
+/// per-player utilities, property checks) — shared by the CLI and
+/// examples.
+std::string describe_outcome(const Game& game, const Outcome& outcome);
+
+}  // namespace musketeer::core

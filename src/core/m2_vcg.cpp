@@ -1,0 +1,152 @@
+#include "core/m2_vcg.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+namespace {
+
+constexpr double kTiny = 1e-12;
+
+// M2's model: sellers are non-strategic, so tail bids are forced to zero.
+BidVector buyers_only(const BidVector& bids) {
+  BidVector out = bids;
+  for (double& t : out.tail) t = 0.0;
+  return out;
+}
+
+// SW(b_{-v}, f): welfare of f with player v's stakes removed.
+double welfare_without(const Game& game, const BidVector& bids, PlayerId v,
+                       const flow::Circulation& f) {
+  return game.social_welfare(bids, f) - game.player_value(v, bids, f);
+}
+
+}  // namespace
+
+std::vector<double> M2Vcg::vcg_prices(const Game& game,
+                                      const BidVector& raw_bids) const {
+  const BidVector bids = buyers_only(raw_bids);
+  const flow::Graph g = game.build_graph(bids);
+  const flow::Circulation f = flow::solve_max_welfare(g, solver_);
+
+  // Only buyers (players with a positive head bid) are strategic and
+  // priced; sellers are compensated by redistribution instead.
+  std::vector<PlayerId> buyers;
+  {
+    std::vector<bool> is_buyer(static_cast<std::size_t>(game.num_players()),
+                               false);
+    for (EdgeId e = 0; e < game.num_edges(); ++e) {
+      if (bids.head[static_cast<std::size_t>(e)] > 0.0) {
+        is_buyer[static_cast<std::size_t>(game.edge(e).to)] = true;
+      }
+    }
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      if (is_buyer[static_cast<std::size_t>(v)]) buyers.push_back(v);
+    }
+  }
+
+  // The per-buyer exclusion solves are independent — fan them out across
+  // hardware threads. Results land in pre-sized slots, so the outcome is
+  // byte-identical to the sequential order.
+  std::vector<double> prices(static_cast<std::size_t>(game.num_players()), 0.0);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= buyers.size()) return;
+      const PlayerId v = buyers[i];
+      const flow::Graph g_minus = game.build_graph_without(bids, v);
+      const flow::Circulation f_minus =
+          flow::solve_max_welfare(g_minus, solver_);
+      prices[static_cast<std::size_t>(v)] =
+          welfare_without(game, bids, v, f_minus) -
+          welfare_without(game, bids, v, f);
+    }
+  };
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t num_threads =
+      std::min<std::size_t>(buyers.size(), hw == 0 ? 2 : hw);
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  return prices;
+}
+
+Outcome M2Vcg::run(const Game& game, const BidVector& raw_bids) const {
+  const BidVector bids = buyers_only(raw_bids);
+  MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
+
+  const flow::Graph g = game.build_graph(bids);
+  Outcome outcome;
+  outcome.circulation = flow::solve_max_welfare(g, solver_);
+  const std::vector<double> aggregate = vcg_prices(game, bids);
+
+  std::vector<flow::CycleFlow> cycles =
+      flow::decompose_sign_consistent(g, outcome.circulation);
+
+  // Per-player total bid value over the whole circulation (denominator of
+  // the proportional split).
+  std::vector<double> total_value(static_cast<std::size_t>(game.num_players()),
+                                  0.0);
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    total_value[static_cast<std::size_t>(v)] =
+        game.player_value(v, bids, outcome.circulation);
+  }
+
+  for (flow::CycleFlow& cycle : cycles) {
+    PricedCycle pc;
+    const std::vector<PlayerId> players = game.cycle_players(cycle);
+
+    // Step 4: split p(v) proportional to v's bid value for this cycle.
+    double collected = 0.0;
+    std::vector<bool> charged(players.size(), false);
+    std::vector<double> charges(players.size(), 0.0);
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      const PlayerId v = players[i];
+      const double pv = aggregate[static_cast<std::size_t>(v)];
+      const double denom = total_value[static_cast<std::size_t>(v)];
+      if (std::abs(pv) < kTiny || std::abs(denom) < kTiny) continue;
+      const double share =
+          pv * game.player_cycle_value(v, bids, cycle) / denom;
+      if (std::abs(share) < kTiny) continue;
+      charges[i] = share;
+      charged[i] = true;
+      collected += share;
+    }
+
+    // Steps 5-6: redistribute the collected fees to this cycle's sellers
+    // (participants without a charge). Fall back to a free cycle when the
+    // redistribution cannot be balanced (see header).
+    const auto num_sellers = static_cast<double>(
+        std::count(charged.begin(), charged.end(), false));
+    if (collected < -kTiny || (collected > kTiny && num_sellers == 0.0)) {
+      pc.cycle = std::move(cycle);
+      outcome.cycles.push_back(std::move(pc));
+      continue;
+    }
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      if (charged[i]) {
+        pc.prices.push_back(PlayerPrice{players[i], charges[i]});
+      } else if (collected > kTiny) {
+        pc.prices.push_back(PlayerPrice{players[i], -collected / num_sellers});
+      }
+    }
+    pc.cycle = std::move(cycle);
+    outcome.cycles.push_back(std::move(pc));
+  }
+  return outcome;
+}
+
+}  // namespace musketeer::core

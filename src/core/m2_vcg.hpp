@@ -1,0 +1,42 @@
+// Mechanism M2 (§3.3): a VCG-type truthful single auction.
+//
+// Sellers are assumed non-strategic (all tail bids are treated as 0);
+// buyers submit non-negative head bids. Prices follow the VCG pivot rule
+//     p(v) = SW(b_{-v}, f_{-v}) - SW(b_{-v}, f),
+// where f_{-v} maximizes welfare on G_{-v} (v and its incident edges
+// removed). Buyer truthfulness and individual rationality follow the
+// classic argument (Theorem 3). The aggregate VCG charge of each player is
+// split across cycles in proportion to the player's bid value for the
+// cycle, and each cycle's collected fees are redistributed equally among
+// that cycle's sellers to restore cyclic budget balance.
+//
+// Two boundary cases the paper leaves implicit (see DESIGN.md §5):
+//   * A buyer with p(v) != 0 but zero bid value in f has no proportional
+//     split; the charge is dropped (the buyer won nothing to pay for).
+//   * A cycle whose collected fees q_i are negative, or that has no
+//     seller to absorb q_i > 0, cannot be balanced without taxing
+//     zero-valuation players; its prices are zeroed. This is exactly the
+//     "minimum fees for sellers" limitation discussed in §4.
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::core {
+
+class M2Vcg : public Mechanism {
+ public:
+  explicit M2Vcg(flow::SolverKind solver = flow::SolverKind::kBellmanFord)
+      : solver_(solver) {}
+
+  Outcome run(const Game& game, const BidVector& bids) const override;
+  std::string_view name() const override { return "M2-vcg"; }
+
+  /// Aggregate VCG pivot price of each player under the given bids (tail
+  /// bids zeroed). Exposed for tests and the truthfulness bench.
+  std::vector<double> vcg_prices(const Game& game, const BidVector& bids) const;
+
+ private:
+  flow::SolverKind solver_;
+};
+
+}  // namespace musketeer::core

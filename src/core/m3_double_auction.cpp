@@ -1,0 +1,36 @@
+#include "core/m3_double_auction.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+std::vector<PlayerPrice> price_cycle_welfare_share(
+    const Game& game, const BidVector& bids, const flow::CycleFlow& cycle) {
+  const std::vector<PlayerId> players = game.cycle_players(cycle);
+  const double share = game.cycle_welfare(bids, cycle) /
+                       static_cast<double>(players.size());
+  std::vector<PlayerPrice> prices;
+  prices.reserve(players.size());
+  for (PlayerId v : players) {
+    prices.push_back(
+        PlayerPrice{v, game.player_cycle_value(v, bids, cycle) - share});
+  }
+  return prices;
+}
+
+Outcome M3DoubleAuction::run(const Game& game, const BidVector& bids) const {
+  MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
+  const flow::Graph g = game.build_graph(bids);
+  Outcome outcome;
+  outcome.circulation = flow::solve_max_welfare(g, solver_);
+  for (flow::CycleFlow& cycle :
+       flow::decompose_sign_consistent(g, outcome.circulation)) {
+    PricedCycle pc;
+    pc.prices = price_cycle_welfare_share(game, bids, cycle);
+    pc.cycle = std::move(cycle);
+    outcome.cycles.push_back(std::move(pc));
+  }
+  return outcome;
+}
+
+}  // namespace musketeer::core

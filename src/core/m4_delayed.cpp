@@ -1,0 +1,36 @@
+#include "core/m4_delayed.hpp"
+
+#include <algorithm>
+
+#include "core/m3_double_auction.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+M4DelayedAuction::M4DelayedAuction(double delay_factor,
+                                   flow::SolverKind solver)
+    : delay_factor_(delay_factor), solver_(solver) {
+  MUSK_ASSERT_MSG(delay_factor > 0.0, "delay factor d must be positive");
+}
+
+Outcome M4DelayedAuction::run(const Game& game, const BidVector& bids) const {
+  MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
+  const flow::Graph g = game.build_graph(bids);
+  Outcome outcome;
+  outcome.circulation = flow::solve_max_welfare(g, solver_);
+  for (flow::CycleFlow& cycle :
+       flow::decompose_sign_consistent(g, outcome.circulation)) {
+    PricedCycle pc;
+    pc.prices = price_cycle_welfare_share(game, bids, cycle);
+    const double n = static_cast<double>(cycle.length());
+    const double sw = game.cycle_welfare(bids, cycle);
+    const double raw_time = 1.0 - (1.0 - 1.0 / n) * sw / delay_factor_;
+    pc.release_time = std::clamp(raw_time, 0.0, 1.0);
+    pc.delay_bonus = delay_factor_ * (1.0 - pc.release_time);
+    pc.cycle = std::move(cycle);
+    outcome.cycles.push_back(std::move(pc));
+  }
+  return outcome;
+}
+
+}  // namespace musketeer::core

@@ -1,0 +1,32 @@
+// Abstract rebalancing mechanism interface (Definition 1).
+//
+//     M : (G, c, b) -> (f_i, p_i)_{1<=i<=k}
+//
+// Mechanisms are pure: `run` has no state, so property checkers and
+// strategy probes can re-invoke them with perturbed bids cheaply.
+#pragma once
+
+#include <string_view>
+
+#include "core/game.hpp"
+#include "core/outcome.hpp"
+#include "flow/solver.hpp"
+
+namespace musketeer::core {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Computes the priced cycle decomposition for the given bids.
+  virtual Outcome run(const Game& game, const BidVector& bids) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Convenience: run under truthful bids.
+  Outcome run_truthful(const Game& game) const {
+    return run(game, game.truthful_bids());
+  }
+};
+
+}  // namespace musketeer::core

@@ -1,0 +1,26 @@
+#include "core/myerson.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+MyersonInstance make_myerson_instance(double seller_value, double buyer_value,
+                                      Amount capacity) {
+  MUSK_ASSERT(seller_value >= 0.0 && seller_value < kMaxFeeRate);
+  MUSK_ASSERT(buyer_value >= 0.0 && buyer_value < kMaxFeeRate);
+  MUSK_ASSERT(capacity >= 1);
+  MyersonInstance inst{Game(3), /*seller=*/0, /*buyer=*/1, /*broker=*/2, 0, 0,
+                       0};
+  // a = 0, b = 1, c = 2; edges a->c, c->b, b->a.
+  inst.seller_edge =
+      inst.game.add_edge(0, 2, capacity, -seller_value, 0.0);
+  inst.buyer_edge = inst.game.add_edge(2, 1, capacity, 0.0, buyer_value);
+  inst.return_edge = inst.game.add_edge(1, 0, capacity, 0.0, 0.0);
+  return inst;
+}
+
+bool efficient_trade(double seller_value, double buyer_value) {
+  return buyer_value > seller_value;
+}
+
+}  // namespace musketeer::core

@@ -1,0 +1,40 @@
+// The Myerson–Satterthwaite embedding of Theorem 1.
+//
+// A bilateral trade (seller valuation V_a, buyer valuation V_b, both in
+// [0, 0.1) after scaling into the valid fee range) is simulated by the
+// 3-cycle instance  a -> c -> b -> a  with unit capacities:
+//   * edge (a, c): tail a is the seller with valuation -V_a;
+//   * edge (c, b): head b is the buyer with valuation +V_b;
+//   * edge (b, a) and all remaining stakes: zero (c is the honest
+//     "auctioneer").
+// The only non-zero feasible circulation routes one unit around the
+// triangle; running it corresponds to the trade. Theorem 1: no mechanism
+// can be simultaneously efficient, individually rational, truthful and
+// cyclic budget balanced on this family — bench/thm1_impossibility
+// demonstrates the failure mode of each of M1..M4 on it.
+#pragma once
+
+#include "core/game.hpp"
+
+namespace musketeer::core {
+
+struct MyersonInstance {
+  Game game;
+  PlayerId seller = 0;  // a
+  PlayerId buyer = 0;   // b
+  PlayerId broker = 0;  // c
+  EdgeId seller_edge = 0;
+  EdgeId buyer_edge = 0;
+  EdgeId return_edge = 0;
+};
+
+/// Builds the triangle instance for the given valuations. Requires
+/// 0 <= seller_value, buyer_value < kMaxFeeRate.
+MyersonInstance make_myerson_instance(double seller_value, double buyer_value,
+                                      Amount capacity = 1);
+
+/// True iff the efficient allocation trades (buyer values the unit more
+/// than the seller).
+bool efficient_trade(double seller_value, double buyer_value);
+
+}  // namespace musketeer::core

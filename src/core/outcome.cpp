@@ -1,0 +1,62 @@
+#include "core/outcome.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+double PricedCycle::budget_imbalance() const {
+  double sum = 0.0;
+  for (const PlayerPrice& p : prices) sum += p.price;
+  return sum;
+}
+
+double PricedCycle::delay_bonus_of(PlayerId v) const {
+  for (const PlayerPrice& b : player_delay_bonuses) {
+    if (b.player == v) return b.price;
+  }
+  return delay_bonus;
+}
+
+double PricedCycle::price_of(PlayerId v) const {
+  double sum = 0.0;
+  for (const PlayerPrice& p : prices) {
+    if (p.player == v) sum += p.price;
+  }
+  return sum;
+}
+
+std::vector<double> Outcome::total_prices(NodeId num_players) const {
+  std::vector<double> totals(static_cast<std::size_t>(num_players), 0.0);
+  for (const PricedCycle& pc : cycles) {
+    for (const PlayerPrice& p : pc.prices) {
+      MUSK_ASSERT(p.player >= 0 && p.player < num_players);
+      totals[static_cast<std::size_t>(p.player)] += p.price;
+    }
+  }
+  return totals;
+}
+
+double Outcome::player_utility(const Game& game, PlayerId v) const {
+  const BidVector valuations = game.truthful_bids();
+  double utility = 0.0;
+  for (const PricedCycle& pc : cycles) {
+    if (!game.participates(v, pc.cycle)) continue;
+    utility += game.player_cycle_value(v, valuations, pc.cycle) -
+               pc.price_of(v) + pc.delay_bonus_of(v);
+  }
+  return utility;
+}
+
+std::vector<double> Outcome::all_utilities(const Game& game) const {
+  std::vector<double> utilities(static_cast<std::size_t>(game.num_players()));
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    utilities[static_cast<std::size_t>(v)] = player_utility(game, v);
+  }
+  return utilities;
+}
+
+double Outcome::realized_welfare(const Game& game) const {
+  return game.social_welfare(game.truthful_bids(), circulation);
+}
+
+}  // namespace musketeer::core

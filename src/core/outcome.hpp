@@ -1,0 +1,65 @@
+// Mechanism output: a priced, sign-consistent cycle decomposition.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/types.hpp"
+#include "flow/decompose.hpp"
+
+namespace musketeer::core {
+
+/// A price charged to (positive) or paid to (negative) one player for one
+/// cycle.
+struct PlayerPrice {
+  PlayerId player = 0;
+  double price = 0.0;
+};
+
+/// One executable rebalancing cycle with its price vector and (for M4)
+/// release schedule.
+struct PricedCycle {
+  flow::CycleFlow cycle;
+  std::vector<PlayerPrice> prices;
+  /// Release time in [0, 1]; 0 = immediate, 1 = the implicit deadline all
+  /// participants signed up for. Mechanisms without delays release at 0.
+  double release_time = 0.0;
+  /// Utility bonus d * (1 - release_time) accruing to every participant
+  /// of this cycle (0 for mechanisms without delays).
+  double delay_bonus = 0.0;
+  /// Per-player delay bonuses for mechanisms with heterogeneous delay
+  /// factors (M5). When non-empty, overrides `delay_bonus` for the listed
+  /// players; participants not listed get `delay_bonus`.
+  std::vector<PlayerPrice> player_delay_bonuses;
+
+  /// The delay bonus `v` earns from this cycle (participants only).
+  double delay_bonus_of(PlayerId v) const;
+
+  /// Sum of the price vector — exactly 0 for a cyclic-budget-balanced
+  /// mechanism (up to floating-point accumulation).
+  double budget_imbalance() const;
+
+  /// Price charged to one player in this cycle (0 if absent).
+  double price_of(PlayerId v) const;
+};
+
+struct Outcome {
+  /// The full rebalancing circulation (sum of all cycles).
+  flow::Circulation circulation;
+  std::vector<PricedCycle> cycles;
+
+  /// Aggregate price per player across all cycles.
+  std::vector<double> total_prices(NodeId num_players) const;
+
+  /// Player utility under true valuations: value - price (+ delay bonus
+  /// for each cycle the player participates in).
+  double player_utility(const Game& game, PlayerId v) const;
+
+  /// Utility of every player.
+  std::vector<double> all_utilities(const Game& game) const;
+
+  /// Total social welfare of the outcome under true valuations.
+  double realized_welfare(const Game& game) const;
+};
+
+}  // namespace musketeer::core

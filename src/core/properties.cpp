@@ -1,0 +1,97 @@
+#include "core/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/solver.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+BudgetBalanceReport check_cyclic_budget_balance(const Outcome& outcome) {
+  BudgetBalanceReport report;
+  for (const PricedCycle& pc : outcome.cycles) {
+    const double imbalance = pc.budget_imbalance();
+    report.max_cycle_imbalance =
+        std::max(report.max_cycle_imbalance, std::abs(imbalance));
+    report.total_imbalance += imbalance;
+  }
+  return report;
+}
+
+RationalityReport check_individual_rationality(const Game& game,
+                                               const Outcome& outcome) {
+  RationalityReport report;
+  report.min_cycle_utility = 0.0;
+  const BidVector valuations = game.truthful_bids();
+  bool any = false;
+  std::vector<double> totals(static_cast<std::size_t>(game.num_players()), 0.0);
+  for (const PricedCycle& pc : outcome.cycles) {
+    for (PlayerId v : game.cycle_players(pc.cycle)) {
+      const double utility =
+          game.player_cycle_value(v, valuations, pc.cycle) - pc.price_of(v) +
+          pc.delay_bonus_of(v);
+      totals[static_cast<std::size_t>(v)] += utility;
+      if (!any || utility < report.min_cycle_utility) {
+        report.min_cycle_utility = utility;
+      }
+      any = true;
+      if (utility < -1e-9) ++report.violations;
+    }
+  }
+  report.min_total_utility =
+      totals.empty() ? 0.0 : *std::min_element(totals.begin(), totals.end());
+  return report;
+}
+
+EfficiencyReport check_efficiency(const Game& game, const BidVector& bids,
+                                  const Outcome& outcome) {
+  EfficiencyReport report;
+  const flow::Graph g = game.build_graph(bids);
+  report.outcome_welfare = game.social_welfare(bids, outcome.circulation);
+  report.certified_optimal = flow::is_optimal(g, outcome.circulation);
+  const flow::Circulation reference = flow::solve_max_welfare(g);
+  report.optimal_welfare = game.social_welfare(bids, reference);
+  return report;
+}
+
+BidVector scale_player_bids(const Game& game, const BidVector& bids,
+                            PlayerId player, double scale) {
+  BidVector out = bids;
+  for (EdgeId e = 0; e < game.num_edges(); ++e) {
+    const GameEdge& edge = game.edge(e);
+    const auto i = static_cast<std::size_t>(e);
+    if (edge.from == player) {
+      out.tail[i] = std::clamp(bids.tail[i] * scale, -kMaxFeeRate + 1e-9, 0.0);
+    }
+    if (edge.to == player) {
+      out.head[i] = std::clamp(bids.head[i] * scale, 0.0, kMaxFeeRate - 1e-9);
+    }
+  }
+  return out;
+}
+
+DeviationReport probe_truthfulness(const Mechanism& mechanism,
+                                   const Game& game, PlayerId player,
+                                   const std::vector<double>& scales) {
+  MUSK_ASSERT(!scales.empty());
+  const BidVector truthful = game.truthful_bids();
+  DeviationReport report;
+  report.truthful_utility =
+      mechanism.run(game, truthful).player_utility(game, player);
+  report.best_utility = report.truthful_utility;
+  report.best_scale = 1.0;
+  for (double scale : scales) {
+    const BidVector deviated =
+        scale_player_bids(game, truthful, player, scale);
+    const Outcome outcome = mechanism.run(game, deviated);
+    const double utility = outcome.player_utility(game, player);
+    if (utility > report.best_utility) {
+      report.best_utility = utility;
+      report.best_scale = scale;
+    }
+  }
+  return report;
+}
+
+}  // namespace musketeer::core

@@ -1,0 +1,73 @@
+// Property checkers for the four Musketeer desiderata (Definition 1).
+//
+// Each checker returns a quantitative report rather than a bool so the
+// benches can print *margins* (how balanced, how rational, how far from
+// the optimum) and the tests can assert tolerances.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/mechanism.hpp"
+#include "core/outcome.hpp"
+
+namespace musketeer::core {
+
+/// Property 2 — cyclic budget balance: prices of each cycle sum to zero.
+struct BudgetBalanceReport {
+  /// max over cycles of |sum of prices| (coins).
+  double max_cycle_imbalance = 0.0;
+  /// Sum over all cycles (strong budget balance margin).
+  double total_imbalance = 0.0;
+  bool holds(double tol = 1e-6) const { return max_cycle_imbalance <= tol; }
+};
+BudgetBalanceReport check_cyclic_budget_balance(const Outcome& outcome);
+
+/// Property 3 — individual rationality: every cycle yields non-negative
+/// utility to every truthful participant.
+struct RationalityReport {
+  /// min over (cycle, participant) of per-cycle utility
+  /// value - price (+ delay bonus when the mechanism grants one).
+  double min_cycle_utility = 0.0;
+  /// min over players of total utility.
+  double min_total_utility = 0.0;
+  int violations = 0;
+  bool holds(double tol = 1e-9) const { return min_cycle_utility >= -tol; }
+};
+RationalityReport check_individual_rationality(const Game& game,
+                                               const Outcome& outcome);
+
+/// Property 1 — economic efficiency: the outcome's circulation maximizes
+/// SW under the submitted bids. Certified exactly via the residual
+/// negative-cycle test, and quantified against a fresh solve.
+struct EfficiencyReport {
+  double outcome_welfare = 0.0;   // SW(b, f) of the mechanism's output
+  double optimal_welfare = 0.0;   // SW(b, f*) of an independent solve
+  bool certified_optimal = false; // no negative residual cycle
+  double ratio() const {
+    return optimal_welfare > 0 ? outcome_welfare / optimal_welfare : 1.0;
+  }
+};
+EfficiencyReport check_efficiency(const Game& game, const BidVector& bids,
+                                  const Outcome& outcome);
+
+/// Property 4 — truthfulness (probe): best-response search over a grid of
+/// unilateral bid deviations for one player. Returns the maximum utility
+/// gain over truthful bidding (<= tol for a truthful mechanism).
+struct DeviationReport {
+  double truthful_utility = 0.0;
+  double best_utility = 0.0;
+  /// Scale factor (applied to all the player's stakes) achieving best.
+  double best_scale = 1.0;
+  double gain() const { return best_utility - truthful_utility; }
+};
+DeviationReport probe_truthfulness(const Mechanism& mechanism,
+                                   const Game& game, PlayerId player,
+                                   const std::vector<double>& scales);
+
+/// Scales all of one player's stakes in `bids` by `scale` (clamped into
+/// the valid range). Used by deviation probes and the collusion bench.
+BidVector scale_player_bids(const Game& game, const BidVector& bids,
+                            PlayerId player, double scale);
+
+}  // namespace musketeer::core

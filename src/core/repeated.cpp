@@ -1,0 +1,167 @@
+#include "core/repeated.hpp"
+
+#include <algorithm>
+
+#include "core/properties.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+namespace {
+
+// Re-issues the round's game with unmet-demand carryover: a buyer whose
+// rebalancing failed in previous rounds values this round's opportunity
+// more (compounding urgency, capped by the valid bid range).
+Game with_carryover(const Game& base, const std::vector<int>& carry) {
+  Game boosted(base.num_players());
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const GameEdge& edge = base.edge(e);
+    double head = edge.head_valuation;
+    if (head > 0.0) {
+      const int c = carry[static_cast<std::size_t>(edge.to)];
+      head = std::min(head * (1.0 + 0.25 * static_cast<double>(c)),
+                      kMaxFeeRate - 1e-9);
+    }
+    boosted.add_edge(edge.from, edge.to, edge.capacity, edge.tail_valuation,
+                     head);
+  }
+  return boosted;
+}
+
+struct Bandit {
+  std::vector<double> value;
+  std::vector<int> count;
+
+  explicit Bandit(std::size_t arms) : value(arms, 0.0), count(arms, 0) {}
+
+  std::size_t pick(const RepeatedConfig& config, util::Rng& rng) const {
+    if (rng.uniform01() < config.epsilon) {
+      return rng.uniform(value.size());
+    }
+    return greedy();
+  }
+
+  // Optimistic greedy: unexplored arms first, then highest mean reward.
+  std::size_t greedy() const {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < value.size(); ++a) {
+      const bool a_new = count[a] == 0;
+      const bool best_new = count[best] == 0;
+      if (a_new && !best_new) {
+        best = a;
+      } else if (!a_new && !best_new && value[a] > value[best]) {
+        best = a;
+      }
+    }
+    return best;
+  }
+
+  // Final verdict: best explored arm (what the player actually learned).
+  std::size_t learned() const {
+    std::size_t best = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < value.size(); ++a) {
+      if (count[a] == 0) continue;
+      if (!found || value[a] > value[best]) {
+        best = a;
+        found = true;
+      }
+    }
+    return found ? best : value.size() - 1;
+  }
+
+  void update(std::size_t arm, double reward) {
+    ++count[arm];
+    value[arm] += (reward - value[arm]) / static_cast<double>(count[arm]);
+  }
+};
+
+}  // namespace
+
+RepeatedResult run_repeated_game(const Mechanism& mechanism,
+                                 const GameSampler& sample_game,
+                                 const std::vector<PlayerId>& adaptive_players,
+                                 const RepeatedConfig& config,
+                                 util::Rng& rng) {
+  MUSK_ASSERT(config.rounds > 0);
+  MUSK_ASSERT(!config.arms.empty());
+
+  RepeatedResult result;
+  std::vector<Bandit> bandits(adaptive_players.size(),
+                              Bandit(config.arms.size()));
+  std::vector<int> carry;
+  double realized_welfare = 0.0, truthful_welfare = 0.0;
+
+  for (int round = 0; round < config.rounds; ++round) {
+    const Game sampled = sample_game(rng);
+    if (carry.empty()) {
+      carry.assign(static_cast<std::size_t>(sampled.num_players()), 0);
+      result.total_utility.assign(
+          static_cast<std::size_t>(sampled.num_players()), 0.0);
+    }
+    MUSK_ASSERT(carry.size() ==
+                static_cast<std::size_t>(sampled.num_players()));
+    const Game game = with_carryover(sampled, carry);
+
+    // Adaptive players choose shading arms; everyone else is truthful.
+    BidVector bids = game.truthful_bids();
+    std::vector<std::size_t> chosen(adaptive_players.size());
+    double shading_sum = 0.0;
+    for (std::size_t i = 0; i < adaptive_players.size(); ++i) {
+      chosen[i] = bandits[i].pick(config, rng);
+      const double scale = config.arms[chosen[i]];
+      shading_sum += scale;
+      bids = scale_player_bids(game, bids, adaptive_players[i], scale);
+    }
+    result.mean_shading_per_round.push_back(
+        adaptive_players.empty()
+            ? 1.0
+            : shading_sum / static_cast<double>(adaptive_players.size()));
+
+    const Outcome outcome = mechanism.run(game, bids);
+    realized_welfare += outcome.realized_welfare(game);
+    truthful_welfare +=
+        mechanism.run_truthful(game).realized_welfare(game);
+
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      result.total_utility[static_cast<std::size_t>(v)] +=
+          outcome.player_utility(game, v);
+    }
+    for (std::size_t i = 0; i < adaptive_players.size(); ++i) {
+      bandits[i].update(chosen[i],
+                        outcome.player_utility(game, adaptive_players[i]));
+    }
+
+    // Demand persistence: buyers whose depleted edges saw no flow carry
+    // their urgency forward with probability `persistence`.
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      bool had_demand = false, satisfied = false;
+      for (EdgeId e = 0; e < game.num_edges(); ++e) {
+        if (game.edge(e).to != v || game.edge(e).head_valuation <= 0.0) {
+          continue;
+        }
+        had_demand = true;
+        if (outcome.circulation[static_cast<std::size_t>(e)] > 0) {
+          satisfied = true;
+        }
+      }
+      auto& c = carry[static_cast<std::size_t>(v)];
+      if (!had_demand || satisfied) {
+        c = 0;
+      } else if (rng.uniform01() < config.persistence) {
+        c = std::min(c + 1, 8);
+      } else {
+        c = 0;
+      }
+    }
+  }
+
+  result.welfare_ratio =
+      truthful_welfare > 0 ? realized_welfare / truthful_welfare : 1.0;
+  for (const Bandit& bandit : bandits) {
+    result.learned_shading.push_back(config.arms[bandit.learned()]);
+  }
+  return result;
+}
+
+}  // namespace musketeer::core

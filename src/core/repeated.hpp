@@ -1,0 +1,61 @@
+// The repeated rebalancing game (§4 "Repeated Games").
+//
+// The paper hypothesizes: when the rebalancing auction runs frequently,
+// underbidding becomes attractive — losing a round only postpones
+// rebalancing, so shading bids to save fees is cheap; when rounds are
+// rare, missing one is costly and bidding close to one's value is safer.
+//
+// This module makes the hypothesis testable. A population of players
+// faces a fresh rebalancing game each round (their private valuations
+// resample). Adaptive players choose a *shading factor* from a discrete
+// arm set with an epsilon-greedy bandit over their own realized
+// utilities; truthful players always bid their valuation. Unmet demand
+// persists: with probability `persistence` a buyer who failed to
+// rebalance carries the (compounding) demand into the next round —
+// high persistence models frequent re-runs of the auction where demand
+// survives to try again.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::core {
+
+struct RepeatedConfig {
+  int rounds = 200;
+  /// Probability that a losing buyer's demand persists into the next
+  /// round (the paper's rebalancing-frequency knob).
+  double persistence = 0.5;
+  /// Shading arms adaptive players choose from (multiplied into their
+  /// truthful stakes).
+  std::vector<double> arms{0.4, 0.6, 0.8, 1.0};
+  /// Exploration rate of the epsilon-greedy bandit.
+  double epsilon = 0.1;
+};
+
+struct RepeatedResult {
+  /// Mean shading factor chosen by adaptive players, per round.
+  std::vector<double> mean_shading_per_round;
+  /// Total utility per player over all rounds.
+  std::vector<double> total_utility;
+  /// Realized welfare summed over rounds / welfare if all bid truthfully.
+  double welfare_ratio = 1.0;
+  /// Final greedy arm per adaptive player.
+  std::vector<double> learned_shading;
+};
+
+/// Generates the round's game; called once per round (valuation
+/// resampling). Must always return games with the same number of players.
+using GameSampler = std::function<Game(util::Rng&)>;
+
+/// Runs `config.rounds` rounds of `mechanism` with the given adaptive
+/// players learning their shading; everyone else bids truthfully.
+RepeatedResult run_repeated_game(const Mechanism& mechanism,
+                                 const GameSampler& sample_game,
+                                 const std::vector<PlayerId>& adaptive_players,
+                                 const RepeatedConfig& config, util::Rng& rng);
+
+}  // namespace musketeer::core

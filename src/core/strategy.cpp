@@ -1,0 +1,90 @@
+#include "core/strategy.hpp"
+
+#include "core/properties.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::core {
+
+CollusionReport probe_collusion(const Mechanism& mechanism, const Game& game,
+                                PlayerId first, PlayerId second,
+                                const std::vector<double>& scales) {
+  MUSK_ASSERT(first != second);
+  MUSK_ASSERT(!scales.empty());
+  const BidVector truthful = game.truthful_bids();
+
+  CollusionReport report;
+  report.first = first;
+  report.second = second;
+  {
+    const Outcome outcome = mechanism.run(game, truthful);
+    report.honest_joint_utility = outcome.player_utility(game, first) +
+                                  outcome.player_utility(game, second);
+  }
+  report.best_joint_utility = report.honest_joint_utility;
+  for (double s1 : scales) {
+    const BidVector partial = scale_player_bids(game, truthful, first, s1);
+    for (double s2 : scales) {
+      const BidVector joint = scale_player_bids(game, partial, second, s2);
+      const Outcome outcome = mechanism.run(game, joint);
+      const double joint_utility = outcome.player_utility(game, first) +
+                                   outcome.player_utility(game, second);
+      report.best_joint_utility =
+          std::max(report.best_joint_utility, joint_utility);
+    }
+  }
+  return report;
+}
+
+BidVector withhold_edge_bid(const Game& game, const BidVector& bids,
+                            EdgeId edge) {
+  MUSK_ASSERT(edge >= 0 && edge < game.num_edges());
+  BidVector out = bids;
+  out.head[static_cast<std::size_t>(edge)] = 0.0;
+  return out;
+}
+
+CoalitionReport probe_coalition(const Mechanism& mechanism, const Game& game,
+                                const std::vector<PlayerId>& coalition,
+                                const std::vector<double>& scales) {
+  MUSK_ASSERT(!coalition.empty());
+  MUSK_ASSERT(!scales.empty());
+  const BidVector truthful = game.truthful_bids();
+
+  auto joint_utility = [&](const Outcome& outcome) {
+    double total = 0.0;
+    for (PlayerId v : coalition) total += outcome.player_utility(game, v);
+    return total;
+  };
+
+  CoalitionReport report;
+  report.coalition = coalition;
+  report.honest_joint_utility = joint_utility(mechanism.run(game, truthful));
+  report.best_joint_utility = report.honest_joint_utility;
+  report.best_scales.assign(coalition.size(), 1.0);
+
+  // Odometer over scales^|coalition|.
+  std::vector<std::size_t> index(coalition.size(), 0);
+  for (;;) {
+    BidVector bids = truthful;
+    std::vector<double> current(coalition.size());
+    for (std::size_t i = 0; i < coalition.size(); ++i) {
+      current[i] = scales[index[i]];
+      bids = scale_player_bids(game, bids, coalition[i], current[i]);
+    }
+    const double utility = joint_utility(mechanism.run(game, bids));
+    if (utility > report.best_joint_utility) {
+      report.best_joint_utility = utility;
+      report.best_scales = current;
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < index.size() && ++index[pos] == scales.size()) {
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == index.size()) break;
+  }
+  return report;
+}
+
+}  // namespace musketeer::core

@@ -1,0 +1,55 @@
+// Strategic analysis helpers beyond single-player truthfulness probes:
+// the §4 collusion (group-strategyproofness) experiment.
+//
+// The paper's counterexample: for a channel depleted from u to v, an
+// honest u reports a positive buyer bid, which precludes v from earning
+// routing fees on that channel. If u misreports the channel as
+// indifferent (zero bid), v may earn fees while u pays none — the *pair*
+// can gain even though neither can gain alone under M2/M4.
+#pragma once
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::core {
+
+struct CollusionReport {
+  PlayerId first = 0;
+  PlayerId second = 0;
+  double honest_joint_utility = 0.0;
+  double best_joint_utility = 0.0;
+  double gain() const { return best_joint_utility - honest_joint_utility; }
+};
+
+/// Searches a grid of joint deviations (scaling each player's stakes by a
+/// factor from `scales`, including 0 = fully withholding) for the pair
+/// maximizing joint utility. Quadratic in |scales|; intended for small
+/// grids.
+CollusionReport probe_collusion(const Mechanism& mechanism, const Game& game,
+                                PlayerId first, PlayerId second,
+                                const std::vector<double>& scales);
+
+/// The paper's specific §4 manipulation for a channel (edge): the buyer
+/// zeroes its head bid on `edge` while the counterparty adds a seller
+/// stake of `seller_bid` (<= 0) on the *reverse* direction. Returns a new
+/// game where the channel's status flipped from depleted to indifferent.
+/// (Used by bench/e8_collusion with an explicit reverse edge.)
+BidVector withhold_edge_bid(const Game& game, const BidVector& bids,
+                            EdgeId edge);
+
+/// Generalized coalition probe: exhaustive grid search over joint
+/// scalings for an arbitrary coalition. Cost is |scales|^|coalition|
+/// mechanism runs — keep coalitions small (pairs, triples).
+struct CoalitionReport {
+  std::vector<PlayerId> coalition;
+  double honest_joint_utility = 0.0;
+  double best_joint_utility = 0.0;
+  /// Scales realizing the best joint utility, aligned with `coalition`.
+  std::vector<double> best_scales;
+  double gain() const { return best_joint_utility - honest_joint_utility; }
+};
+
+CoalitionReport probe_coalition(const Mechanism& mechanism, const Game& game,
+                                const std::vector<PlayerId>& coalition,
+                                const std::vector<double>& scales);
+
+}  // namespace musketeer::core

@@ -1,0 +1,19 @@
+// Shared identifiers and constants for the Musketeer game model.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/graph.hpp"
+
+namespace musketeer::core {
+
+using PlayerId = flow::NodeId;  // players are the vertices of the PCN graph
+using flow::Amount;
+using flow::EdgeId;
+using flow::NodeId;
+
+/// The paper's bound on valuations: ||v_u||_inf < 0.1 — no user pays or
+/// charges a fee rate of 10% or more per unit flow.
+inline constexpr double kMaxFeeRate = 0.1;
+
+}  // namespace musketeer::core

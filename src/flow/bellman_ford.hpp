@@ -1,0 +1,28 @@
+// Negative-cycle detection on residual networks (Bellman–Ford).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/residual.hpp"
+
+namespace musketeer::flow {
+
+/// Finds a strictly negative-cost cycle among `arcs` (only arcs with
+/// positive residual participate; build_residual already guarantees that).
+/// Returns the arc indices of one such cycle, in traversal order, or
+/// nullopt if none exists. Costs are exact integers, so "strictly
+/// negative" has no epsilon.
+std::optional<std::vector<int>> find_negative_cycle(
+    NodeId num_nodes, std::span<const ResidualArc> arcs);
+
+/// Extracts *several* vertex-disjoint negative cycles from one
+/// Bellman–Ford run (one per distinct cycle in the final predecessor
+/// forest). Each Bellman–Ford pass costs O(nm); harvesting every cycle it
+/// found amortizes that cost across many cancellations. Returns an empty
+/// vector iff no negative cycle exists.
+std::vector<std::vector<int>> find_negative_cycles(
+    NodeId num_nodes, std::span<const ResidualArc> arcs);
+
+}  // namespace musketeer::flow

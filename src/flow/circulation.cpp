@@ -1,0 +1,64 @@
+#include "flow/circulation.hpp"
+
+namespace musketeer::flow {
+
+Circulation zero_circulation(const Graph& g) {
+  return Circulation(static_cast<std::size_t>(g.num_edges()), 0);
+}
+
+bool conserves_flow(const Graph& g, const Circulation& f) {
+  if (f.size() != static_cast<std::size_t>(g.num_edges())) return false;
+  std::vector<Amount> net(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const Amount fe = f[static_cast<std::size_t>(e)];
+    net[static_cast<std::size_t>(edge.from)] -= fe;
+    net[static_cast<std::size_t>(edge.to)] += fe;
+  }
+  for (Amount n : net) {
+    if (n != 0) return false;
+  }
+  return true;
+}
+
+bool within_capacity(const Graph& g, const Circulation& f) {
+  if (f.size() != static_cast<std::size_t>(g.num_edges())) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Amount fe = f[static_cast<std::size_t>(e)];
+    if (fe < 0 || fe > g.edge(e).capacity) return false;
+  }
+  return true;
+}
+
+bool is_feasible(const Graph& g, const Circulation& f) {
+  return within_capacity(g, f) && conserves_flow(g, f);
+}
+
+__int128 scaled_welfare(const Graph& g, const Circulation& f) {
+  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
+  __int128 total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    total += static_cast<__int128>(g.scaled_gain(e)) *
+             static_cast<__int128>(f[static_cast<std::size_t>(e)]);
+  }
+  return total;
+}
+
+double welfare(const Graph& g, const Circulation& f) {
+  return static_cast<double>(scaled_welfare(g, f)) / kGainScale;
+}
+
+Amount total_volume(const Circulation& f) {
+  Amount total = 0;
+  for (Amount fe : f) total += fe;
+  return total;
+}
+
+Circulation add(const Circulation& a, const Circulation& b) {
+  MUSK_ASSERT(a.size() == b.size());
+  Circulation out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace musketeer::flow

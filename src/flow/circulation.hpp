@@ -1,0 +1,43 @@
+// Circulation algebra: feasibility, conservation, welfare.
+//
+// A circulation assigns a non-negative flow to every edge such that the
+// net flow through each vertex is zero (the paper's balance-conservation
+// property). Circulations are the space of possible rebalancings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+/// Flow value per edge, indexed by EdgeId. Size must equal num_edges().
+using Circulation = std::vector<Amount>;
+
+/// All-zero circulation for `g`.
+Circulation zero_circulation(const Graph& g);
+
+/// True iff flow is conserved at every vertex: sum(out) == sum(in).
+bool conserves_flow(const Graph& g, const Circulation& f);
+
+/// True iff 0 <= f(e) <= c(e) for every edge.
+bool within_capacity(const Graph& g, const Circulation& f);
+
+/// Feasible == non-negative, capacity-respecting, conserving.
+bool is_feasible(const Graph& g, const Circulation& f);
+
+/// Social welfare of `f` under the graph's gains, exactly, in scaled units
+/// (multiply by 1/kGainScale for coins).
+__int128 scaled_welfare(const Graph& g, const Circulation& f);
+
+/// Social welfare in coins (double; exact up to the final conversion).
+double welfare(const Graph& g, const Circulation& f);
+
+/// Total flow volume: sum of f(e) over all edges.
+Amount total_volume(const Circulation& f);
+
+/// Pointwise sum: result(e) = a(e) + b(e). Sizes must match.
+Circulation add(const Circulation& a, const Circulation& b);
+
+}  // namespace musketeer::flow

@@ -1,0 +1,113 @@
+#include "flow/decompose.hpp"
+
+#include <algorithm>
+
+namespace musketeer::flow {
+
+std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
+                                                 const Circulation& f) {
+  MUSK_ASSERT_MSG(is_feasible(g, f), "can only decompose feasible circulations");
+  Circulation remaining = f;
+
+  // Per-node cursor into out_edges so exhausted edges are skipped in
+  // amortized constant time across the whole peel.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.num_nodes()), 0);
+
+  auto next_positive_out = [&](NodeId v) -> EdgeId {
+    auto outs = g.out_edges(v);
+    auto& cur = cursor[static_cast<std::size_t>(v)];
+    while (cur < outs.size() &&
+           remaining[static_cast<std::size_t>(outs[cur])] == 0) {
+      ++cur;
+    }
+    return cur < outs.size() ? outs[cur] : -1;
+  };
+
+  std::vector<CycleFlow> cycles;
+  // `on_path[v]` = position of v in the current walk, or -1.
+  std::vector<int> on_path(static_cast<std::size_t>(g.num_nodes()), -1);
+
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    for (;;) {
+      if (next_positive_out(start) < 0) break;
+      // Walk forward along positive-flow edges until a node repeats.
+      std::vector<NodeId> path_nodes;
+      std::vector<EdgeId> path_edges;
+      NodeId v = start;
+      while (on_path[static_cast<std::size_t>(v)] < 0) {
+        on_path[static_cast<std::size_t>(v)] =
+            static_cast<int>(path_nodes.size());
+        path_nodes.push_back(v);
+        const EdgeId e = next_positive_out(v);
+        // Flow conservation guarantees a positive out-edge exists at every
+        // node the walk reaches (it got here via a positive in-edge).
+        MUSK_ASSERT_MSG(e >= 0, "conservation violated during decomposition");
+        path_edges.push_back(e);
+        v = g.edge(e).to;
+      }
+      const int cycle_start = on_path[static_cast<std::size_t>(v)];
+      CycleFlow cycle;
+      cycle.edges.assign(path_edges.begin() + cycle_start, path_edges.end());
+      Amount bottleneck = remaining[static_cast<std::size_t>(cycle.edges[0])];
+      for (EdgeId e : cycle.edges) {
+        bottleneck = std::min(bottleneck, remaining[static_cast<std::size_t>(e)]);
+      }
+      MUSK_ASSERT(bottleneck > 0);
+      cycle.amount = bottleneck;
+      for (EdgeId e : cycle.edges) {
+        remaining[static_cast<std::size_t>(e)] -= bottleneck;
+      }
+      for (NodeId u : path_nodes) on_path[static_cast<std::size_t>(u)] = -1;
+      cycles.push_back(std::move(cycle));
+    }
+  }
+  MUSK_ASSERT(total_volume(remaining) == 0);
+  MUSK_ASSERT(cycles.size() <= static_cast<std::size_t>(g.num_edges()));
+  return cycles;
+}
+
+Circulation recompose(const Graph& g, const std::vector<CycleFlow>& cycles) {
+  Circulation f = zero_circulation(g);
+  for (const CycleFlow& cycle : cycles) {
+    for (EdgeId e : cycle.edges) {
+      f[static_cast<std::size_t>(e)] += cycle.amount;
+    }
+  }
+  return f;
+}
+
+__int128 scaled_cycle_welfare(const Graph& g, const CycleFlow& cycle) {
+  __int128 total = 0;
+  for (EdgeId e : cycle.edges) {
+    total += static_cast<__int128>(g.scaled_gain(e)) * cycle.amount;
+  }
+  return total;
+}
+
+double cycle_welfare(const Graph& g, const CycleFlow& cycle) {
+  return static_cast<double>(scaled_cycle_welfare(g, cycle)) / kGainScale;
+}
+
+bool is_valid_decomposition(const Graph& g, const Circulation& f,
+                            const std::vector<CycleFlow>& cycles) {
+  for (const CycleFlow& cycle : cycles) {
+    if (cycle.amount <= 0 || cycle.edges.empty()) return false;
+    // Simple cycle: consecutive edges chain, last returns to first, and no
+    // vertex repeats.
+    std::vector<NodeId> seen;
+    for (std::size_t i = 0; i < cycle.edges.size(); ++i) {
+      const Edge& cur = g.edge(cycle.edges[i]);
+      const Edge& next =
+          g.edge(cycle.edges[(i + 1) % cycle.edges.size()]);
+      if (cur.to != next.from) return false;
+      seen.push_back(cur.from);
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+      return false;
+    }
+  }
+  return recompose(g, cycles) == f;
+}
+
+}  // namespace musketeer::flow

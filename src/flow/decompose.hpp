@@ -1,0 +1,49 @@
+// Sign-consistent cycle decomposition of a circulation.
+//
+// Rebalancing is executed cycle by cycle (Hide & Seek's execution model,
+// adopted by Musketeer). A sign-consistent decomposition expresses a
+// circulation f as a sum of simple cycle flows f_1..f_k such that every
+// cycle routes flow through each edge in the same direction as f itself —
+// the standard <= |E| cycles result of network flow theory
+// (Ahuja–Magnanti–Orlin). We obtain it by repeatedly peeling a cycle from
+// the support of the remaining flow and subtracting its bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "flow/circulation.hpp"
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+/// A simple cycle carrying `amount` units of flow along `edges`
+/// (edge ids, in traversal order; consecutive edges share endpoints and
+/// the last edge returns to the first edge's tail).
+struct CycleFlow {
+  std::vector<EdgeId> edges;
+  Amount amount = 0;
+
+  /// Number of edges in the cycle (the paper's n_i).
+  int length() const { return static_cast<int>(edges.size()); }
+};
+
+/// Decomposes a circulation into at most num_edges() sign-consistent
+/// simple cycles. Requires is_feasible(g, f).
+std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
+                                                 const Circulation& f);
+
+/// Reconstitutes the circulation represented by a set of cycle flows.
+Circulation recompose(const Graph& g, const std::vector<CycleFlow>& cycles);
+
+/// Welfare of a single cycle flow under the graph's gains, in coins.
+double cycle_welfare(const Graph& g, const CycleFlow& cycle);
+
+/// Exact scaled welfare of a single cycle flow.
+__int128 scaled_cycle_welfare(const Graph& g, const CycleFlow& cycle);
+
+/// Validates that every cycle is a simple cycle in g and that the cycles
+/// sum exactly to f (i.e. a correct sign-consistent decomposition).
+bool is_valid_decomposition(const Graph& g, const Circulation& f,
+                            const std::vector<CycleFlow>& cycles);
+
+}  // namespace musketeer::flow

@@ -1,0 +1,96 @@
+#include "flow/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace musketeer::flow {
+
+Dinic::Dinic(NodeId num_nodes) : adj_(static_cast<std::size_t>(num_nodes)) {
+  MUSK_ASSERT(num_nodes >= 0);
+}
+
+int Dinic::add_edge(NodeId from, NodeId to, Amount capacity) {
+  MUSK_ASSERT(from >= 0 && from < num_nodes());
+  MUSK_ASSERT(to >= 0 && to < num_nodes());
+  MUSK_ASSERT(capacity >= 0);
+  auto& fwd_list = adj_[static_cast<std::size_t>(from)];
+  auto& rev_list = adj_[static_cast<std::size_t>(to)];
+  const int fwd_idx = static_cast<int>(fwd_list.size());
+  // A self-loop would invalidate the paired-index arithmetic below; the
+  // library never creates one (channels connect distinct users).
+  MUSK_ASSERT(from != to);
+  const int rev_idx = static_cast<int>(rev_list.size());
+  fwd_list.push_back(Arc{to, capacity, rev_idx});
+  rev_list.push_back(Arc{from, 0, fwd_idx});
+  handles_.emplace_back(from, fwd_idx);
+  original_capacity_.push_back(capacity);
+  return static_cast<int>(handles_.size()) - 1;
+}
+
+bool Dinic::bfs(NodeId source, NodeId sink) {
+  level_.assign(adj_.size(), -1);
+  std::queue<NodeId> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(v)]) {
+      if (arc.capacity > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+Amount Dinic::dfs(NodeId v, NodeId sink, Amount limit) {
+  if (v == sink) return limit;
+  for (auto& it = iter_[static_cast<std::size_t>(v)];
+       it < adj_[static_cast<std::size_t>(v)].size(); ++it) {
+    Arc& arc = adj_[static_cast<std::size_t>(v)][it];
+    if (arc.capacity <= 0 ||
+        level_[static_cast<std::size_t>(arc.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const Amount pushed = dfs(arc.to, sink, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      adj_[static_cast<std::size_t>(arc.to)][static_cast<std::size_t>(arc.rev)]
+          .capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Amount Dinic::solve(NodeId source, NodeId sink) {
+  MUSK_ASSERT(source != sink);
+  Amount total = 0;
+  while (bfs(source, sink)) {
+    iter_.assign(adj_.size(), 0);
+    for (;;) {
+      const Amount pushed =
+          dfs(source, sink, std::numeric_limits<Amount>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+Amount Dinic::flow_on(int edge_handle) const {
+  MUSK_ASSERT(edge_handle >= 0 &&
+              edge_handle < static_cast<int>(handles_.size()));
+  const auto [from, idx] = handles_[static_cast<std::size_t>(edge_handle)];
+  const Arc& arc =
+      adj_[static_cast<std::size_t>(from)][static_cast<std::size_t>(idx)];
+  return original_capacity_[static_cast<std::size_t>(edge_handle)] -
+         arc.capacity;
+}
+
+}  // namespace musketeer::flow

@@ -1,0 +1,50 @@
+// Dinic's maximum-flow algorithm.
+//
+// Used by the PCN substrate for capacity queries (maximum amount routable
+// between two users given current channel balances) and by tests as an
+// independent oracle for flow-feasibility questions.
+#pragma once
+
+#include <vector>
+
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+/// Standalone max-flow solver over its own arc storage (adding an edge
+/// creates the paired reverse arc with zero capacity).
+class Dinic {
+ public:
+  explicit Dinic(NodeId num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns an edge handle
+  /// usable with flow_on().
+  int add_edge(NodeId from, NodeId to, Amount capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  Amount solve(NodeId source, NodeId sink);
+
+  /// Flow routed through the edge returned by add_edge (valid after
+  /// solve()).
+  Amount flow_on(int edge_handle) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+
+ private:
+  struct Arc {
+    NodeId to;
+    Amount capacity;  // remaining capacity
+    int rev;          // index of the paired reverse arc in adj_[to]
+  };
+
+  bool bfs(NodeId source, NodeId sink);
+  Amount dfs(NodeId v, NodeId sink, Amount limit);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::pair<NodeId, int>> handles_;  // (from, arc index)
+  std::vector<Amount> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace musketeer::flow

@@ -1,0 +1,163 @@
+#include "flow/min_mean_cycle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace musketeer::flow {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+// Compares rationals a/b < c/d with b, d > 0, exactly.
+bool rational_less(std::int64_t a, std::int64_t b, std::int64_t c,
+                   std::int64_t d) {
+  return static_cast<__int128>(a) * d < static_cast<__int128>(c) * b;
+}
+
+// Finds a cycle among arcs whose indices are in `allowed`, via iterative
+// DFS with tri-color marking. Returns arc indices in traversal order.
+std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
+                                        std::span<const ResidualArc> arcs,
+                                        const std::vector<int>& allowed) {
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  std::vector<std::vector<int>> adj(n);
+  for (int a : allowed) {
+    adj[static_cast<std::size_t>(arcs[static_cast<std::size_t>(a)].from)]
+        .push_back(a);
+  }
+
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  // DFS stack entries: (node, next adjacency index to try, arc that led here).
+  struct Frame {
+    NodeId node;
+    std::size_t next = 0;
+    int via_arc = -1;
+  };
+
+  for (NodeId start = 0; start < num_nodes; ++start) {
+    if (color[static_cast<std::size_t>(start)] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start, 0, -1});
+    color[static_cast<std::size_t>(start)] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& out = adj[static_cast<std::size_t>(frame.node)];
+      if (frame.next < out.size()) {
+        const int arc_idx = out[frame.next++];
+        const NodeId next =
+            arcs[static_cast<std::size_t>(arc_idx)].to;
+        const Color c = color[static_cast<std::size_t>(next)];
+        if (c == Color::kWhite) {
+          color[static_cast<std::size_t>(next)] = Color::kGray;
+          stack.push_back(Frame{next, 0, arc_idx});
+        } else if (c == Color::kGray) {
+          // Back edge: the cycle is `next -> ... -> frame.node -> next`.
+          std::vector<int> cycle;
+          cycle.push_back(arc_idx);
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->node == next) break;
+            MUSK_ASSERT(it->via_arc >= 0);
+            cycle.push_back(it->via_arc);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+      } else {
+        color[static_cast<std::size_t>(frame.node)] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  MUSK_ASSERT_MSG(false, "tight subgraph must contain a cycle");
+  return {};
+}
+
+}  // namespace
+
+std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
+                                           std::span<const ResidualArc> arcs) {
+  if (num_nodes == 0 || arcs.empty()) return std::nullopt;
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+
+  // Karp's recurrence: dp[k][v] = min cost of any k-arc walk ending at v,
+  // starting anywhere (dp[0][*] = 0 emulates a virtual source).
+  std::vector<std::vector<std::int64_t>> dp(
+      n + 1, std::vector<std::int64_t>(n, kInf));
+  std::fill(dp[0].begin(), dp[0].end(), 0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (const ResidualArc& arc : arcs) {
+      const std::int64_t base = dp[k - 1][static_cast<std::size_t>(arc.from)];
+      if (base >= kInf) continue;
+      auto& slot = dp[k][static_cast<std::size_t>(arc.to)];
+      slot = std::min(slot, base + arc.cost);
+    }
+  }
+
+  // mu* = min_v max_k (dp[n][v] - dp[k][v]) / (n - k).
+  bool found = false;
+  std::int64_t best_num = 0, best_den = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dp[n][v] >= kInf) continue;
+    bool inner_found = false;
+    std::int64_t inner_num = 0, inner_den = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (dp[k][v] >= kInf) continue;
+      const std::int64_t num = dp[n][v] - dp[k][v];
+      const std::int64_t den = static_cast<std::int64_t>(n - k);
+      if (!inner_found || rational_less(inner_num, inner_den, num, den)) {
+        inner_found = true;
+        inner_num = num;
+        inner_den = den;
+      }
+    }
+    if (!inner_found) continue;
+    if (!found || rational_less(inner_num, inner_den, best_num, best_den)) {
+      found = true;
+      best_num = inner_num;
+      best_den = inner_den;
+    }
+  }
+  if (!found) return std::nullopt;  // acyclic arc set
+
+  // Witness extraction: shift costs by -mu* (multiply through by the
+  // denominator to stay integral), after which the minimum cycle mean is
+  // exactly zero. Bellman–Ford then converges, and every cycle of the
+  // tight-arc subgraph has shifted cost zero, i.e. original mean mu*.
+  std::vector<std::int64_t> shifted(arcs.size());
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    shifted[a] = arcs[a].cost * best_den - best_num;
+  }
+  std::vector<std::int64_t> dist(n, 0);
+  for (std::size_t pass = 0; pass + 1 < n; ++pass) {
+    bool changed = false;
+    for (std::size_t a = 0; a < arcs.size(); ++a) {
+      const std::int64_t cand =
+          dist[static_cast<std::size_t>(arcs[a].from)] + shifted[a];
+      if (cand < dist[static_cast<std::size_t>(arcs[a].to)]) {
+        dist[static_cast<std::size_t>(arcs[a].to)] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<int> tight;
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    if (dist[static_cast<std::size_t>(arcs[a].from)] + shifted[a] ==
+        dist[static_cast<std::size_t>(arcs[a].to)]) {
+      tight.push_back(static_cast<int>(a));
+    }
+  }
+  std::vector<int> cycle = find_cycle_in_subgraph(num_nodes, arcs, tight);
+
+  if (best_num < 0) {
+    std::int64_t total = 0;
+    for (int a : cycle) total += arcs[static_cast<std::size_t>(a)].cost;
+    MUSK_ASSERT_MSG(total < 0,
+                    "min-mean witness must be strictly negative when mu* < 0");
+  }
+  return MinMeanCycle{MeanValue{best_num, best_den}, std::move(cycle)};
+}
+
+}  // namespace musketeer::flow

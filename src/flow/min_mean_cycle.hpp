@@ -1,0 +1,41 @@
+// Karp's minimum mean cycle algorithm.
+//
+// Two roles in this library:
+//  1. Exact optimality certificate: a circulation is welfare-optimal iff
+//     the minimum mean cycle cost of its residual network is >= 0. Tests
+//     and property checkers use this to certify solver output without an
+//     external LP.
+//  2. The min-mean-cycle-cancelling solver (Goldberg–Tarjan) uses it to
+//     pick which cycle to cancel, giving a strongly polynomial bound.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/residual.hpp"
+
+namespace musketeer::flow {
+
+/// Exact rational mean value num/den (den > 0).
+struct MeanValue {
+  std::int64_t num = 0;
+  std::int64_t den = 1;
+
+  bool is_negative() const { return num < 0; }
+};
+
+struct MinMeanCycle {
+  MeanValue mean;
+  /// Arc indices of a cycle achieving mean cost <= `mean` (in traversal
+  /// order). Guaranteed to have strictly negative total cost when
+  /// mean.is_negative().
+  std::vector<int> arcs;
+};
+
+/// Computes the minimum cycle mean over `arcs` via Karp's algorithm and
+/// extracts a witness cycle. Returns nullopt if the arc set is acyclic.
+std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
+                                           std::span<const ResidualArc> arcs);
+
+}  // namespace musketeer::flow

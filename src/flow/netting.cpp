@@ -1,0 +1,65 @@
+#include "flow/netting.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace musketeer::flow {
+
+std::vector<EdgePair> antiparallel_pairs(const Graph& g) {
+  // Bucket edges by unordered endpoint pair, then match opposite
+  // directions greedily by id.
+  std::map<std::pair<NodeId, NodeId>, std::pair<std::vector<EdgeId>,
+                                                std::vector<EdgeId>>>
+      buckets;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool forward = edge.from < edge.to;
+    const auto key = forward ? std::make_pair(edge.from, edge.to)
+                             : std::make_pair(edge.to, edge.from);
+    auto& bucket = buckets[key];
+    (forward ? bucket.first : bucket.second).push_back(e);
+  }
+  std::vector<EdgePair> pairs;
+  for (auto& [key, bucket] : buckets) {
+    const std::size_t n = std::min(bucket.first.size(), bucket.second.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      pairs.emplace_back(bucket.first[i], bucket.second[i]);
+    }
+  }
+  return pairs;
+}
+
+Amount net_opposing_flows(const Graph& g, const std::vector<EdgePair>& pairs,
+                          Circulation& f) {
+  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
+  Amount netted = 0;
+  for (const auto& [a, b] : pairs) {
+    MUSK_ASSERT(g.edge(a).from == g.edge(b).to &&
+                g.edge(a).to == g.edge(b).from);
+    const Amount cancel = std::min(f[static_cast<std::size_t>(a)],
+                                   f[static_cast<std::size_t>(b)]);
+    if (cancel > 0) {
+      f[static_cast<std::size_t>(a)] -= cancel;
+      f[static_cast<std::size_t>(b)] -= cancel;
+      netted += cancel;
+    }
+  }
+  return netted;
+}
+
+bool is_channel_sign_consistent(const Graph& g,
+                                const std::vector<EdgePair>& pairs,
+                                const Circulation& f) {
+  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
+  for (const auto& [a, b] : pairs) {
+    if (f[static_cast<std::size_t>(a)] > 0 &&
+        f[static_cast<std::size_t>(b)] > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace musketeer::flow

@@ -1,0 +1,45 @@
+// Opposing-flow netting.
+//
+// A circulation may route flow through both directions of the same
+// payment channel (antiparallel edges). Executing both directions wastes
+// liquidity and breaks channel-level sign consistency — the two
+// directions cancel coin-for-coin inside the channel. Netting reduces
+// each antiparallel pair by the smaller of the two flows, preserving
+// conservation (both endpoints lose equal in/out flow).
+//
+// Note: netting can only change welfare by removing a (pos, neg) gain
+// pair whose sum the optimum kept; on a welfare-*optimal* circulation
+// with rational bids, netting never decreases welfare (the cancelled
+// two-cycle had gain >= 0 only if the pair's gains summed positive, which
+// cycle-cancelling already exploited — so optimal circulations are
+// already netted unless a zero-sum pair exists).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "flow/circulation.hpp"
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+/// An antiparallel edge pair (e from u->v, r from v->u) of one channel.
+using EdgePair = std::pair<EdgeId, EdgeId>;
+
+/// Finds all antiparallel edge pairs in `g` (each unordered pair listed
+/// once; with parallel edges, pairs are matched greedily by id).
+std::vector<EdgePair> antiparallel_pairs(const Graph& g);
+
+/// Cancels opposing flows on every antiparallel pair in place. Returns
+/// the total amount netted (per direction). The result is a feasible
+/// circulation whenever the input was.
+Amount net_opposing_flows(const Graph& g, const std::vector<EdgePair>& pairs,
+                          Circulation& f);
+
+/// True iff no antiparallel pair carries flow in both directions
+/// (channel-level sign consistency of the circulation).
+bool is_channel_sign_consistent(const Graph& g,
+                                const std::vector<EdgePair>& pairs,
+                                const Circulation& f);
+
+}  // namespace musketeer::flow

@@ -1,0 +1,265 @@
+#include "flow/network_simplex.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace musketeer::flow {
+
+namespace {
+
+enum class ArcState : signed char { kTree, kLower, kUpper };
+
+struct SimplexArc {
+  NodeId from = 0;
+  NodeId to = 0;
+  Amount capacity = 0;
+  std::int64_t cost = 0;  // minimization cost = -scaled gain
+};
+
+class NetworkSimplex {
+ public:
+  explicit NetworkSimplex(const Graph& g)
+      : graph_(g),
+        num_real_(static_cast<std::size_t>(g.num_edges())),
+        root_(g.num_nodes()) {
+    const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+    std::int64_t max_cost = 1;
+    Amount cap_sum = 1;
+    arcs_.reserve(num_real_ + n);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      arcs_.push_back(
+          SimplexArc{edge.from, edge.to, edge.capacity, -g.scaled_gain(e)});
+      max_cost = std::max(max_cost, std::abs(arcs_.back().cost));
+      cap_sum += edge.capacity;
+    }
+    // Artificial arcs v -> root with prohibitive cost; with zero node
+    // balances they never carry flow (every root cycle is degenerate),
+    // but they provide the initial spanning tree.
+    const std::int64_t big_m =
+        (static_cast<std::int64_t>(n) + 2) * (max_cost + 1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      arcs_.push_back(SimplexArc{v, root_, cap_sum, big_m});
+    }
+    flow_.assign(arcs_.size(), 0);
+    state_.assign(arcs_.size(), ArcState::kLower);
+    for (std::size_t a = num_real_; a < arcs_.size(); ++a) {
+      state_[a] = ArcState::kTree;
+    }
+    rebuild_tree();
+  }
+
+  /// Runs pivots to optimality. Returns false if the pivot cap was hit
+  /// (caller should fall back to a different solver).
+  bool solve(SolveStats* stats) {
+    const long long bland_threshold =
+        16LL * static_cast<long long>(arcs_.size()) + 256;
+    const long long pivot_cap =
+        256LL * static_cast<long long>(arcs_.size()) + 4096;
+    long long pivots = 0;
+    for (;;) {
+      const bool bland = pivots > bland_threshold;
+      const int entering = find_entering(bland);
+      if (entering < 0) return true;
+      if (++pivots > pivot_cap) return false;
+      pivot(static_cast<std::size_t>(entering), bland);
+      if (stats != nullptr) ++stats->cycles_cancelled;
+    }
+  }
+
+  Circulation extract() const {
+    Circulation f(num_real_);
+    for (std::size_t a = 0; a < num_real_; ++a) f[a] = flow_[a];
+    return f;
+  }
+
+ private:
+  std::int64_t reduced_cost(std::size_t a) const {
+    return arcs_[a].cost - pi_[static_cast<std::size_t>(arcs_[a].from)] +
+           pi_[static_cast<std::size_t>(arcs_[a].to)];
+  }
+
+  // Entering rule: Dantzig (most violating) or Bland (first violating).
+  int find_entering(bool bland) const {
+    int best = -1;
+    std::int64_t best_violation = 0;
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      if (state_[a] == ArcState::kTree) continue;
+      const std::int64_t red = reduced_cost(a);
+      std::int64_t violation = 0;
+      if (state_[a] == ArcState::kLower && red < 0) violation = -red;
+      if (state_[a] == ArcState::kUpper && red > 0) violation = red;
+      if (violation == 0) continue;
+      if (bland) return static_cast<int>(a);
+      if (violation > best_violation) {
+        best_violation = violation;
+        best = static_cast<int>(a);
+      }
+    }
+    return best;
+  }
+
+  // One pivot: push along the tree cycle closed by `entering`, kick out
+  // the blocking arc (or bound-flip the entering arc itself).
+  void pivot(std::size_t entering, bool bland) {
+    // Conceptual push direction: along the arc when entering from its
+    // lower bound, against it when entering from the upper bound.
+    const bool from_lower = state_[entering] == ArcState::kLower;
+    const NodeId source = from_lower ? arcs_[entering].from
+                                     : arcs_[entering].to;
+    const NodeId target = from_lower ? arcs_[entering].to
+                                     : arcs_[entering].from;
+
+    // The cycle is: entering (source->target conceptually), then the
+    // tree path target -> ... -> source. Collect the path arcs with
+    // their traversal orientation.
+    struct Step {
+      std::size_t arc;
+      bool forward;  // cycle traverses the arc in its own direction
+    };
+    std::vector<Step> path;
+    {
+      NodeId x = target, y = source;
+      // Climb to equal depth, then in lockstep to the LCA. Record x-side
+      // steps in order, y-side steps reversed at the end.
+      std::vector<Step> from_target, from_source;
+      auto step_up = [&](NodeId& v, std::vector<Step>& out, bool upward) {
+        const std::size_t a =
+            static_cast<std::size_t>(parent_arc_[static_cast<std::size_t>(v)]);
+        // Traversal v -> parent: forward iff the arc points v -> parent.
+        const bool arc_points_up = arcs_[a].from == v;
+        // For the target side we walk with the cycle (v toward root);
+        // for the source side we will traverse the arcs in the opposite
+        // direction (root toward v), flipping the orientation.
+        out.push_back(Step{a, upward ? arc_points_up : !arc_points_up});
+        v = arcs_[a].from == v ? arcs_[a].to : arcs_[a].from;
+      };
+      while (depth_[static_cast<std::size_t>(x)] >
+             depth_[static_cast<std::size_t>(y)]) {
+        step_up(x, from_target, true);
+      }
+      while (depth_[static_cast<std::size_t>(y)] >
+             depth_[static_cast<std::size_t>(x)]) {
+        step_up(y, from_source, false);
+      }
+      while (x != y) {
+        step_up(x, from_target, true);
+        step_up(y, from_source, false);
+      }
+      path = std::move(from_target);
+      path.insert(path.end(), from_source.rbegin(), from_source.rend());
+    }
+
+    // Headroom of the entering arc itself (a possible bound flip).
+    Amount delta = from_lower ? arcs_[entering].capacity - flow_[entering]
+                              : flow_[entering];
+    std::size_t leaving = entering;
+    bool leaving_at_upper = from_lower;  // where the entering arc would land
+    for (const Step& step : path) {
+      const Amount headroom = step.forward
+                                  ? arcs_[step.arc].capacity - flow_[step.arc]
+                                  : flow_[step.arc];
+      // Strictly smaller headroom always wins; on ties Bland's rule picks
+      // the lowest arc index among the blocking arcs (anti-cycling).
+      const bool take = headroom < delta ||
+                        (bland && headroom == delta && step.arc < leaving);
+      if (take) {
+        delta = headroom;
+        leaving = step.arc;
+        leaving_at_upper = step.forward;  // saturates at capacity if forward
+      }
+    }
+
+    // Apply the push.
+    if (delta > 0) {
+      flow_[entering] += from_lower ? delta : -delta;
+      for (const Step& step : path) {
+        flow_[step.arc] += step.forward ? delta : -delta;
+      }
+    }
+
+    if (leaving == entering) {
+      // Bound flip: the entering arc traversed to its other bound.
+      state_[entering] = from_lower ? ArcState::kUpper : ArcState::kLower;
+      return;
+    }
+    state_[entering] = ArcState::kTree;
+    state_[leaving] =
+        leaving_at_upper ? ArcState::kUpper : ArcState::kLower;
+    MUSK_ASSERT(flow_[leaving] == 0 ||
+                flow_[leaving] == arcs_[leaving].capacity);
+    rebuild_tree();
+  }
+
+  // Recomputes parent pointers, depths and potentials from the current
+  // tree arcs (BFS from the root). O(n + m).
+  void rebuild_tree() {
+    const std::size_t nodes = static_cast<std::size_t>(root_) + 1;
+    parent_arc_.assign(nodes, -1);
+    depth_.assign(nodes, -1);
+    pi_.assign(nodes, 0);
+
+    // Tree adjacency.
+    std::vector<std::vector<std::size_t>> adjacency(nodes);
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      if (state_[a] != ArcState::kTree) continue;
+      adjacency[static_cast<std::size_t>(arcs_[a].from)].push_back(a);
+      adjacency[static_cast<std::size_t>(arcs_[a].to)].push_back(a);
+    }
+    std::vector<NodeId> queue{root_};
+    depth_[static_cast<std::size_t>(root_)] = 0;
+    pi_[static_cast<std::size_t>(root_)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (std::size_t a : adjacency[static_cast<std::size_t>(v)]) {
+        const NodeId w =
+            arcs_[a].from == v ? arcs_[a].to : arcs_[a].from;
+        if (depth_[static_cast<std::size_t>(w)] >= 0) continue;
+        depth_[static_cast<std::size_t>(w)] =
+            depth_[static_cast<std::size_t>(v)] + 1;
+        parent_arc_[static_cast<std::size_t>(w)] = static_cast<int>(a);
+        // Tree arcs have zero reduced cost: c - pi_from + pi_to = 0.
+        if (arcs_[a].from == w) {
+          pi_[static_cast<std::size_t>(w)] =
+              arcs_[a].cost + pi_[static_cast<std::size_t>(v)];
+        } else {
+          pi_[static_cast<std::size_t>(w)] =
+              pi_[static_cast<std::size_t>(v)] - arcs_[a].cost;
+        }
+        queue.push_back(w);
+      }
+    }
+    MUSK_ASSERT_MSG(queue.size() == nodes, "basis must span all nodes");
+  }
+
+  const Graph& graph_;
+  std::size_t num_real_;
+  NodeId root_;
+  std::vector<SimplexArc> arcs_;
+  std::vector<Amount> flow_;
+  std::vector<ArcState> state_;
+  std::vector<int> parent_arc_;
+  std::vector<int> depth_;
+  std::vector<std::int64_t> pi_;
+};
+
+}  // namespace
+
+Circulation solve_network_simplex(const Graph& g, SolveStats* stats) {
+  if (g.num_edges() == 0) return zero_circulation(g);
+  NetworkSimplex simplex(g);
+  if (!simplex.solve(stats)) {
+    // Degenerate pivoting hit the cap: fall back to the proven canceller
+    // rather than risk a stale answer.
+    return solve_max_welfare(g, SolverKind::kBellmanFord, stats);
+  }
+  Circulation f = simplex.extract();
+  MUSK_ASSERT_MSG(is_feasible(g, f),
+                  "network simplex produced an infeasible circulation");
+  return f;
+}
+
+}  // namespace musketeer::flow

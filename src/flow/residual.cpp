@@ -1,0 +1,51 @@
+#include "flow/residual.hpp"
+
+#include <algorithm>
+
+namespace musketeer::flow {
+
+std::vector<ResidualArc> build_residual(const Graph& g, const Circulation& f) {
+  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
+  std::vector<ResidualArc> arcs;
+  arcs.reserve(2 * static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const Amount fe = f[static_cast<std::size_t>(e)];
+    MUSK_ASSERT(fe >= 0 && fe <= edge.capacity);
+    const std::int64_t gain = g.scaled_gain(e);
+    if (fe < edge.capacity) {
+      arcs.push_back(ResidualArc{edge.from, edge.to, -gain,
+                                 edge.capacity - fe, e, /*forward=*/true});
+    }
+    if (fe > 0) {
+      arcs.push_back(
+          ResidualArc{edge.to, edge.from, gain, fe, e, /*forward=*/false});
+    }
+  }
+  return arcs;
+}
+
+void push_along(const std::vector<ResidualArc>& arcs,
+                const std::vector<int>& arc_indices, Amount amount,
+                Circulation& f) {
+  MUSK_ASSERT(amount > 0);
+  for (int idx : arc_indices) {
+    const ResidualArc& arc = arcs[static_cast<std::size_t>(idx)];
+    MUSK_ASSERT(arc.residual >= amount);
+    auto& fe = f[static_cast<std::size_t>(arc.edge)];
+    fe += arc.forward ? amount : -amount;
+    MUSK_ASSERT(fe >= 0);
+  }
+}
+
+Amount bottleneck(const std::vector<ResidualArc>& arcs,
+                  const std::vector<int>& arc_indices) {
+  MUSK_ASSERT(!arc_indices.empty());
+  Amount bn = arcs[static_cast<std::size_t>(arc_indices.front())].residual;
+  for (int idx : arc_indices) {
+    bn = std::min(bn, arcs[static_cast<std::size_t>(idx)].residual);
+  }
+  return bn;
+}
+
+}  // namespace musketeer::flow

@@ -1,0 +1,44 @@
+// Residual network of a circulation.
+//
+// Every graph edge contributes up to two residual arcs: a forward arc with
+// the remaining capacity and cost -scaled_gain (pushing more flow earns
+// the gain), and a backward arc with the current flow and cost
+// +scaled_gain (retracting flow forfeits the gain). A circulation is
+// welfare-optimal iff its residual network has no negative-cost cycle.
+#pragma once
+
+#include <vector>
+
+#include "flow/circulation.hpp"
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+struct ResidualArc {
+  NodeId from = 0;
+  NodeId to = 0;
+  /// Exact integer cost per unit (scaled by kGainScale).
+  std::int64_t cost = 0;
+  /// Units that may still be pushed along this arc.
+  Amount residual = 0;
+  /// Originating edge and direction (forward = same direction as edge).
+  EdgeId edge = 0;
+  bool forward = true;
+};
+
+/// Builds the residual arcs of `f` on `g`. Arcs with zero residual are
+/// omitted.
+std::vector<ResidualArc> build_residual(const Graph& g, const Circulation& f);
+
+/// Applies `amount` units of flow along the given arcs (indices into
+/// `arcs`) to the circulation: forward arcs gain flow, backward arcs lose
+/// it. Caller guarantees `amount` does not exceed any arc's residual.
+void push_along(const std::vector<ResidualArc>& arcs,
+                const std::vector<int>& arc_indices, Amount amount,
+                Circulation& f);
+
+/// Minimum residual over the given arcs (the bottleneck).
+Amount bottleneck(const std::vector<ResidualArc>& arcs,
+                  const std::vector<int>& arc_indices);
+
+}  // namespace musketeer::flow

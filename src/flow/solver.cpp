@@ -1,0 +1,108 @@
+#include "flow/solver.hpp"
+
+#include "flow/bellman_ford.hpp"
+#include "flow/network_simplex.hpp"
+#include "flow/min_mean_cycle.hpp"
+#include "flow/residual.hpp"
+
+namespace musketeer::flow {
+
+namespace {
+
+Circulation solve_bellman_ford(const Graph& g, SolveStats* stats) {
+  Circulation f = zero_circulation(g);
+  for (;;) {
+    const std::vector<ResidualArc> arcs = build_residual(g, f);
+    // Single-cycle cancelling measures faster here than harvesting every
+    // disjoint cycle per pass (find_negative_cycles): on PCN-like graphs
+    // the predecessor forest rarely holds more than one disjoint cycle,
+    // so batching only adds bookkeeping (see bench/e7_solver_ablation).
+    const auto cycle = find_negative_cycle(g.num_nodes(), arcs);
+    if (!cycle) break;
+    const Amount amount = bottleneck(arcs, *cycle);
+    push_along(arcs, *cycle, amount, f);
+    if (stats != nullptr) {
+      ++stats->cycles_cancelled;
+      stats->units_pushed += amount;
+    }
+  }
+  return f;
+}
+
+Circulation solve_min_mean(const Graph& g, SolveStats* stats) {
+  Circulation f = zero_circulation(g);
+  for (;;) {
+    const std::vector<ResidualArc> arcs = build_residual(g, f);
+    const auto mmc = min_mean_cycle(g.num_nodes(), arcs);
+    if (!mmc || !mmc->mean.is_negative()) break;
+    const Amount amount = bottleneck(arcs, mmc->arcs);
+    push_along(arcs, mmc->arcs, amount, f);
+    if (stats != nullptr) {
+      ++stats->cycles_cancelled;
+      stats->units_pushed += amount;
+    }
+  }
+  return f;
+}
+
+Circulation solve_capacity_scaling(const Graph& g, SolveStats* stats) {
+  Circulation f = zero_circulation(g);
+  Amount max_capacity = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    max_capacity = std::max(max_capacity, g.edge(e).capacity);
+  }
+  Amount delta = 1;
+  while (delta * 2 <= max_capacity) delta *= 2;
+
+  for (; delta >= 1; delta /= 2) {
+    for (;;) {
+      const std::vector<ResidualArc> all = build_residual(g, f);
+      std::vector<ResidualArc> wide;
+      wide.reserve(all.size());
+      for (const ResidualArc& arc : all) {
+        if (arc.residual >= delta) wide.push_back(arc);
+      }
+      const auto cycle = find_negative_cycle(g.num_nodes(), wide);
+      if (!cycle) break;
+      const Amount amount = bottleneck(wide, *cycle);
+      MUSK_ASSERT(amount >= delta);
+      push_along(wide, *cycle, amount, f);
+      if (stats != nullptr) {
+        ++stats->cycles_cancelled;
+        stats->units_pushed += amount;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+Circulation solve_max_welfare(const Graph& g, SolverKind kind,
+                              SolveStats* stats) {
+  Circulation f;
+  switch (kind) {
+    case SolverKind::kBellmanFord:
+      f = solve_bellman_ford(g, stats);
+      break;
+    case SolverKind::kMinMean:
+      f = solve_min_mean(g, stats);
+      break;
+    case SolverKind::kCapacityScaling:
+      f = solve_capacity_scaling(g, stats);
+      break;
+    case SolverKind::kNetworkSimplex:
+      f = solve_network_simplex(g, stats);
+      break;
+  }
+  MUSK_ASSERT_MSG(is_feasible(g, f), "solver produced infeasible circulation");
+  return f;
+}
+
+bool is_optimal(const Graph& g, const Circulation& f) {
+  if (!is_feasible(g, f)) return false;
+  const std::vector<ResidualArc> arcs = build_residual(g, f);
+  return !find_negative_cycle(g.num_nodes(), arcs).has_value();
+}
+
+}  // namespace musketeer::flow

@@ -1,0 +1,56 @@
+// Welfare-maximizing circulation solvers.
+//
+// The Musketeer mechanisms all begin with
+//     f := argmax_f SW(b, f)  over feasible circulations f,
+// which is the min-cost circulation problem with cost = -bid. Starting
+// from the zero circulation (always feasible), both solvers repeatedly
+// cancel negative-cost cycles in the residual network until none remain,
+// which is exactly the optimality condition.
+//
+//  * kBellmanFord cancels any negative cycle found (fast in practice;
+//    pseudo-polynomial worst case, guaranteed to terminate because costs
+//    are exact integers and every cancellation strictly improves welfare).
+//  * kMinMean cancels a minimum-mean cycle each round (Goldberg–Tarjan;
+//    strongly polynomial).
+//
+// Both produce *exactly* optimal circulations; tests cross-validate them
+// against each other, against the LP simplex encoder, and against the
+// min-mean >= 0 optimality certificate.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/circulation.hpp"
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+enum class SolverKind {
+  kBellmanFord,
+  kMinMean,
+  /// Capacity scaling: cancels negative cycles among residual arcs with
+  /// residual >= Delta, halving Delta down to 1 (where it coincides with
+  /// kBellmanFord, so the result is exactly optimal). Large capacities
+  /// are moved in big pushes first — the fast path for coin-scale
+  /// capacities.
+  kCapacityScaling,
+  /// Network simplex (see flow/network_simplex.hpp): O(n + m) pivots
+  /// instead of O(n*m) cancellations — the fast path at scale.
+  kNetworkSimplex,
+};
+
+struct SolveStats {
+  int cycles_cancelled = 0;
+  Amount units_pushed = 0;
+};
+
+/// Computes a feasible circulation maximizing sum(gain(e) * f(e)).
+Circulation solve_max_welfare(const Graph& g,
+                              SolverKind kind = SolverKind::kBellmanFord,
+                              SolveStats* stats = nullptr);
+
+/// True iff `f` is a welfare-optimal feasible circulation on `g`
+/// (certified by the absence of negative residual cycles — exact).
+bool is_optimal(const Graph& g, const Circulation& f);
+
+}  // namespace musketeer::flow

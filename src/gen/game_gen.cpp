@@ -1,0 +1,48 @@
+#include "gen/game_gen.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::gen {
+
+core::Game random_game(NodeId num_players, const Topology& topology,
+                       const GameConfig& config, util::Rng& rng) {
+  MUSK_ASSERT(config.depleted_share >= 0.0 && config.depleted_share <= 1.0);
+  MUSK_ASSERT(config.buyer_min <= config.buyer_max &&
+              config.buyer_max < core::kMaxFeeRate);
+  MUSK_ASSERT(config.seller_min <= config.seller_max &&
+              config.seller_max < core::kMaxFeeRate);
+  MUSK_ASSERT(config.capacity_min >= 1 &&
+              config.capacity_min <= config.capacity_max);
+
+  core::Game game(num_players);
+  for (const auto& [a, b] : topology) {
+    MUSK_ASSERT(a >= 0 && a < num_players && b >= 0 && b < num_players);
+    for (int dir = 0; dir < 2; ++dir) {
+      if (!rng.bernoulli(config.participation)) continue;
+      const NodeId from = dir == 0 ? a : b;
+      const NodeId to = dir == 0 ? b : a;
+      const flow::Amount capacity =
+          rng.uniform_int(config.capacity_min, config.capacity_max);
+      if (rng.bernoulli(config.depleted_share)) {
+        const double value =
+            rng.uniform_real(config.buyer_min, config.buyer_max);
+        game.add_edge(from, to, capacity, 0.0, value);
+      } else {
+        const double cost =
+            rng.bernoulli(config.free_rider_share)
+                ? 0.0
+                : rng.uniform_real(config.seller_min, config.seller_max);
+        game.add_edge(from, to, capacity, -cost, 0.0);
+      }
+    }
+  }
+  return game;
+}
+
+core::Game random_ba_game(NodeId num_players, int attach,
+                          const GameConfig& config, util::Rng& rng) {
+  const Topology topology = barabasi_albert(num_players, attach, rng);
+  return random_game(num_players, topology, config, rng);
+}
+
+}  // namespace musketeer::gen

@@ -1,0 +1,46 @@
+// Random rebalancing-game generation on top of a topology.
+//
+// Each undirected channel becomes up to two directed game edges. A
+// direction is *depleted* with probability `depleted_share` (its head
+// gets a positive buyer valuation) and otherwise *indifferent* (its tail
+// gets a non-positive seller valuation; with probability
+// `free_rider_share` the seller charges nothing, modelling users happy to
+// route for free). Capacities are uniform integers.
+#pragma once
+
+#include "core/game.hpp"
+#include "gen/topology.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::gen {
+
+struct GameConfig {
+  /// Probability that a channel direction is depleted (a buyer wants it
+  /// rebalanced).
+  double depleted_share = 0.3;
+  /// Probability that a given direction of a channel is offered to the
+  /// mechanism at all.
+  double participation = 1.0;
+  /// Among indifferent directions, fraction of sellers who charge zero.
+  double free_rider_share = 0.25;
+  /// Buyer valuations ~ U[buyer_min, buyer_max).
+  double buyer_min = 0.01;
+  double buyer_max = 0.05;
+  /// Seller costs ~ U[seller_min, seller_max) (stored negated).
+  double seller_min = 0.0005;
+  double seller_max = 0.005;
+  /// Capacities ~ U{capacity_min..capacity_max}.
+  flow::Amount capacity_min = 10;
+  flow::Amount capacity_max = 100;
+};
+
+/// Instantiates a game over `num_players` vertices from the topology.
+core::Game random_game(NodeId num_players, const Topology& topology,
+                       const GameConfig& config, util::Rng& rng);
+
+/// Convenience: Barabási–Albert topology + random_game in one call (the
+/// Lightning-like default used across tests and benches).
+core::Game random_ba_game(NodeId num_players, int attach,
+                          const GameConfig& config, util::Rng& rng);
+
+}  // namespace musketeer::gen

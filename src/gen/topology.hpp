@@ -1,0 +1,61 @@
+// Synthetic PCN topology generators.
+//
+// Lightning-like networks are scale-free with a small dense core
+// (Barabási–Albert); the other families stress different regimes:
+// Erdős–Rényi (homogeneous sparse), Watts–Strogatz (high clustering, the
+// regime where short rebalancing cycles abound), rings/grids (worst-case
+// sparse cycles), and hub-and-spoke (routing through a few big routers).
+// All generators return undirected channel endpoint pairs; the game
+// generator decides directions, capacities and stakes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "flow/graph.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::gen {
+
+using flow::NodeId;
+
+/// An undirected channel between two distinct users.
+using ChannelEndpoints = std::pair<NodeId, NodeId>;
+using Topology = std::vector<ChannelEndpoints>;
+
+/// G(n, p): each unordered pair is a channel with probability p.
+Topology erdos_renyi(NodeId n, double p, util::Rng& rng);
+
+/// Preferential attachment: nodes arrive one by one, each attaching
+/// `attach` channels to existing nodes with probability proportional to
+/// degree. Produces the heavy-tailed degree profile of Lightning.
+Topology barabasi_albert(NodeId n, int attach, util::Rng& rng);
+
+/// Ring lattice with `k` nearest neighbours per side, each edge rewired
+/// with probability `beta`.
+Topology watts_strogatz(NodeId n, int k, double beta, util::Rng& rng);
+
+/// Simple cycle over n nodes.
+Topology ring(NodeId n);
+
+/// rows x cols grid, channels between lattice neighbours.
+Topology grid(NodeId rows, NodeId cols);
+
+/// `hubs` fully-interconnected routers; every other node connects to one
+/// hub chosen uniformly (plus a second with probability `dual_home`).
+Topology hub_and_spoke(NodeId n, NodeId hubs, double dual_home,
+                       util::Rng& rng);
+
+/// Configuration model with a truncated power-law degree sequence:
+/// degree of each node ~ Pareto(exponent) clipped to [min_degree,
+/// max_degree], stubs matched uniformly, self-loops and multi-edges
+/// dropped. More faithful to measured Lightning degree distributions
+/// than preferential attachment (which fixes the exponent at 3).
+Topology powerlaw_configuration(NodeId n, double exponent, int min_degree,
+                                int max_degree, util::Rng& rng);
+
+/// Deduplicates parallel channels and drops self-loops (generator
+/// postprocessing; idempotent).
+Topology dedupe(Topology topology);
+
+}  // namespace musketeer::gen

@@ -1,0 +1,89 @@
+#include "gen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace musketeer::gen {
+
+ZipfSampler::ZipfSampler(flow::NodeId n, double exponent) {
+  MUSK_ASSERT(n >= 1);
+  MUSK_ASSERT(exponent >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (flow::NodeId r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+flow::NodeId ZipfSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<flow::NodeId>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+std::vector<Payment> generate_payments(flow::NodeId num_nodes, int count,
+                                       const WorkloadConfig& config,
+                                       util::Rng& rng) {
+  MUSK_ASSERT(num_nodes >= 2);
+  MUSK_ASSERT(count >= 0);
+  MUSK_ASSERT(config.amount_min >= 1 &&
+              config.amount_min <= config.amount_max);
+
+  // Random rank->node permutations decouple popularity from node id.
+  std::vector<flow::NodeId> sender_perm(static_cast<std::size_t>(num_nodes));
+  std::iota(sender_perm.begin(), sender_perm.end(), 0);
+  std::vector<flow::NodeId> receiver_perm = sender_perm;
+  for (std::size_t i = sender_perm.size(); i > 1; --i) {
+    std::swap(sender_perm[i - 1], sender_perm[rng.uniform(i)]);
+    std::swap(receiver_perm[i - 1], receiver_perm[rng.uniform(i)]);
+  }
+  if (config.balanced_popularity) receiver_perm = sender_perm;
+
+  const ZipfSampler sampler(num_nodes, config.zipf_exponent);
+  const double log_min = std::log(static_cast<double>(config.amount_min));
+  const double log_max = std::log(static_cast<double>(config.amount_max) + 1.0);
+
+  // Cyclic trade groups: group of node v = sender_perm-rank mod k.
+  const int groups = config.cyclic_groups;
+  std::vector<int> group_of(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<std::vector<flow::NodeId>> members(
+      static_cast<std::size_t>(std::max(groups, 1)));
+  if (groups > 1) {
+    for (flow::NodeId rank = 0; rank < num_nodes; ++rank) {
+      const flow::NodeId node = sender_perm[static_cast<std::size_t>(rank)];
+      group_of[static_cast<std::size_t>(node)] = rank % groups;
+      members[static_cast<std::size_t>(rank % groups)].push_back(node);
+    }
+  }
+
+  std::vector<Payment> payments;
+  payments.reserve(static_cast<std::size_t>(count));
+  while (static_cast<int>(payments.size()) < count) {
+    const flow::NodeId sender =
+        sender_perm[static_cast<std::size_t>(sampler.sample(rng))];
+    flow::NodeId receiver;
+    if (groups > 1) {
+      const auto& pool = members[static_cast<std::size_t>(
+          (group_of[static_cast<std::size_t>(sender)] + 1) % groups)];
+      if (pool.empty()) continue;
+      receiver = pool[rng.uniform(pool.size())];
+    } else {
+      receiver = receiver_perm[static_cast<std::size_t>(sampler.sample(rng))];
+    }
+    if (sender == receiver) continue;
+    const double log_amount = rng.uniform_real(log_min, log_max);
+    const auto amount = static_cast<flow::Amount>(std::exp(log_amount));
+    payments.push_back(Payment{
+        sender, receiver,
+        std::clamp(amount, config.amount_min, config.amount_max)});
+  }
+  return payments;
+}
+
+}  // namespace musketeer::gen

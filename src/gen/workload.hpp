@@ -1,0 +1,63 @@
+// Payment workload generation for the PCN simulator.
+//
+// Lightning traffic measurements show skewed popularity (a few merchants
+// receive a large share of payments) and heavy-tailed amounts. The
+// generator supports Zipf-distributed endpoint popularity with an
+// exponent knob (0 = uniform) and log-uniform amounts.
+#pragma once
+
+#include <vector>
+
+#include "flow/graph.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::gen {
+
+struct Payment {
+  flow::NodeId sender = 0;
+  flow::NodeId receiver = 0;
+  flow::Amount amount = 0;
+};
+
+struct WorkloadConfig {
+  /// Zipf exponent for endpoint popularity; 0 means uniform.
+  double zipf_exponent = 0.8;
+  /// Amounts are drawn log-uniformly from [amount_min, amount_max].
+  flow::Amount amount_min = 1;
+  flow::Amount amount_max = 50;
+  /// When true, the same popularity ranking is used for senders and
+  /// receivers, so every node sends and receives at the same expected
+  /// rate: channel imbalance is transient (a random walk) rather than a
+  /// persistent wealth drain toward merchants. Rebalancing can fix the
+  /// former but — by balance conservation — never the latter.
+  bool balanced_popularity = false;
+  /// When > 1, nodes are partitioned into this many trade groups and
+  /// every payment goes from group g to group (g+1) mod k: a persistent
+  /// *cyclic* trade imbalance. Net wealth per node is conserved long-run
+  /// (everyone pays out what they take in), but channels deplete
+  /// persistently along the trade direction — exactly the regime
+  /// circulation-based rebalancing is designed to fix. Overrides
+  /// balanced_popularity's receiver choice.
+  int cyclic_groups = 0;
+};
+
+/// Samples from a Zipf distribution over {0..n-1} (rank r has weight
+/// (r+1)^-s). Precomputes the CDF once.
+class ZipfSampler {
+ public:
+  ZipfSampler(flow::NodeId n, double exponent);
+
+  flow::NodeId sample(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generates `count` payments between distinct endpoints. Receiver
+/// popularity is Zipf over a fixed random permutation of nodes so hubs
+/// and merchants need not coincide with topology-generator node ids.
+std::vector<Payment> generate_payments(flow::NodeId num_nodes, int count,
+                                       const WorkloadConfig& config,
+                                       util::Rng& rng);
+
+}  // namespace musketeer::gen

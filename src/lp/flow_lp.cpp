@@ -1,0 +1,44 @@
+#include "lp/flow_lp.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace musketeer::lp {
+
+FlowLpResult solve_circulation_lp(const flow::Graph& g,
+                                  const SimplexOptions& options) {
+  Model model;
+  for (flow::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const flow::Edge& edge = g.edge(e);
+    model.add_variable(0.0, static_cast<double>(edge.capacity), edge.gain);
+  }
+  for (flow::NodeId v = 0; v < g.num_nodes(); ++v) {
+    Row row;
+    row.sense = Sense::kEqual;
+    row.rhs = 0.0;
+    for (flow::EdgeId e : g.out_edges(v)) row.terms.emplace_back(e, 1.0);
+    for (flow::EdgeId e : g.in_edges(v)) row.terms.emplace_back(e, -1.0);
+    if (!row.terms.empty()) model.add_constraint(std::move(row));
+  }
+
+  const Solution sol = solve(model, options);
+  FlowLpResult result;
+  result.status = sol.status;
+  result.iterations = sol.iterations;
+  if (sol.status != SolveStatus::kOptimal) return result;
+
+  result.welfare = sol.objective;
+  result.flows.resize(static_cast<std::size_t>(g.num_edges()));
+  for (flow::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double raw = sol.values[static_cast<std::size_t>(e)];
+    const auto rounded = static_cast<flow::Amount>(std::llround(raw));
+    result.max_rounding_error =
+        std::max(result.max_rounding_error,
+                 std::abs(raw - static_cast<double>(rounded)));
+    result.flows[static_cast<std::size_t>(e)] = rounded;
+  }
+  return result;
+}
+
+}  // namespace musketeer::lp

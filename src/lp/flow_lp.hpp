@@ -1,0 +1,33 @@
+// LP encoding of the welfare-maximizing circulation problem.
+//
+// Referee for the combinatorial solvers in src/flow: the circulation
+// polytope { 0 <= f <= c, conservation } has integral vertices for integer
+// capacities, so the simplex optimum matches the cycle-cancelling optimum
+// exactly (up to floating-point output conversion).
+#pragma once
+
+#include "flow/circulation.hpp"
+#include "flow/graph.hpp"
+#include "lp/simplex.hpp"
+
+namespace musketeer::lp {
+
+struct FlowLpResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Optimal welfare in coins.
+  double welfare = 0.0;
+  /// Flows rounded to the nearest integer (vertex solutions are integral).
+  flow::Circulation flows;
+  /// Maximum distance of any raw LP value from its rounding — a health
+  /// check that the solution really was a vertex.
+  double max_rounding_error = 0.0;
+  /// Simplex iterations spent.
+  int iterations = 0;
+};
+
+/// Builds the circulation LP for `g` (variables f_e in [0, c_e], zero net
+/// flow per vertex, maximize sum gain_e * f_e) and solves it.
+FlowLpResult solve_circulation_lp(const flow::Graph& g,
+                                  const SimplexOptions& options = {});
+
+}  // namespace musketeer::lp

@@ -1,0 +1,26 @@
+#include "lp/model.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::lp {
+
+int Model::add_variable(double lo, double up, double objective,
+                        std::string name) {
+  MUSK_ASSERT_MSG(lo <= up, "variable bounds must be ordered");
+  lo_.push_back(lo);
+  up_.push_back(up);
+  c_.push_back(objective);
+  names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+int Model::add_constraint(Row row) {
+  for (const auto& [var, coeff] : row.terms) {
+    MUSK_ASSERT(var >= 0 && var < num_variables());
+    (void)coeff;
+  }
+  rows_.push_back(std::move(row));
+  return num_constraints() - 1;
+}
+
+}  // namespace musketeer::lp

@@ -1,0 +1,55 @@
+// Linear program model builder.
+//
+// A small, dependency-free LP layer used to cross-validate the network
+// flow solvers (the welfare-maximizing circulation is an LP with an
+// integral optimal vertex) and to express mechanism variants that are not
+// pure circulations. Maximization canonical form:
+//
+//     max  c.x   s.t.  row_i: sum_j a_ij x_j  (<=|=|>=)  b_i,
+//                      lo_j <= x_j <= up_j.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace musketeer::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+/// Sparse constraint row: pairs of (variable index, coefficient).
+struct Row {
+  std::vector<std::pair<int, double>> terms;
+  Sense sense = Sense::kEqual;
+  double rhs = 0.0;
+};
+
+/// Mutable LP model; build then hand to Simplex::solve.
+class Model {
+ public:
+  /// Adds a variable with bounds [lo, up] and objective coefficient c;
+  /// returns its index.
+  int add_variable(double lo, double up, double objective,
+                   std::string name = {});
+
+  /// Adds a constraint row; returns its index.
+  int add_constraint(Row row);
+
+  int num_variables() const { return static_cast<int>(lo_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  const std::vector<double>& lower_bounds() const { return lo_; }
+  const std::vector<double>& upper_bounds() const { return up_; }
+  const std::vector<double>& objective() const { return c_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::string& name(int var) const { return names_[static_cast<std::size_t>(var)]; }
+
+ private:
+  std::vector<double> lo_, up_, c_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace musketeer::lp

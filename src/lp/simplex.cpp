@@ -1,0 +1,306 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace musketeer::lp {
+
+namespace {
+
+enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper, kFreeNonbasic };
+
+struct Tableau {
+  int m = 0;  // constraints
+  int n = 0;  // total variables (structural + slacks + artificials)
+  std::vector<std::vector<double>> t;  // m x n, represents B^-1 A
+  std::vector<double> lo, up, obj, x;
+  std::vector<int> basis;              // var basic in each row
+  std::vector<VarStatus> status;
+  double eps = 1e-9;
+
+  bool is_nonbasic_eligible(int j, double d, int& dir) const {
+    switch (status[static_cast<std::size_t>(j)]) {
+      case VarStatus::kBasic:
+        return false;
+      case VarStatus::kAtLower:
+        if (d > eps) { dir = +1; return true; }
+        return false;
+      case VarStatus::kAtUpper:
+        if (d < -eps) { dir = -1; return true; }
+        return false;
+      case VarStatus::kFreeNonbasic:
+        if (d > eps) { dir = +1; return true; }
+        if (d < -eps) { dir = -1; return true; }
+        return false;
+    }
+    return false;
+  }
+
+  double reduced_cost(int j, const std::vector<double>& cbasis) const {
+    double d = obj[static_cast<std::size_t>(j)];
+    for (int i = 0; i < m; ++i) {
+      const double tij = t[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (tij != 0.0) d -= cbasis[static_cast<std::size_t>(i)] * tij;
+    }
+    return d;
+  }
+};
+
+constexpr double kInf = kInfinity;
+
+// One simplex phase on the tableau with the objective currently stored in
+// tableau.obj. Returns kOptimal/kUnbounded/kIterationLimit.
+SolveStatus run_phase(Tableau& tb, const SimplexOptions& opt, int& iterations) {
+  const int bland_threshold = 8 * (tb.m + tb.n) + 64;
+  int phase_iters = 0;
+  for (;;) {
+    if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
+    ++iterations;
+    ++phase_iters;
+    const bool bland = phase_iters > bland_threshold;
+
+    std::vector<double> cbasis(static_cast<std::size_t>(tb.m));
+    for (int i = 0; i < tb.m; ++i) {
+      cbasis[static_cast<std::size_t>(i)] =
+          tb.obj[static_cast<std::size_t>(tb.basis[static_cast<std::size_t>(i)])];
+    }
+
+    // Entering variable: Dantzig (largest |reduced cost|) normally, Bland
+    // (first eligible) once the iteration count suggests cycling.
+    int enter = -1, dir = 0;
+    double best = 0.0;
+    for (int j = 0; j < tb.n; ++j) {
+      int cand_dir = 0;
+      const double d = tb.reduced_cost(j, cbasis);
+      if (!tb.is_nonbasic_eligible(j, d, cand_dir)) continue;
+      if (bland) {
+        enter = j;
+        dir = cand_dir;
+        break;
+      }
+      if (std::abs(d) > best) {
+        best = std::abs(d);
+        enter = j;
+        dir = cand_dir;
+      }
+    }
+    if (enter < 0) return SolveStatus::kOptimal;
+
+    // Ratio test: how far can x_enter move in direction `dir`?
+    const auto je = static_cast<std::size_t>(enter);
+    double t_limit = kInf;
+    // Distance to the entering variable's own opposite bound.
+    if (tb.lo[je] > -kInf && tb.up[je] < kInf) t_limit = tb.up[je] - tb.lo[je];
+    int leave_row = -1;
+    double leave_bound = 0.0;
+    for (int i = 0; i < tb.m; ++i) {
+      const double w = tb.t[static_cast<std::size_t>(i)][je];
+      const double delta = -static_cast<double>(dir) * w;  // d x_basic / d t
+      if (std::abs(delta) <= tb.eps) continue;
+      const int bv = tb.basis[static_cast<std::size_t>(i)];
+      const auto bvi = static_cast<std::size_t>(bv);
+      const double xb = tb.x[bvi];
+      double ratio;
+      double hit_bound;
+      if (delta > 0) {
+        if (tb.up[bvi] >= kInf) continue;
+        ratio = (tb.up[bvi] - xb) / delta;
+        hit_bound = tb.up[bvi];
+      } else {
+        if (tb.lo[bvi] <= -kInf) continue;
+        ratio = (tb.lo[bvi] - xb) / delta;
+        hit_bound = tb.lo[bvi];
+      }
+      ratio = std::max(ratio, 0.0);
+      const bool better =
+          ratio < t_limit - tb.eps ||
+          (ratio < t_limit + tb.eps && leave_row >= 0 &&
+           (bland ? bv < tb.basis[static_cast<std::size_t>(leave_row)]
+                  : std::abs(w) >
+                        std::abs(tb.t[static_cast<std::size_t>(leave_row)][je])));
+      if (leave_row < 0 ? ratio < t_limit - tb.eps : better) {
+        t_limit = ratio;
+        leave_row = i;
+        leave_bound = hit_bound;
+      }
+    }
+
+    if (t_limit >= kInf) return SolveStatus::kUnbounded;
+
+    // Apply the move to the primal point.
+    if (t_limit > 0.0) {
+      for (int i = 0; i < tb.m; ++i) {
+        const double w = tb.t[static_cast<std::size_t>(i)][je];
+        if (w == 0.0) continue;
+        const int bv = tb.basis[static_cast<std::size_t>(i)];
+        tb.x[static_cast<std::size_t>(bv)] -=
+            static_cast<double>(dir) * t_limit * w;
+      }
+      tb.x[je] += static_cast<double>(dir) * t_limit;
+    }
+
+    if (leave_row < 0) {
+      // Bound flip: entering variable traversed to its opposite bound.
+      tb.x[je] = (dir > 0) ? tb.up[je] : tb.lo[je];
+      tb.status[je] = (dir > 0) ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      continue;
+    }
+
+    // Pivot: `enter` becomes basic in `leave_row`.
+    const int leave_var = tb.basis[static_cast<std::size_t>(leave_row)];
+    tb.x[static_cast<std::size_t>(leave_var)] = leave_bound;  // land exactly
+    tb.status[static_cast<std::size_t>(leave_var)] =
+        (leave_bound == tb.up[static_cast<std::size_t>(leave_var)])
+            ? VarStatus::kAtUpper
+            : VarStatus::kAtLower;
+    tb.status[je] = VarStatus::kBasic;
+    tb.basis[static_cast<std::size_t>(leave_row)] = enter;
+
+    auto& prow = tb.t[static_cast<std::size_t>(leave_row)];
+    const double pivot = prow[je];
+    MUSK_ASSERT_MSG(std::abs(pivot) > 1e-12, "degenerate pivot element");
+    const double inv = 1.0 / pivot;
+    for (double& v : prow) v *= inv;
+    prow[je] = 1.0;  // exact
+    for (int i = 0; i < tb.m; ++i) {
+      if (i == leave_row) continue;
+      auto& row = tb.t[static_cast<std::size_t>(i)];
+      const double factor = row[je];
+      if (factor == 0.0) continue;
+      for (int j = 0; j < tb.n; ++j) {
+        row[static_cast<std::size_t>(j)] -= factor * prow[static_cast<std::size_t>(j)];
+      }
+      row[je] = 0.0;  // exact
+    }
+  }
+}
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  const int n_struct = model.num_variables();
+  const int m = model.num_constraints();
+
+  Tableau tb;
+  tb.m = m;
+  tb.eps = options.eps;
+  tb.lo = model.lower_bounds();
+  tb.up = model.upper_bounds();
+  tb.obj = model.objective();
+
+  // Slack variables for inequality rows: row + s = rhs with s >= 0 for
+  // <= rows and s <= 0 for >= rows.
+  std::vector<int> slack_var(static_cast<std::size_t>(m), -1);
+  for (int i = 0; i < m; ++i) {
+    const Row& row = model.rows()[static_cast<std::size_t>(i)];
+    if (row.sense == Sense::kEqual) continue;
+    tb.lo.push_back(row.sense == Sense::kLessEqual ? 0.0 : -kInf);
+    tb.up.push_back(row.sense == Sense::kLessEqual ? kInf : 0.0);
+    tb.obj.push_back(0.0);
+    slack_var[static_cast<std::size_t>(i)] =
+        static_cast<int>(tb.lo.size()) - 1;
+  }
+  const int n_with_slack = static_cast<int>(tb.lo.size());
+  const int n_total = n_with_slack + m;  // one artificial per row
+  tb.n = n_total;
+  tb.lo.resize(static_cast<std::size_t>(n_total), 0.0);
+  tb.up.resize(static_cast<std::size_t>(n_total), kInf);
+  tb.obj.resize(static_cast<std::size_t>(n_total), 0.0);
+
+  // Initial nonbasic point: every structural/slack variable at a finite
+  // bound (preferring the lower), free variables at 0.
+  tb.x.assign(static_cast<std::size_t>(n_total), 0.0);
+  tb.status.assign(static_cast<std::size_t>(n_total), VarStatus::kAtLower);
+  for (int j = 0; j < n_with_slack; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (tb.lo[js] > -kInf) {
+      tb.x[js] = tb.lo[js];
+      tb.status[js] = VarStatus::kAtLower;
+    } else if (tb.up[js] < kInf) {
+      tb.x[js] = tb.up[js];
+      tb.status[js] = VarStatus::kAtUpper;
+    } else {
+      tb.x[js] = 0.0;
+      tb.status[js] = VarStatus::kFreeNonbasic;
+    }
+  }
+
+  // Dense constraint matrix with artificial columns absorbing the initial
+  // residuals, giving an immediately feasible identity basis.
+  tb.t.assign(static_cast<std::size_t>(m),
+              std::vector<double>(static_cast<std::size_t>(n_total), 0.0));
+  tb.basis.resize(static_cast<std::size_t>(m));
+  std::vector<double> phase1_obj(static_cast<std::size_t>(n_total), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const Row& row = model.rows()[static_cast<std::size_t>(i)];
+    auto& trow = tb.t[static_cast<std::size_t>(i)];
+    double residual = row.rhs;
+    for (const auto& [var, coeff] : row.terms) {
+      trow[static_cast<std::size_t>(var)] += coeff;
+    }
+    if (slack_var[static_cast<std::size_t>(i)] >= 0) {
+      trow[static_cast<std::size_t>(slack_var[static_cast<std::size_t>(i)])] = 1.0;
+    }
+    for (int j = 0; j < n_with_slack; ++j) {
+      residual -= trow[static_cast<std::size_t>(j)] * tb.x[static_cast<std::size_t>(j)];
+    }
+    const int art = n_with_slack + i;
+    const double sign = residual >= 0.0 ? 1.0 : -1.0;
+    trow[static_cast<std::size_t>(art)] = sign;
+    // Normalize so the artificial column is a unit vector (basis = I).
+    if (sign < 0.0) {
+      for (double& v : trow) v = -v;
+    }
+    tb.x[static_cast<std::size_t>(art)] = std::abs(residual);
+    tb.status[static_cast<std::size_t>(art)] = VarStatus::kBasic;
+    tb.basis[static_cast<std::size_t>(i)] = art;
+    phase1_obj[static_cast<std::size_t>(art)] = -1.0;  // maximize -sum(artificials)
+  }
+
+  Solution sol;
+  sol.iterations = 0;
+
+  // Phase 1: drive artificials to zero.
+  const std::vector<double> real_obj = tb.obj;
+  tb.obj = phase1_obj;
+  SolveStatus st = run_phase(tb, options, sol.iterations);
+  if (st == SolveStatus::kIterationLimit) {
+    sol.status = st;
+    return sol;
+  }
+  double infeasibility = 0.0;
+  for (int i = 0; i < m; ++i) {
+    infeasibility += tb.x[static_cast<std::size_t>(n_with_slack + i)];
+  }
+  if (infeasibility > 1e-7) {
+    sol.status = SolveStatus::kInfeasible;
+    return sol;
+  }
+  // Pin artificials at zero and restore the real objective.
+  for (int i = 0; i < m; ++i) {
+    const auto art = static_cast<std::size_t>(n_with_slack + i);
+    tb.lo[art] = 0.0;
+    tb.up[art] = 0.0;
+    tb.x[art] = 0.0;
+  }
+  tb.obj = real_obj;
+
+  st = run_phase(tb, options, sol.iterations);
+  sol.status = st;
+  if (st != SolveStatus::kOptimal) return sol;
+
+  sol.values.assign(static_cast<std::size_t>(n_struct), 0.0);
+  for (int j = 0; j < n_struct; ++j) {
+    sol.values[static_cast<std::size_t>(j)] = tb.x[static_cast<std::size_t>(j)];
+  }
+  sol.objective = 0.0;
+  for (int j = 0; j < n_struct; ++j) {
+    sol.objective += model.objective()[static_cast<std::size_t>(j)] *
+                     sol.values[static_cast<std::size_t>(j)];
+  }
+  return sol;
+}
+
+}  // namespace musketeer::lp

@@ -1,0 +1,36 @@
+// Dense two-phase bounded-variable primal simplex.
+//
+// Tableau-based with Bland's anti-cycling rule. Designed for the
+// validation-scale LPs in this repository (hundreds of variables), not for
+// production-scale optimization — the flow solvers in src/flow are the
+// fast path; this solver is their independent referee.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace musketeer::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  /// Value per model variable (slacks/artificials stripped).
+  std::vector<double> values;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  /// Reduced-cost / feasibility tolerance.
+  double eps = 1e-9;
+};
+
+/// Solves the model (maximization). All variables may have infinite
+/// bounds; inequality rows get internal slacks; feasibility is established
+/// with phase-1 artificials.
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace musketeer::lp

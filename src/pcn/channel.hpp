@@ -1,0 +1,109 @@
+// Payment channel state.
+//
+// A channel is a 2-of-2 joint account: the two parties' balances always
+// sum to the funding capacity, and an off-chain transfer just moves coins
+// from one side to the other (the paper's abacus picture). Each side also
+// publishes the fee rate it charges for *forwarding* other users'
+// payments out of its side.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/graph.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::pcn {
+
+using flow::Amount;
+using flow::NodeId;
+using ChannelId = std::int32_t;
+
+struct Channel {
+  NodeId a = 0;
+  NodeId b = 0;
+  Amount balance_a = 0;
+  Amount balance_b = 0;
+  /// Forwarding fee rate charged by each party for payments leaving its
+  /// side of the channel.
+  double fee_rate_a = 0.0;
+  double fee_rate_b = 0.0;
+  /// Coins locked under pending HTLCs per side; locked coins stay part of
+  /// the balance but cannot be spent until the HTLC settles or fails.
+  Amount locked_a = 0;
+  Amount locked_b = 0;
+  /// Offline channels (node churn, jamming) cannot route, be locked, or
+  /// participate in rebalancing until they come back.
+  bool disabled = false;
+
+  Amount capacity() const { return balance_a + balance_b; }
+
+  bool has_party(NodeId v) const { return v == a || v == b; }
+
+  NodeId other(NodeId v) const {
+    MUSK_ASSERT(has_party(v));
+    return v == a ? b : a;
+  }
+
+  Amount balance_of(NodeId v) const {
+    MUSK_ASSERT(has_party(v));
+    return v == a ? balance_a : balance_b;
+  }
+
+  double fee_rate_of(NodeId v) const {
+    MUSK_ASSERT(has_party(v));
+    return v == a ? fee_rate_a : fee_rate_b;
+  }
+
+  Amount locked_of(NodeId v) const {
+    MUSK_ASSERT(has_party(v));
+    return v == a ? locked_a : locked_b;
+  }
+
+  /// Coins `v` can spend or lock right now: balance minus pending locks.
+  Amount spendable(NodeId v) const { return balance_of(v) - locked_of(v); }
+
+  /// Moves `amount` *spendable* coins from `from`'s side to the
+  /// counterparty's side.
+  void transfer(NodeId from, Amount amount) {
+    MUSK_ASSERT(has_party(from));
+    MUSK_ASSERT(amount >= 0);
+    MUSK_ASSERT_MSG(spendable(from) >= amount,
+                    "channel balance insufficient");
+    Amount& src = (from == a) ? balance_a : balance_b;
+    Amount& dst = (from == a) ? balance_b : balance_a;
+    src -= amount;
+    dst += amount;
+  }
+
+  /// Reserves `amount` of `from`'s spendable coins under an HTLC.
+  void lock(NodeId from, Amount amount) {
+    MUSK_ASSERT(amount >= 0);
+    MUSK_ASSERT_MSG(spendable(from) >= amount,
+                    "cannot lock more than the spendable balance");
+    ((from == a) ? locked_a : locked_b) += amount;
+  }
+
+  /// Releases `amount` previously locked by `from` (HTLC failure/expiry).
+  void unlock(NodeId from, Amount amount) {
+    MUSK_ASSERT(amount >= 0);
+    Amount& locked = (from == a) ? locked_a : locked_b;
+    MUSK_ASSERT_MSG(locked >= amount, "unlocking more than is locked");
+    locked -= amount;
+  }
+
+  /// Settles `amount` of `from`'s locked coins: the lock is consumed and
+  /// the coins move to the counterparty.
+  void settle(NodeId from, Amount amount) {
+    unlock(from, amount);
+    transfer(from, amount);
+  }
+
+  /// Fraction of the capacity held by `v`'s side (0.5 = balanced).
+  double balance_share(NodeId v) const {
+    const Amount cap = capacity();
+    if (cap == 0) return 0.5;
+    return static_cast<double>(balance_of(v)) / static_cast<double>(cap);
+  }
+};
+
+}  // namespace musketeer::pcn

@@ -1,0 +1,64 @@
+#include "pcn/htlc.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::pcn {
+
+std::optional<HtlcChain> HtlcChain::lock(Network& network,
+                                         const std::vector<Hop>& hops) {
+  std::vector<Hop> acquired;
+  acquired.reserve(hops.size());
+  for (const Hop& hop : hops) {
+    Channel& channel = network.channel(hop.channel);
+    if (channel.disabled || channel.spendable(hop.from) < hop.amount) {
+      // Roll back everything acquired so far.
+      for (const Hop& held : acquired) {
+        network.channel(held.channel).unlock(held.from, held.amount);
+      }
+      return std::nullopt;
+    }
+    channel.lock(hop.from, hop.amount);
+    acquired.push_back(hop);
+  }
+  return HtlcChain(network, std::move(acquired));
+}
+
+void HtlcChain::settle() {
+  MUSK_ASSERT_MSG(pending_, "HTLC chain already consumed");
+  for (const Hop& hop : hops_) {
+    network_->channel(hop.channel).settle(hop.from, hop.amount);
+  }
+  pending_ = false;
+}
+
+void HtlcChain::abort() {
+  MUSK_ASSERT_MSG(pending_, "HTLC chain already consumed");
+  for (const Hop& hop : hops_) {
+    network_->channel(hop.channel).unlock(hop.from, hop.amount);
+  }
+  pending_ = false;
+}
+
+HtlcChain::~HtlcChain() {
+  if (pending_) abort();
+}
+
+HtlcChain::HtlcChain(HtlcChain&& other) noexcept
+    : network_(other.network_),
+      hops_(std::move(other.hops_)),
+      pending_(other.pending_) {
+  other.pending_ = false;
+}
+
+HtlcChain& HtlcChain::operator=(HtlcChain&& other) noexcept {
+  if (this != &other) {
+    if (pending_) abort();
+    network_ = other.network_;
+    hops_ = std::move(other.hops_);
+    pending_ = other.pending_;
+    other.pending_ = false;
+  }
+  return *this;
+}
+
+}  // namespace musketeer::pcn

@@ -1,0 +1,55 @@
+// HTLC chains: the two-phase (lock, then settle-or-abort) primitive that
+// makes multi-hop payments and rebalancing cycles atomic.
+//
+// Real PCNs chain hash-time-locked contracts: every hop locks its
+// outgoing coins against the same payment hash, and either the preimage
+// settles all of them or the timeout releases all of them. The simulator
+// keeps the observable semantics: `lock` reserves every hop (all-or-
+// nothing), after which exactly one of `settle` (apply all transfers) or
+// `abort` (release all locks) consumes the chain. A chain destroyed
+// without settling aborts automatically — locked liquidity is never
+// leaked.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pcn/routing.hpp"
+
+namespace musketeer::pcn {
+
+class HtlcChain {
+ public:
+  /// Attempts to lock every hop in order. If some hop lacks spendable
+  /// balance, all previously acquired locks are released and nullopt is
+  /// returned (the network is untouched).
+  static std::optional<HtlcChain> lock(Network& network,
+                                       const std::vector<Hop>& hops);
+
+  /// Settles every hop: locked coins move forward. Consumes the chain.
+  void settle();
+
+  /// Releases every lock without transferring. Consumes the chain.
+  void abort();
+
+  /// True until settle() or abort() has been called.
+  bool pending() const { return pending_; }
+
+  std::size_t num_hops() const { return hops_.size(); }
+
+  ~HtlcChain();
+  HtlcChain(HtlcChain&& other) noexcept;
+  HtlcChain& operator=(HtlcChain&& other) noexcept;
+  HtlcChain(const HtlcChain&) = delete;
+  HtlcChain& operator=(const HtlcChain&) = delete;
+
+ private:
+  HtlcChain(Network& network, std::vector<Hop> hops)
+      : network_(&network), hops_(std::move(hops)), pending_(true) {}
+
+  Network* network_;
+  std::vector<Hop> hops_;
+  bool pending_ = false;
+};
+
+}  // namespace musketeer::pcn

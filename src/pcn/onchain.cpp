@@ -1,0 +1,33 @@
+#include "pcn/onchain.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace musketeer::pcn {
+
+double onchain_cost(const OnChainCostModel& model, flow::Amount deficit) {
+  MUSK_ASSERT(deficit >= 0);
+  return static_cast<double>(model.base_fee) +
+         model.delay_cost_rate * static_cast<double>(deficit);
+}
+
+double rebalancing_cost(double fee_rate, flow::Amount deficit) {
+  MUSK_ASSERT(deficit >= 0);
+  MUSK_ASSERT(fee_rate >= 0.0);
+  return fee_rate * static_cast<double>(deficit);
+}
+
+flow::Amount breakeven_deficit(const OnChainCostModel& model,
+                               double fee_rate) {
+  // fee_rate * d  >=  base + delay_rate * d
+  //  <=>  d >= base / (fee_rate - delay_rate), if fee_rate > delay_rate.
+  if (fee_rate <= model.delay_cost_rate) {
+    return std::numeric_limits<flow::Amount>::max();
+  }
+  return static_cast<flow::Amount>(
+      static_cast<double>(model.base_fee) /
+      (fee_rate - model.delay_cost_rate));
+}
+
+}  // namespace musketeer::pcn

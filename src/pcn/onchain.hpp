@@ -1,0 +1,37 @@
+// On-chain top-up cost model (the paper's motivating comparison).
+//
+// The alternative to off-chain rebalancing is an on-chain transaction
+// that closes/tops up the channel. Its cost is dominated by a fixed
+// blockchain fee (independent of the amount moved) plus the opportunity
+// cost of the confirmation delay; rebalancing instead costs a per-unit
+// routing fee "orders of magnitude smaller" (§2.1). This module makes
+// that comparison quantitative: given a deficit, which repair is cheaper,
+// and where is the break-even?
+#pragma once
+
+#include "flow/graph.hpp"
+
+namespace musketeer::pcn {
+
+struct OnChainCostModel {
+  /// Fixed fee per on-chain transaction, in coins (e.g. ~2000 msat-units
+  /// at moderate feerates; the bench sweeps this).
+  flow::Amount base_fee = 2000;
+  /// Opportunity cost of the confirmation wait, per coin moved (the
+  /// capital is unusable for ~1 block time).
+  double delay_cost_rate = 0.0005;
+};
+
+/// Cost of repairing a `deficit`-sized imbalance on-chain.
+double onchain_cost(const OnChainCostModel& model, flow::Amount deficit);
+
+/// Cost of repairing it via rebalancing at `fee_rate` per unit.
+double rebalancing_cost(double fee_rate, flow::Amount deficit);
+
+/// The deficit above which the on-chain repair becomes cheaper than
+/// rebalancing at `fee_rate` (on-chain cost is mostly fixed, rebalancing
+/// scales linearly). Returns a large sentinel if rebalancing always wins.
+flow::Amount breakeven_deficit(const OnChainCostModel& model,
+                               double fee_rate);
+
+}  // namespace musketeer::pcn

@@ -1,0 +1,94 @@
+#include "pcn/payment.hpp"
+
+#include "pcn/htlc.hpp"
+
+namespace musketeer::pcn {
+
+bool execute_route(Network& network, const Route& route) {
+  // Two-phase HTLC execution: lock every hop (all-or-nothing), then
+  // settle the whole chain.
+  auto chain = HtlcChain::lock(network, route.hops);
+  if (!chain) return false;
+  chain->settle();
+  return true;
+}
+
+MppResult send_payment_mpp(Network& network, NodeId sender, NodeId receiver,
+                           Amount amount, int max_parts, int max_hops) {
+  MUSK_ASSERT(amount > 0);
+  MUSK_ASSERT(max_parts >= 1);
+  MppResult result;
+  RoutingOptions options;
+  options.max_hops = max_hops;
+
+  // Pending part chains; destroyed unsettled = aborted (atomicity).
+  std::vector<HtlcChain> parts;
+  Amount remaining = amount;
+  Amount fees = 0;
+  while (remaining > 0 && static_cast<int>(parts.size()) <
+                              max_parts) {
+    // Largest deliverable amount for this part, by binary search. The
+    // locks held by earlier parts already reduce spendable balances, so
+    // parts never double-spend liquidity.
+    Amount lo = 1, hi = remaining, best = 0;
+    std::optional<Route> best_route;
+    while (lo <= hi) {
+      const Amount mid = lo + (hi - lo) / 2;
+      auto route = find_route(network, sender, receiver, mid, options);
+      if (route) {
+        best = mid;
+        best_route = std::move(route);
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    if (best == 0) break;  // nothing routable: the split fails
+    auto chain = HtlcChain::lock(network, best_route->hops);
+    MUSK_ASSERT_MSG(chain.has_value(),
+                    "fresh route must be lockable");
+    parts.push_back(std::move(*chain));
+    fees += best_route->total_fees;
+    remaining -= best;
+  }
+
+  if (remaining > 0) {
+    // Could not cover the amount: abort every held part (RAII would do
+    // it too; be explicit).
+    for (HtlcChain& part : parts) part.abort();
+    return result;
+  }
+  for (HtlcChain& part : parts) part.settle();
+  result.success = true;
+  result.parts = static_cast<int>(parts.size());
+  result.fees = fees;
+  return result;
+}
+
+PaymentResult send_payment(Network& network, NodeId sender, NodeId receiver,
+                           Amount amount, int max_attempts, int max_hops) {
+  PaymentResult result;
+  RoutingOptions options;
+  options.max_hops = max_hops;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++result.attempts;
+    const auto route = find_route(network, sender, receiver, amount, options);
+    if (!route) return result;
+    if (execute_route(network, *route)) {
+      result.success = true;
+      result.hops = route->length();
+      result.fees = route->total_fees;
+      return result;
+    }
+    // Blacklist the first under-funded hop and retry.
+    for (const Hop& hop : route->hops) {
+      if (network.channel(hop.channel).spendable(hop.from) < hop.amount) {
+        options.blacklist.push_back(hop.channel);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace musketeer::pcn

@@ -1,0 +1,50 @@
+// Atomic multi-hop payment execution.
+//
+// Real PCNs make multi-hop payments atomic with HTLCs: every hop either
+// settles or the whole payment fails. The simulator mirrors the
+// observable effect: all hop transfers are validated against current
+// balances and then applied together, or nothing changes.
+#pragma once
+
+#include "pcn/routing.hpp"
+
+namespace musketeer::pcn {
+
+struct PaymentResult {
+  bool success = false;
+  /// Hops of the route that was executed (0 if failed / no route).
+  int hops = 0;
+  /// Fees paid by the sender on success.
+  Amount fees = 0;
+  /// Number of routing attempts consumed.
+  int attempts = 0;
+};
+
+/// Validates and applies a route atomically. Returns false (and leaves
+/// the network untouched) if any hop lacks balance.
+bool execute_route(Network& network, const Route& route);
+
+/// Routes and executes a payment, retrying with the failing channel
+/// blacklisted up to `max_attempts` times.
+PaymentResult send_payment(Network& network, NodeId sender, NodeId receiver,
+                           Amount amount, int max_attempts = 3,
+                           int max_hops = 8);
+
+struct MppResult {
+  bool success = false;
+  /// Parts the payment was split into (1 = single path sufficed).
+  int parts = 0;
+  /// Total fees across all parts.
+  Amount fees = 0;
+};
+
+/// Multi-part payment: splits `amount` across up to `max_parts` routes,
+/// each part as large as currently routable (binary search over the
+/// deliverable amount). All parts are held as pending HTLC chains and
+/// settled together only when the full amount is covered — a partial
+/// split never leaks (atomicity across parts, as in Lightning's MPP).
+MppResult send_payment_mpp(Network& network, NodeId sender, NodeId receiver,
+                           Amount amount, int max_parts = 4,
+                           int max_hops = 8);
+
+}  // namespace musketeer::pcn

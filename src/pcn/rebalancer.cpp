@@ -1,0 +1,155 @@
+#include "pcn/rebalancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace musketeer::pcn {
+
+namespace {
+
+// Clamps a bid into the open valid range of the game model.
+double clamp_bid(double bid) {
+  return std::clamp(bid, 0.0, core::kMaxFeeRate - 1e-9);
+}
+
+}  // namespace
+
+ExtractedGame extract_game(const Network& network,
+                           const RebalancePolicy& policy) {
+  MUSK_ASSERT(policy.depleted_threshold > 0.0 &&
+              policy.depleted_threshold < policy.target_share);
+  MUSK_ASSERT(policy.target_share <= 0.5);
+  MUSK_ASSERT(policy.seller_floor_share >= 0.0 &&
+              policy.seller_floor_share < policy.target_share);
+  MUSK_ASSERT(policy.seller_fee >= 0.0 &&
+              policy.seller_fee < core::kMaxFeeRate);
+
+  ExtractedGame extracted{core::Game(network.num_nodes()), {}};
+  for (ChannelId c = 0; c < network.num_channels(); ++c) {
+    const Channel& channel = network.channel(c);
+    const flow::Amount cap = channel.capacity();
+    if (cap == 0 || channel.disabled) continue;
+    for (int dir = 0; dir < 2; ++dir) {
+      const NodeId u = dir == 0 ? channel.a : channel.b;  // coins leave u
+      const NodeId v = channel.other(u);
+      const double share_v = channel.balance_share(v);
+      const auto target = static_cast<flow::Amount>(
+          policy.target_share * static_cast<double>(cap));
+      if (share_v < policy.depleted_threshold) {
+        // v wants inbound rebalancing: depleted edge u -> v.
+        const flow::Amount deficit = target - channel.balance_of(v);
+        const flow::Amount amount =
+            std::min(std::max<flow::Amount>(deficit, 0),
+                     channel.spendable(u));
+        if (amount <= 0) continue;
+        const double bid = clamp_bid(
+            policy.buyer_bid_base +
+            policy.buyer_bid_slope * (policy.target_share - share_v));
+        extracted.game.add_edge(u, v, amount, 0.0, bid);
+        extracted.bindings.push_back(EdgeBinding{c, u});
+      } else {
+        // u may offer liquidity above its floor as a seller on edge
+        // u -> v.
+        const double share_u = channel.balance_share(u);
+        if (share_u <= policy.seller_floor_share) continue;
+        const flow::Amount surplus =
+            std::min(channel.balance_of(u) -
+                         static_cast<flow::Amount>(
+                             policy.seller_floor_share *
+                             static_cast<double>(cap)),
+                     channel.spendable(u));
+        const auto offered = static_cast<flow::Amount>(
+            policy.seller_liquidity_fraction *
+            static_cast<double>(std::max<flow::Amount>(surplus, 0)));
+        if (offered <= 0) continue;
+        extracted.game.add_edge(u, v, offered, -policy.seller_fee, 0.0);
+        extracted.bindings.push_back(EdgeBinding{c, u});
+      }
+    }
+  }
+  MUSK_ASSERT(extracted.bindings.size() ==
+              static_cast<std::size_t>(extracted.game.num_edges()));
+  return extracted;
+}
+
+ExtractedGame extract_and_lock(Network& network,
+                               const RebalancePolicy& policy) {
+  ExtractedGame extracted = extract_game(network, policy);
+  for (flow::EdgeId e = 0; e < extracted.game.num_edges(); ++e) {
+    const EdgeBinding& binding =
+        extracted.bindings[static_cast<std::size_t>(e)];
+    // Capacities were computed from spendable balances, so the lock
+    // always succeeds.
+    network.channel(binding.channel)
+        .lock(binding.from, extracted.game.edge(e).capacity);
+  }
+  extracted.prelocked = true;
+  return extracted;
+}
+
+void release_locks(Network& network, ExtractedGame& extracted) {
+  if (!extracted.prelocked) return;
+  for (flow::EdgeId e = 0; e < extracted.game.num_edges(); ++e) {
+    const EdgeBinding& binding =
+        extracted.bindings[static_cast<std::size_t>(e)];
+    network.channel(binding.channel)
+        .unlock(binding.from, extracted.game.edge(e).capacity);
+  }
+  extracted.prelocked = false;
+}
+
+RebalanceStats apply_outcome(Network& network, const ExtractedGame& extracted,
+                             const core::Outcome& outcome) {
+  RebalanceStats stats;
+  for (const core::PricedCycle& pc : outcome.cycles) {
+    // Atomic cycle execution: validate all hops, then apply. Pre-locked
+    // capacity settles directly from the HTLC locks.
+    for (flow::EdgeId e : pc.cycle.edges) {
+      const EdgeBinding& binding =
+          extracted.bindings[static_cast<std::size_t>(e)];
+      const Channel& channel = network.channel(binding.channel);
+      const Amount available = extracted.prelocked
+                                   ? channel.locked_of(binding.from)
+                                   : channel.spendable(binding.from);
+      MUSK_ASSERT_MSG(available >= pc.cycle.amount,
+                      "pre-locked capacity must cover every cycle");
+    }
+    for (flow::EdgeId e : pc.cycle.edges) {
+      const EdgeBinding& binding =
+          extracted.bindings[static_cast<std::size_t>(e)];
+      Channel& channel = network.channel(binding.channel);
+      if (extracted.prelocked) {
+        channel.settle(binding.from, pc.cycle.amount);
+      } else {
+        channel.transfer(binding.from, pc.cycle.amount);
+      }
+    }
+    ++stats.cycles_executed;
+    stats.volume +=
+        pc.cycle.amount * static_cast<flow::Amount>(pc.cycle.length());
+    for (const core::PlayerPrice& p : pc.prices) {
+      if (p.price > 0.0) stats.fees_paid += p.price;
+    }
+    stats.max_release_time = std::max(stats.max_release_time,
+                                      pc.release_time);
+  }
+  // Release whatever pre-locked capacity the mechanism did not use.
+  if (extracted.prelocked) {
+    for (flow::EdgeId e = 0; e < extracted.game.num_edges(); ++e) {
+      const EdgeBinding& binding =
+          extracted.bindings[static_cast<std::size_t>(e)];
+      const Amount leftover =
+          extracted.game.edge(e).capacity -
+          outcome.circulation[static_cast<std::size_t>(e)];
+      MUSK_ASSERT(leftover >= 0);
+      if (leftover > 0) {
+        network.channel(binding.channel).unlock(binding.from, leftover);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace musketeer::pcn

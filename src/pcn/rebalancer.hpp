@@ -1,0 +1,97 @@
+// The bridge between the PCN simulator and the Musketeer mechanisms.
+//
+// extract_game() scans channel states and builds the rebalancing game of
+// §2.2: for every channel direction (coins moving from u's side to v's
+// side),
+//   * if v's side is depleted (share below the policy threshold), the
+//     direction becomes a depleted edge — v is the buyer, with a bid that
+//     grows with the severity of the imbalance; the counterparty's seller
+//     stake is 0 (the paper's preclusion rule);
+//   * else if u holds surplus above its target, u offers part of it as an
+//     indifferent edge — u is the seller at its policy fee.
+// Capacities are the coins each party pre-locks (§2.2's pre-lock rule:
+// capacities never exceed current balances, so every mechanism outcome is
+// executable).
+//
+// apply_outcome() executes each priced cycle atomically on the network
+// (channel transfers along the cycle) and reports aggregate statistics.
+// Fees are settled off-band and reported in the stats: inside a channel,
+// coins cannot leave the pair, so fee settlement in a deployment happens
+// by adjusting the per-hop amounts; the simulator keeps the rebalancing
+// amounts exact and accounts fees separately.
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/outcome.hpp"
+#include "pcn/network.hpp"
+
+namespace musketeer::pcn {
+
+struct RebalancePolicy {
+  /// A channel side with balance share below this is depleted.
+  double depleted_threshold = 0.25;
+  /// Rebalancing aims to restore each side to this share.
+  double target_share = 0.5;
+  /// Buyer bid per unit: base + slope * (target_share - current share).
+  double buyer_bid_base = 0.005;
+  double buyer_bid_slope = 0.05;
+  /// Sellers charge this per unit routed (tail valuation = -seller_fee).
+  double seller_fee = 0.001;
+  /// A seller keeps at least this share of the channel for itself; only
+  /// the balance above the floor is sellable. Must be below target_share
+  /// — a balanced channel is exactly the one that can afford to route,
+  /// and pricing its liquidity is the point of including sellers.
+  double seller_floor_share = 0.3;
+  /// Fraction of the above-floor surplus a seller offers per round.
+  double seller_liquidity_fraction = 0.5;
+};
+
+/// One game edge's backing channel direction.
+struct EdgeBinding {
+  ChannelId channel = 0;
+  NodeId from = 0;  // coins move out of this party's side
+};
+
+struct ExtractedGame {
+  core::Game game;
+  /// Binding per game edge (indexed by EdgeId).
+  std::vector<EdgeBinding> bindings;
+  /// True when every edge's capacity is held under an HTLC lock on the
+  /// network (§2.2's pre-lock rule). apply_outcome then settles cycle
+  /// flows from the locks and releases the remainder.
+  bool prelocked = false;
+};
+
+ExtractedGame extract_game(const Network& network,
+                           const RebalancePolicy& policy);
+
+/// extract_game + §2.2's pre-lock: every offered capacity is locked
+/// before the mechanism runs, so participants cannot renege once the
+/// cycles are revealed. The returned game's capacities are backed by
+/// HTLC locks; pass the result to apply_outcome (which always settles or
+/// releases every lock), or to release_locks to abort.
+ExtractedGame extract_and_lock(Network& network,
+                               const RebalancePolicy& policy);
+
+/// Releases every pre-locked capacity without rebalancing (mechanism
+/// aborted). No-op for non-prelocked extractions.
+void release_locks(Network& network, ExtractedGame& extracted);
+
+struct RebalanceStats {
+  int cycles_executed = 0;
+  /// Total coins moved across all cycle edges.
+  flow::Amount volume = 0;
+  /// Sum of positive prices (total fees paid by buyers), in coins.
+  double fees_paid = 0.0;
+  /// Latest release time among executed cycles (M4's delay cost).
+  double max_release_time = 0.0;
+};
+
+/// Executes the outcome's cycles on the network. Every cycle is applied
+/// atomically; pre-locked capacities guarantee feasibility.
+RebalanceStats apply_outcome(Network& network, const ExtractedGame& extracted,
+                             const core::Outcome& outcome);
+
+}  // namespace musketeer::pcn

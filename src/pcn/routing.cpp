@@ -1,0 +1,119 @@
+#include "pcn/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace musketeer::pcn {
+
+namespace {
+
+constexpr Amount kInf = std::numeric_limits<Amount>::max() / 4;
+
+Amount forwarding_fee(double rate, Amount amount) {
+  return static_cast<Amount>(std::ceil(rate * static_cast<double>(amount)));
+}
+
+}  // namespace
+
+std::optional<Route> find_route(const Network& network, NodeId sender,
+                                NodeId receiver, Amount amount,
+                                const RoutingOptions& options) {
+  MUSK_ASSERT(sender != receiver);
+  MUSK_ASSERT(amount > 0);
+  MUSK_ASSERT(options.max_hops >= 1);
+  const auto n = static_cast<std::size_t>(network.num_nodes());
+  const auto h_max = static_cast<std::size_t>(options.max_hops);
+
+  auto blacklisted = [&](ChannelId c) {
+    return std::find(options.blacklist.begin(), options.blacklist.end(), c) !=
+           options.blacklist.end();
+  };
+
+  // need[h][v]: minimum coins that must *arrive at* v so that v (charging
+  // its own forwarding fee unless v is the sender) can deliver `amount`
+  // to the receiver within h more hops.
+  std::vector<std::vector<Amount>> need(h_max + 1,
+                                        std::vector<Amount>(n, kInf));
+  struct Parent {
+    ChannelId channel = -1;
+    NodeId next = -1;
+  };
+  std::vector<std::vector<Parent>> parent(h_max + 1,
+                                          std::vector<Parent>(n));
+  need[0][static_cast<std::size_t>(receiver)] = amount;
+
+  for (std::size_t h = 1; h <= h_max; ++h) {
+    need[h] = need[h - 1];
+    parent[h] = parent[h - 1];
+    for (ChannelId c = 0; c < network.num_channels(); ++c) {
+      if (blacklisted(c)) continue;
+      const Channel& channel = network.channel(c);
+      if (channel.disabled) continue;
+      for (int dir = 0; dir < 2; ++dir) {
+        const NodeId u = dir == 0 ? channel.a : channel.b;
+        const NodeId v = channel.other(u);
+        const Amount need_v = need[h - 1][static_cast<std::size_t>(v)];
+        if (need_v >= kInf || u == receiver) continue;
+        if (channel.spendable(u) < need_v) continue;  // u cannot fund it
+        const Amount fee =
+            (u == sender) ? 0 : forwarding_fee(channel.fee_rate_of(u), need_v);
+        const Amount cand = need_v + fee;
+        if (cand < need[h][static_cast<std::size_t>(u)]) {
+          need[h][static_cast<std::size_t>(u)] = cand;
+          parent[h][static_cast<std::size_t>(u)] = Parent{c, v};
+        }
+      }
+    }
+  }
+
+  if (need[h_max][static_cast<std::size_t>(sender)] >= kInf) {
+    return std::nullopt;
+  }
+
+  // Extract the channel path by walking parent pointers from the sender
+  // down the hop levels.
+  std::vector<ChannelId> path;
+  std::vector<NodeId> nodes{sender};
+  {
+    NodeId node = sender;
+    std::size_t lvl = h_max;
+    while (node != receiver) {
+      MUSK_ASSERT(lvl > 0);
+      const Parent p = parent[lvl][static_cast<std::size_t>(node)];
+      MUSK_ASSERT(p.channel >= 0);
+      path.push_back(p.channel);
+      node = p.next;
+      nodes.push_back(node);
+      --lvl;
+    }
+  }
+
+  // Recompute hop amounts backward from the receiver so the route is
+  // internally consistent: each forwarder pockets exactly its fee.
+  Route route;
+  route.hops.resize(path.size());
+  Amount arriving = amount;  // coins the next node must receive
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const NodeId from = nodes[i];
+    route.hops[i] = Hop{path[i], from, arriving};
+    if (from != sender) {
+      arriving += forwarding_fee(
+          network.channel(path[i]).fee_rate_of(from), arriving);
+    }
+  }
+  route.total_fees = arriving - amount;
+
+  // Re-verify feasibility against current balances (the DP may have mixed
+  // hop levels after monotone copies; reject inconsistent routes).
+  for (const Hop& hop : route.hops) {
+    const Channel& channel = network.channel(hop.channel);
+    if (channel.disabled || channel.spendable(hop.from) < hop.amount) {
+      return std::nullopt;
+    }
+  }
+  MUSK_ASSERT(route.total_fees >= 0);
+  return route;
+}
+
+}  // namespace musketeer::pcn

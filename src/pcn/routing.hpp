@@ -1,0 +1,47 @@
+// Fee-aware source routing (the sender-pays-fees model of Lightning).
+//
+// Routes are found by a backward Dijkstra from the receiver: at each hop
+// the amount that must arrive grows by the forwarder's fee, and a channel
+// direction is usable only if the forwarding side holds the required
+// amount. The returned route therefore carries per-hop amounts that make
+// the delivery exact.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pcn/network.hpp"
+
+namespace musketeer::pcn {
+
+struct Hop {
+  ChannelId channel = 0;
+  /// The party sending through this channel (pays out of its side).
+  NodeId from = 0;
+  /// Coins entering the channel at this hop (delivery amount plus all
+  /// downstream fees).
+  Amount amount = 0;
+};
+
+struct Route {
+  /// Hops in order from sender to receiver.
+  std::vector<Hop> hops;
+  /// Total fees the sender pays on top of the delivered amount.
+  Amount total_fees = 0;
+
+  int length() const { return static_cast<int>(hops.size()); }
+};
+
+struct RoutingOptions {
+  int max_hops = 8;
+  /// Channels listed here are skipped (used for retry-after-failure).
+  std::vector<ChannelId> blacklist;
+};
+
+/// Finds the cheapest feasible route delivering `amount` to `receiver`,
+/// or nullopt if none exists within the hop bound.
+std::optional<Route> find_route(const Network& network, NodeId sender,
+                                NodeId receiver, Amount amount,
+                                const RoutingOptions& options = {});
+
+}  // namespace musketeer::pcn

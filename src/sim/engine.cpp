@@ -1,0 +1,170 @@
+#include "sim/engine.hpp"
+
+#include "pcn/payment.hpp"
+#include "util/stats.hpp"
+
+namespace musketeer::sim {
+
+double SimulationResult::overall_success_rate() const {
+  long long attempted = 0, succeeded = 0;
+  for (const EpochMetrics& m : epochs) {
+    attempted += m.payments_attempted;
+    succeeded += m.payments_succeeded;
+  }
+  return attempted == 0 ? 1.0
+                        : static_cast<double>(succeeded) /
+                              static_cast<double>(attempted);
+}
+
+flow::Amount SimulationResult::total_volume_succeeded() const {
+  flow::Amount total = 0;
+  for (const EpochMetrics& m : epochs) total += m.volume_succeeded;
+  return total;
+}
+
+flow::Amount SimulationResult::total_rebalanced_volume() const {
+  flow::Amount total = 0;
+  for (const EpochMetrics& m : epochs) total += m.rebalanced_volume;
+  return total;
+}
+
+pcn::Network build_network(const SimulationConfig& config, util::Rng& rng) {
+  const gen::Topology topology =
+      gen::barabasi_albert(config.num_nodes, config.ba_attachment, rng);
+  pcn::Network network(config.num_nodes);
+  for (const auto& [a, b] : topology) {
+    const flow::Amount total =
+        2 * rng.uniform_int(config.balance_min, config.balance_max);
+    flow::Amount side_a;
+    if (config.initial_skew > 0.0) {
+      const double poor_share = rng.bernoulli(config.skew_fraction)
+                                    ? 0.5 - config.initial_skew
+                                    : 0.5;
+      side_a = static_cast<flow::Amount>(
+          static_cast<double>(total) *
+          (rng.bernoulli(0.5) ? poor_share : 1.0 - poor_share));
+    } else {
+      // A random split: most channels start somewhat skewed.
+      side_a = rng.uniform_int(0, total);
+    }
+    network.add_channel(a, b, side_a, total - side_a, config.forwarding_fee,
+                        config.forwarding_fee);
+  }
+  return network;
+}
+
+RecoveryResult run_recovery(const SimulationConfig& config,
+                            const core::Mechanism* mechanism) {
+  util::Rng rng(config.seed);
+  pcn::Network network = build_network(config, rng);
+  util::Rng workload_rng = rng.fork();
+
+  RecoveryResult result;
+  result.depleted_before =
+      network.depleted_direction_fraction(config.policy.depleted_threshold);
+
+  if (mechanism != nullptr) {
+    const pcn::ExtractedGame extracted =
+        pcn::extract_and_lock(network, config.policy);
+    if (extracted.game.num_edges() > 0) {
+      const core::Outcome outcome = mechanism->run_truthful(extracted.game);
+      const pcn::RebalanceStats stats =
+          pcn::apply_outcome(network, extracted, outcome);
+      result.rebalanced_volume = stats.volume;
+      result.rebalance_fees = stats.fees_paid;
+    }
+  }
+  result.depleted_after =
+      network.depleted_direction_fraction(config.policy.depleted_threshold);
+  result.mean_imbalance_after = util::mean(network.imbalances());
+
+  const auto payments = gen::generate_payments(
+      config.num_nodes, config.payments_per_epoch, config.workload,
+      workload_rng);
+  int succeeded = 0;
+  for (const gen::Payment& p : payments) {
+    succeeded +=
+        pcn::send_payment(network, p.sender, p.receiver, p.amount,
+                          /*max_attempts=*/3, config.max_hops)
+            .success;
+  }
+  result.success_rate = payments.empty()
+                            ? 1.0
+                            : static_cast<double>(succeeded) /
+                                  static_cast<double>(payments.size());
+  return result;
+}
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                const core::Mechanism* mechanism) {
+  util::Rng rng(config.seed);
+  pcn::Network network = build_network(config, rng);
+  // Workload RNG is forked before use so the payment stream is identical
+  // regardless of how the mechanism consumes randomness (it doesn't, but
+  // this keeps the comparison airtight if one ever does).
+  util::Rng workload_rng = rng.fork();
+
+  SimulationResult result;
+  util::Rng churn_rng = rng.fork();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochMetrics metrics;
+    metrics.epoch = epoch;
+
+    if (config.channel_downtime > 0.0) {
+      for (pcn::ChannelId c = 0; c < network.num_channels(); ++c) {
+        network.channel(c).disabled =
+            churn_rng.bernoulli(config.channel_downtime);
+      }
+    }
+
+    const auto payments = gen::generate_payments(
+        config.num_nodes, config.payments_per_epoch, config.workload,
+        workload_rng);
+    for (const gen::Payment& p : payments) {
+      ++metrics.payments_attempted;
+      metrics.volume_attempted += p.amount;
+      bool success;
+      flow::Amount fees;
+      if (config.max_payment_parts > 1) {
+        const pcn::MppResult res = pcn::send_payment_mpp(
+            network, p.sender, p.receiver, p.amount,
+            config.max_payment_parts, config.max_hops);
+        success = res.success;
+        fees = res.fees;
+      } else {
+        const pcn::PaymentResult res =
+            pcn::send_payment(network, p.sender, p.receiver, p.amount,
+                              /*max_attempts=*/3, config.max_hops);
+        success = res.success;
+        fees = res.fees;
+      }
+      if (success) {
+        ++metrics.payments_succeeded;
+        metrics.volume_succeeded += p.amount;
+        metrics.routing_fees += static_cast<double>(fees);
+      }
+    }
+
+    metrics.depleted_fraction =
+        network.depleted_direction_fraction(config.policy.depleted_threshold);
+    const auto imbalances = network.imbalances();
+    metrics.mean_imbalance = util::mean(imbalances);
+
+    if (mechanism != nullptr && (epoch + 1) % config.rebalance_every == 0) {
+      const pcn::ExtractedGame extracted =
+          pcn::extract_and_lock(network, config.policy);
+      if (extracted.game.num_edges() > 0) {
+        const core::Outcome outcome = mechanism->run_truthful(extracted.game);
+        const pcn::RebalanceStats stats =
+            pcn::apply_outcome(network, extracted, outcome);
+        metrics.rebalance_cycles = stats.cycles_executed;
+        metrics.rebalanced_volume = stats.volume;
+        metrics.rebalance_fees = stats.fees_paid;
+      }
+    }
+    result.epochs.push_back(metrics);
+  }
+  return result;
+}
+
+}  // namespace musketeer::sim

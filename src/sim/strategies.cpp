@@ -1,0 +1,54 @@
+#include "sim/strategies.hpp"
+
+#include "core/baselines.hpp"
+#include "core/m1_fixed_fee.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::sim {
+
+std::string strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNone: return "none";
+    case Strategy::kLocal: return "local";
+    case Strategy::kHideSeek: return "hide&seek";
+    case Strategy::kM1FixedFee: return "M1-fixed-fee";
+    case Strategy::kM2Vcg: return "M2-vcg";
+    case Strategy::kM3DoubleAuction: return "M3-double-auction";
+    case Strategy::kM4Delayed: return "M4-delayed";
+  }
+  MUSK_ASSERT(false);
+  return {};
+}
+
+std::unique_ptr<core::Mechanism> make_strategy(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNone:
+      return nullptr;
+    case Strategy::kLocal:
+      return std::make_unique<core::LocalRebalancing>();
+    case Strategy::kHideSeek:
+      return std::make_unique<core::HideSeek>();
+    case Strategy::kM1FixedFee:
+      return std::make_unique<core::M1FixedFee>(0.001, 3.0);
+    case Strategy::kM2Vcg:
+      return std::make_unique<core::M2Vcg>();
+    case Strategy::kM3DoubleAuction:
+      return std::make_unique<core::M3DoubleAuction>();
+    case Strategy::kM4Delayed:
+      return std::make_unique<core::M4DelayedAuction>(1.0);
+  }
+  MUSK_ASSERT(false);
+  return nullptr;
+}
+
+std::vector<Strategy> all_strategies() {
+  return {Strategy::kNone,       Strategy::kLocal,
+          Strategy::kHideSeek,   Strategy::kM1FixedFee,
+          Strategy::kM2Vcg,      Strategy::kM3DoubleAuction,
+          Strategy::kM4Delayed};
+}
+
+}  // namespace musketeer::sim

@@ -1,0 +1,34 @@
+// Named construction of every rebalancing strategy the experiments sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::sim {
+
+/// All strategies compared in E1/E4 (the paper's positioning:
+/// none < local < buyers-only global < all-user Musketeer).
+enum class Strategy {
+  kNone,
+  kLocal,
+  kHideSeek,
+  kM1FixedFee,
+  kM2Vcg,
+  kM3DoubleAuction,
+  kM4Delayed,
+};
+
+/// Stable display name (used in bench table rows).
+std::string strategy_name(Strategy strategy);
+
+/// Instantiates the mechanism with library-default parameters
+/// (M1: p=0.001, k=3; M4: d=1). Returns nullptr for kNone.
+std::unique_ptr<core::Mechanism> make_strategy(Strategy strategy);
+
+/// Every strategy, in presentation order.
+std::vector<Strategy> all_strategies();
+
+}  // namespace musketeer::sim

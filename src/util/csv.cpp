@@ -1,0 +1,32 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace musketeer::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : out_(path), width_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  MUSK_ASSERT(width_ > 0);
+  row(headers);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  MUSK_ASSERT_MSG(cells.size() == width_, "CSV row width mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << cells[c];
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed");
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace musketeer::util

@@ -1,0 +1,32 @@
+// CSV file writer for experiment outputs (EXPERIMENTS.md references the
+// generated files; each bench binary can optionally persist its rows).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace musketeer::util {
+
+/// Streaming CSV writer. Opens the file on construction, writes a header
+/// row, and appends one row per `row()` call. Throws std::runtime_error on
+/// I/O failure (experiment output must not be silently truncated).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace musketeer::util

@@ -1,0 +1,49 @@
+// Small descriptive-statistics helpers used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace musketeer::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than two values.
+double stdev(std::span<const double> xs);
+
+/// Exact quantile by sorting a copy; q in [0, 1]. Uses the nearest-rank
+/// method with linear interpolation between order statistics.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Gini coefficient of a non-negative distribution in [0, 1]; 0 for
+/// perfectly equal values, →1 for maximally concentrated. Used to measure
+/// channel-imbalance concentration in the PCN experiments.
+double gini(std::span<const double> xs);
+
+/// Accumulates a stream of doubles and reports summary statistics.
+class Accumulator {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stdev() const;
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace musketeer::util

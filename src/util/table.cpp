@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace musketeer::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MUSK_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MUSK_ASSERT_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputs("|", out);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fputs("\n", out);
+  };
+  print_row(headers_);
+  std::fputs("|", out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+    std::fputc('|', out);
+  }
+  std::fputs("\n", out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+bool maybe_export_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("MUSKETEER_OUT");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << table.to_csv();
+  if (!out) throw std::runtime_error("write failed: " + path);
+  return true;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  MUSK_ASSERT(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  return format("%.*f", precision, v);
+}
+
+std::string fmt_int(long long v) { return format("%lld", v); }
+
+}  // namespace musketeer::util

@@ -1,0 +1,45 @@
+// Console table printer used by the bench binaries to render the rows of
+// each reproduced experiment (aligned, markdown-ish output).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace musketeer::util {
+
+/// Collects rows of stringly-typed cells and prints an aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same number of cells as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to the given stream (stdout by default).
+  void print(std::FILE* out = stdout) const;
+
+  /// Render as CSV text (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// If the environment variable MUSKETEER_OUT names a directory, writes
+/// the table as <dir>/<name>.csv (for archiving bench outputs alongside
+/// EXPERIMENTS.md); otherwise does nothing. Returns whether a file was
+/// written. Throws on I/O failure when the directory is set but broken.
+bool maybe_export_csv(const Table& table, const std::string& name);
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision double formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 4);
+std::string fmt_int(long long v);
+
+}  // namespace musketeer::util

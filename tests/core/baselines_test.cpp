@@ -1,0 +1,127 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "gen/game_gen.hpp"
+
+namespace musketeer::core {
+namespace {
+
+TEST(NoRebalancingTest, DoesNothing) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  game.add_edge(2, 0, 10, 0.0, 0.0);
+  const Outcome outcome = NoRebalancing().run_truthful(game);
+  EXPECT_TRUE(outcome.cycles.empty());
+  EXPECT_EQ(flow::total_volume(outcome.circulation), 0);
+}
+
+TEST(HideSeekTest, UsesOnlyDepletedEdges) {
+  // The buyer's return path runs through indifferent edges, which Hide &
+  // Seek excludes — so nothing can rebalance.
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);  // depleted
+  game.add_edge(1, 2, 10, 0.0, 0.0);   // indifferent
+  game.add_edge(2, 0, 10, 0.0, 0.0);   // indifferent
+  const Outcome outcome = HideSeek().run_truthful(game);
+  EXPECT_EQ(flow::total_volume(outcome.circulation), 0);
+}
+
+TEST(HideSeekTest, RebalancesAllDepletedCycle) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 7, 0.0, 0.01);
+  game.add_edge(2, 0, 12, 0.0, 0.02);
+  const Outcome outcome = HideSeek().run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].cycle.amount, 7);  // bottleneck
+  // Fee-free: no prices at all.
+  EXPECT_TRUE(outcome.cycles[0].prices.empty());
+}
+
+TEST(HideSeekTest, MaximizesLiquidityNotWelfare) {
+  // Two depleted-only cycles sharing capacity: Hide & Seek picks by
+  // volume, blind to bid magnitudes.
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.001);
+  game.add_edge(1, 2, 10, 0.0, 0.001);
+  game.add_edge(2, 0, 10, 0.0, 0.001);
+  const Outcome outcome = HideSeek().run_truthful(game);
+  EXPECT_EQ(flow::total_volume(outcome.circulation), 30);
+}
+
+TEST(LocalRebalancingTest, FindsShortReturnPath) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  const LocalRebalancing local(/*max_path_length=*/3, /*fee_rate=*/0.001);
+  const Outcome outcome = local.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].cycle.amount, 10);
+  EXPECT_EQ(outcome.cycles[0].cycle.length(), 3);
+  // Buyer (player 1) pays 2 hops * 0.001 * 10 but also earns 0.001 * 10
+  // as the first intermediary (tail of 1->2), netting 0.01; player 2 is a
+  // pure intermediary earning 0.01.
+  EXPECT_NEAR(outcome.cycles[0].price_of(1), 0.001 * 10, 1e-12);
+  EXPECT_NEAR(outcome.cycles[0].price_of(2), -0.001 * 10, 1e-12);
+  EXPECT_NEAR(outcome.cycles[0].budget_imbalance(), 0.0, 1e-12);
+}
+
+TEST(LocalRebalancingTest, RespectsDepthBound) {
+  // Return path needs 3 hops; bound of 2 blocks it.
+  Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  game.add_edge(2, 3, 10, 0.0, 0.0);
+  game.add_edge(3, 0, 10, 0.0, 0.0);
+  EXPECT_TRUE(LocalRebalancing(2, 0.001).run_truthful(game).cycles.empty());
+  EXPECT_EQ(LocalRebalancing(3, 0.001).run_truthful(game).cycles.size(), 1u);
+}
+
+TEST(LocalRebalancingTest, SkipsUnaffordablePaths) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.0015);  // buyer bid below 2 hops of fees
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  const LocalRebalancing local(3, 0.001);
+  EXPECT_TRUE(local.run_truthful(game).cycles.empty());
+}
+
+TEST(LocalRebalancingTest, GreedyOrderCanBeSuboptimal) {
+  // Buyer A (low bid, first in edge order) grabs the shared capacity a
+  // global mechanism would award to buyer B (high bid).
+  Game game(4);
+  game.add_edge(2, 3, 5, 0.0, 0.0);     // shared seller capacity
+  game.add_edge(3, 0, 10, 0.0, 0.011);  // buyer A (edge order first)
+  game.add_edge(0, 2, 10, 0.0, 0.0);
+  game.add_edge(3, 1, 10, 0.0, 0.04);   // buyer B
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  const Outcome local = LocalRebalancing(3, 0.001).run_truthful(game);
+  const Outcome global = M3DoubleAuction().run_truthful(game);
+  EXPECT_LT(local.realized_welfare(game), global.realized_welfare(game));
+}
+
+TEST(BaselineOrderingTest, MusketeerWeaklyDominatesOnRandomGames) {
+  util::Rng rng(4242);
+  gen::GameConfig config;
+  config.depleted_share = 0.35;
+  int musketeer_wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Game game = gen::random_ba_game(24, 2, config, rng);
+    const double none =
+        NoRebalancing().run_truthful(game).realized_welfare(game);
+    const double hs = HideSeek().run_truthful(game).realized_welfare(game);
+    const double m3 =
+        M3DoubleAuction().run_truthful(game).realized_welfare(game);
+    EXPECT_GE(m3, hs - 1e-9) << "Musketeer must dominate Hide & Seek";
+    EXPECT_GE(hs, none - 1e-9);
+    if (m3 > hs + 1e-9) ++musketeer_wins;
+  }
+  EXPECT_GT(musketeer_wins, 0) << "all-user participation should help";
+}
+
+}  // namespace
+}  // namespace musketeer::core

@@ -1,0 +1,112 @@
+#include "core/delegates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "gen/game_gen.hpp"
+
+namespace musketeer::core {
+namespace {
+
+TEST(SharingTest, SplitReconstructRoundTrip) {
+  util::Rng rng(1);
+  for (std::uint64_t secret : {0ULL, 1ULL, 424242ULL, ~0ULL}) {
+    for (int k : {2, 3, 7}) {
+      const auto shares = sharing::split(secret, k, rng);
+      ASSERT_EQ(shares.size(), static_cast<std::size_t>(k));
+      EXPECT_EQ(sharing::reconstruct(shares), secret);
+    }
+  }
+}
+
+TEST(SharingTest, RateEncodingRoundTrips) {
+  for (double rate : {0.0, 0.03, -0.005, 0.0999, -0.0999, 1e-9}) {
+    EXPECT_NEAR(sharing::decode_rate(sharing::encode_rate(rate)), rate,
+                1e-9);
+  }
+}
+
+TEST(SharingTest, IndividualSharesLookUniform) {
+  // Share #1 of a fixed secret is raw RNG output; share #0 is secret
+  // minus random — both marginally uniform. Check the top bit frequency
+  // over many splits of the SAME secret.
+  util::Rng rng(2);
+  int top_bits = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const auto shares = sharing::split(12345, 2, rng);
+    top_bits += (shares[0] >> 63) & 1;
+  }
+  EXPECT_NEAR(static_cast<double>(top_bits) / trials, 0.5, 0.05);
+}
+
+TEST(SharingTest, SharesOfDifferentSecretsAreIndistinguishableMarginally) {
+  // The mean of share #0 must not reveal the secret: compare the top-bit
+  // frequency of shares of two very different secrets.
+  util::Rng rng(3);
+  auto top_bit_rate = [&](std::uint64_t secret) {
+    int bits = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+      bits += (sharing::split(secret, 3, rng)[0] >> 63) & 1;
+    }
+    return static_cast<double>(bits) / trials;
+  };
+  EXPECT_NEAR(top_bit_rate(0), top_bit_rate(~0ULL), 0.06);
+}
+
+TEST(DelegateCommitteeTest, ReconstructsTheSubmittedGame) {
+  util::Rng rng(4);
+  DelegateCommittee committee(3, 3, rng);
+  committee.submit_edge(0, 1, 10, 0.0, 0.03);
+  committee.submit_edge(1, 2, 12, -0.005, 0.0);
+  committee.submit_edge(2, 0, 15, 0.0, 0.0);
+  const Game game = committee.reconstruct_game();
+  ASSERT_EQ(game.num_edges(), 3);
+  EXPECT_EQ(game.edge(0).capacity, 10);
+  EXPECT_NEAR(game.edge(0).head_valuation, 0.03, 1e-9);
+  EXPECT_NEAR(game.edge(1).tail_valuation, -0.005, 1e-9);
+}
+
+TEST(DelegateCommitteeTest, RunMatchesPlaintextMechanism) {
+  util::Rng game_rng(5);
+  gen::GameConfig config;
+  const Game plaintext = gen::random_ba_game(12, 2, config, game_rng);
+
+  util::Rng share_rng(6);
+  DelegateCommittee committee(4, plaintext.num_players(), share_rng);
+  for (EdgeId e = 0; e < plaintext.num_edges(); ++e) {
+    const GameEdge& edge = plaintext.edge(e);
+    committee.submit_edge(edge.from, edge.to, edge.capacity,
+                          edge.tail_valuation, edge.head_valuation);
+  }
+  const M3DoubleAuction m3;
+  const Outcome via_committee = committee.run(m3);
+  const Outcome direct = m3.run_truthful(plaintext);
+  // Fixed-point encoding is exact for generator outputs at 1e-9
+  // granularity up to rounding; welfare must agree to that precision.
+  EXPECT_EQ(via_committee.circulation, direct.circulation);
+  EXPECT_NEAR(via_committee.realized_welfare(committee.reconstruct_game()),
+              direct.realized_welfare(plaintext), 1e-6);
+}
+
+TEST(DelegateCommitteeTest, ViewExposesOnlyShares) {
+  util::Rng rng(7);
+  DelegateCommittee committee(3, 2, rng);
+  committee.submit_edge(0, 1, 1000, 0.0, 0.05);
+  // Sum of all delegates' capacity shares reconstructs; single views are
+  // (overwhelmingly likely) not the capacity itself.
+  std::uint64_t sum = 0;
+  for (int d = 0; d < 3; ++d) {
+    sum += committee.view(d, 0).capacity_share;
+  }
+  EXPECT_EQ(sum, 1000u);
+}
+
+TEST(DelegateCommitteeDeathTest, RejectsSingleDelegate) {
+  util::Rng rng(8);
+  EXPECT_DEATH(DelegateCommittee(1, 2, rng), "single delegate");
+}
+
+}  // namespace
+}  // namespace musketeer::core

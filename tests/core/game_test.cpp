@@ -1,0 +1,113 @@
+#include "core/game.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::core {
+namespace {
+
+Game simple_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);    // depleted: buyer is player 1
+  game.add_edge(1, 2, 10, -0.005, 0.0);  // indifferent: seller is player 1
+  game.add_edge(2, 0, 10, 0.0, 0.0);     // free
+  return game;
+}
+
+TEST(GameTest, EdgeAccessorsAndDepletion) {
+  const Game game = simple_game();
+  EXPECT_EQ(game.num_players(), 3);
+  EXPECT_EQ(game.num_edges(), 3);
+  EXPECT_TRUE(game.is_depleted(0));
+  EXPECT_FALSE(game.is_depleted(1));
+  EXPECT_FALSE(game.is_depleted(2));
+}
+
+TEST(GameTest, TruthfulBidsMirrorValuations) {
+  const Game game = simple_game();
+  const BidVector bids = game.truthful_bids();
+  EXPECT_DOUBLE_EQ(bids.head[0], 0.03);
+  EXPECT_DOUBLE_EQ(bids.tail[1], -0.005);
+  EXPECT_TRUE(game.is_valid(bids));
+}
+
+TEST(GameTest, InvalidBidsRejected) {
+  const Game game = simple_game();
+  BidVector bids = game.truthful_bids();
+  bids.head[0] = 0.2;  // above the 10% bound
+  EXPECT_FALSE(game.is_valid(bids));
+  bids = game.truthful_bids();
+  bids.tail[1] = 0.01;  // positive seller bid
+  EXPECT_FALSE(game.is_valid(bids));
+  bids = game.truthful_bids();
+  bids.head.pop_back();  // size mismatch
+  EXPECT_FALSE(game.is_valid(bids));
+}
+
+TEST(GameTest, BuildGraphAggregatesStakes) {
+  const Game game = simple_game();
+  const flow::Graph g = game.build_graph(game.truthful_bids());
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge(0).gain, 0.03);
+  EXPECT_DOUBLE_EQ(g.edge(1).gain, -0.005);
+  EXPECT_DOUBLE_EQ(g.edge(2).gain, 0.0);
+}
+
+TEST(GameTest, BuildGraphWithoutZeroesIncidentCapacities) {
+  const Game game = simple_game();
+  const flow::Graph g = game.build_graph_without(game.truthful_bids(), 1);
+  EXPECT_EQ(g.edge(0).capacity, 0);  // 0->1 incident to player 1
+  EXPECT_EQ(g.edge(1).capacity, 0);  // 1->2 incident to player 1
+  EXPECT_EQ(g.edge(2).capacity, 10);
+}
+
+TEST(GameTest, PlayerValueSplitsTailAndHead) {
+  const Game game = simple_game();
+  const BidVector v = game.truthful_bids();
+  const flow::Circulation f{4, 4, 4};
+  // Player 1 is head of edge 0 (+0.03) and tail of edge 1 (-0.005).
+  EXPECT_NEAR(game.player_value(1, v, f), 4 * (0.03 - 0.005), 1e-12);
+  // Player 0 is tail of edge 0 (0) and head of edge 2 (0).
+  EXPECT_NEAR(game.player_value(0, v, f), 0.0, 1e-12);
+}
+
+TEST(GameTest, SocialWelfareIsSumOfPlayerValues) {
+  const Game game = simple_game();
+  const BidVector v = game.truthful_bids();
+  const flow::Circulation f{4, 4, 4};
+  double sum = 0.0;
+  for (PlayerId p = 0; p < game.num_players(); ++p) {
+    sum += game.player_value(p, v, f);
+  }
+  EXPECT_NEAR(game.social_welfare(v, f), sum, 1e-12);
+}
+
+TEST(GameTest, CyclePlayersAreTailsInOrder) {
+  const Game game = simple_game();
+  flow::CycleFlow cycle;
+  cycle.edges = {0, 1, 2};
+  cycle.amount = 1;
+  const auto players = game.cycle_players(cycle);
+  EXPECT_EQ(players, (std::vector<PlayerId>{0, 1, 2}));
+  EXPECT_TRUE(game.participates(0, cycle));
+  EXPECT_TRUE(game.participates(1, cycle));
+}
+
+TEST(GameTest, CycleWelfareMatchesSocialWelfareOfItsCirculation) {
+  const Game game = simple_game();
+  const BidVector v = game.truthful_bids();
+  flow::CycleFlow cycle;
+  cycle.edges = {0, 1, 2};
+  cycle.amount = 3;
+  EXPECT_NEAR(game.cycle_welfare(v, cycle),
+              game.social_welfare(v, flow::Circulation{3, 3, 3}), 1e-12);
+}
+
+TEST(GameDeathTest, RejectsOutOfRangeValuations) {
+  Game game(2);
+  EXPECT_DEATH(game.add_edge(0, 1, 1, 0.01, 0.0), "tail");
+  EXPECT_DEATH(game.add_edge(0, 1, 1, 0.0, -0.01), "head");
+  EXPECT_DEATH(game.add_edge(0, 1, 1, 0.0, 0.1), "head");
+}
+
+}  // namespace
+}  // namespace musketeer::core

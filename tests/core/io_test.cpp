@@ -1,0 +1,103 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/m3_double_auction.hpp"
+#include "gen/game_gen.hpp"
+
+namespace musketeer::core {
+namespace {
+
+Game sample_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, -0.005, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+TEST(IoTest, RoundTripPreservesEverything) {
+  const Game original = sample_game();
+  const Game parsed = game_from_text(to_text(original));
+  ASSERT_EQ(parsed.num_players(), original.num_players());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(parsed.edge(e).from, original.edge(e).from);
+    EXPECT_EQ(parsed.edge(e).to, original.edge(e).to);
+    EXPECT_EQ(parsed.edge(e).capacity, original.edge(e).capacity);
+    EXPECT_DOUBLE_EQ(parsed.edge(e).tail_valuation,
+                     original.edge(e).tail_valuation);
+    EXPECT_DOUBLE_EQ(parsed.edge(e).head_valuation,
+                     original.edge(e).head_valuation);
+  }
+}
+
+TEST(IoTest, RandomGamesRoundTrip) {
+  util::Rng rng(8);
+  gen::GameConfig config;
+  const Game original = gen::random_ba_game(20, 2, config, rng);
+  const Game parsed = game_from_text(to_text(original));
+  EXPECT_EQ(parsed.num_edges(), original.num_edges());
+  // The mechanisms must see an identical game.
+  const M3DoubleAuction m3;
+  EXPECT_NEAR(m3.run_truthful(parsed).realized_welfare(parsed),
+              m3.run_truthful(original).realized_welfare(original), 1e-9);
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "musketeer-game v1\n"
+      "# a comment\n"
+      "\n"
+      "players 2\n"
+      "edge 0 1 5 0 0.02   # trailing comment\n";
+  const Game game = game_from_text(text);
+  EXPECT_EQ(game.num_players(), 2);
+  EXPECT_EQ(game.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(game.edge(0).head_valuation, 0.02);
+}
+
+TEST(IoTest, RejectsMalformedInput) {
+  EXPECT_THROW(game_from_text("not a header\n"), std::runtime_error);
+  EXPECT_THROW(game_from_text("musketeer-game v1\nplayers -3\n"),
+               std::runtime_error);
+  EXPECT_THROW(game_from_text("musketeer-game v1\nplayers 2\n"
+                              "edge 0 5 1 0 0\n"),
+               std::runtime_error);  // endpoint out of range
+  EXPECT_THROW(game_from_text("musketeer-game v1\nplayers 2\n"
+                              "edge 0 1 1 0.01 0\n"),
+               std::runtime_error);  // positive tail bid
+  EXPECT_THROW(game_from_text("musketeer-game v1\nplayers 2\n"
+                              "edge 0 1 1 0 0.5\n"),
+               std::runtime_error);  // head above the 10% bound
+  EXPECT_THROW(game_from_text("musketeer-game v1\nplayers 2\n"
+                              "edge 0 1\n"),
+               std::runtime_error);  // truncated row
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "musketeer_io_test.game")
+          .string();
+  const Game original = sample_game();
+  save_game(original, path);
+  const Game loaded = load_game(path);
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_game(path), std::runtime_error);  // gone now
+}
+
+TEST(IoTest, DescribeOutcomeMentionsKeyFacts) {
+  const Game game = sample_game();
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  const std::string report = describe_outcome(game, outcome);
+  EXPECT_NE(report.find("cycles: 1"), std::string::npos);
+  EXPECT_NE(report.find("budget balance"), std::string::npos);
+  EXPECT_NE(report.find("pays"), std::string::npos);
+  EXPECT_NE(report.find("receives"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace musketeer::core

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/m1_fixed_fee.hpp"
+#include "core/properties.hpp"
+#include "gen/game_gen.hpp"
+
+namespace musketeer::core {
+namespace {
+
+TEST(M1SelfSelectionTest, FiltersByThresholds) {
+  Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.01);    // buyer above k*p = 0.006: stays
+  game.add_edge(1, 2, 10, 0.0, 0.004);   // buyer below: leaves
+  game.add_edge(2, 3, 10, -0.001, 0.0);  // seller cost < p = 0.002: stays
+  game.add_edge(3, 0, 10, -0.005, 0.0);  // seller cost > p: leaves
+  const Game filtered = m1_self_selected(game, 0.002, 3.0);
+  ASSERT_EQ(filtered.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(filtered.edge(0).head_valuation, 0.01);
+  EXPECT_DOUBLE_EQ(filtered.edge(1).tail_valuation, -0.001);
+}
+
+TEST(M1SelfSelectionTest, FreeCapacityAlwaysJoins) {
+  Game game(2);
+  game.add_edge(0, 1, 10, 0.0, 0.0);  // indifferent, zero cost
+  const Game filtered = m1_self_selected(game, 0.002, 3.0);
+  EXPECT_EQ(filtered.num_edges(), 1);
+}
+
+TEST(M1SelfSelectionTest, BoundaryValuesJoin) {
+  Game game(2);
+  game.add_edge(0, 1, 10, 0.0, 0.006);   // exactly k*p
+  game.add_edge(1, 0, 10, -0.002, 0.0);  // exactly p
+  const Game filtered = m1_self_selected(game, 0.002, 3.0);
+  EXPECT_EQ(filtered.num_edges(), 2);
+}
+
+TEST(M1SelfSelectionTest, GuaranteesIrOnArbitraryGames) {
+  // Theorem 2's real statement: run M1 on the self-selected participants
+  // and IR holds for everyone who joined — for ANY underlying game.
+  util::Rng rng(606);
+  const double p = 0.002, k = 3.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::GameConfig config;  // seller costs may exceed p; buyers may be low
+    config.buyer_min = 0.001;
+    config.seller_max = 0.008;
+    const Game game = gen::random_ba_game(16, 2, config, rng);
+    const Game participants = m1_self_selected(game, p, k);
+    const Outcome outcome =
+        M1FixedFee(p, k).run_truthful(participants);
+    EXPECT_TRUE(check_individual_rationality(participants, outcome).holds(1e-9))
+        << "trial " << trial;
+    EXPECT_TRUE(check_cyclic_budget_balance(outcome).holds(1e-9));
+  }
+}
+
+TEST(M1SelfSelectionTest, PlayersWithoutEdgesAreHarmless) {
+  Game game(5);
+  game.add_edge(0, 1, 10, 0.0, 0.01);
+  const Game filtered = m1_self_selected(game, 0.002, 3.0);
+  EXPECT_EQ(filtered.num_players(), 5);
+  const Outcome outcome = M1FixedFee(0.002, 3.0).run_truthful(filtered);
+  EXPECT_TRUE(outcome.cycles.empty());  // no return path
+}
+
+}  // namespace
+}  // namespace musketeer::core

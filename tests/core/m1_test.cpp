@@ -1,0 +1,112 @@
+#include "core/m1_fixed_fee.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+
+namespace musketeer::core {
+namespace {
+
+// Buyer on 0->1 plus two-hop indifferent return path 1->2->0.
+Game triangle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);  // depleted (declared)
+  game.add_edge(1, 2, 12, 0.0, 0.0);   // indifferent
+  game.add_edge(2, 0, 15, 0.0, 0.0);   // indifferent
+  return game;
+}
+
+TEST(M1Test, RunsCycleWhenAffordable) {
+  const Game game = triangle_game();
+  // k = 3 allows up to (just under) 3 indifferent edges per depleted edge.
+  const M1FixedFee m1(/*fee_rate=*/0.002, /*k=*/3.0);
+  const Outcome outcome = m1.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].cycle.amount, 10);
+}
+
+TEST(M1Test, SellersEarnExactlyTheFixedRate) {
+  const Game game = triangle_game();
+  const M1FixedFee m1(0.002, 3.0);
+  const Outcome outcome = m1.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  // Sellers: tails of edges 1 (player 1) and 2 (player 2). Player 1 is
+  // also the buyer (head of edge 0), paying both sellers' fees 2*p*10 =
+  // 0.04, netting 0.04 - 0.02 = 0.02; player 2 is a pure seller.
+  EXPECT_NEAR(pc.price_of(1), 0.002 * 10 * 2 - 0.002 * 10, 1e-12);
+  EXPECT_NEAR(pc.price_of(2), -0.002 * 10, 1e-12);
+}
+
+TEST(M1Test, BuyerChargedTotalSellerCostWithinBound) {
+  const Game game = triangle_game();
+  const double p_hat = 0.002, k = 3.0;
+  const M1FixedFee m1(p_hat, k);
+  const Outcome outcome = m1.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  // Buyer (player 1, head of edge 0) pays both sellers: 2 * p_hat * 10,
+  // a rate of 2 * p_hat <= k * p_hat.
+  EXPECT_NEAR(pc.price_of(1) - (-0.002 * 10), 2 * p_hat * 10, 1e-12);
+  EXPECT_NEAR(pc.budget_imbalance(), 0.0, 1e-12);
+}
+
+TEST(M1Test, RejectsCyclesWithTooManyIndifferentHops) {
+  // 4-cycle with 3 indifferent edges; k = 2 forbids it (3 > k - would
+  // need weight 2*p - 3*p < 0).
+  Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  game.add_edge(2, 3, 10, 0.0, 0.0);
+  game.add_edge(3, 0, 10, 0.0, 0.0);
+  const Outcome blocked = M1FixedFee(0.002, 2.0).run_truthful(game);
+  EXPECT_TRUE(blocked.cycles.empty());
+  const Outcome allowed = M1FixedFee(0.002, 4.0).run_truthful(game);
+  EXPECT_EQ(allowed.cycles.size(), 1u);
+}
+
+TEST(M1Test, UsesOnlyDepletionSignalNotBidMagnitude) {
+  const Game game = triangle_game();
+  const M1FixedFee m1(0.002, 3.0);
+  BidVector bids = game.truthful_bids();
+  bids.head[0] = 0.001;  // tiny but still positive: still declared depleted
+  const Outcome outcome = m1.run(game, bids);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].cycle.amount, 10);
+}
+
+TEST(M1Test, NoDepletedEdgesMeansNoRebalancing) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.0);
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  game.add_edge(2, 0, 10, 0.0, 0.0);
+  const Outcome outcome = M1FixedFee(0.002, 3.0).run_truthful(game);
+  EXPECT_TRUE(outcome.cycles.empty());
+}
+
+TEST(M1Test, MultiDepletedCycleSplitsCostEqually) {
+  // Two depleted edges share one indifferent hop: each buyer pays half.
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);  // depleted, buyer 1
+  game.add_edge(1, 2, 10, 0.0, 0.02);  // depleted, buyer 2
+  game.add_edge(2, 0, 10, 0.0, 0.0);   // indifferent, seller 2
+  const double p_hat = 0.002;
+  const Outcome outcome = M1FixedFee(p_hat, 3.0).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  const double cost = p_hat * 10;  // one indifferent edge
+  // Buyer 1 pays cost/2; player 2 pays cost/2 as buyer and earns cost as
+  // the seller of edge 2->0, netting -cost/2.
+  EXPECT_NEAR(pc.price_of(1), cost / 2, 1e-12);
+  EXPECT_NEAR(pc.price_of(2), cost / 2 - cost, 1e-12);
+  EXPECT_NEAR(pc.budget_imbalance(), 0.0, 1e-12);
+}
+
+TEST(M1DeathTest, ParameterValidation) {
+  EXPECT_DEATH(M1FixedFee(-0.001, 2.0), "fee rate");
+  EXPECT_DEATH(M1FixedFee(0.002, 0.5), "k");
+  EXPECT_DEATH(M1FixedFee(0.05, 3.0), "10%");
+}
+
+}  // namespace
+}  // namespace musketeer::core

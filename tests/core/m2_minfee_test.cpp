@@ -1,0 +1,106 @@
+#include "core/m2_minfee.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m2_vcg.hpp"
+#include "core/properties.hpp"
+
+namespace musketeer::core {
+namespace {
+
+// Single feasible cycle: vanilla M2 collects zero fees (no competition),
+// so the floor must be funded by topping up the buyer.
+Game single_cycle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+TEST(M2MinFeeTest, VanillaM2PaysSellersNothingHere) {
+  const Game game = single_cycle_game();
+  const Outcome outcome = M2Vcg().run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_NEAR(outcome.cycles[0].price_of(2), 0.0, 1e-12);
+}
+
+TEST(M2MinFeeTest, FloorIsFundedByBuyerTopUp) {
+  const Game game = single_cycle_game();
+  const double floor = 0.002;
+  const Outcome outcome = M2MinFee(floor).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  const double amount = static_cast<double>(pc.cycle.amount);
+  // All three participants are uncharged tails of one cycle edge each
+  // (VCG collects nothing without competition), so each is owed the
+  // floor; the buyer (player 1) funds all three top-ups and nets
+  // 3*floor - floor = 2*floor per 10 units.
+  EXPECT_NEAR(pc.price_of(0), -floor * amount, 1e-9);
+  EXPECT_NEAR(pc.price_of(2), -floor * amount, 1e-9);
+  EXPECT_NEAR(pc.price_of(1), 2 * floor * amount, 1e-9);
+  EXPECT_NEAR(pc.budget_imbalance(), 0.0, 1e-9);
+}
+
+TEST(M2MinFeeTest, StaysWithinBuyerBids) {
+  const Game game = single_cycle_game();
+  const Outcome outcome = M2MinFee(0.002).run_truthful(game);
+  const RationalityReport report =
+      check_individual_rationality(game, outcome);
+  EXPECT_TRUE(report.holds(1e-9));
+}
+
+TEST(M2MinFeeTest, DropsCyclesThatCannotFundTheFloor) {
+  // Buyer bid 0.004/unit; three uncharged tails at floor 0.002 need
+  // 0.006/unit — unaffordable, so the cycle must be dropped entirely.
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.004);
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  const Outcome outcome = M2MinFee(0.002).run_truthful(game);
+  EXPECT_TRUE(outcome.cycles.empty());
+  EXPECT_EQ(flow::total_volume(outcome.circulation), 0);
+}
+
+TEST(M2MinFeeTest, ZeroFloorReducesToM2) {
+  const Game game = single_cycle_game();
+  const Outcome a = M2Vcg().run_truthful(game);
+  const Outcome b = M2MinFee(0.0).run_truthful(game);
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.cycles.size(); ++i) {
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      EXPECT_NEAR(a.cycles[i].price_of(v), b.cycles[i].price_of(v), 1e-12);
+    }
+  }
+}
+
+TEST(M2MinFeeTest, CompetitiveFeesAlreadyAboveFloorAreUntouched) {
+  // Two competing buyers: the winner's VCG charge funds seller fees above
+  // a small floor, so no top-up happens.
+  Game game(4);
+  game.add_edge(2, 3, 5, 0.0, 0.0);
+  game.add_edge(3, 0, 10, 0.0, 0.04);
+  game.add_edge(0, 2, 10, 0.0, 0.0);
+  game.add_edge(3, 1, 10, 0.0, 0.035);
+  game.add_edge(1, 2, 10, 0.0, 0.0);
+  const Outcome vanilla = M2Vcg().run_truthful(game);
+  const Outcome floored = M2MinFee(0.001).run_truthful(game);
+  ASSERT_EQ(vanilla.cycles.size(), floored.cycles.size());
+  ASSERT_EQ(vanilla.cycles.size(), 1u);
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    EXPECT_NEAR(vanilla.cycles[0].price_of(v),
+                floored.cycles[0].price_of(v), 1e-9);
+  }
+}
+
+TEST(M2MinFeeTest, CyclicBudgetBalancePreserved) {
+  const Game game = single_cycle_game();
+  for (double floor : {0.0005, 0.002, 0.005}) {
+    const Outcome outcome = M2MinFee(floor).run_truthful(game);
+    EXPECT_TRUE(check_cyclic_budget_balance(outcome).holds(1e-9))
+        << "floor " << floor;
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::core

@@ -1,0 +1,110 @@
+#include "core/m3_double_auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/properties.hpp"
+
+namespace musketeer::core {
+namespace {
+
+// Triangle: buyer 1 bids 0.03 on 0->1; seller 1 charges 0.005 on 1->2;
+// 2->0 free. Cycle welfare per unit = 0.025.
+Game triangle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, -0.005, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+TEST(M3Test, SaturatesTheProfitableCycle) {
+  const Game game = triangle_game();
+  const M3DoubleAuction m3;
+  const Outcome outcome = m3.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].cycle.amount, 10);
+  EXPECT_EQ(outcome.cycles[0].cycle.length(), 3);
+}
+
+TEST(M3Test, PricesFollowWelfareShareFormula) {
+  const Game game = triangle_game();
+  const M3DoubleAuction m3;
+  const Outcome outcome = m3.run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  // SW per cycle = 10 * 0.025 = 0.25; share = 0.25/3 per player.
+  const double share = 0.25 / 3.0;
+  // Player 1: b_1(f) = 10*(0.03 - 0.005) = 0.25; price = 0.25 - share.
+  EXPECT_NEAR(pc.price_of(1), 0.25 - share, 1e-9);
+  // Players 0 and 2 bid nothing: price = -share (they receive).
+  EXPECT_NEAR(pc.price_of(0), -share, 1e-9);
+  EXPECT_NEAR(pc.price_of(2), -share, 1e-9);
+  EXPECT_NEAR(pc.budget_imbalance(), 0.0, 1e-12);
+}
+
+TEST(M3Test, NoDelaysInM3) {
+  const Game game = triangle_game();
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  for (const PricedCycle& pc : outcome.cycles) {
+    EXPECT_EQ(pc.release_time, 0.0);
+    EXPECT_EQ(pc.delay_bonus, 0.0);
+  }
+}
+
+TEST(M3Test, EmptyGameYieldsEmptyOutcome) {
+  Game game(4);
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  EXPECT_TRUE(outcome.cycles.empty());
+  EXPECT_EQ(flow::total_volume(outcome.circulation), 0);
+}
+
+TEST(M3Test, UtilityPerPlayerEqualsWelfareShare) {
+  // Theorem 4: per-cycle utility of a truthful player is SW(b, f_i)/n_i.
+  const Game game = triangle_game();
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  const double share = 0.25 / 3.0;
+  for (PlayerId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(outcome.player_utility(game, v), share, 1e-9) << "player " << v;
+  }
+}
+
+TEST(M3Test, NotTruthful_UnderbiddingGains) {
+  // The first-price shading incentive: the buyer can lower its bid while
+  // the cycle still runs, keeping more surplus.
+  const Game game = triangle_game();
+  const M3DoubleAuction m3;
+  const DeviationReport report = probe_truthfulness(
+      m3, game, /*player=*/1, {0.2, 0.4, 0.6, 0.8, 0.9, 1.1});
+  EXPECT_GT(report.gain(), 1e-6) << "M3 should be manipulable";
+  EXPECT_LT(report.best_scale, 1.0) << "gain should come from underbidding";
+}
+
+TEST(M3Test, SkipsNegativeWelfareCycles) {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.01);
+  game.add_edge(1, 2, 12, -0.05, 0.0);  // seller too expensive
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  EXPECT_TRUE(outcome.cycles.empty());
+}
+
+TEST(M3Test, TwoDisjointCyclesPricedIndependently) {
+  Game game(6);
+  game.add_edge(0, 1, 5, 0.0, 0.02);
+  game.add_edge(1, 2, 5, 0.0, 0.0);
+  game.add_edge(2, 0, 5, 0.0, 0.0);
+  game.add_edge(3, 4, 7, 0.0, 0.04);
+  game.add_edge(4, 5, 7, -0.01, 0.0);
+  game.add_edge(5, 3, 7, 0.0, 0.0);
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 2u);
+  for (const PricedCycle& pc : outcome.cycles) {
+    EXPECT_NEAR(pc.budget_imbalance(), 0.0, 1e-12);
+  }
+  const auto prices = outcome.total_prices(game.num_players());
+  // Players of cycle A are untouched by cycle B's pricing.
+  EXPECT_NEAR(prices[0], -5 * 0.02 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace musketeer::core

@@ -1,0 +1,100 @@
+#include "core/m4_delayed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "core/properties.hpp"
+
+namespace musketeer::core {
+namespace {
+
+Game triangle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, -0.005, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+TEST(M4Test, PricesMatchM3) {
+  const Game game = triangle_game();
+  const Outcome m3 = M3DoubleAuction().run_truthful(game);
+  const Outcome m4 = M4DelayedAuction(/*delay_factor=*/1.0).run_truthful(game);
+  ASSERT_EQ(m3.cycles.size(), m4.cycles.size());
+  for (std::size_t i = 0; i < m3.cycles.size(); ++i) {
+    for (PlayerId v = 0; v < game.num_players(); ++v) {
+      EXPECT_NEAR(m3.cycles[i].price_of(v), m4.cycles[i].price_of(v), 1e-12);
+    }
+  }
+}
+
+TEST(M4Test, DelayFormula) {
+  const Game game = triangle_game();
+  const double d = 1.0;
+  const Outcome outcome = M4DelayedAuction(d).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const PricedCycle& pc = outcome.cycles[0];
+  // SW = 0.25, n = 3 -> t = 1 - (2/3) * 0.25 / 1.0 = 5/6.
+  EXPECT_NEAR(pc.release_time, 1.0 - (2.0 / 3.0) * 0.25, 1e-12);
+  EXPECT_NEAR(pc.delay_bonus, d * (1.0 - pc.release_time), 1e-12);
+}
+
+TEST(M4Test, HighWelfareCyclesReleaseEarlier) {
+  Game game(6);
+  game.add_edge(0, 1, 5, 0.0, 0.01);  // low welfare cycle
+  game.add_edge(1, 2, 5, 0.0, 0.0);
+  game.add_edge(2, 0, 5, 0.0, 0.0);
+  game.add_edge(3, 4, 5, 0.0, 0.05);  // high welfare cycle
+  game.add_edge(4, 5, 5, 0.0, 0.0);
+  game.add_edge(5, 3, 5, 0.0, 0.0);
+  const Outcome outcome = M4DelayedAuction(1.0).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 2u);
+  double low_t = -1.0, high_t = -1.0;
+  for (const PricedCycle& pc : outcome.cycles) {
+    if (game.participates(0, pc.cycle)) low_t = pc.release_time;
+    if (game.participates(3, pc.cycle)) high_t = pc.release_time;
+  }
+  ASSERT_GE(low_t, 0.0);
+  ASSERT_GE(high_t, 0.0);
+  EXPECT_LT(high_t, low_t);
+}
+
+TEST(M4Test, DelayClampedToValidRange) {
+  // Tiny d forces the raw time negative -> clamp at 0.
+  const Game game = triangle_game();
+  const Outcome outcome = M4DelayedAuction(1e-4).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_EQ(outcome.cycles[0].release_time, 0.0);
+  EXPECT_NEAR(outcome.cycles[0].delay_bonus, 1e-4, 1e-15);
+}
+
+TEST(M4Test, TruthfulnessHoldsOnTriangle) {
+  const Game game = triangle_game();
+  const M4DelayedAuction m4(1.0);
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    const DeviationReport report = probe_truthfulness(
+        m4, game, v, {0.0, 0.25, 0.5, 0.75, 0.9, 1.1});
+    EXPECT_LE(report.gain(), 1e-9)
+        << "player " << v << " gains by scaling bids x" << report.best_scale;
+  }
+}
+
+TEST(M4Test, UtilityEqualsCycleWelfareUnderTruthfulBids) {
+  // Theorem 5: u_v(f_i) = SW(b, f_i) for every participant when truthful
+  // (with the delay bonus counted).
+  const Game game = triangle_game();
+  const Outcome outcome = M4DelayedAuction(1.0).run_truthful(game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  const double sw = game.cycle_welfare(game.truthful_bids(),
+                                       outcome.cycles[0].cycle);
+  for (PlayerId v = 0; v < game.num_players(); ++v) {
+    EXPECT_NEAR(outcome.player_utility(game, v), sw, 1e-9);
+  }
+}
+
+TEST(M4DeathTest, RejectsNonPositiveDelayFactor) {
+  EXPECT_DEATH(M4DelayedAuction(0.0), "delay factor");
+}
+
+}  // namespace
+}  // namespace musketeer::core

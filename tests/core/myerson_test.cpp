@@ -1,0 +1,87 @@
+#include "core/myerson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/properties.hpp"
+#include "flow/solver.hpp"
+
+namespace musketeer::core {
+namespace {
+
+TEST(MyersonTest, InstanceShape) {
+  const MyersonInstance inst = make_myerson_instance(0.02, 0.05);
+  EXPECT_EQ(inst.game.num_players(), 3);
+  EXPECT_EQ(inst.game.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(inst.game.edge(inst.seller_edge).tail_valuation, -0.02);
+  EXPECT_DOUBLE_EQ(inst.game.edge(inst.buyer_edge).head_valuation, 0.05);
+}
+
+TEST(MyersonTest, OnlyNonZeroCirculationIsTheTriangle) {
+  const MyersonInstance inst = make_myerson_instance(0.02, 0.05);
+  const flow::Graph g = inst.game.build_graph(inst.game.truthful_bids());
+  const flow::Circulation f = flow::solve_max_welfare(g);
+  EXPECT_EQ(f, (flow::Circulation{1, 1, 1}));
+}
+
+TEST(MyersonTest, EfficientMechanismTradesIffBuyerValuesMore) {
+  // Gains from trade -> the welfare-maximizing circulation trades.
+  {
+    const MyersonInstance inst = make_myerson_instance(0.02, 0.05);
+    const Outcome outcome = M3DoubleAuction().run_truthful(inst.game);
+    EXPECT_EQ(outcome.cycles.size(), 1u);
+  }
+  // No gains from trade -> no trade.
+  {
+    const MyersonInstance inst = make_myerson_instance(0.05, 0.02);
+    const Outcome outcome = M3DoubleAuction().run_truthful(inst.game);
+    EXPECT_TRUE(outcome.cycles.empty());
+  }
+}
+
+TEST(MyersonTest, M3SatisfiesEverythingButTruthfulnessHere) {
+  const MyersonInstance inst = make_myerson_instance(0.02, 0.05);
+  const M3DoubleAuction m3;
+  const Outcome outcome = m3.run_truthful(inst.game);
+  EXPECT_TRUE(check_cyclic_budget_balance(outcome).holds());
+  EXPECT_TRUE(check_individual_rationality(inst.game, outcome).holds());
+  // Theorem 1 bites through truthfulness: the buyer gains by shading.
+  const DeviationReport report = probe_truthfulness(
+      m3, inst.game, inst.buyer, {0.5, 0.6, 0.7, 0.8, 0.9});
+  EXPECT_GT(report.gain(), 0.0);
+}
+
+TEST(MyersonTest, M2SacrificesSellerRationalityHere) {
+  // M2 ignores the seller's reservation value: it trades even when the
+  // seller's cost exceeds the buyer's value, leaving the seller with
+  // negative utility — the double-auction impossibility surfacing as a
+  // seller-IR violation in the buyers-only relaxation.
+  const MyersonInstance inst = make_myerson_instance(0.05, 0.02);
+  const Outcome outcome = M2Vcg().run_truthful(inst.game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_LT(outcome.player_utility(inst.game, inst.seller), 0.0);
+}
+
+TEST(MyersonTest, M4BuysTruthfulnessWithDelay) {
+  const MyersonInstance inst = make_myerson_instance(0.02, 0.05, 10);
+  const M4DelayedAuction m4(1.0);
+  for (PlayerId v = 0; v < inst.game.num_players(); ++v) {
+    const DeviationReport report = probe_truthfulness(
+        m4, inst.game, v, {0.0, 0.3, 0.5, 0.8, 0.9, 1.1});
+    EXPECT_LE(report.gain(), 1e-9) << "player " << v;
+  }
+  const Outcome outcome = m4.run_truthful(inst.game);
+  ASSERT_EQ(outcome.cycles.size(), 1u);
+  EXPECT_GT(outcome.cycles[0].release_time, 0.0);  // the delay is the cost
+}
+
+TEST(MyersonTest, EfficientTradeHelper) {
+  EXPECT_TRUE(efficient_trade(0.02, 0.05));
+  EXPECT_FALSE(efficient_trade(0.05, 0.02));
+  EXPECT_FALSE(efficient_trade(0.03, 0.03));
+}
+
+}  // namespace
+}  // namespace musketeer::core

@@ -1,0 +1,107 @@
+#include "core/outcome.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::core {
+namespace {
+
+Game triangle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, -0.005, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+PricedCycle make_cycle(Amount amount) {
+  PricedCycle pc;
+  pc.cycle.edges = {0, 1, 2};
+  pc.cycle.amount = amount;
+  return pc;
+}
+
+TEST(OutcomeTest, PriceOfSumsDuplicateEntries) {
+  PricedCycle pc = make_cycle(1);
+  pc.prices = {{1, 0.5}, {1, 0.25}, {2, -0.75}};
+  EXPECT_DOUBLE_EQ(pc.price_of(1), 0.75);
+  EXPECT_DOUBLE_EQ(pc.price_of(2), -0.75);
+  EXPECT_DOUBLE_EQ(pc.price_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(pc.budget_imbalance(), 0.0);
+}
+
+TEST(OutcomeTest, DelayBonusFallsBackToUniform) {
+  PricedCycle pc = make_cycle(1);
+  pc.delay_bonus = 0.4;
+  EXPECT_DOUBLE_EQ(pc.delay_bonus_of(0), 0.4);
+  pc.player_delay_bonuses = {{0, 0.9}};
+  EXPECT_DOUBLE_EQ(pc.delay_bonus_of(0), 0.9);  // override
+  EXPECT_DOUBLE_EQ(pc.delay_bonus_of(1), 0.4);  // fallback
+}
+
+TEST(OutcomeTest, TotalPricesAggregateAcrossCycles) {
+  Outcome outcome;
+  PricedCycle a = make_cycle(1);
+  a.prices = {{0, 0.2}, {1, -0.2}};
+  PricedCycle b = make_cycle(2);
+  b.prices = {{0, 0.3}, {2, -0.3}};
+  outcome.cycles = {a, b};
+  const auto totals = outcome.total_prices(3);
+  EXPECT_DOUBLE_EQ(totals[0], 0.5);
+  EXPECT_DOUBLE_EQ(totals[1], -0.2);
+  EXPECT_DOUBLE_EQ(totals[2], -0.3);
+}
+
+TEST(OutcomeTest, PlayerUtilityCombinesValuePriceAndBonus) {
+  const Game game = triangle_game();
+  Outcome outcome;
+  outcome.circulation = {4, 4, 4};
+  PricedCycle pc = make_cycle(4);
+  pc.prices = {{1, 0.05}};
+  pc.delay_bonus = 0.01;
+  outcome.cycles = {pc};
+  // Player 1: value 4*(0.03-0.005)=0.1, price 0.05, bonus 0.01.
+  EXPECT_NEAR(outcome.player_utility(game, 1), 0.1 - 0.05 + 0.01, 1e-12);
+  // Player 0: no stakes, no price, but participates -> bonus only.
+  EXPECT_NEAR(outcome.player_utility(game, 0), 0.01, 1e-12);
+}
+
+TEST(OutcomeTest, NonParticipantsGetNothing) {
+  Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  // Player 3 exists but touches nothing.
+  Outcome outcome;
+  outcome.circulation = {4, 4, 4};
+  PricedCycle pc = make_cycle(4);
+  pc.delay_bonus = 0.5;
+  outcome.cycles = {pc};
+  EXPECT_DOUBLE_EQ(outcome.player_utility(game, 3), 0.0);
+}
+
+TEST(OutcomeTest, AllUtilitiesMatchesPerPlayer) {
+  const Game game = triangle_game();
+  Outcome outcome;
+  outcome.circulation = {4, 4, 4};
+  PricedCycle pc = make_cycle(4);
+  pc.prices = {{1, 0.05}, {0, -0.025}, {2, -0.025}};
+  outcome.cycles = {pc};
+  const auto all = outcome.all_utilities(game);
+  ASSERT_EQ(all.size(), 3u);
+  for (PlayerId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(v)],
+                     outcome.player_utility(game, v));
+  }
+}
+
+TEST(OutcomeTest, RealizedWelfareUsesTrueValuations) {
+  const Game game = triangle_game();
+  Outcome outcome;
+  outcome.circulation = {10, 10, 0};  // not a circulation; welfare is
+                                      // still a well-defined dot product
+  EXPECT_NEAR(outcome.realized_welfare(game), 10 * 0.03 + 10 * -0.005,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace musketeer::core

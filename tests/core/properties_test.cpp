@@ -1,0 +1,120 @@
+#include "core/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+
+namespace musketeer::core {
+namespace {
+
+Game triangle_game() {
+  Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, -0.005, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+TEST(PropertiesTest, BudgetBalanceDetectsImbalance) {
+  Outcome outcome;
+  PricedCycle pc;
+  pc.prices = {{0, 1.0}, {1, -0.4}};
+  outcome.cycles.push_back(pc);
+  const BudgetBalanceReport report = check_cyclic_budget_balance(outcome);
+  EXPECT_NEAR(report.max_cycle_imbalance, 0.6, 1e-12);
+  EXPECT_FALSE(report.holds());
+}
+
+TEST(PropertiesTest, BudgetBalanceAcceptsBalancedCycles) {
+  Outcome outcome;
+  PricedCycle a;
+  a.prices = {{0, 1.0}, {1, -1.0}};
+  PricedCycle b;
+  b.prices = {{2, 0.25}, {3, -0.125}, {4, -0.125}};
+  outcome.cycles = {a, b};
+  EXPECT_TRUE(check_cyclic_budget_balance(outcome).holds());
+}
+
+TEST(PropertiesTest, StrongButNotCyclicBalanceDetected) {
+  // Figure 2's distinction: cycles individually unbalanced but globally
+  // summing to zero pass strong budget balance yet fail CBB.
+  Outcome outcome;
+  PricedCycle a;
+  a.prices = {{0, 0.1}};
+  PricedCycle b;
+  b.prices = {{0, -0.1}};
+  outcome.cycles = {a, b};
+  const BudgetBalanceReport report = check_cyclic_budget_balance(outcome);
+  EXPECT_NEAR(report.total_imbalance, 0.0, 1e-12);  // strong BB holds
+  EXPECT_FALSE(report.holds());                     // CBB does not
+}
+
+TEST(PropertiesTest, RationalityReportsPerCycleMinimum) {
+  const Game game = triangle_game();
+  const Outcome outcome = M3DoubleAuction().run_truthful(game);
+  const RationalityReport report =
+      check_individual_rationality(game, outcome);
+  EXPECT_TRUE(report.holds());
+  EXPECT_EQ(report.violations, 0);
+  // Theorem 4: per-cycle utility is SW/n for everyone.
+  EXPECT_NEAR(report.min_cycle_utility, 0.25 / 3.0, 1e-9);
+}
+
+TEST(PropertiesTest, RationalityFlagsOvercharging) {
+  const Game game = triangle_game();
+  Outcome outcome = M3DoubleAuction().run_truthful(game);
+  ASSERT_FALSE(outcome.cycles.empty());
+  outcome.cycles[0].prices.push_back({0, 99.0});  // overcharge player 0
+  const RationalityReport report =
+      check_individual_rationality(game, outcome);
+  EXPECT_FALSE(report.holds());
+  EXPECT_GT(report.violations, 0);
+}
+
+TEST(PropertiesTest, EfficiencyCertifiesOptimalOutcome) {
+  const Game game = triangle_game();
+  const BidVector bids = game.truthful_bids();
+  const Outcome outcome = M3DoubleAuction().run(game, bids);
+  const EfficiencyReport report = check_efficiency(game, bids, outcome);
+  EXPECT_TRUE(report.certified_optimal);
+  EXPECT_NEAR(report.ratio(), 1.0, 1e-12);
+}
+
+TEST(PropertiesTest, EfficiencyRejectsEmptyOutcomeWhenWelfareAvailable) {
+  const Game game = triangle_game();
+  const BidVector bids = game.truthful_bids();
+  Outcome idle;
+  idle.circulation.assign(static_cast<std::size_t>(game.num_edges()), 0);
+  const EfficiencyReport report = check_efficiency(game, bids, idle);
+  EXPECT_FALSE(report.certified_optimal);
+  EXPECT_LT(report.ratio(), 1.0);
+}
+
+TEST(PropertiesTest, ScalePlayerBidsClampsAndTargetsOnlyThatPlayer) {
+  const Game game = triangle_game();
+  const BidVector truthful = game.truthful_bids();
+  const BidVector scaled = scale_player_bids(game, truthful, 1, 10.0);
+  // Player 1's buyer stake (head of edge 0) clamps below 0.1.
+  EXPECT_LT(scaled.head[0], kMaxFeeRate);
+  EXPECT_GT(scaled.head[0], truthful.head[0]);
+  // Player 1's seller stake (tail of edge 1) clamps above -0.1.
+  EXPECT_GT(scaled.tail[1], -kMaxFeeRate);
+  EXPECT_LT(scaled.tail[1], truthful.tail[1]);
+  // Other players' stakes untouched.
+  EXPECT_EQ(scaled.head[2], truthful.head[2]);
+  EXPECT_EQ(scaled.tail[2], truthful.tail[2]);
+}
+
+TEST(PropertiesTest, DeviationProbeFindsNoGainForConstantMechanism) {
+  // Sanity: a mechanism ignoring bids (M1-like fixed outcome) can't be
+  // gamed by bid scaling within a fixed depletion declaration.
+  const Game game = triangle_game();
+  const M3DoubleAuction m3;
+  const DeviationReport report =
+      probe_truthfulness(m3, game, /*player=*/2, {0.5, 1.5});
+  // Player 2 has no stakes at all; scaling does nothing.
+  EXPECT_NEAR(report.gain(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace musketeer::core

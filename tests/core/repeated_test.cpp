@@ -1,0 +1,124 @@
+#include "core/repeated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+
+namespace musketeer::core {
+namespace {
+
+// Single-cycle market where player 1 is the recurring buyer.
+GameSampler triangle_sampler() {
+  return [](util::Rng& rng) {
+    Game game(3);
+    game.add_edge(0, 1, 10, 0.0, rng.uniform_real(0.02, 0.04));
+    game.add_edge(1, 2, 12, -rng.uniform_real(0.001, 0.004), 0.0);
+    game.add_edge(2, 0, 15, 0.0, 0.0);
+    return game;
+  };
+}
+
+TEST(RepeatedTest, RunsAllRoundsAndReports) {
+  util::Rng rng(1);
+  RepeatedConfig config;
+  config.rounds = 50;
+  const M3DoubleAuction m3;
+  const RepeatedResult result =
+      run_repeated_game(m3, triangle_sampler(), {1}, config, rng);
+  EXPECT_EQ(result.mean_shading_per_round.size(), 50u);
+  EXPECT_EQ(result.total_utility.size(), 3u);
+  ASSERT_EQ(result.learned_shading.size(), 1u);
+  EXPECT_GT(result.welfare_ratio, 0.0);
+  EXPECT_LE(result.welfare_ratio, 1.0 + 1e-9);
+}
+
+TEST(RepeatedTest, NoAdaptivePlayersMeansTruthfulForever) {
+  util::Rng rng(2);
+  RepeatedConfig config;
+  config.rounds = 30;
+  const M3DoubleAuction m3;
+  const RepeatedResult result =
+      run_repeated_game(m3, triangle_sampler(), {}, config, rng);
+  EXPECT_NEAR(result.welfare_ratio, 1.0, 1e-9);
+  for (double s : result.mean_shading_per_round) EXPECT_EQ(s, 1.0);
+}
+
+TEST(RepeatedTest, AdaptiveBuyerLearnsToShadeUnderM3) {
+  // First-price dynamics: the buyer's learned shading factor should land
+  // strictly below truthful bidding.
+  util::Rng rng(3);
+  RepeatedConfig config;
+  config.rounds = 400;
+  config.persistence = 0.9;
+  const M3DoubleAuction m3;
+  const RepeatedResult result =
+      run_repeated_game(m3, triangle_sampler(), {1}, config, rng);
+  ASSERT_EQ(result.learned_shading.size(), 1u);
+  EXPECT_LT(result.learned_shading[0], 1.0);
+}
+
+TEST(RepeatedTest, TruthfulIsLearnedUnderM4WhenShadingKillsTrades) {
+  // Under M4 a participant's per-cycle utility is bid-independent *given*
+  // the trade, so shading can only ever lose trades. In a market where
+  // deep shading (0.4/0.6) sometimes drops the bid below the seller's
+  // cost, the bandit must learn a high factor.
+  const GameSampler tight_market = [](util::Rng& rng) {
+    Game game(3);
+    game.add_edge(0, 1, 10, 0.0, rng.uniform_real(0.02, 0.03));
+    game.add_edge(1, 2, 12, -rng.uniform_real(0.001, 0.015), 0.0);
+    game.add_edge(2, 0, 15, 0.0, 0.0);
+    return game;
+  };
+  util::Rng rng(4);
+  RepeatedConfig config;
+  config.rounds = 600;
+  config.epsilon = 0.2;
+  const M4DelayedAuction m4(/*delay_factor=*/10.0);
+  const RepeatedResult result =
+      run_repeated_game(m4, tight_market, {1}, config, rng);
+  ASSERT_EQ(result.learned_shading.size(), 1u);
+  EXPECT_GE(result.learned_shading[0], 0.8);
+}
+
+TEST(RepeatedTest, CarryoverBoostsPersistentDemand) {
+  // With persistence 1 and a mechanism that never trades (shading to 0
+  // by an adaptive rival is irrelevant here), losing buyers' urgency
+  // compounds. Use a game whose cycle is never profitable so demand
+  // always persists, and check it caps rather than overflowing the valid
+  // bid range — the run must simply not crash and stay valid.
+  util::Rng rng(5);
+  RepeatedConfig config;
+  config.rounds = 40;
+  config.persistence = 1.0;
+  const auto sampler = [](util::Rng&) {
+    Game game(3);
+    game.add_edge(0, 1, 10, 0.0, 0.01);
+    game.add_edge(1, 2, 12, -0.09, 0.0);  // blocking seller cost
+    game.add_edge(2, 0, 15, 0.0, 0.0);
+    return game;
+  };
+  const M3DoubleAuction m3;
+  const RepeatedResult result =
+      run_repeated_game(m3, sampler, {}, config, rng);
+  // Demand compounds up to the cap but the cycle stays unprofitable
+  // (0.09 seller cost > capped < 0.1 buyer value - 0.09 seller... the
+  // boosted bid tops out just below 0.1, eventually exceeding 0.09).
+  EXPECT_EQ(result.total_utility.size(), 3u);
+}
+
+TEST(RepeatedTest, DeterministicGivenSeed) {
+  RepeatedConfig config;
+  config.rounds = 60;
+  const M3DoubleAuction m3;
+  util::Rng a(7), b(7);
+  const RepeatedResult ra =
+      run_repeated_game(m3, triangle_sampler(), {1}, config, a);
+  const RepeatedResult rb =
+      run_repeated_game(m3, triangle_sampler(), {1}, config, b);
+  EXPECT_EQ(ra.mean_shading_per_round, rb.mean_shading_per_round);
+  EXPECT_EQ(ra.learned_shading, rb.learned_shading);
+}
+
+}  // namespace
+}  // namespace musketeer::core

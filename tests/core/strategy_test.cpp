@@ -1,0 +1,71 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+
+namespace musketeer::core {
+namespace {
+
+// The §4 pattern instance (see examples/collusion_demo).
+Game collusion_game() {
+  Game game(4);
+  game.add_edge(1, 0, 20, 0.0, 0.015);
+  game.add_edge(3, 2, 20, 0.0, 0.04);
+  game.add_edge(2, 1, 20, -0.001, 0.0);
+  game.add_edge(0, 3, 20, -0.001, 0.0);
+  return game;
+}
+
+TEST(StrategyTest, WithholdZeroesHeadBidOnly) {
+  const Game game = collusion_game();
+  const BidVector truthful = game.truthful_bids();
+  const BidVector withheld = withhold_edge_bid(game, truthful, 0);
+  EXPECT_EQ(withheld.head[0], 0.0);
+  EXPECT_EQ(withheld.tail[0], truthful.tail[0]);
+  for (std::size_t e = 1; e < truthful.size(); ++e) {
+    EXPECT_EQ(withheld.head[e], truthful.head[e]);
+  }
+}
+
+TEST(StrategyTest, CollusionProbeFindsThePaperPattern) {
+  const Game game = collusion_game();
+  const M3DoubleAuction m3;
+  const CollusionReport report =
+      probe_collusion(m3, game, 0, 1, {0.0, 0.5, 1.0});
+  EXPECT_GT(report.gain(), 1e-6);
+  EXPECT_GE(report.best_joint_utility, report.honest_joint_utility);
+  EXPECT_EQ(report.first, 0);
+  EXPECT_EQ(report.second, 1);
+}
+
+TEST(StrategyTest, HonestBaselineIsIncludedInSearch) {
+  // The probe never reports a best worse than honest.
+  const Game game = collusion_game();
+  const M4DelayedAuction m4(100.0);
+  const CollusionReport report =
+      probe_collusion(m4, game, 2, 3, {0.0, 0.25, 0.75, 1.0});
+  EXPECT_GE(report.gain(), -1e-12);
+}
+
+TEST(StrategyTest, NoGainWhenPlayersHaveNoStakes) {
+  Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.02);
+  game.add_edge(1, 0, 10, 0.0, 0.0);
+  const M3DoubleAuction m3;
+  // Players 2 and 3 have no edges at all.
+  const CollusionReport report =
+      probe_collusion(m3, game, 2, 3, {0.0, 0.5, 1.0});
+  EXPECT_NEAR(report.gain(), 0.0, 1e-12);
+  EXPECT_NEAR(report.honest_joint_utility, 0.0, 1e-12);
+}
+
+TEST(StrategyDeathTest, RejectsSelfCollusion) {
+  const Game game = collusion_game();
+  const M3DoubleAuction m3;
+  EXPECT_DEATH(probe_collusion(m3, game, 1, 1, {1.0}), "first != second");
+}
+
+}  // namespace
+}  // namespace musketeer::core

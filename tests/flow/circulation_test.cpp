@@ -1,0 +1,72 @@
+#include "flow/circulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::flow {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 10, 0.02);
+  g.add_edge(1, 2, 10, -0.01);
+  g.add_edge(2, 0, 10, 0.0);
+  return g;
+}
+
+TEST(CirculationTest, ZeroCirculationIsFeasible) {
+  const Graph g = triangle();
+  const Circulation f = zero_circulation(g);
+  EXPECT_TRUE(is_feasible(g, f));
+  EXPECT_EQ(total_volume(f), 0);
+  EXPECT_DOUBLE_EQ(welfare(g, f), 0.0);
+}
+
+TEST(CirculationTest, UniformCycleFlowConserves) {
+  const Graph g = triangle();
+  const Circulation f{5, 5, 5};
+  EXPECT_TRUE(conserves_flow(g, f));
+  EXPECT_TRUE(within_capacity(g, f));
+  EXPECT_TRUE(is_feasible(g, f));
+}
+
+TEST(CirculationTest, NonUniformFlowViolatesConservation) {
+  const Graph g = triangle();
+  const Circulation f{5, 4, 5};
+  EXPECT_FALSE(conserves_flow(g, f));
+  EXPECT_FALSE(is_feasible(g, f));
+}
+
+TEST(CirculationTest, OverCapacityDetected) {
+  const Graph g = triangle();
+  const Circulation f{11, 11, 11};
+  EXPECT_TRUE(conserves_flow(g, f));
+  EXPECT_FALSE(within_capacity(g, f));
+}
+
+TEST(CirculationTest, NegativeFlowDetected) {
+  const Graph g = triangle();
+  const Circulation f{-1, -1, -1};
+  EXPECT_FALSE(within_capacity(g, f));
+}
+
+TEST(CirculationTest, WelfareExactArithmetic) {
+  const Graph g = triangle();
+  const Circulation f{5, 5, 5};
+  // 5 * (0.02 - 0.01 + 0.0) = 0.05, computed exactly in scaled units.
+  EXPECT_EQ(scaled_welfare(g, f), static_cast<__int128>(50'000'000));
+  EXPECT_DOUBLE_EQ(welfare(g, f), 0.05);
+}
+
+TEST(CirculationTest, AddCombinesPointwise) {
+  const Circulation a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(add(a, b), (Circulation{5, 7, 9}));
+}
+
+TEST(CirculationTest, WrongSizeIsInfeasible) {
+  const Graph g = triangle();
+  EXPECT_FALSE(conserves_flow(g, Circulation{1, 1}));
+  EXPECT_FALSE(within_capacity(g, Circulation{1, 1}));
+}
+
+}  // namespace
+}  // namespace musketeer::flow

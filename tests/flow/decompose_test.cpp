@@ -1,0 +1,134 @@
+#include "flow/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/solver.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+TEST(DecomposeTest, ZeroCirculationDecomposesToNothing) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0.0);
+  const auto cycles = decompose_sign_consistent(g, zero_circulation(g));
+  EXPECT_TRUE(cycles.empty());
+}
+
+TEST(DecomposeTest, SingleCycleRecovered) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(1, 2, 5, 0.0);
+  g.add_edge(2, 0, 5, 0.0);
+  const Circulation f{3, 3, 3};
+  const auto cycles = decompose_sign_consistent(g, f);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].amount, 3);
+  EXPECT_EQ(cycles[0].length(), 3);
+  EXPECT_TRUE(is_valid_decomposition(g, f, cycles));
+}
+
+TEST(DecomposeTest, FigureEightSplitsAtSharedVertex) {
+  // Two triangles sharing vertex 0: the circulation routing both must
+  // decompose into two simple cycles.
+  Graph g(5);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(1, 2, 5, 0.0);
+  g.add_edge(2, 0, 5, 0.0);
+  g.add_edge(0, 3, 5, 0.0);
+  g.add_edge(3, 4, 5, 0.0);
+  g.add_edge(4, 0, 5, 0.0);
+  const Circulation f{2, 2, 2, 3, 3, 3};
+  const auto cycles = decompose_sign_consistent(g, f);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_TRUE(is_valid_decomposition(g, f, cycles));
+}
+
+TEST(DecomposeTest, NestedAmountsPeelCorrectly) {
+  // One long cycle at weight 1 overlapping a short cycle at weight 2.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 9, 0.0);
+  const EdgeId e12 = g.add_edge(1, 2, 9, 0.0);
+  const EdgeId e20 = g.add_edge(2, 0, 9, 0.0);
+  const EdgeId e23 = g.add_edge(2, 3, 9, 0.0);
+  const EdgeId e30 = g.add_edge(3, 0, 9, 0.0);
+  Circulation f(5, 0);
+  // 3 units around 0-1-2-0 plus 2 units around 0-1-2-3-0.
+  f[static_cast<std::size_t>(e01)] = 5;
+  f[static_cast<std::size_t>(e12)] = 5;
+  f[static_cast<std::size_t>(e20)] = 3;
+  f[static_cast<std::size_t>(e23)] = 2;
+  f[static_cast<std::size_t>(e30)] = 2;
+  ASSERT_TRUE(is_feasible(g, f));
+  const auto cycles = decompose_sign_consistent(g, f);
+  EXPECT_TRUE(is_valid_decomposition(g, f, cycles));
+  Amount total = 0;
+  for (const auto& c : cycles) total += c.amount * c.length();
+  EXPECT_EQ(total, total_volume(f));
+}
+
+TEST(DecomposeTest, CycleWelfareMatchesGains) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0.03);
+  g.add_edge(1, 2, 5, -0.01);
+  g.add_edge(2, 0, 5, 0.0);
+  CycleFlow cycle;
+  cycle.edges = {0, 1, 2};
+  cycle.amount = 4;
+  EXPECT_NEAR(cycle_welfare(g, cycle), 4 * 0.02, 1e-12);
+}
+
+TEST(DecomposeTest, ValidationRejectsBrokenChain) {
+  Graph g(4);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(2, 3, 5, 0.0);  // not connected to the first edge
+  CycleFlow bogus;
+  bogus.edges = {0, 1};
+  bogus.amount = 1;
+  EXPECT_FALSE(is_valid_decomposition(g, Circulation{1, 1}, {bogus}));
+}
+
+TEST(DecomposeTest, ValidationRejectsWrongSum) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(1, 2, 5, 0.0);
+  g.add_edge(2, 0, 5, 0.0);
+  CycleFlow cycle;
+  cycle.edges = {0, 1, 2};
+  cycle.amount = 2;
+  EXPECT_FALSE(is_valid_decomposition(g, Circulation{3, 3, 3}, {cycle}));
+}
+
+// Property: solver output always decomposes validly, cycles are at most
+// |E|, every cycle has positive amount, and (for optimal circulations)
+// non-negative welfare — the paper's argument for individual rationality.
+class DecomposeRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecomposeRandomTest, SolverOutputDecomposesWithNonNegativeCycles) {
+  util::Rng rng(GetParam());
+  const auto n = static_cast<NodeId>(rng.uniform_int(3, 15));
+  Graph g(n);
+  const int m = static_cast<int>(rng.uniform_int(n, 5 * n));
+  for (int e = 0; e < m; ++e) {
+    const auto u = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    g.add_edge(u, v, rng.uniform_int(1, 30), rng.uniform_real(-0.05, 0.05));
+  }
+  const Circulation f = solve_max_welfare(g);
+  const auto cycles = decompose_sign_consistent(g, f);
+  EXPECT_TRUE(is_valid_decomposition(g, f, cycles));
+  EXPECT_LE(cycles.size(), static_cast<std::size_t>(g.num_edges()));
+  for (const auto& cycle : cycles) {
+    EXPECT_GT(cycle.amount, 0);
+    // Optimality implies every cycle of the decomposition has
+    // non-negative welfare (otherwise removing it improves welfare).
+    EXPECT_GE(scaled_cycle_welfare(g, cycle), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DecomposeRandomTest,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace musketeer::flow

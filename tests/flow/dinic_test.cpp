@@ -1,0 +1,102 @@
+#include "flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+TEST(DinicTest, SingleEdge) {
+  Dinic d(2);
+  d.add_edge(0, 1, 5);
+  EXPECT_EQ(d.solve(0, 1), 5);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  Dinic d(3);
+  d.add_edge(0, 1, 5);
+  d.add_edge(1, 2, 3);
+  EXPECT_EQ(d.solve(0, 2), 3);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  Dinic d(4);
+  d.add_edge(0, 1, 3);
+  d.add_edge(1, 3, 3);
+  d.add_edge(0, 2, 4);
+  d.add_edge(2, 3, 4);
+  EXPECT_EQ(d.solve(0, 3), 7);
+}
+
+TEST(DinicTest, ClassicAugmentingPathInstance) {
+  // The textbook diamond where a naive greedy needs the residual arc.
+  Dinic d(4);
+  d.add_edge(0, 1, 1);
+  d.add_edge(0, 2, 1);
+  d.add_edge(1, 2, 1);
+  d.add_edge(1, 3, 1);
+  d.add_edge(2, 3, 1);
+  EXPECT_EQ(d.solve(0, 3), 2);
+}
+
+TEST(DinicTest, DisconnectedIsZero) {
+  Dinic d(4);
+  d.add_edge(0, 1, 5);
+  d.add_edge(2, 3, 5);
+  EXPECT_EQ(d.solve(0, 3), 0);
+}
+
+TEST(DinicTest, FlowOnReportsPerEdgeFlow) {
+  Dinic d(3);
+  const int a = d.add_edge(0, 1, 5);
+  const int b = d.add_edge(1, 2, 3);
+  EXPECT_EQ(d.solve(0, 2), 3);
+  EXPECT_EQ(d.flow_on(a), 3);
+  EXPECT_EQ(d.flow_on(b), 3);
+}
+
+TEST(DinicTest, MaxFlowEqualsMinCutOnRandomGraphs) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId n = static_cast<NodeId>(rng.uniform_int(4, 10));
+    Dinic d(n);
+    struct E { NodeId u, v; Amount c; };
+    std::vector<E> edges;
+    const int m = static_cast<int>(rng.uniform_int(n, 3 * n));
+    for (int e = 0; e < m; ++e) {
+      const auto u = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+      auto v = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (u == v) v = static_cast<NodeId>((v + 1) % n);
+      const Amount c = rng.uniform_int(1, 10);
+      d.add_edge(u, v, c);
+      edges.push_back({u, v, c});
+    }
+    const Amount flow_value = d.solve(0, n - 1);
+    // Brute-force min cut over all 2^(n-2) source-side subsets.
+    Amount min_cut = std::numeric_limits<Amount>::max();
+    const int inner = n - 2;
+    for (std::uint64_t mask = 0; mask < (1ULL << inner); ++mask) {
+      std::vector<bool> source_side(static_cast<std::size_t>(n), false);
+      source_side[0] = true;
+      for (int i = 0; i < inner; ++i) {
+        source_side[static_cast<std::size_t>(i + 1)] = (mask >> i) & 1;
+      }
+      Amount cut = 0;
+      for (const E& e : edges) {
+        if (source_side[static_cast<std::size_t>(e.u)] &&
+            !source_side[static_cast<std::size_t>(e.v)]) {
+          cut += e.c;
+        }
+      }
+      min_cut = std::min(min_cut, cut);
+    }
+    EXPECT_EQ(flow_value, min_cut) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::flow

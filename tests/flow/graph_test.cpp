@@ -1,0 +1,75 @@
+#include "flow/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::flow {
+namespace {
+
+TEST(GraphTest, AddEdgeAndAccessors) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 10, 0.05);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).from, 0);
+  EXPECT_EQ(g.edge(e).to, 1);
+  EXPECT_EQ(g.edge(e).capacity, 10);
+  EXPECT_DOUBLE_EQ(g.edge(e).gain, 0.05);
+}
+
+TEST(GraphTest, ScaledGainIsExact) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1, 0.05);
+  EXPECT_EQ(g.scaled_gain(e), 50'000'000);
+  const EdgeId f = g.add_edge(1, 0, 1, -0.001);
+  EXPECT_EQ(g.scaled_gain(f), -1'000'000);
+}
+
+TEST(GraphTest, AdjacencyLists) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1, 1, 0.0);
+  const EdgeId b = g.add_edge(0, 2, 1, 0.0);
+  const EdgeId c = g.add_edge(3, 0, 1, 0.0);
+  ASSERT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(0)[0], a);
+  EXPECT_EQ(g.out_edges(0)[1], b);
+  ASSERT_EQ(g.in_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(0)[0], c);
+  EXPECT_TRUE(g.out_edges(1).empty());
+}
+
+TEST(GraphTest, AntiparallelAndParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1, 5, 0.01);
+  g.add_edge(1, 0, 5, 0.01);
+  g.add_edge(0, 1, 7, -0.01);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+}
+
+TEST(GraphTest, SetGainUpdatesScaledGain) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1, 0.01);
+  g.set_gain(e, -0.02);
+  EXPECT_DOUBLE_EQ(g.edge(e).gain, -0.02);
+  EXPECT_EQ(g.scaled_gain(e), -20'000'000);
+}
+
+TEST(GraphTest, TotalCapacity) {
+  Graph g(3);
+  g.add_edge(0, 1, 4, 0.0);
+  g.add_edge(1, 2, 6, 0.0);
+  EXPECT_EQ(g.total_capacity(), 10);
+}
+
+TEST(GraphDeathTest, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1, 1, 0.0), "self-loop");
+}
+
+TEST(GraphDeathTest, RejectsNegativeCapacity) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 1, -1, 0.0), "capacity");
+}
+
+}  // namespace
+}  // namespace musketeer::flow

@@ -1,0 +1,89 @@
+#include "flow/min_mean_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/residual.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+std::vector<ResidualArc> zero_residual(const Graph& g) {
+  return build_residual(g, zero_circulation(g));
+}
+
+double mean_to_double(const MeanValue& m) {
+  return static_cast<double>(m.num) / static_cast<double>(m.den);
+}
+
+TEST(MinMeanCycleTest, AcyclicReturnsNullopt) {
+  Graph g(3);
+  g.add_edge(0, 1, 1, 0.01);
+  g.add_edge(1, 2, 1, 0.01);
+  EXPECT_FALSE(min_mean_cycle(g.num_nodes(), zero_residual(g)).has_value());
+}
+
+TEST(MinMeanCycleTest, SingleCycleMeanIsExact) {
+  Graph g(3);
+  g.add_edge(0, 1, 1, 0.03);
+  g.add_edge(1, 2, 1, 0.0);
+  g.add_edge(2, 0, 1, 0.0);
+  const auto arcs = zero_residual(g);
+  const auto mmc = min_mean_cycle(g.num_nodes(), arcs);
+  ASSERT_TRUE(mmc.has_value());
+  // Cost per arc: -0.03, 0, 0 scaled by 1e9; mean = -1e7.
+  EXPECT_NEAR(mean_to_double(mmc->mean), -1e7, 1.0);
+  EXPECT_TRUE(mmc->mean.is_negative());
+  EXPECT_EQ(mmc->arcs.size(), 3u);
+}
+
+TEST(MinMeanCycleTest, PicksTheMoreNegativeMeanCycle) {
+  Graph g(5);
+  // Cycle A: 0->1->0 with mean gain 0.01 per edge.
+  g.add_edge(0, 1, 1, 0.02);
+  g.add_edge(1, 0, 1, 0.0);
+  // Cycle B: 2->3->4->2 with mean gain 0.03 per edge.
+  g.add_edge(2, 3, 1, 0.05);
+  g.add_edge(3, 4, 1, 0.05);
+  g.add_edge(4, 2, 1, -0.01);
+  const auto arcs = zero_residual(g);
+  const auto mmc = min_mean_cycle(g.num_nodes(), arcs);
+  ASSERT_TRUE(mmc.has_value());
+  EXPECT_NEAR(mean_to_double(mmc->mean), -0.03 * 1e9, 1.0);
+  EXPECT_EQ(mmc->arcs.size(), 3u);
+}
+
+TEST(MinMeanCycleTest, NonNegativeMeanWhenNoProfitableCycle) {
+  Graph g(2);
+  g.add_edge(0, 1, 1, 0.01);
+  g.add_edge(1, 0, 1, -0.03);
+  const auto mmc = min_mean_cycle(g.num_nodes(), zero_residual(g));
+  ASSERT_TRUE(mmc.has_value());
+  EXPECT_FALSE(mmc->mean.is_negative());
+  EXPECT_NEAR(mean_to_double(mmc->mean), 0.01 * 1e9, 1.0);
+}
+
+TEST(MinMeanCycleTest, WitnessCycleCostMatchesMeanTimesLength) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g(6);
+    for (int e = 0; e < 12; ++e) {
+      const auto u = static_cast<NodeId>(rng.uniform(6));
+      auto v = static_cast<NodeId>(rng.uniform(6));
+      if (u == v) v = static_cast<NodeId>((v + 1) % 6);
+      g.add_edge(u, v, 1, rng.uniform_real(-0.05, 0.05));
+    }
+    const auto arcs = zero_residual(g);
+    const auto mmc = min_mean_cycle(g.num_nodes(), arcs);
+    if (!mmc) continue;
+    std::int64_t cost = 0;
+    for (int a : mmc->arcs) cost += arcs[static_cast<std::size_t>(a)].cost;
+    // Witness achieves the min mean exactly: cost * den == num * length.
+    EXPECT_EQ(static_cast<__int128>(cost) * mmc->mean.den,
+              static_cast<__int128>(mmc->mean.num) *
+                  static_cast<std::int64_t>(mmc->arcs.size()));
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::flow

@@ -1,0 +1,131 @@
+#include "flow/netting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flow/solver.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+TEST(NettingTest, FindsAntiparallelPairs) {
+  Graph g(3);
+  const EdgeId ab = g.add_edge(0, 1, 5, 0.0);
+  const EdgeId ba = g.add_edge(1, 0, 5, 0.0);
+  g.add_edge(1, 2, 5, 0.0);  // unpaired
+  const auto pairs = antiparallel_pairs(g);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (EdgePair{ab, ba}));
+}
+
+TEST(NettingTest, ParallelEdgesMatchGreedily) {
+  Graph g(2);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(0, 1, 5, 0.0);
+  g.add_edge(1, 0, 5, 0.0);
+  // Two forward, one backward: exactly one pair.
+  EXPECT_EQ(antiparallel_pairs(g).size(), 1u);
+}
+
+TEST(NettingTest, CancelsOpposingFlow) {
+  Graph g(2);
+  g.add_edge(0, 1, 10, 0.0);
+  g.add_edge(1, 0, 10, 0.0);
+  Circulation f{7, 4};
+  const auto pairs = antiparallel_pairs(g);
+  EXPECT_FALSE(is_channel_sign_consistent(g, pairs, f));
+  const Amount netted = net_opposing_flows(g, pairs, f);
+  EXPECT_EQ(netted, 4);
+  EXPECT_EQ(f, (Circulation{3, 0}));
+  EXPECT_TRUE(is_channel_sign_consistent(g, pairs, f));
+}
+
+TEST(NettingTest, PreservesConservation) {
+  Graph g(3);
+  g.add_edge(0, 1, 10, 0.0);
+  g.add_edge(1, 0, 10, 0.0);
+  g.add_edge(1, 2, 10, 0.0);
+  g.add_edge(2, 1, 10, 0.0);
+  // Two opposing 2-cycles.
+  Circulation f{6, 6, 3, 3};
+  ASSERT_TRUE(conserves_flow(g, f));
+  const auto pairs = antiparallel_pairs(g);
+  net_opposing_flows(g, pairs, f);
+  EXPECT_TRUE(conserves_flow(g, f));
+  EXPECT_EQ(total_volume(f), 0);
+}
+
+TEST(NettingTest, NoOpWhenAlreadyConsistent) {
+  Graph g(3);
+  g.add_edge(0, 1, 10, 0.0);
+  g.add_edge(1, 2, 10, 0.0);
+  g.add_edge(2, 0, 10, 0.0);
+  Circulation f{5, 5, 5};
+  const auto pairs = antiparallel_pairs(g);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(net_opposing_flows(g, pairs, f), 0);
+  EXPECT_EQ(f, (Circulation{5, 5, 5}));
+}
+
+TEST(NettingTest, WelfareChangeIsExactlyTheCancelledPairGains) {
+  Graph g(2);
+  const EdgeId ab = g.add_edge(0, 1, 10, 0.03);
+  const EdgeId ba = g.add_edge(1, 0, 10, -0.01);
+  Circulation f{6, 4};
+  const __int128 before = scaled_welfare(g, f);
+  const auto pairs = antiparallel_pairs(g);
+  net_opposing_flows(g, pairs, f);
+  // 4 units of the (0.03, -0.01) pair cancelled: welfare drops by
+  // 4 * 0.02 in exact scaled units.
+  EXPECT_EQ(before - scaled_welfare(g, f),
+            static_cast<__int128>(4) * scale_gain(0.02));
+  (void)ab;
+  (void)ba;
+}
+
+TEST(NettingTest, PhysicallyValidChannelsYieldNettedOptima) {
+  // For physically consistent channels — at most one direction of a
+  // channel is depleted, the reverse is a (non-positive) seller edge —
+  // every antiparallel gain pair sums <= 0, so the welfare optimum never
+  // routes both directions except at exactly zero net gain. Netting then
+  // leaves welfare unchanged.
+  util::Rng rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g(6);
+    // At most one channel per node pair: antiparallel_pairs' greedy
+    // matching then corresponds exactly to physical channels.
+    std::set<std::pair<NodeId, NodeId>> used;
+    for (int c = 0; c < 9; ++c) {
+      const auto u = static_cast<NodeId>(rng.uniform(6));
+      auto v = static_cast<NodeId>(rng.uniform(6));
+      if (u == v) v = static_cast<NodeId>((v + 1) % 6);
+      const auto key = std::minmax(u, v);
+      if (!used.insert({key.first, key.second}).second) continue;
+      if (rng.bernoulli(0.4)) {
+        // Depleted channel: a single buyer direction (the depleted side
+        // has nothing to sell back).
+        g.add_edge(u, v, rng.uniform_int(1, 9), rng.uniform_real(0.0, 0.05));
+      } else {
+        // Indifferent channel: sellers both ways, pair gains sum <= 0.
+        g.add_edge(u, v, rng.uniform_int(1, 9),
+                   -rng.uniform_real(0.0, 0.005));
+        g.add_edge(v, u, rng.uniform_int(1, 9),
+                   -rng.uniform_real(0.0, 0.005));
+      }
+    }
+    const Circulation f = solve_max_welfare(g);
+    Circulation netted = f;
+    const auto pairs = antiparallel_pairs(g);
+    net_opposing_flows(g, pairs, netted);
+    EXPECT_TRUE(is_feasible(g, netted));
+    EXPECT_TRUE(is_channel_sign_consistent(g, pairs, netted));
+    EXPECT_EQ(scaled_welfare(g, netted), scaled_welfare(g, f))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::flow

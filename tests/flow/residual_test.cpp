@@ -1,0 +1,79 @@
+#include "flow/residual.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::flow {
+namespace {
+
+Graph pair_graph() {
+  Graph g(2);
+  g.add_edge(0, 1, 10, 0.02);
+  return g;
+}
+
+TEST(ResidualTest, ZeroFlowHasForwardArcsOnly) {
+  const Graph g = pair_graph();
+  const auto arcs = build_residual(g, zero_circulation(g));
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_TRUE(arcs[0].forward);
+  EXPECT_EQ(arcs[0].residual, 10);
+  EXPECT_EQ(arcs[0].cost, -scale_gain(0.02));
+  EXPECT_EQ(arcs[0].from, 0);
+  EXPECT_EQ(arcs[0].to, 1);
+}
+
+TEST(ResidualTest, SaturatedFlowHasBackwardArcsOnly) {
+  const Graph g = pair_graph();
+  const auto arcs = build_residual(g, Circulation{10});
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_FALSE(arcs[0].forward);
+  EXPECT_EQ(arcs[0].residual, 10);
+  EXPECT_EQ(arcs[0].cost, scale_gain(0.02));
+  EXPECT_EQ(arcs[0].from, 1);
+  EXPECT_EQ(arcs[0].to, 0);
+}
+
+TEST(ResidualTest, PartialFlowHasBothArcs) {
+  const Graph g = pair_graph();
+  const auto arcs = build_residual(g, Circulation{4});
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].residual + arcs[1].residual, 10);
+}
+
+TEST(ResidualTest, PushAlongForwardIncreasesFlow) {
+  const Graph g = pair_graph();
+  Circulation f{4};
+  const auto arcs = build_residual(g, f);
+  // Find the forward arc.
+  int fwd = arcs[0].forward ? 0 : 1;
+  push_along(arcs, {fwd}, 3, f);
+  EXPECT_EQ(f[0], 7);
+}
+
+TEST(ResidualTest, PushAlongBackwardDecreasesFlow) {
+  const Graph g = pair_graph();
+  Circulation f{4};
+  const auto arcs = build_residual(g, f);
+  int bwd = arcs[0].forward ? 1 : 0;
+  push_along(arcs, {bwd}, 4, f);
+  EXPECT_EQ(f[0], 0);
+}
+
+TEST(ResidualTest, BottleneckIsMinimumResidual) {
+  Graph g(3);
+  g.add_edge(0, 1, 3, 0.0);
+  g.add_edge(1, 2, 8, 0.0);
+  const auto arcs = build_residual(g, zero_circulation(g));
+  EXPECT_EQ(bottleneck(arcs, {0, 1}), 3);
+}
+
+TEST(ResidualDeathTest, PushBeyondResidualAborts) {
+  const Graph g = pair_graph();
+  Circulation f{4};
+  const auto arcs = build_residual(g, f);
+  int bwd = arcs[0].forward ? 1 : 0;
+  EXPECT_DEATH(push_along(arcs, {bwd}, 5, f), "residual");
+}
+
+}  // namespace
+}  // namespace musketeer::flow

@@ -1,0 +1,84 @@
+#include "gen/game_gen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::gen {
+namespace {
+
+TEST(GameGenTest, ProducesValidGames) {
+  util::Rng rng(10);
+  GameConfig config;
+  const core::Game game = random_ba_game(30, 2, config, rng);
+  EXPECT_EQ(game.num_players(), 30);
+  EXPECT_GT(game.num_edges(), 0);
+  EXPECT_TRUE(game.is_valid(game.truthful_bids()));
+}
+
+TEST(GameGenTest, CapacitiesWithinConfiguredRange) {
+  util::Rng rng(11);
+  GameConfig config;
+  config.capacity_min = 5;
+  config.capacity_max = 9;
+  const core::Game game = random_ba_game(20, 2, config, rng);
+  for (core::EdgeId e = 0; e < game.num_edges(); ++e) {
+    EXPECT_GE(game.edge(e).capacity, 5);
+    EXPECT_LE(game.edge(e).capacity, 9);
+  }
+}
+
+TEST(GameGenTest, DepletedShareApproximatelyRespected) {
+  util::Rng rng(12);
+  GameConfig config;
+  config.depleted_share = 0.4;
+  const core::Game game = random_ba_game(120, 2, config, rng);
+  int depleted = 0;
+  for (core::EdgeId e = 0; e < game.num_edges(); ++e) {
+    depleted += game.is_depleted(e);
+  }
+  const double share =
+      static_cast<double>(depleted) / static_cast<double>(game.num_edges());
+  EXPECT_NEAR(share, 0.4, 0.1);
+}
+
+TEST(GameGenTest, ExtremeSharesProduceAllOrNothing) {
+  util::Rng rng(13);
+  GameConfig config;
+  config.depleted_share = 0.0;
+  const core::Game sellers_only = random_ba_game(15, 2, config, rng);
+  for (core::EdgeId e = 0; e < sellers_only.num_edges(); ++e) {
+    EXPECT_FALSE(sellers_only.is_depleted(e));
+  }
+  config.depleted_share = 1.0;
+  const core::Game buyers_only = random_ba_game(15, 2, config, rng);
+  for (core::EdgeId e = 0; e < buyers_only.num_edges(); ++e) {
+    EXPECT_TRUE(buyers_only.is_depleted(e));
+  }
+}
+
+TEST(GameGenTest, ParticipationThinsTheGame) {
+  util::Rng rng(14);
+  GameConfig full;
+  GameConfig half;
+  half.participation = 0.5;
+  util::Rng rng2 = rng;
+  const Topology topo = barabasi_albert(40, 2, rng);
+  const core::Game g_full = random_game(40, topo, full, rng);
+  const core::Game g_half = random_game(40, topo, half, rng2);
+  EXPECT_LT(g_half.num_edges(), g_full.num_edges());
+}
+
+TEST(GameGenTest, DeterministicGivenSeed) {
+  GameConfig config;
+  util::Rng a(77), b(77);
+  const core::Game ga = random_ba_game(25, 2, config, a);
+  const core::Game gb = random_ba_game(25, 2, config, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (core::EdgeId e = 0; e < ga.num_edges(); ++e) {
+    EXPECT_EQ(ga.edge(e).from, gb.edge(e).from);
+    EXPECT_EQ(ga.edge(e).capacity, gb.edge(e).capacity);
+    EXPECT_DOUBLE_EQ(ga.edge(e).head_valuation, gb.edge(e).head_valuation);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::gen

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/topology.hpp"
+
+namespace musketeer::gen {
+namespace {
+
+std::vector<int> degrees(NodeId n, const Topology& channels) {
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  for (const auto& [a, b] : channels) {
+    ++deg[static_cast<std::size_t>(a)];
+    ++deg[static_cast<std::size_t>(b)];
+  }
+  return deg;
+}
+
+TEST(PowerlawTest, ProducesValidTopology) {
+  util::Rng rng(70);
+  const Topology t = powerlaw_configuration(200, 2.2, 1, 40, rng);
+  EXPECT_GT(t.size(), 80u);
+  for (const auto& [a, b] : t) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, b);  // deduped & ordered
+    EXPECT_LT(b, 200);
+  }
+  // No duplicate channels.
+  Topology sorted = t;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(PowerlawTest, HeavyTailWithBoundedMaximum) {
+  util::Rng rng(71);
+  const Topology t = powerlaw_configuration(400, 2.1, 1, 50, rng);
+  const auto deg = degrees(400, t);
+  const int max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LE(max_deg, 50);
+  EXPECT_GT(max_deg, 10);  // hubs exist
+  // Median degree stays near the minimum (power law mass at the bottom).
+  std::vector<int> sorted = deg;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_LE(sorted[200], 3);
+}
+
+TEST(PowerlawTest, SteeperExponentFlattensTheTail) {
+  util::Rng rng_a(72), rng_b(72);
+  const auto deg_flat =
+      degrees(400, powerlaw_configuration(400, 2.0, 1, 60, rng_a));
+  const auto deg_steep =
+      degrees(400, powerlaw_configuration(400, 3.5, 1, 60, rng_b));
+  const int max_flat = *std::max_element(deg_flat.begin(), deg_flat.end());
+  const int max_steep =
+      *std::max_element(deg_steep.begin(), deg_steep.end());
+  EXPECT_GT(max_flat, max_steep);
+}
+
+TEST(PowerlawTest, DeterministicGivenSeed) {
+  util::Rng a(73), b(73);
+  EXPECT_EQ(powerlaw_configuration(100, 2.3, 1, 20, a),
+            powerlaw_configuration(100, 2.3, 1, 20, b));
+}
+
+TEST(PowerlawTest, MinDegreeTwoAvoidsLeafFloods) {
+  util::Rng rng(74);
+  const Topology t = powerlaw_configuration(150, 2.5, 2, 30, rng);
+  const auto deg = degrees(150, t);
+  int isolated = 0;
+  for (int d : deg) isolated += (d == 0);
+  // Stub matching drops collisions so a few nodes may lose edges, but
+  // the vast majority keep at least one.
+  EXPECT_LT(isolated, 10);
+}
+
+}  // namespace
+}  // namespace musketeer::gen

@@ -1,0 +1,73 @@
+#include "gen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace musketeer::gen {
+namespace {
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  util::Rng rng(20);
+  ZipfSampler sampler(10, 0.0);
+  std::map<flow::NodeId, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[sampler.sample(rng)];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count / 20000.0, 0.1, 0.02) << "node " << node;
+  }
+}
+
+TEST(ZipfSamplerTest, SkewedWhenExponentPositive) {
+  util::Rng rng(21);
+  ZipfSampler sampler(100, 1.2);
+  int rank0 = 0, total = 20000;
+  for (int i = 0; i < total; ++i) rank0 += (sampler.sample(rng) == 0);
+  // Rank 0 should dwarf the uniform share of 1%.
+  EXPECT_GT(rank0, total / 20);
+}
+
+TEST(WorkloadTest, PaymentsRespectConfig) {
+  util::Rng rng(22);
+  WorkloadConfig config;
+  config.amount_min = 2;
+  config.amount_max = 40;
+  const auto payments = generate_payments(30, 500, config, rng);
+  ASSERT_EQ(payments.size(), 500u);
+  for (const Payment& p : payments) {
+    EXPECT_NE(p.sender, p.receiver);
+    EXPECT_GE(p.sender, 0);
+    EXPECT_LT(p.sender, 30);
+    EXPECT_GE(p.amount, 2);
+    EXPECT_LE(p.amount, 40);
+  }
+}
+
+TEST(WorkloadTest, LogUniformAmountsCoverTheRange) {
+  util::Rng rng(23);
+  WorkloadConfig config;
+  config.amount_min = 1;
+  config.amount_max = 1000;
+  const auto payments = generate_payments(10, 2000, config, rng);
+  int small = 0, large = 0;
+  for (const Payment& p : payments) {
+    small += (p.amount <= 10);
+    large += (p.amount >= 100);
+  }
+  EXPECT_GT(small, 200);  // log-uniform: both decades well represented
+  EXPECT_GT(large, 200);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadConfig config;
+  util::Rng a(9), b(9);
+  const auto pa = generate_payments(20, 50, config, a);
+  const auto pb = generate_payments(20, 50, config, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].sender, pb[i].sender);
+    EXPECT_EQ(pa[i].amount, pb[i].amount);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::gen

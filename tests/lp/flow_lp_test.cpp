@@ -1,0 +1,77 @@
+#include "lp/flow_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/solver.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::lp {
+namespace {
+
+using flow::Circulation;
+using flow::Graph;
+using flow::NodeId;
+
+TEST(FlowLpTest, TriangleMatchesCombinatorialSolver) {
+  Graph g(3);
+  g.add_edge(0, 1, 7, 0.03);
+  g.add_edge(1, 2, 9, -0.01);
+  g.add_edge(2, 0, 8, 0.0);
+  const FlowLpResult lp = solve_circulation_lp(g);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.welfare, 7 * 0.02, 1e-8);
+  EXPECT_TRUE(flow::is_feasible(g, lp.flows));
+  EXPECT_LT(lp.max_rounding_error, 1e-6);
+}
+
+TEST(FlowLpTest, EmptyGraph) {
+  Graph g(4);
+  const FlowLpResult lp = solve_circulation_lp(g);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.welfare, 0.0, 1e-12);
+}
+
+TEST(FlowLpTest, UnprofitableCycleStaysAtZero) {
+  Graph g(3);
+  g.add_edge(0, 1, 5, 0.01);
+  g.add_edge(1, 2, 5, -0.05);
+  g.add_edge(2, 0, 5, 0.0);
+  const FlowLpResult lp = solve_circulation_lp(g);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.welfare, 0.0, 1e-9);
+  EXPECT_EQ(flow::total_volume(lp.flows), 0);
+}
+
+// The referee test: LP and cycle-cancelling agree on random instances.
+class FlowLpCrossValidation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FlowLpCrossValidation, LpAgreesWithCycleCancelling) {
+  util::Rng rng(GetParam());
+  const auto n = static_cast<NodeId>(rng.uniform_int(3, 10));
+  Graph g(n);
+  const int m = static_cast<int>(rng.uniform_int(n, 3 * n));
+  for (int e = 0; e < m; ++e) {
+    const auto u = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    // Round gains to 1e-4 so LP floating point and exact scaled integers
+    // compare cleanly.
+    const double gain =
+        static_cast<double>(rng.uniform_int(-500, 500)) * 1e-4;
+    g.add_edge(u, v, rng.uniform_int(1, 15), gain);
+  }
+  const Circulation f = flow::solve_max_welfare(g);
+  const FlowLpResult lp = solve_circulation_lp(g);
+  ASSERT_EQ(lp.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(lp.welfare, flow::welfare(g, f), 1e-6)
+      << "LP and combinatorial optima diverge";
+  EXPECT_TRUE(flow::is_feasible(g, lp.flows));
+  EXPECT_LT(lp.max_rounding_error, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FlowLpCrossValidation,
+                         ::testing::Range<std::uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace musketeer::lp

@@ -1,0 +1,118 @@
+// Edge-case and classic-adversarial instances for the simplex solver.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+
+namespace musketeer::lp {
+namespace {
+
+TEST(SimplexEdgeTest, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  const Solution sol = solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, 0.0);
+}
+
+TEST(SimplexEdgeTest, FixedVariables) {
+  // lo == up pins variables; the LP reduces to feasibility.
+  Model m;
+  const int x = m.add_variable(3.0, 3.0, 5.0);
+  const int y = m.add_variable(0.0, 10.0, 1.0);
+  m.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 7.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 3.0, 1e-9);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(y)], 4.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 19.0, 1e-8);
+}
+
+TEST(SimplexEdgeTest, InfeasibleFromConflictingEqualities) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0);
+  m.add_constraint({{{x, 1.0}}, Sense::kEqual, 3.0});
+  m.add_constraint({{{x, 1.0}}, Sense::kEqual, 4.0});
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexEdgeTest, InfeasibleFromBoundsVsConstraint) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0);
+  const int y = m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 3.0});
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexEdgeTest, KleeMintyThreeDimensional) {
+  // The classic exponential-path cube (d=3):
+  //   max 4x1 + 2x2 + x3
+  //   s.t. x1 <= 5; 4x1 + x2 <= 25; 8x1 + 4x2 + x3 <= 125; x >= 0.
+  // Optimum 125 at (0, 0, 125).
+  Model m;
+  const int x1 = m.add_variable(0.0, kInfinity, 4.0);
+  const int x2 = m.add_variable(0.0, kInfinity, 2.0);
+  const int x3 = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{{x1, 1.0}}, Sense::kLessEqual, 5.0});
+  m.add_constraint({{{x1, 4.0}, {x2, 1.0}}, Sense::kLessEqual, 25.0});
+  m.add_constraint({{{x1, 8.0}, {x2, 4.0}, {x3, 1.0}}, Sense::kLessEqual,
+                    125.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 125.0, 1e-7);
+}
+
+TEST(SimplexEdgeTest, BealeCycleCandidateTerminates) {
+  // Beale's classic cycling example (degenerate); Bland's fallback must
+  // terminate at the optimum 0.05.
+  //   max 0.75x1 - 150x2 + 0.02x3 - 6x4
+  //   s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+  //        0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+  //        x3 <= 1;  x >= 0.
+  Model m;
+  const int x1 = m.add_variable(0.0, kInfinity, 0.75);
+  const int x2 = m.add_variable(0.0, kInfinity, -150.0);
+  const int x3 = m.add_variable(0.0, kInfinity, 0.02);
+  const int x4 = m.add_variable(0.0, kInfinity, -6.0);
+  m.add_constraint({{{x1, 0.25}, {x2, -60.0}, {x3, -1.0 / 25.0}, {x4, 9.0}},
+                    Sense::kLessEqual, 0.0});
+  m.add_constraint({{{x1, 0.5}, {x2, -90.0}, {x3, -1.0 / 50.0}, {x4, 3.0}},
+                    Sense::kLessEqual, 0.0});
+  m.add_constraint({{{x3, 1.0}}, Sense::kLessEqual, 1.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.05, 1e-8);
+}
+
+TEST(SimplexEdgeTest, ObjectiveIndifferentDirections) {
+  // Zero objective: any feasible point is optimal; must not wander.
+  Model m;
+  const int x = m.add_variable(0.0, 5.0, 0.0);
+  m.add_constraint({{{x, 1.0}}, Sense::kLessEqual, 4.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(SimplexEdgeTest, LargeCoefficientSpread) {
+  // Mixed magnitudes (1e-6 .. 1e6) — a conditioning smoke test.
+  Model m;
+  const int x = m.add_variable(0.0, 1e6, 1e-6);
+  const int y = m.add_variable(0.0, 1.0, 1e6);
+  m.add_constraint({{{x, 1e-6}, {y, 1e6}}, Sense::kLessEqual, 1e6});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  // Optimal: y = (1e6 - 1e-6 * x)/1e6; objective dominated by y term.
+  EXPECT_GT(sol.objective, 9.9e5);
+}
+
+TEST(SimplexEdgeTest, NegativeRhsRowsNormalizeCorrectly) {
+  // max -x  s.t. -x <= -2  (i.e. x >= 2).
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, -1.0);
+  m.add_constraint({{{x, -1.0}}, Sense::kLessEqual, -2.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace musketeer::lp

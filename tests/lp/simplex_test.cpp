@@ -1,0 +1,177 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace musketeer::lp {
+namespace {
+
+TEST(SimplexTest, UnconstrainedBoxMaximization) {
+  Model m;
+  m.add_variable(0.0, 4.0, 2.0);
+  m.add_variable(0.0, 3.0, -1.0);
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol.values[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol.values[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; x, y >= 0.
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, 3.0);
+  const int y = m.add_variable(0.0, kInfinity, 5.0);
+  m.add_constraint({{{x, 1.0}}, Sense::kLessEqual, 4.0});
+  m.add_constraint({{{y, 2.0}}, Sense::kLessEqual, 12.0});
+  m.add_constraint({{{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 2.0, 1e-8);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(y)], 6.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y  s.t. x + y = 5, x <= 2.
+  Model m;
+  const int x = m.add_variable(0.0, 2.0, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kEqual, 5.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min x (== max -x)  s.t. x >= 3.
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, -1.0);
+  m.add_constraint({{{x, 1.0}}, Sense::kGreaterEqual, 3.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 3.0, 1e-9);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{{x, 1.0}}, Sense::kGreaterEqual, 2.0});
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  Model m;
+  m.add_variable(0.0, kInfinity, 1.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeLowerBoundsWork) {
+  // max -x with x in [-5, 5] -> x = -5.
+  Model m;
+  const int x = m.add_variable(-5.0, 5.0, -1.0);
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], -5.0, 1e-9);
+}
+
+TEST(SimplexTest, FreeVariableInEquality) {
+  // max y s.t. y - x = 0, y <= 7, x free.
+  Model m;
+  const int x = m.add_variable(-kInfinity, kInfinity, 0.0);
+  const int y = m.add_variable(0.0, 7.0, 1.0);
+  m.add_constraint({{{y, 1.0}, {x, -1.0}}, Sense::kEqual, 0.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-9);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, 1.0);
+  const int y = m.add_variable(0.0, kInfinity, 1.0);
+  m.add_constraint({{{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_constraint({{{x, 2.0}, {y, 2.0}}, Sense::kLessEqual, 2.0});
+  m.add_constraint({{{x, 1.0}}, Sense::kLessEqual, 1.0});
+  m.add_constraint({{{y, 1.0}}, Sense::kLessEqual, 1.0});
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+// Random LPs on box domains with <= rows: verify the simplex result
+// dominates a Monte-Carlo feasible sample (soundness: it's feasible and
+// at least as good as any sampled point).
+class SimplexRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomTest, DominatesRandomFeasiblePoints) {
+  util::Rng rng(GetParam());
+  const int nvars = static_cast<int>(rng.uniform_int(2, 5));
+  const int nrows = static_cast<int>(rng.uniform_int(1, 4));
+  Model m;
+  for (int j = 0; j < nvars; ++j) {
+    m.add_variable(0.0, rng.uniform_real(1.0, 10.0),
+                   rng.uniform_real(-2.0, 2.0));
+  }
+  std::vector<Row> rows;
+  for (int i = 0; i < nrows; ++i) {
+    Row row;
+    row.sense = Sense::kLessEqual;
+    for (int j = 0; j < nvars; ++j) {
+      row.terms.emplace_back(j, rng.uniform_real(0.0, 1.0));
+    }
+    row.rhs = rng.uniform_real(1.0, 10.0);
+    rows.push_back(row);
+    m.add_constraint(row);
+  }
+  const Solution sol = solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);  // 0 is always feasible
+
+  // Verify feasibility of the reported solution.
+  for (int j = 0; j < nvars; ++j) {
+    EXPECT_GE(sol.values[static_cast<std::size_t>(j)], -1e-7);
+    EXPECT_LE(sol.values[static_cast<std::size_t>(j)],
+              m.upper_bounds()[static_cast<std::size_t>(j)] + 1e-7);
+  }
+  for (const Row& row : rows) {
+    double lhs = 0.0;
+    for (const auto& [j, a] : row.terms) {
+      lhs += a * sol.values[static_cast<std::size_t>(j)];
+    }
+    EXPECT_LE(lhs, row.rhs + 1e-6);
+  }
+
+  // Monte-Carlo dominance.
+  for (int s = 0; s < 200; ++s) {
+    std::vector<double> x(static_cast<std::size_t>(nvars));
+    for (int j = 0; j < nvars; ++j) {
+      x[static_cast<std::size_t>(j)] = rng.uniform_real(
+          0.0, m.upper_bounds()[static_cast<std::size_t>(j)]);
+    }
+    bool feasible = true;
+    for (const Row& row : rows) {
+      double lhs = 0.0;
+      for (const auto& [j, a] : row.terms) {
+        lhs += a * x[static_cast<std::size_t>(j)];
+      }
+      if (lhs > row.rhs) { feasible = false; break; }
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (int j = 0; j < nvars; ++j) {
+      obj += m.objective()[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_LE(obj, sol.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SimplexRandomTest,
+                         ::testing::Range<std::uint64_t>(200, 230));
+
+}  // namespace
+}  // namespace musketeer::lp

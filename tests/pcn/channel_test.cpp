@@ -1,0 +1,47 @@
+#include "pcn/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::pcn {
+namespace {
+
+TEST(ChannelTest, BasicAccessors) {
+  const Channel c{0, 1, 30, 70, 0.001, 0.002};
+  EXPECT_EQ(c.capacity(), 100);
+  EXPECT_TRUE(c.has_party(0));
+  EXPECT_TRUE(c.has_party(1));
+  EXPECT_FALSE(c.has_party(2));
+  EXPECT_EQ(c.other(0), 1);
+  EXPECT_EQ(c.other(1), 0);
+  EXPECT_EQ(c.balance_of(0), 30);
+  EXPECT_EQ(c.balance_of(1), 70);
+  EXPECT_DOUBLE_EQ(c.fee_rate_of(0), 0.001);
+  EXPECT_DOUBLE_EQ(c.fee_rate_of(1), 0.002);
+}
+
+TEST(ChannelTest, TransferConservesCapacity) {
+  Channel c{0, 1, 30, 70, 0.0, 0.0};
+  c.transfer(1, 20);
+  EXPECT_EQ(c.balance_of(0), 50);
+  EXPECT_EQ(c.balance_of(1), 50);
+  EXPECT_EQ(c.capacity(), 100);
+  c.transfer(0, 50);
+  EXPECT_EQ(c.balance_of(0), 0);
+  EXPECT_EQ(c.balance_of(1), 100);
+}
+
+TEST(ChannelTest, BalanceShare) {
+  const Channel c{0, 1, 25, 75, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(c.balance_share(0), 0.25);
+  EXPECT_DOUBLE_EQ(c.balance_share(1), 0.75);
+  const Channel empty{0, 1, 0, 0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(empty.balance_share(0), 0.5);
+}
+
+TEST(ChannelDeathTest, OverdraftAborts) {
+  Channel c{0, 1, 30, 70, 0.0, 0.0};
+  EXPECT_DEATH(c.transfer(0, 31), "insufficient");
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

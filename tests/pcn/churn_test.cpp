@@ -1,0 +1,77 @@
+// Channel churn: offline channels must be invisible to routing, HTLCs,
+// and rebalancing, and the simulation's downtime knob must degrade
+// throughput.
+#include <gtest/gtest.h>
+
+#include "pcn/htlc.hpp"
+#include "pcn/payment.hpp"
+#include "pcn/rebalancer.hpp"
+#include "sim/engine.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+TEST(ChurnTest, RoutingSkipsDisabledChannels) {
+  Network net(3);
+  const ChannelId direct = net.add_channel(0, 2, 100, 100, 0.0, 0.0);
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 2, 100, 100, 0.001, 0.0);
+  net.channel(direct).disabled = true;
+  const auto route = find_route(net, 0, 2, 10);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 2);  // forced through the detour
+}
+
+TEST(ChurnTest, NoRouteWhenEverythingIsDown) {
+  Network net(2);
+  const ChannelId only = net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.channel(only).disabled = true;
+  EXPECT_FALSE(find_route(net, 0, 1, 10).has_value());
+  EXPECT_FALSE(send_payment(net, 0, 1, 10).success);
+}
+
+TEST(ChurnTest, HtlcLockRefusesDisabledChannels) {
+  Network net(2);
+  const ChannelId c = net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.channel(c).disabled = true;
+  EXPECT_FALSE(HtlcChain::lock(net, {Hop{c, 0, 10}}).has_value());
+  EXPECT_EQ(net.channel(c).locked_of(0), 0);
+}
+
+TEST(ChurnTest, ExtractionIgnoresDisabledChannels) {
+  Network net(2);
+  const ChannelId c = net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  RebalancePolicy policy;
+  EXPECT_GT(extract_game(net, policy).game.num_edges(), 0);
+  net.channel(c).disabled = true;
+  EXPECT_EQ(extract_game(net, policy).game.num_edges(), 0);
+}
+
+TEST(ChurnTest, DowntimeDegradesSimulatedThroughput) {
+  sim::SimulationConfig config;
+  config.num_nodes = 30;
+  config.epochs = 4;
+  config.payments_per_epoch = 80;
+  config.seed = 5;
+  const sim::SimulationResult healthy = run_simulation(config, nullptr);
+  config.channel_downtime = 0.4;
+  const sim::SimulationResult flaky = run_simulation(config, nullptr);
+  EXPECT_LT(flaky.overall_success_rate(), healthy.overall_success_rate());
+}
+
+TEST(ChurnTest, ChurnIsDeterministicPerSeed) {
+  sim::SimulationConfig config;
+  config.num_nodes = 30;
+  config.epochs = 3;
+  config.payments_per_epoch = 50;
+  config.channel_downtime = 0.2;
+  config.seed = 6;
+  const sim::SimulationResult a = run_simulation(config, nullptr);
+  const sim::SimulationResult b = run_simulation(config, nullptr);
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].payments_succeeded, b.epochs[e].payments_succeeded);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

@@ -1,0 +1,119 @@
+// Long randomized operation sequences against global invariants: no
+// mixture of payments, HTLC locks/aborts, rebalancing rounds, and churn
+// may ever mint coins, overdraw a side, or leak a lock.
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "pcn/htlc.hpp"
+#include "pcn/payment.hpp"
+#include "pcn/rebalancer.hpp"
+#include "sim/engine.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+struct Invariants {
+  static void check(const Network& net, Amount expected_total) {
+    Amount total = 0;
+    for (ChannelId c = 0; c < net.num_channels(); ++c) {
+      const Channel& ch = net.channel(c);
+      ASSERT_GE(ch.balance_a, 0);
+      ASSERT_GE(ch.balance_b, 0);
+      ASSERT_GE(ch.locked_a, 0);
+      ASSERT_GE(ch.locked_b, 0);
+      ASSERT_LE(ch.locked_a, ch.balance_a);
+      ASSERT_LE(ch.locked_b, ch.balance_b);
+      total += ch.capacity();
+    }
+    ASSERT_EQ(total, expected_total) << "coins minted or burned";
+  }
+};
+
+class PcnFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcnFuzzTest, RandomOperationSequencePreservesInvariants) {
+  util::Rng rng(GetParam());
+  sim::SimulationConfig config;
+  config.num_nodes = 24;
+  config.balance_min = 20;
+  config.balance_max = 60;
+  Network net = sim::build_network(config, rng);
+  const Amount total = net.total_capacity();
+
+  RebalancePolicy policy;
+  policy.depleted_threshold = 0.25;
+  policy.seller_floor_share = 0.35;
+  const core::M3DoubleAuction m3;
+  const core::M4DelayedAuction m4(10.0);
+
+  std::vector<HtlcChain> pending;
+  for (int op = 0; op < 400; ++op) {
+    const auto kind = rng.uniform(6);
+    switch (kind) {
+      case 0:
+      case 1: {  // a payment
+        const auto s = static_cast<NodeId>(rng.uniform(24));
+        auto t = static_cast<NodeId>(rng.uniform(24));
+        if (s == t) t = static_cast<NodeId>((t + 1) % 24);
+        send_payment(net, s, t, rng.uniform_int(1, 30));
+        break;
+      }
+      case 2: {  // open a dangling HTLC on a random channel
+        const auto c =
+            static_cast<ChannelId>(rng.uniform(
+                static_cast<std::uint64_t>(net.num_channels())));
+        const Channel& ch = net.channel(c);
+        const NodeId from = rng.bernoulli(0.5) ? ch.a : ch.b;
+        auto chain = HtlcChain::lock(
+            net, {Hop{c, from, rng.uniform_int(1, 20)}});
+        if (chain) pending.push_back(std::move(*chain));
+        break;
+      }
+      case 3: {  // resolve a pending HTLC either way
+        if (pending.empty()) break;
+        const std::size_t idx = rng.uniform(pending.size());
+        if (rng.bernoulli(0.5)) {
+          pending[idx].settle();
+        } else {
+          pending[idx].abort();
+        }
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(idx));
+        break;
+      }
+      case 4: {  // a full rebalancing round
+        ExtractedGame extracted = extract_and_lock(net, policy);
+        const core::Mechanism& mech =
+            rng.bernoulli(0.5) ? static_cast<const core::Mechanism&>(m3)
+                               : static_cast<const core::Mechanism&>(m4);
+        const core::Outcome outcome = mech.run_truthful(extracted.game);
+        apply_outcome(net, extracted, outcome);
+        break;
+      }
+      case 5: {  // churn flip
+        const auto c =
+            static_cast<ChannelId>(rng.uniform(
+                static_cast<std::uint64_t>(net.num_channels())));
+        net.channel(c).disabled = !net.channel(c).disabled;
+        break;
+      }
+    }
+    Invariants::check(net, total);
+  }
+  // Drain whatever HTLCs remain and re-check.
+  for (HtlcChain& chain : pending) chain.abort();
+  pending.clear();
+  Invariants::check(net, total);
+  // After draining, the only locks left are zero.
+  Amount locked = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    locked += net.channel(c).locked_a + net.channel(c).locked_b;
+  }
+  EXPECT_EQ(locked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcnFuzzTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005));
+
+}  // namespace
+}  // namespace musketeer::pcn

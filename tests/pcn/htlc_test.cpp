@@ -1,0 +1,174 @@
+#include "pcn/htlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "pcn/rebalancer.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+Network line_network() {
+  Network net(3);
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 2, 100, 100, 0.0, 0.0);
+  return net;
+}
+
+std::vector<Hop> two_hops(Amount amount) {
+  return {Hop{0, 0, amount}, Hop{1, 1, amount}};
+}
+
+TEST(HtlcTest, LockReservesSpendableBalance) {
+  Network net = line_network();
+  auto chain = HtlcChain::lock(net, two_hops(60));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(net.channel(0).spendable(0), 40);
+  EXPECT_EQ(net.channel(0).balance_of(0), 100);  // still owned, just locked
+  EXPECT_EQ(net.channel(1).spendable(1), 40);
+  chain->abort();
+}
+
+TEST(HtlcTest, SettleMovesLockedCoins) {
+  Network net = line_network();
+  auto chain = HtlcChain::lock(net, two_hops(60));
+  ASSERT_TRUE(chain.has_value());
+  chain->settle();
+  EXPECT_FALSE(chain->pending());
+  EXPECT_EQ(net.channel(0).balance_of(0), 40);
+  EXPECT_EQ(net.channel(0).balance_of(1), 160);
+  EXPECT_EQ(net.channel(0).locked_of(0), 0);
+  EXPECT_EQ(net.channel(1).balance_of(2), 160);
+}
+
+TEST(HtlcTest, AbortRestoresEverything) {
+  Network net = line_network();
+  auto chain = HtlcChain::lock(net, two_hops(60));
+  ASSERT_TRUE(chain.has_value());
+  chain->abort();
+  EXPECT_EQ(net.channel(0).balance_of(0), 100);
+  EXPECT_EQ(net.channel(0).spendable(0), 100);
+  EXPECT_EQ(net.channel(1).locked_of(1), 0);
+}
+
+TEST(HtlcTest, FailedLockRollsBackPartialAcquisition) {
+  Network net = line_network();
+  // Second hop cannot be funded: node 1 has only 100 in channel 1.
+  std::vector<Hop> hops{Hop{0, 0, 90}, Hop{1, 1, 150}};
+  EXPECT_FALSE(HtlcChain::lock(net, hops).has_value());
+  // The first hop's tentative lock was released.
+  EXPECT_EQ(net.channel(0).locked_of(0), 0);
+  EXPECT_EQ(net.channel(0).spendable(0), 100);
+}
+
+TEST(HtlcTest, DestructionWithoutSettleAborts) {
+  Network net = line_network();
+  {
+    auto chain = HtlcChain::lock(net, two_hops(60));
+    ASSERT_TRUE(chain.has_value());
+    // Chain dropped without settle().
+  }
+  EXPECT_EQ(net.channel(0).locked_of(0), 0);
+  EXPECT_EQ(net.channel(0).balance_of(0), 100);
+}
+
+TEST(HtlcTest, MoveTransfersOwnership) {
+  Network net = line_network();
+  auto chain = HtlcChain::lock(net, two_hops(30));
+  ASSERT_TRUE(chain.has_value());
+  HtlcChain moved = std::move(*chain);
+  EXPECT_TRUE(moved.pending());
+  EXPECT_FALSE(chain->pending());
+  moved.settle();
+  EXPECT_EQ(net.channel(0).balance_of(1), 130);
+}
+
+TEST(HtlcTest, ConcurrentChainsCompeteForSpendable) {
+  Network net = line_network();
+  auto first = HtlcChain::lock(net, two_hops(70));
+  ASSERT_TRUE(first.has_value());
+  // Only 30 spendable left on each hop.
+  EXPECT_FALSE(HtlcChain::lock(net, two_hops(40)).has_value());
+  auto second = HtlcChain::lock(net, two_hops(30));
+  ASSERT_TRUE(second.has_value());
+  first->settle();
+  second->settle();
+  EXPECT_EQ(net.channel(0).balance_of(0), 0);
+}
+
+TEST(HtlcTest, PrelockedExtractionHoldsCapacity) {
+  Network net(3);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  net.add_channel(1, 2, 20, 80, 0.0, 0.0);
+  net.add_channel(2, 0, 30, 70, 0.0, 0.0);
+  RebalancePolicy policy;
+  ExtractedGame extracted = extract_and_lock(net, policy);
+  ASSERT_TRUE(extracted.prelocked);
+  // Every offered capacity is locked somewhere.
+  Amount locked_total = 0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    locked_total += net.channel(c).locked_a + net.channel(c).locked_b;
+  }
+  EXPECT_GT(locked_total, 0);
+  // Abort path: releasing restores full spendability.
+  release_locks(net, extracted);
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    EXPECT_EQ(net.channel(c).locked_a, 0);
+    EXPECT_EQ(net.channel(c).locked_b, 0);
+  }
+}
+
+TEST(HtlcTest, ApplyOutcomeSettlesAndReleasesEverything) {
+  Network net(3);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  net.add_channel(1, 2, 20, 80, 0.0, 0.0);
+  net.add_channel(2, 0, 30, 70, 0.0, 0.0);
+  RebalancePolicy policy;
+  ExtractedGame extracted = extract_and_lock(net, policy);
+  const core::Outcome outcome =
+      core::M3DoubleAuction().run_truthful(extracted.game);
+  const RebalanceStats stats = apply_outcome(net, extracted, outcome);
+  EXPECT_GT(stats.volume, 0);
+  // No lock survives apply_outcome — used capacity settled, rest freed.
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    EXPECT_EQ(net.channel(c).locked_a, 0);
+    EXPECT_EQ(net.channel(c).locked_b, 0);
+  }
+}
+
+TEST(HtlcTest, PrelockBlocksCompetingPaymentsUntilReleased) {
+  Network net(3);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  net.add_channel(1, 2, 20, 80, 0.0, 0.0);
+  net.add_channel(2, 0, 30, 70, 0.0, 0.0);
+  RebalancePolicy policy;
+  ExtractedGame extracted = extract_and_lock(net, policy);
+  // The depleted edge 1->0 has locked most of player 1's side.
+  const Amount spendable_during = net.channel(0).spendable(1);
+  EXPECT_LT(spendable_during, 90);
+  release_locks(net, extracted);
+  EXPECT_EQ(net.channel(0).spendable(1), 90);
+}
+
+TEST(ChannelLockTest, LockUnlockSettlePrimitives) {
+  Channel c{0, 1, 50, 50, 0.0, 0.0, 0, 0};
+  c.lock(0, 30);
+  EXPECT_EQ(c.spendable(0), 20);
+  EXPECT_EQ(c.locked_of(0), 30);
+  c.unlock(0, 10);
+  EXPECT_EQ(c.locked_of(0), 20);
+  c.settle(0, 20);
+  EXPECT_EQ(c.balance_of(0), 30);
+  EXPECT_EQ(c.balance_of(1), 70);
+  EXPECT_EQ(c.locked_of(0), 0);
+}
+
+TEST(ChannelLockDeathTest, OverlockAborts) {
+  Channel c{0, 1, 50, 50, 0.0, 0.0, 0, 0};
+  c.lock(0, 50);
+  EXPECT_DEATH(c.lock(0, 1), "spendable");
+  EXPECT_DEATH(c.transfer(0, 1), "insufficient");
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

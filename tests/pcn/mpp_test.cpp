@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "pcn/payment.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+// Two disjoint 60-capacity paths from 0 to 3: a 100-coin payment cannot
+// go single-path but splits cleanly in two.
+Network two_path_network() {
+  Network net(4);
+  net.add_channel(0, 1, 60, 0, 0.0, 0.0);
+  net.add_channel(1, 3, 60, 0, 0.0, 0.0);
+  net.add_channel(0, 2, 60, 0, 0.0, 0.0);
+  net.add_channel(2, 3, 60, 0, 0.0, 0.0);
+  return net;
+}
+
+TEST(MppTest, SinglePathPaymentsUseOnePart) {
+  Network net = two_path_network();
+  const MppResult res = send_payment_mpp(net, 0, 3, 40);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.parts, 1);
+  EXPECT_EQ(net.node_wealth(3), 40);
+}
+
+TEST(MppTest, SplitsWhereSinglePathFails) {
+  Network net = two_path_network();
+  EXPECT_FALSE(send_payment(net, 0, 3, 100).success);
+  const MppResult res = send_payment_mpp(net, 0, 3, 100);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.parts, 2);
+  EXPECT_EQ(net.node_wealth(3), 100);
+  EXPECT_EQ(net.node_wealth(0), 120 - 100);  // fee-free paths
+}
+
+TEST(MppTest, AtomicWhenTotalLiquidityInsufficient) {
+  Network net = two_path_network();
+  const Amount wealth_before = net.node_wealth(0);
+  const MppResult res = send_payment_mpp(net, 0, 3, 130);  // > 120 total
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(net.node_wealth(0), wealth_before);
+  EXPECT_EQ(net.node_wealth(3), 0);
+  // No locks leaked either.
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    EXPECT_EQ(net.channel(c).locked_a, 0);
+    EXPECT_EQ(net.channel(c).locked_b, 0);
+  }
+}
+
+TEST(MppTest, RespectsPartBudget) {
+  // Four 30-coin paths; a 100-coin payment needs 4 parts.
+  Network net(6);
+  for (NodeId mid = 1; mid <= 4; ++mid) {
+    net.add_channel(0, mid, 30, 0, 0.0, 0.0);
+    net.add_channel(mid, 5, 30, 0, 0.0, 0.0);
+  }
+  EXPECT_FALSE(send_payment_mpp(net, 0, 5, 100, /*max_parts=*/3).success);
+  const MppResult res = send_payment_mpp(net, 0, 5, 100, /*max_parts=*/4);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.parts, 4);
+}
+
+TEST(MppTest, FeesAccumulateAcrossParts) {
+  Network net(4);
+  net.add_channel(0, 1, 100, 0, 0.0, 0.0);
+  net.add_channel(1, 3, 50, 0, 0.02, 0.0);  // node 1 charges 2%
+  net.add_channel(0, 2, 100, 0, 0.0, 0.0);
+  net.add_channel(2, 3, 50, 0, 0.02, 0.0);  // node 2 charges 2%
+  const MppResult res = send_payment_mpp(net, 0, 3, 98);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.parts, 2);
+  EXPECT_GT(res.fees, 0);
+  EXPECT_EQ(net.node_wealth(3), 98);
+  // Sender paid amount + fees.
+  EXPECT_EQ(net.node_wealth(0), 200 - 98 - res.fees);
+}
+
+TEST(MppTest, PartsShareNoLiquidity) {
+  // Single bottleneck: splitting cannot conjure capacity out of thin
+  // air, because part locks consume spendable balance.
+  Network net(2);
+  net.add_channel(0, 1, 50, 0, 0.0, 0.0);
+  EXPECT_FALSE(send_payment_mpp(net, 0, 1, 60, /*max_parts=*/8).success);
+  EXPECT_TRUE(send_payment_mpp(net, 0, 1, 50, 8).success);
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

@@ -1,0 +1,61 @@
+#include "pcn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::pcn {
+namespace {
+
+Network line_network() {
+  Network net(3);
+  net.add_channel(0, 1, 50, 50, 0.001, 0.001);
+  net.add_channel(1, 2, 80, 20, 0.001, 0.001);
+  return net;
+}
+
+TEST(NetworkTest, ChannelBookkeeping) {
+  const Network net = line_network();
+  EXPECT_EQ(net.num_nodes(), 3);
+  EXPECT_EQ(net.num_channels(), 2);
+  EXPECT_EQ(net.channels_of(1).size(), 2u);
+  EXPECT_EQ(net.channels_of(0).size(), 1u);
+  EXPECT_EQ(net.total_capacity(), 200);
+}
+
+TEST(NetworkTest, NodeWealth) {
+  const Network net = line_network();
+  EXPECT_EQ(net.node_wealth(0), 50);
+  EXPECT_EQ(net.node_wealth(1), 130);
+  EXPECT_EQ(net.node_wealth(2), 20);
+}
+
+TEST(NetworkTest, WealthIsConservedByTransfers) {
+  Network net = line_network();
+  const Amount before = net.node_wealth(0) + net.node_wealth(1) +
+                        net.node_wealth(2);
+  net.channel(0).transfer(0, 30);
+  const Amount after = net.node_wealth(0) + net.node_wealth(1) +
+                       net.node_wealth(2);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(net.total_capacity(), 200);
+}
+
+TEST(NetworkTest, DepletedFraction) {
+  Network net(2);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);  // side a depleted at 0.25
+  net.add_channel(0, 1, 50, 50, 0.0, 0.0);  // balanced
+  EXPECT_DOUBLE_EQ(net.depleted_direction_fraction(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(net.depleted_direction_fraction(0.05), 0.0);
+}
+
+TEST(NetworkTest, Imbalances) {
+  Network net(2);
+  net.add_channel(0, 1, 0, 100, 0.0, 0.0);
+  net.add_channel(0, 1, 50, 50, 0.0, 0.0);
+  const auto imb = net.imbalances();
+  ASSERT_EQ(imb.size(), 2u);
+  EXPECT_DOUBLE_EQ(imb[0], 1.0);
+  EXPECT_DOUBLE_EQ(imb[1], 0.0);
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

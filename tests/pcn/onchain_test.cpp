@@ -1,0 +1,55 @@
+#include "pcn/onchain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace musketeer::pcn {
+namespace {
+
+TEST(OnChainTest, CostsAreMonotoneInDeficit) {
+  OnChainCostModel model;
+  EXPECT_LT(onchain_cost(model, 10), onchain_cost(model, 1000));
+  EXPECT_LT(rebalancing_cost(0.001, 10), rebalancing_cost(0.001, 1000));
+}
+
+TEST(OnChainTest, OnChainIsDominatedBySmallDeficits) {
+  OnChainCostModel model;
+  model.base_fee = 2000;
+  model.delay_cost_rate = 0.0;
+  // Rebalancing 100 units at 0.1% costs 0.1; on-chain costs 2000.
+  EXPECT_LT(rebalancing_cost(0.001, 100), onchain_cost(model, 100));
+}
+
+TEST(OnChainTest, BreakEvenFormula) {
+  OnChainCostModel model;
+  model.base_fee = 2000;
+  model.delay_cost_rate = 0.0;
+  const flow::Amount breakeven = breakeven_deficit(model, 0.001);
+  EXPECT_EQ(breakeven, 2'000'000);
+  // Just below break-even rebalancing wins, just above it loses.
+  EXPECT_LT(rebalancing_cost(0.001, breakeven - 1),
+            onchain_cost(model, breakeven - 1));
+  EXPECT_GE(rebalancing_cost(0.001, breakeven + 1),
+            onchain_cost(model, breakeven + 1));
+}
+
+TEST(OnChainTest, DelayCostShiftsBreakEven) {
+  OnChainCostModel slow;
+  slow.base_fee = 2000;
+  slow.delay_cost_rate = 0.0005;
+  OnChainCostModel instant;
+  instant.base_fee = 2000;
+  instant.delay_cost_rate = 0.0;
+  EXPECT_GT(breakeven_deficit(slow, 0.001), breakeven_deficit(instant, 0.001));
+}
+
+TEST(OnChainTest, RebalancingAlwaysWinsWhenCheaperThanDelayAlone) {
+  OnChainCostModel model;
+  model.delay_cost_rate = 0.002;
+  EXPECT_EQ(breakeven_deficit(model, 0.001),
+            std::numeric_limits<flow::Amount>::max());
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

@@ -1,0 +1,84 @@
+#include "pcn/payment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::pcn {
+namespace {
+
+TEST(PaymentTest, SuccessfulPaymentMovesBalances) {
+  Network net(3);
+  net.add_channel(0, 1, 100, 100, 0.01, 0.01);
+  net.add_channel(1, 2, 100, 100, 0.01, 0.01);
+  const PaymentResult res = send_payment(net, 0, 2, 50);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.hops, 2);
+  EXPECT_EQ(res.fees, 1);
+  // Receiver got exactly 50; forwarder pocketed the fee of 1; the sender
+  // paid 51. Initial wealth: node 0 = 100, node 1 = 200, node 2 = 100.
+  EXPECT_EQ(net.node_wealth(2), 150);
+  EXPECT_EQ(net.node_wealth(1), 201);
+  EXPECT_EQ(net.node_wealth(0), 49);
+}
+
+TEST(PaymentTest, FailedPaymentLeavesNetworkUntouched) {
+  Network net(3);
+  net.add_channel(0, 1, 10, 100, 0.0, 0.0);
+  net.add_channel(1, 2, 10, 100, 0.0, 0.0);
+  const Amount w0 = net.node_wealth(0);
+  const PaymentResult res = send_payment(net, 0, 2, 50);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(net.node_wealth(0), w0);
+  EXPECT_EQ(net.channel(0).balance_of(0), 10);
+}
+
+TEST(PaymentTest, ExecuteRouteIsAtomic) {
+  Network net(3);
+  net.add_channel(0, 1, 100, 0, 0.0, 0.0);
+  net.add_channel(1, 2, 100, 0, 0.0, 0.0);
+  Route route;
+  route.hops.push_back(Hop{0, 0, 60});
+  route.hops.push_back(Hop{1, 1, 200});  // second hop cannot be funded
+  EXPECT_FALSE(execute_route(net, route));
+  EXPECT_EQ(net.channel(0).balance_of(0), 100);  // first hop rolled back
+}
+
+TEST(PaymentTest, RetryRoutesAroundDepletedChannel) {
+  Network net(4);
+  // Two disjoint 2-hop paths from 0 to 3; the cheap one is depleted.
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 3, 5, 100, 0.0, 0.0);  // can't forward 50
+  net.add_channel(0, 2, 100, 100, 0.0, 0.0);
+  net.add_channel(2, 3, 100, 100, 0.001, 0.0);
+  const PaymentResult res = send_payment(net, 0, 3, 50);
+  ASSERT_TRUE(res.success);
+  // Node 3 starts with 100 + 100 across its two channels.
+  EXPECT_EQ(net.node_wealth(3), 200 + 50);
+}
+
+TEST(PaymentTest, WealthConservationAcrossManyPayments) {
+  Network net(4);
+  net.add_channel(0, 1, 100, 100, 0.002, 0.002);
+  net.add_channel(1, 2, 100, 100, 0.002, 0.002);
+  net.add_channel(2, 3, 100, 100, 0.002, 0.002);
+  net.add_channel(3, 0, 100, 100, 0.002, 0.002);
+  Amount total_before = 0;
+  for (NodeId v = 0; v < 4; ++v) total_before += net.node_wealth(v);
+  for (int i = 0; i < 20; ++i) {
+    send_payment(net, static_cast<NodeId>(i % 4),
+                 static_cast<NodeId>((i + 2) % 4), 10);
+  }
+  Amount total_after = 0;
+  for (NodeId v = 0; v < 4; ++v) total_after += net.node_wealth(v);
+  EXPECT_EQ(total_before, total_after);
+}
+
+TEST(PaymentTest, UnroutablePaymentReportsAttempts) {
+  Network net(2);
+  net.add_channel(0, 1, 5, 5, 0.0, 0.0);
+  const PaymentResult res = send_payment(net, 0, 1, 50, /*max_attempts=*/3);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.attempts, 1);  // no route at all -> stop immediately
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

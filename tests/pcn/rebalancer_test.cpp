@@ -1,0 +1,143 @@
+#include "pcn/rebalancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+RebalancePolicy test_policy() {
+  RebalancePolicy policy;
+  policy.depleted_threshold = 0.25;
+  policy.target_share = 0.5;
+  policy.buyer_bid_base = 0.01;
+  policy.buyer_bid_slope = 0.05;
+  policy.seller_fee = 0.001;
+  policy.seller_liquidity_fraction = 0.5;
+  return policy;
+}
+
+TEST(RebalancerTest, BalancedNetworkExtractsOnlySellerEdges) {
+  Network net(3);
+  net.add_channel(0, 1, 50, 50, 0.0, 0.0);
+  net.add_channel(1, 2, 50, 50, 0.0, 0.0);
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  for (core::EdgeId e = 0; e < extracted.game.num_edges(); ++e) {
+    EXPECT_FALSE(extracted.game.is_depleted(e));
+  }
+}
+
+TEST(RebalancerTest, DepletedSideBecomesBuyerEdge) {
+  Network net(2);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);  // node 0 at 10% -> depleted
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  ASSERT_EQ(extracted.game.num_edges(), 1);
+  const core::GameEdge& edge = extracted.game.edge(0);
+  EXPECT_EQ(edge.from, 1);  // coins move from 1's side
+  EXPECT_EQ(edge.to, 0);    // into 0's side
+  EXPECT_GT(edge.head_valuation, 0.0);
+  // Capacity restores node 0 to target: 50 - 10 = 40.
+  EXPECT_EQ(edge.capacity, 40);
+  EXPECT_EQ(extracted.bindings[0].channel, 0);
+  EXPECT_EQ(extracted.bindings[0].from, 1);
+}
+
+TEST(RebalancerTest, BuyerBidGrowsWithSeverity) {
+  const RebalancePolicy policy = test_policy();
+  Network net(4);
+  net.add_channel(0, 1, 20, 80, 0.0, 0.0);   // share 0.20
+  net.add_channel(2, 3, 5, 95, 0.0, 0.0);    // share 0.05 — worse
+  const ExtractedGame extracted = extract_game(net, policy);
+  ASSERT_EQ(extracted.game.num_edges(), 2);
+  EXPECT_LT(extracted.game.edge(0).head_valuation,
+            extracted.game.edge(1).head_valuation);
+}
+
+TEST(RebalancerTest, SurplusSideOffersBoundedLiquidity) {
+  Network net(2);
+  net.add_channel(0, 1, 70, 30, 0.0, 0.0);
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  // Node 1 at 30% is neither depleted (>= 0.25) nor above the seller
+  // floor (30%), so it offers nothing; node 0 holds 40 above the floor
+  // and offers half of it.
+  ASSERT_EQ(extracted.game.num_edges(), 1);
+  const core::GameEdge& edge = extracted.game.edge(0);
+  EXPECT_EQ(edge.from, 0);
+  EXPECT_EQ(edge.capacity, 20);
+  EXPECT_DOUBLE_EQ(edge.tail_valuation, -0.001);
+}
+
+TEST(RebalancerTest, BalancedChannelStillOffersLiquidity) {
+  // The whole point of including sellers: a balanced channel can afford
+  // to route and prices that service, rather than sitting idle.
+  Network net(2);
+  net.add_channel(0, 1, 50, 50, 0.0, 0.0);
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  ASSERT_EQ(extracted.game.num_edges(), 2);
+  for (core::EdgeId e = 0; e < 2; ++e) {
+    EXPECT_FALSE(extracted.game.is_depleted(e));
+    EXPECT_EQ(extracted.game.edge(e).capacity, 10);  // (50-30)/2
+  }
+}
+
+TEST(RebalancerTest, EndToEndRebalanceRestoresDepletedChannel) {
+  // Triangle where a directed rebalancing cycle 1->0, 0->2, 2->1 exists:
+  // node 0 is depleted in channel (0,1), node 1 in channel (1,2), and
+  // node 0 holds sellable surplus in channel (2,0).
+  Network net(3);
+  const ChannelId ab = net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  net.add_channel(1, 2, 20, 80, 0.0, 0.0);
+  net.add_channel(2, 0, 30, 70, 0.0, 0.0);
+  const double imbalance_before = net.imbalances()[0];
+
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  const core::M3DoubleAuction m3;
+  const core::Outcome outcome = m3.run_truthful(extracted.game);
+  const RebalanceStats stats = apply_outcome(net, extracted, outcome);
+
+  EXPECT_GT(stats.cycles_executed, 0);
+  EXPECT_GT(stats.volume, 0);
+  EXPECT_GT(net.channel(ab).balance_of(0), 10);
+  EXPECT_LT(net.imbalances()[0], imbalance_before);
+  // Rebalancing never mints or burns coins: total wealth equals the sum
+  // of channel capacities.
+  EXPECT_EQ(net.node_wealth(0) + net.node_wealth(1) + net.node_wealth(2),
+            net.total_capacity());
+}
+
+TEST(RebalancerTest, WealthInvariantUnderRebalancing) {
+  Network net(3);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  net.add_channel(1, 2, 20, 80, 0.0, 0.0);
+  net.add_channel(2, 0, 30, 70, 0.0, 0.0);
+  std::vector<Amount> wealth_before;
+  for (NodeId v = 0; v < 3; ++v) wealth_before.push_back(net.node_wealth(v));
+
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  const core::Outcome outcome =
+      core::M3DoubleAuction().run_truthful(extracted.game);
+  apply_outcome(net, extracted, outcome);
+
+  // Balance conservation (the paper's circulation property): each node's
+  // total wealth is unchanged by pure rebalancing.
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(net.node_wealth(v), wealth_before[static_cast<std::size_t>(v)])
+        << "node " << v;
+  }
+}
+
+TEST(RebalancerTest, EmptyOutcomeIsNoOp) {
+  Network net(2);
+  net.add_channel(0, 1, 50, 50, 0.0, 0.0);
+  const ExtractedGame extracted = extract_game(net, test_policy());
+  core::Outcome outcome;
+  outcome.circulation.assign(
+      static_cast<std::size_t>(extracted.game.num_edges()), 0);
+  const RebalanceStats stats = apply_outcome(net, extracted, outcome);
+  EXPECT_EQ(stats.cycles_executed, 0);
+  EXPECT_EQ(stats.volume, 0);
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

@@ -1,0 +1,115 @@
+// Routing correctness against a brute-force oracle: on small random
+// networks, enumerate every simple path and check find_route returns a
+// feasible route whenever one exists, with the minimum sender outlay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "pcn/routing.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::pcn {
+namespace {
+
+constexpr Amount kNoRoute = -1;
+
+Amount fee_of(double rate, Amount amount) {
+  return static_cast<Amount>(
+      std::ceil(rate * static_cast<double>(amount)));
+}
+
+// Brute force: DFS over simple channel paths; returns the minimum sender
+// outlay delivering `amount`, or kNoRoute.
+Amount brute_force_best(const Network& net, NodeId sender, NodeId receiver,
+                        Amount amount, int max_hops) {
+  Amount best = kNoRoute;
+  std::vector<ChannelId> path;
+  std::vector<bool> visited(static_cast<std::size_t>(net.num_nodes()), false);
+
+  std::function<void(NodeId)> dfs = [&](NodeId node) {
+    if (static_cast<int>(path.size()) > max_hops) return;
+    if (node == receiver) {
+      // Walk the path backward computing required amounts and checking
+      // balances.
+      Amount arriving = amount;
+      bool feasible = true;
+      NodeId cur = receiver;
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const Channel& c = net.channel(*it);
+        const NodeId from = c.other(cur);
+        if (c.spendable(from) < arriving) {
+          feasible = false;
+          break;
+        }
+        if (from != sender) {
+          arriving += fee_of(c.fee_rate_of(from), arriving);
+        }
+        cur = from;
+      }
+      if (feasible && (best == kNoRoute || arriving < best)) best = arriving;
+      return;
+    }
+    visited[static_cast<std::size_t>(node)] = true;
+    for (ChannelId c : net.channels_of(node)) {
+      const NodeId next = net.channel(c).other(node);
+      if (visited[static_cast<std::size_t>(next)]) continue;
+      path.push_back(c);
+      dfs(next);
+      path.pop_back();
+    }
+    visited[static_cast<std::size_t>(node)] = false;
+  };
+  dfs(sender);
+  return best;
+}
+
+class RoutingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingPropertyTest, MatchesBruteForceOracle) {
+  util::Rng rng(GetParam());
+  const NodeId n = static_cast<NodeId>(rng.uniform_int(4, 7));
+  Network net(n);
+  const int channels = static_cast<int>(rng.uniform_int(n, 2 * n));
+  for (int c = 0; c < channels; ++c) {
+    const auto a = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    auto b = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (a == b) b = static_cast<NodeId>((b + 1) % n);
+    net.add_channel(a, b, rng.uniform_int(0, 60), rng.uniform_int(0, 60),
+                    rng.uniform_real(0.0, 0.02), rng.uniform_real(0.0, 0.02));
+  }
+  const int max_hops = 4;
+  for (int query = 0; query < 10; ++query) {
+    const auto s = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    auto t = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (s == t) t = static_cast<NodeId>((t + 1) % n);
+    const Amount amount = rng.uniform_int(1, 40);
+
+    RoutingOptions options;
+    options.max_hops = max_hops;
+    const auto route = find_route(net, s, t, amount, options);
+    const Amount oracle = brute_force_best(net, s, t, amount, max_hops);
+
+    if (oracle == kNoRoute) {
+      EXPECT_FALSE(route.has_value())
+          << "found a route the oracle says cannot exist";
+      continue;
+    }
+    ASSERT_TRUE(route.has_value())
+        << "missed an existing route (outlay " << oracle << ")";
+    // The DP is optimal; the extracted route's outlay must match the
+    // oracle (sender outlay = first hop amount).
+    EXPECT_EQ(route->hops.front().amount, oracle);
+    EXPECT_EQ(route->total_fees, oracle - amount);
+    // And the route itself must be executable.
+    for (const Hop& hop : route->hops) {
+      EXPECT_GE(net.channel(hop.channel).spendable(hop.from), hop.amount);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Range<std::uint64_t>(500, 525));
+
+}  // namespace
+}  // namespace musketeer::pcn

@@ -1,0 +1,95 @@
+#include "pcn/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace musketeer::pcn {
+namespace {
+
+TEST(RoutingTest, DirectChannel) {
+  Network net(2);
+  net.add_channel(0, 1, 50, 50, 0.01, 0.01);
+  const auto route = find_route(net, 0, 1, 30);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 1);
+  EXPECT_EQ(route->hops[0].amount, 30);
+  EXPECT_EQ(route->total_fees, 0);  // sender charges itself nothing
+}
+
+TEST(RoutingTest, TwoHopFeeAccounting) {
+  Network net(3);
+  net.add_channel(0, 1, 100, 100, 0.01, 0.01);
+  net.add_channel(1, 2, 100, 100, 0.01, 0.01);
+  const auto route = find_route(net, 0, 2, 50);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 2);
+  // Forwarder 1 charges ceil(0.01 * 50) = 1 on the last hop.
+  EXPECT_EQ(route->hops[1].amount, 50);
+  EXPECT_EQ(route->hops[0].amount, 51);
+  EXPECT_EQ(route->total_fees, 1);
+}
+
+TEST(RoutingTest, CapacityBlocksDirection) {
+  Network net(2);
+  net.add_channel(0, 1, 10, 90, 0.0, 0.0);
+  EXPECT_TRUE(find_route(net, 0, 1, 10).has_value());
+  EXPECT_FALSE(find_route(net, 0, 1, 11).has_value());
+  EXPECT_TRUE(find_route(net, 1, 0, 90).has_value());
+}
+
+TEST(RoutingTest, PrefersCheaperPath) {
+  Network net(4);
+  // Expensive direct intermediary vs cheap one.
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 3, 100, 100, 0.05, 0.0);  // node 1 charges 5%
+  net.add_channel(0, 2, 100, 100, 0.0, 0.0);
+  net.add_channel(2, 3, 100, 100, 0.001, 0.0);  // node 2 charges 0.1%
+  const auto route = find_route(net, 0, 3, 50);
+  ASSERT_TRUE(route.has_value());
+  ASSERT_EQ(route->length(), 2);
+  EXPECT_EQ(route->hops[0].from, 0);
+  EXPECT_EQ(net.channel(route->hops[1].channel).has_party(2), true);
+}
+
+TEST(RoutingTest, HopBoundEnforced) {
+  Network net(4);
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 2, 100, 100, 0.0, 0.0);
+  net.add_channel(2, 3, 100, 100, 0.0, 0.0);
+  RoutingOptions opts;
+  opts.max_hops = 2;
+  EXPECT_FALSE(find_route(net, 0, 3, 10, opts).has_value());
+  opts.max_hops = 3;
+  EXPECT_TRUE(find_route(net, 0, 3, 10, opts).has_value());
+}
+
+TEST(RoutingTest, BlacklistForcesDetour) {
+  Network net(3);
+  const ChannelId direct = net.add_channel(0, 2, 100, 100, 0.0, 0.0);
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(1, 2, 100, 100, 0.001, 0.0);
+  RoutingOptions opts;
+  opts.blacklist.push_back(direct);
+  const auto route = find_route(net, 0, 2, 10, opts);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 2);
+}
+
+TEST(RoutingTest, NoRouteInDisconnectedNetwork) {
+  Network net(4);
+  net.add_channel(0, 1, 100, 100, 0.0, 0.0);
+  net.add_channel(2, 3, 100, 100, 0.0, 0.0);
+  EXPECT_FALSE(find_route(net, 0, 3, 10).has_value());
+}
+
+TEST(RoutingTest, IntermediateCapacityMustCoverFees) {
+  Network net(3);
+  net.add_channel(0, 1, 100, 0, 0.0, 0.0);
+  // Forwarder can pass exactly 50, but must forward 50 while the sender
+  // funds 50 + fee upstream; forwarding side holds only 50.
+  net.add_channel(1, 2, 50, 0, 0.02, 0.0);
+  EXPECT_TRUE(find_route(net, 0, 2, 50).has_value());
+  EXPECT_FALSE(find_route(net, 0, 2, 51).has_value());
+}
+
+}  // namespace
+}  // namespace musketeer::pcn

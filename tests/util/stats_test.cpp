@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace musketeer::util {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatsTest, StdevBasic) {
+  const std::array<double, 4> xs{2.0, 4.0, 4.0, 6.0};
+  EXPECT_NEAR(stdev(xs), 1.632993, 1e-5);
+}
+
+TEST(StatsTest, StdevOfSingletonIsZero) {
+  const std::array<double, 1> xs{5.0};
+  EXPECT_EQ(stdev(xs), 0.0);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::array<double, 5> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::array<double, 2> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  const std::array<double, 3> xs{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 4.0);
+}
+
+TEST(StatsTest, GiniOfEqualDistributionIsZero) {
+  const std::array<double, 4> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(StatsTest, GiniOfConcentratedDistribution) {
+  const std::array<double, 4> xs{0.0, 0.0, 0.0, 8.0};
+  EXPECT_NEAR(gini(xs), 0.75, 1e-12);
+}
+
+TEST(StatsTest, GiniOfEmptyOrZeroIsZero) {
+  EXPECT_EQ(gini({}), 0.0);
+  const std::array<double, 2> xs{0.0, 0.0};
+  EXPECT_EQ(gini(xs), 0.0);
+}
+
+TEST(StatsTest, AccumulatorAggregates) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+}
+
+}  // namespace
+}  // namespace musketeer::util
