@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e10_extensions"
+  "../bench/e10_extensions.pdb"
+  "CMakeFiles/e10_extensions.dir/e10_extensions.cpp.o"
+  "CMakeFiles/e10_extensions.dir/e10_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e11_onchain"
+  "../bench/e11_onchain.pdb"
+  "CMakeFiles/e11_onchain.dir/e11_onchain.cpp.o"
+  "CMakeFiles/e11_onchain.dir/e11_onchain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_onchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

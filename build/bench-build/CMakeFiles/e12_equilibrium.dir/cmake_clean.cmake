@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e12_equilibrium"
+  "../bench/e12_equilibrium.pdb"
+  "CMakeFiles/e12_equilibrium.dir/e12_equilibrium.cpp.o"
+  "CMakeFiles/e12_equilibrium.dir/e12_equilibrium.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_equilibrium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e1_participation"
+  "../bench/e1_participation.pdb"
+  "CMakeFiles/e1_participation.dir/e1_participation.cpp.o"
+  "CMakeFiles/e1_participation.dir/e1_participation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2_mechanism_welfare"
+  "../bench/e2_mechanism_welfare.pdb"
+  "CMakeFiles/e2_mechanism_welfare.dir/e2_mechanism_welfare.cpp.o"
+  "CMakeFiles/e2_mechanism_welfare.dir/e2_mechanism_welfare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_mechanism_welfare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e3_truthfulness"
+  "../bench/e3_truthfulness.pdb"
+  "CMakeFiles/e3_truthfulness.dir/e3_truthfulness.cpp.o"
+  "CMakeFiles/e3_truthfulness.dir/e3_truthfulness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_truthfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

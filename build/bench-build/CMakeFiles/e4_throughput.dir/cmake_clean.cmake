@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e4_throughput"
+  "../bench/e4_throughput.pdb"
+  "CMakeFiles/e4_throughput.dir/e4_throughput.cpp.o"
+  "CMakeFiles/e4_throughput.dir/e4_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

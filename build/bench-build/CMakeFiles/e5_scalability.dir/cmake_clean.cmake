@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e5_scalability"
+  "../bench/e5_scalability.pdb"
+  "CMakeFiles/e5_scalability.dir/e5_scalability.cpp.o"
+  "CMakeFiles/e5_scalability.dir/e5_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

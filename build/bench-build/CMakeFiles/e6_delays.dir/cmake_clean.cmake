@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e6_delays"
+  "../bench/e6_delays.pdb"
+  "CMakeFiles/e6_delays.dir/e6_delays.cpp.o"
+  "CMakeFiles/e6_delays.dir/e6_delays.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

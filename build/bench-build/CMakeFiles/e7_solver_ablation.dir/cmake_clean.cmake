@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e7_solver_ablation"
+  "../bench/e7_solver_ablation.pdb"
+  "CMakeFiles/e7_solver_ablation.dir/e7_solver_ablation.cpp.o"
+  "CMakeFiles/e7_solver_ablation.dir/e7_solver_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_solver_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

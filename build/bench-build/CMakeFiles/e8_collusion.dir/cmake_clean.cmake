@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e8_collusion"
+  "../bench/e8_collusion.pdb"
+  "CMakeFiles/e8_collusion.dir/e8_collusion.cpp.o"
+  "CMakeFiles/e8_collusion.dir/e8_collusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e9_repeated_games"
+  "../bench/e9_repeated_games.pdb"
+  "CMakeFiles/e9_repeated_games.dir/e9_repeated_games.cpp.o"
+  "CMakeFiles/e9_repeated_games.dir/e9_repeated_games.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_repeated_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_pipeline"
+  "../bench/fig1_pipeline.pdb"
+  "CMakeFiles/fig1_pipeline.dir/fig1_pipeline.cpp.o"
+  "CMakeFiles/fig1_pipeline.dir/fig1_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_cbb_vs_sbb"
+  "../bench/fig2_cbb_vs_sbb.pdb"
+  "CMakeFiles/fig2_cbb_vs_sbb.dir/fig2_cbb_vs_sbb.cpp.o"
+  "CMakeFiles/fig2_cbb_vs_sbb.dir/fig2_cbb_vs_sbb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cbb_vs_sbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

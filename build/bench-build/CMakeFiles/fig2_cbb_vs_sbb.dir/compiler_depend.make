@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_cbb_vs_sbb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm1_impossibility"
+  "../bench/thm1_impossibility.pdb"
+  "CMakeFiles/thm1_impossibility.dir/thm1_impossibility.cpp.o"
+  "CMakeFiles/thm1_impossibility.dir/thm1_impossibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_comparison.dir/auction_comparison.cpp.o"
+  "CMakeFiles/auction_comparison.dir/auction_comparison.cpp.o.d"
+  "auction_comparison"
+  "auction_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

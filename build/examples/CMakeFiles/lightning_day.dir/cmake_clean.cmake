@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightning_day.dir/lightning_day.cpp.o"
+  "CMakeFiles/lightning_day.dir/lightning_day.cpp.o.d"
+  "lightning_day"
+  "lightning_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightning_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

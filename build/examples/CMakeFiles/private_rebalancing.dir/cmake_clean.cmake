@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_rebalancing.dir/private_rebalancing.cpp.o"
+  "CMakeFiles/private_rebalancing.dir/private_rebalancing.cpp.o.d"
+  "private_rebalancing"
+  "private_rebalancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_rebalancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

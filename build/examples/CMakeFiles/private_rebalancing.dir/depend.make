@@ -1,0 +1,2 @@
+# Empty dependencies file for private_rebalancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeated_market.dir/repeated_market.cpp.o"
+  "CMakeFiles/repeated_market.dir/repeated_market.cpp.o.d"
+  "repeated_market"
+  "repeated_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeated_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

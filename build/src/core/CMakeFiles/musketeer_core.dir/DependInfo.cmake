@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/musketeer_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/delegates.cpp" "src/core/CMakeFiles/musketeer_core.dir/delegates.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/delegates.cpp.o.d"
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/musketeer_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/musketeer_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/musketeer_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/m1_fixed_fee.cpp" "src/core/CMakeFiles/musketeer_core.dir/m1_fixed_fee.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m1_fixed_fee.cpp.o.d"
+  "/root/repo/src/core/m2_minfee.cpp" "src/core/CMakeFiles/musketeer_core.dir/m2_minfee.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m2_minfee.cpp.o.d"
+  "/root/repo/src/core/m2_vcg.cpp" "src/core/CMakeFiles/musketeer_core.dir/m2_vcg.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m2_vcg.cpp.o.d"
+  "/root/repo/src/core/m3_double_auction.cpp" "src/core/CMakeFiles/musketeer_core.dir/m3_double_auction.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m3_double_auction.cpp.o.d"
+  "/root/repo/src/core/m4_delayed.cpp" "src/core/CMakeFiles/musketeer_core.dir/m4_delayed.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m4_delayed.cpp.o.d"
+  "/root/repo/src/core/m5_variable_delay.cpp" "src/core/CMakeFiles/musketeer_core.dir/m5_variable_delay.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/m5_variable_delay.cpp.o.d"
+  "/root/repo/src/core/myerson.cpp" "src/core/CMakeFiles/musketeer_core.dir/myerson.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/myerson.cpp.o.d"
+  "/root/repo/src/core/outcome.cpp" "src/core/CMakeFiles/musketeer_core.dir/outcome.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/outcome.cpp.o.d"
+  "/root/repo/src/core/properties.cpp" "src/core/CMakeFiles/musketeer_core.dir/properties.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/properties.cpp.o.d"
+  "/root/repo/src/core/repeated.cpp" "src/core/CMakeFiles/musketeer_core.dir/repeated.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/repeated.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/musketeer_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/musketeer_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

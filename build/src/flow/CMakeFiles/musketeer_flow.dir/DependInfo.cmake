@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/bellman_ford.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/bellman_ford.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/flow/circulation.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/circulation.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/circulation.cpp.o.d"
+  "/root/repo/src/flow/decompose.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/decompose.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/decompose.cpp.o.d"
+  "/root/repo/src/flow/dinic.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/dinic.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/dinic.cpp.o.d"
+  "/root/repo/src/flow/graph.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/graph.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/graph.cpp.o.d"
+  "/root/repo/src/flow/min_mean_cycle.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/min_mean_cycle.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/min_mean_cycle.cpp.o.d"
+  "/root/repo/src/flow/netting.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/netting.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/netting.cpp.o.d"
+  "/root/repo/src/flow/network_simplex.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/network_simplex.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/network_simplex.cpp.o.d"
+  "/root/repo/src/flow/residual.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/residual.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/residual.cpp.o.d"
+  "/root/repo/src/flow/solver.cpp" "src/flow/CMakeFiles/musketeer_flow.dir/solver.cpp.o" "gcc" "src/flow/CMakeFiles/musketeer_flow.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

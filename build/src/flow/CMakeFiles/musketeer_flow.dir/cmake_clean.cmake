@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_flow.dir/bellman_ford.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/circulation.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/circulation.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/decompose.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/decompose.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/dinic.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/dinic.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/graph.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/graph.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/min_mean_cycle.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/min_mean_cycle.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/netting.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/netting.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/network_simplex.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/network_simplex.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/residual.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/residual.cpp.o.d"
+  "CMakeFiles/musketeer_flow.dir/solver.cpp.o"
+  "CMakeFiles/musketeer_flow.dir/solver.cpp.o.d"
+  "libmusketeer_flow.a"
+  "libmusketeer_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

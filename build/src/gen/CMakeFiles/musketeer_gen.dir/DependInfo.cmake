@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/game_gen.cpp" "src/gen/CMakeFiles/musketeer_gen.dir/game_gen.cpp.o" "gcc" "src/gen/CMakeFiles/musketeer_gen.dir/game_gen.cpp.o.d"
+  "/root/repo/src/gen/topology.cpp" "src/gen/CMakeFiles/musketeer_gen.dir/topology.cpp.o" "gcc" "src/gen/CMakeFiles/musketeer_gen.dir/topology.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/gen/CMakeFiles/musketeer_gen.dir/workload.cpp.o" "gcc" "src/gen/CMakeFiles/musketeer_gen.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_gen.dir/game_gen.cpp.o"
+  "CMakeFiles/musketeer_gen.dir/game_gen.cpp.o.d"
+  "CMakeFiles/musketeer_gen.dir/topology.cpp.o"
+  "CMakeFiles/musketeer_gen.dir/topology.cpp.o.d"
+  "CMakeFiles/musketeer_gen.dir/workload.cpp.o"
+  "CMakeFiles/musketeer_gen.dir/workload.cpp.o.d"
+  "libmusketeer_gen.a"
+  "libmusketeer_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

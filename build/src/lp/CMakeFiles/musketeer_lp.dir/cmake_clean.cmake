@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_lp.dir/flow_lp.cpp.o"
+  "CMakeFiles/musketeer_lp.dir/flow_lp.cpp.o.d"
+  "CMakeFiles/musketeer_lp.dir/model.cpp.o"
+  "CMakeFiles/musketeer_lp.dir/model.cpp.o.d"
+  "CMakeFiles/musketeer_lp.dir/simplex.cpp.o"
+  "CMakeFiles/musketeer_lp.dir/simplex.cpp.o.d"
+  "libmusketeer_lp.a"
+  "libmusketeer_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcn/htlc.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/htlc.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/htlc.cpp.o.d"
+  "/root/repo/src/pcn/network.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/network.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/network.cpp.o.d"
+  "/root/repo/src/pcn/onchain.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/onchain.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/onchain.cpp.o.d"
+  "/root/repo/src/pcn/payment.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/payment.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/payment.cpp.o.d"
+  "/root/repo/src/pcn/rebalancer.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/rebalancer.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/rebalancer.cpp.o.d"
+  "/root/repo/src/pcn/routing.cpp" "src/pcn/CMakeFiles/musketeer_pcn.dir/routing.cpp.o" "gcc" "src/pcn/CMakeFiles/musketeer_pcn.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_pcn.dir/htlc.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/htlc.cpp.o.d"
+  "CMakeFiles/musketeer_pcn.dir/network.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/network.cpp.o.d"
+  "CMakeFiles/musketeer_pcn.dir/onchain.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/onchain.cpp.o.d"
+  "CMakeFiles/musketeer_pcn.dir/payment.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/payment.cpp.o.d"
+  "CMakeFiles/musketeer_pcn.dir/rebalancer.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/rebalancer.cpp.o.d"
+  "CMakeFiles/musketeer_pcn.dir/routing.cpp.o"
+  "CMakeFiles/musketeer_pcn.dir/routing.cpp.o.d"
+  "libmusketeer_pcn.a"
+  "libmusketeer_pcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_pcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_sim.dir/engine.cpp.o"
+  "CMakeFiles/musketeer_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/musketeer_sim.dir/strategies.cpp.o"
+  "CMakeFiles/musketeer_sim.dir/strategies.cpp.o.d"
+  "libmusketeer_sim.a"
+  "libmusketeer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

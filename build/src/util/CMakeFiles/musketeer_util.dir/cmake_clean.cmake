@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_util.dir/csv.cpp.o"
+  "CMakeFiles/musketeer_util.dir/csv.cpp.o.d"
+  "CMakeFiles/musketeer_util.dir/stats.cpp.o"
+  "CMakeFiles/musketeer_util.dir/stats.cpp.o.d"
+  "CMakeFiles/musketeer_util.dir/table.cpp.o"
+  "CMakeFiles/musketeer_util.dir/table.cpp.o.d"
+  "libmusketeer_util.a"
+  "libmusketeer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/coalition_test.cpp" "tests/CMakeFiles/core_tests.dir/core/coalition_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/coalition_test.cpp.o.d"
+  "/root/repo/tests/core/delegates_test.cpp" "tests/CMakeFiles/core_tests.dir/core/delegates_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/delegates_test.cpp.o.d"
+  "/root/repo/tests/core/equilibrium_test.cpp" "tests/CMakeFiles/core_tests.dir/core/equilibrium_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/equilibrium_test.cpp.o.d"
+  "/root/repo/tests/core/game_test.cpp" "tests/CMakeFiles/core_tests.dir/core/game_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/game_test.cpp.o.d"
+  "/root/repo/tests/core/io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/io_test.cpp.o.d"
+  "/root/repo/tests/core/m1_self_selection_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m1_self_selection_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m1_self_selection_test.cpp.o.d"
+  "/root/repo/tests/core/m1_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m1_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m1_test.cpp.o.d"
+  "/root/repo/tests/core/m2_minfee_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m2_minfee_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m2_minfee_test.cpp.o.d"
+  "/root/repo/tests/core/m2_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m2_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m2_test.cpp.o.d"
+  "/root/repo/tests/core/m3_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m3_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m3_test.cpp.o.d"
+  "/root/repo/tests/core/m4_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m4_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m4_test.cpp.o.d"
+  "/root/repo/tests/core/m5_test.cpp" "tests/CMakeFiles/core_tests.dir/core/m5_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/m5_test.cpp.o.d"
+  "/root/repo/tests/core/mechanism_properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mechanism_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mechanism_properties_test.cpp.o.d"
+  "/root/repo/tests/core/myerson_test.cpp" "tests/CMakeFiles/core_tests.dir/core/myerson_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/myerson_test.cpp.o.d"
+  "/root/repo/tests/core/outcome_test.cpp" "tests/CMakeFiles/core_tests.dir/core/outcome_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/outcome_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/repeated_test.cpp" "tests/CMakeFiles/core_tests.dir/core/repeated_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/repeated_test.cpp.o.d"
+  "/root/repo/tests/core/strategy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/strategy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/musketeer_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/musketeer_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

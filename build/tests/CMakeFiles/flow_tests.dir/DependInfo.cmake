@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/bellman_ford_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/bellman_ford_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/bellman_ford_test.cpp.o.d"
+  "/root/repo/tests/flow/circulation_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/circulation_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/circulation_test.cpp.o.d"
+  "/root/repo/tests/flow/decompose_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/decompose_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/decompose_test.cpp.o.d"
+  "/root/repo/tests/flow/dinic_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/dinic_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/dinic_test.cpp.o.d"
+  "/root/repo/tests/flow/graph_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/graph_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/graph_test.cpp.o.d"
+  "/root/repo/tests/flow/min_mean_cycle_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/min_mean_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/min_mean_cycle_test.cpp.o.d"
+  "/root/repo/tests/flow/multi_cycle_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/multi_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/multi_cycle_test.cpp.o.d"
+  "/root/repo/tests/flow/netting_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/netting_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/netting_test.cpp.o.d"
+  "/root/repo/tests/flow/network_simplex_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/network_simplex_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/network_simplex_test.cpp.o.d"
+  "/root/repo/tests/flow/residual_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/residual_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/residual_test.cpp.o.d"
+  "/root/repo/tests/flow/solver_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/solver_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/solver_test.cpp.o.d"
+  "/root/repo/tests/flow/stress_test.cpp" "tests/CMakeFiles/flow_tests.dir/flow/stress_test.cpp.o" "gcc" "tests/CMakeFiles/flow_tests.dir/flow/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/musketeer_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/musketeer_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

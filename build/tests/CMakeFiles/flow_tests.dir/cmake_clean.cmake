@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_tests.dir/flow/bellman_ford_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/bellman_ford_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/circulation_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/circulation_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/decompose_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/decompose_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/dinic_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/dinic_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/graph_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/graph_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/min_mean_cycle_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/min_mean_cycle_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/multi_cycle_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/multi_cycle_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/netting_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/netting_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/network_simplex_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/network_simplex_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/residual_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/residual_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/solver_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/solver_test.cpp.o.d"
+  "CMakeFiles/flow_tests.dir/flow/stress_test.cpp.o"
+  "CMakeFiles/flow_tests.dir/flow/stress_test.cpp.o.d"
+  "flow_tests"
+  "flow_tests.pdb"
+  "flow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

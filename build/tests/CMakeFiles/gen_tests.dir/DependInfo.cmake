@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen/game_gen_test.cpp" "tests/CMakeFiles/gen_tests.dir/gen/game_gen_test.cpp.o" "gcc" "tests/CMakeFiles/gen_tests.dir/gen/game_gen_test.cpp.o.d"
+  "/root/repo/tests/gen/powerlaw_test.cpp" "tests/CMakeFiles/gen_tests.dir/gen/powerlaw_test.cpp.o" "gcc" "tests/CMakeFiles/gen_tests.dir/gen/powerlaw_test.cpp.o.d"
+  "/root/repo/tests/gen/topology_test.cpp" "tests/CMakeFiles/gen_tests.dir/gen/topology_test.cpp.o" "gcc" "tests/CMakeFiles/gen_tests.dir/gen/topology_test.cpp.o.d"
+  "/root/repo/tests/gen/workload_modes_test.cpp" "tests/CMakeFiles/gen_tests.dir/gen/workload_modes_test.cpp.o" "gcc" "tests/CMakeFiles/gen_tests.dir/gen/workload_modes_test.cpp.o.d"
+  "/root/repo/tests/gen/workload_test.cpp" "tests/CMakeFiles/gen_tests.dir/gen/workload_test.cpp.o" "gcc" "tests/CMakeFiles/gen_tests.dir/gen/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/musketeer_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/musketeer_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

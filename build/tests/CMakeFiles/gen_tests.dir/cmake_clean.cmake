@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tests.dir/gen/game_gen_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/game_gen_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/powerlaw_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/powerlaw_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/topology_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/topology_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/workload_modes_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/workload_modes_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/workload_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/workload_test.cpp.o.d"
+  "gen_tests"
+  "gen_tests.pdb"
+  "gen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_tests.dir/lp/flow_lp_test.cpp.o"
+  "CMakeFiles/lp_tests.dir/lp/flow_lp_test.cpp.o.d"
+  "CMakeFiles/lp_tests.dir/lp/simplex_edge_test.cpp.o"
+  "CMakeFiles/lp_tests.dir/lp/simplex_edge_test.cpp.o.d"
+  "CMakeFiles/lp_tests.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/lp_tests.dir/lp/simplex_test.cpp.o.d"
+  "lp_tests"
+  "lp_tests.pdb"
+  "lp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pcn/channel_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/channel_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/channel_test.cpp.o.d"
+  "/root/repo/tests/pcn/churn_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/churn_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/churn_test.cpp.o.d"
+  "/root/repo/tests/pcn/fuzz_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/fuzz_test.cpp.o.d"
+  "/root/repo/tests/pcn/htlc_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/htlc_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/htlc_test.cpp.o.d"
+  "/root/repo/tests/pcn/mpp_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/mpp_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/mpp_test.cpp.o.d"
+  "/root/repo/tests/pcn/network_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/network_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/network_test.cpp.o.d"
+  "/root/repo/tests/pcn/onchain_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/onchain_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/onchain_test.cpp.o.d"
+  "/root/repo/tests/pcn/payment_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/payment_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/payment_test.cpp.o.d"
+  "/root/repo/tests/pcn/rebalancer_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/rebalancer_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/rebalancer_test.cpp.o.d"
+  "/root/repo/tests/pcn/renege_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/renege_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/renege_test.cpp.o.d"
+  "/root/repo/tests/pcn/routing_property_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/routing_property_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/routing_property_test.cpp.o.d"
+  "/root/repo/tests/pcn/routing_test.cpp" "tests/CMakeFiles/pcn_tests.dir/pcn/routing_test.cpp.o" "gcc" "tests/CMakeFiles/pcn_tests.dir/pcn/routing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/musketeer_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/musketeer_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcn/CMakeFiles/musketeer_pcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/musketeer_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

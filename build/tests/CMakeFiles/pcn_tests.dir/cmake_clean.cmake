@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcn_tests.dir/pcn/channel_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/channel_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/churn_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/churn_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/fuzz_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/fuzz_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/htlc_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/htlc_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/mpp_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/mpp_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/network_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/network_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/onchain_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/onchain_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/payment_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/payment_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/rebalancer_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/rebalancer_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/renege_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/renege_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/routing_property_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/routing_property_test.cpp.o.d"
+  "CMakeFiles/pcn_tests.dir/pcn/routing_test.cpp.o"
+  "CMakeFiles/pcn_tests.dir/pcn/routing_test.cpp.o.d"
+  "pcn_tests"
+  "pcn_tests.pdb"
+  "pcn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

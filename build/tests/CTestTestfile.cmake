@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/flow_tests[1]_include.cmake")
+include("/root/repo/build/tests/lp_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gen_tests[1]_include.cmake")
+include("/root/repo/build/tests/pcn_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/musketeer_cli.cpp" "tools/CMakeFiles/musketeer_cli.dir/musketeer_cli.cpp.o" "gcc" "tools/CMakeFiles/musketeer_cli.dir/musketeer_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/musketeer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/musketeer_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/musketeer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/musketeer_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/musketeer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcn/CMakeFiles/musketeer_pcn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musketeer_cli.dir/musketeer_cli.cpp.o"
+  "CMakeFiles/musketeer_cli.dir/musketeer_cli.cpp.o.d"
+  "musketeer"
+  "musketeer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musketeer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen_check "sh" "-c" "/root/repo/build/tools/musketeer gen 12 2 7 /root/repo/build/tools/smoke.game && /root/repo/build/tools/musketeer check /root/repo/build/tools/smoke.game")
+set_tests_properties(cli_gen_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_m4 "sh" "-c" "/root/repo/build/tools/musketeer gen 12 2 7 /root/repo/build/tools/smoke2.game && /root/repo/build/tools/musketeer run m4 /root/repo/build/tools/smoke2.game --delay 5")
+set_tests_properties(cli_run_m4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eq_m3 "sh" "-c" "/root/repo/build/tools/musketeer gen 8 2 3 /root/repo/build/tools/smoke3.game && /root/repo/build/tools/musketeer eq m3 /root/repo/build/tools/smoke3.game")
+set_tests_properties(cli_eq_m3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sim_m3 "/root/repo/build/tools/musketeer" "sim" "m3" "30" "3" "50" "9")
+set_tests_properties(cli_sim_m3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/musketeer" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
