@@ -1,0 +1,27 @@
+#include "check/audit_hook.hpp"
+
+#include <string>
+
+#include "check/invariant_auditor.hpp"
+#include "core/mechanism.hpp"
+#include "util/assert.hpp"
+
+namespace musketeer::check {
+
+void audit_mechanism_outcome_or_die(const core::Mechanism& mechanism,
+                                    const core::Game& game,
+                                    const core::BidVector& bids,
+                                    const core::Outcome& outcome) {
+  AuditOptions options;
+  options.check_individual_rationality =
+      mechanism.claims_individual_rationality();
+  const InvariantAuditor auditor(options);
+  const AuditReport report = auditor.audit_outcome(
+      game, mechanism.audited_bids(bids), outcome, mechanism.name());
+  if (!report.ok()) {
+    util::assert_fail("invariant audit", __FILE__, __LINE__,
+                      report.to_string());
+  }
+}
+
+}  // namespace musketeer::check

@@ -1,0 +1,26 @@
+// Abort-on-violation entry point for the MUSKETEER_AUDIT hooks.
+//
+// core/mechanism.hpp calls audit_mechanism_outcome_or_die() at the end of
+// every Mechanism::run() when the build defines MUSKETEER_AUDIT. Only
+// forward declarations here: mechanism.hpp includes this header, so it
+// must not include mechanism.hpp back.
+#pragma once
+
+namespace musketeer::core {
+class Game;
+class Mechanism;
+struct BidVector;
+struct Outcome;
+}  // namespace musketeer::core
+
+namespace musketeer::check {
+
+/// Audits `outcome` with an InvariantAuditor configured from the
+/// mechanism's own claims (IR flag, audited bid profile) and aborts via
+/// MUSK_ASSERT_MSG with the full structured report on any violation.
+void audit_mechanism_outcome_or_die(const core::Mechanism& mechanism,
+                                    const core::Game& game,
+                                    const core::BidVector& bids,
+                                    const core::Outcome& outcome);
+
+}  // namespace musketeer::check

@@ -1,0 +1,330 @@
+#include "check/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace musketeer::check {
+
+namespace {
+
+using core::BidVector;
+using core::Game;
+using core::GameEdge;
+using core::Outcome;
+using core::PlayerId;
+using core::PricedCycle;
+using flow::Amount;
+using flow::EdgeId;
+using flow::NodeId;
+
+std::string fmt(const char* format, double a, double b = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return std::string(buf);
+}
+
+void add_violation(AuditReport& report, ViolationKind kind, std::string detail,
+                   NodeId node = -1, EdgeId edge = -1, int cycle = -1,
+                   double magnitude = 0.0) {
+  report.violations.push_back(
+      Violation{kind, std::move(detail), node, edge, cycle, magnitude});
+}
+
+/// An in-range bid: tail in (-kMaxFeeRate, 0], head in [0, kMaxFeeRate).
+/// Written so that NaN fails every clause.
+bool tail_in_range(double tail) {
+  return tail <= 0.0 && tail > -core::kMaxFeeRate;
+}
+bool head_in_range(double head) {
+  return head >= 0.0 && head < core::kMaxFeeRate;
+}
+
+void audit_bid_bounds(const Game& game, const BidVector& bids,
+                      AuditReport& report) {
+  const auto m = static_cast<std::size_t>(game.num_edges());
+  for (std::size_t i = 0; i < m; ++i) {
+    const GameEdge& e = game.edges()[i];
+    if (!tail_in_range(e.tail_valuation) || !head_in_range(e.head_valuation)) {
+      add_violation(report, ViolationKind::kBidBound,
+                    fmt("valuation pair (%g, %g) outside the kMaxFeeRate box",
+                        e.tail_valuation, e.head_valuation),
+                    -1, static_cast<EdgeId>(i));
+    }
+    if (i < bids.tail.size() && i < bids.head.size() &&
+        (!tail_in_range(bids.tail[i]) || !head_in_range(bids.head[i]))) {
+      add_violation(report, ViolationKind::kBidBound,
+                    fmt("bid pair (%g, %g) outside the kMaxFeeRate box",
+                        bids.tail[i], bids.head[i]),
+                    -1, static_cast<EdgeId>(i));
+    }
+  }
+}
+
+void audit_flow(const Game& game, const flow::Circulation& f,
+                AuditReport& report) {
+  const auto m = static_cast<std::size_t>(game.num_edges());
+  if (f.size() != m) {
+    add_violation(report, ViolationKind::kSizeMismatch,
+                  "circulation has " + std::to_string(f.size()) +
+                      " entries for " + std::to_string(m) + " edges");
+    return;
+  }
+  // Capacity feasibility and conservation, in exact integer arithmetic.
+  std::vector<__int128> net(static_cast<std::size_t>(game.num_players()), 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const GameEdge& e = game.edges()[i];
+    const Amount fe = f[i];
+    if (fe < 0 || fe > e.capacity) {
+      add_violation(
+          report, ViolationKind::kCapacity,
+          fmt("flow %g outside [0, %g]", static_cast<double>(fe),
+              static_cast<double>(e.capacity)),
+          -1, static_cast<EdgeId>(i), -1, static_cast<double>(fe));
+    }
+    net[static_cast<std::size_t>(e.from)] -= fe;
+    net[static_cast<std::size_t>(e.to)] += fe;
+  }
+  for (NodeId v = 0; v < game.num_players(); ++v) {
+    const __int128 n = net[static_cast<std::size_t>(v)];
+    if (n != 0) {
+      add_violation(report, ViolationKind::kConservation,
+                    fmt("net flow %g at a vertex (must be 0)",
+                        static_cast<double>(n)),
+                    v, -1, -1, static_cast<double>(n));
+    }
+  }
+}
+
+/// True iff the cycle is structurally sound: non-empty, positive amount,
+/// in-range edge ids, consecutive edges chain head-to-tail, closes, and
+/// visits no vertex twice.
+bool audit_cycle_shape(const Game& game, const flow::CycleFlow& cycle,
+                       int index, AuditReport& report) {
+  if (cycle.edges.empty() || cycle.amount <= 0) {
+    add_violation(report, ViolationKind::kMalformedCycle,
+                  "empty cycle or non-positive amount", -1, -1, index,
+                  static_cast<double>(cycle.amount));
+    return false;
+  }
+  for (EdgeId e : cycle.edges) {
+    if (e < 0 || e >= game.num_edges()) {
+      add_violation(report, ViolationKind::kMalformedCycle,
+                    "edge id out of range", -1, e, index);
+      return false;
+    }
+  }
+  std::vector<NodeId> tails;
+  tails.reserve(cycle.edges.size());
+  for (std::size_t i = 0; i < cycle.edges.size(); ++i) {
+    const GameEdge& cur =
+        game.edges()[static_cast<std::size_t>(cycle.edges[i])];
+    const GameEdge& next = game.edges()[static_cast<std::size_t>(
+        cycle.edges[(i + 1) % cycle.edges.size()])];
+    if (cur.to != next.from) {
+      add_violation(report, ViolationKind::kMalformedCycle,
+                    "consecutive edges do not chain", cur.to, cycle.edges[i],
+                    index);
+      return false;
+    }
+    tails.push_back(cur.from);
+  }
+  std::sort(tails.begin(), tails.end());
+  if (std::adjacent_find(tails.begin(), tails.end()) != tails.end()) {
+    add_violation(report, ViolationKind::kMalformedCycle,
+                  "cycle revisits a vertex", -1, -1, index);
+    return false;
+  }
+  return true;
+}
+
+/// Exact resum check: the cycles must reconstitute the circulation edge by
+/// edge (this *is* sign-consistency: every cycle pushes in the edge's own
+/// direction, and nothing is left over or overshot).
+void audit_decomposition(const Game& game, const Outcome& outcome,
+                         AuditReport& report) {
+  const auto m = static_cast<std::size_t>(game.num_edges());
+  if (outcome.circulation.size() != m) return;  // already reported
+  std::vector<__int128> resum(m, 0);
+  for (std::size_t c = 0; c < outcome.cycles.size(); ++c) {
+    const flow::CycleFlow& cycle = outcome.cycles[c].cycle;
+    if (!audit_cycle_shape(game, cycle, static_cast<int>(c), report)) {
+      return;  // resum would double-report on malformed input
+    }
+    for (EdgeId e : cycle.edges) {
+      resum[static_cast<std::size_t>(e)] += cycle.amount;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (resum[i] != static_cast<__int128>(outcome.circulation[i])) {
+      add_violation(
+          report, ViolationKind::kDecompositionMismatch,
+          fmt("cycles resum to %g but the circulation carries %g",
+              static_cast<double>(resum[i]),
+              static_cast<double>(outcome.circulation[i])),
+          -1, static_cast<EdgeId>(i), -1,
+          static_cast<double>(resum[i]) -
+              static_cast<double>(outcome.circulation[i]));
+    }
+  }
+}
+
+/// Distinct participants of a cycle (tails; every participant of a simple
+/// cycle is the tail of exactly one cycle edge and the head of another).
+std::vector<PlayerId> participants_of(const Game& game,
+                                      const flow::CycleFlow& cycle) {
+  std::vector<PlayerId> players;
+  players.reserve(cycle.edges.size());
+  for (EdgeId e : cycle.edges) {
+    players.push_back(game.edges()[static_cast<std::size_t>(e)].from);
+  }
+  std::sort(players.begin(), players.end());
+  players.erase(std::unique(players.begin(), players.end()), players.end());
+  return players;
+}
+
+/// Player v's bid value for one cycle, recomputed from raw edge data.
+double cycle_value_of(const Game& game, const BidVector& bids,
+                      const flow::CycleFlow& cycle, PlayerId v) {
+  double value = 0.0;
+  const double amount = static_cast<double>(cycle.amount);
+  for (EdgeId e : cycle.edges) {
+    const GameEdge& edge = game.edges()[static_cast<std::size_t>(e)];
+    const auto i = static_cast<std::size_t>(e);
+    if (edge.from == v) value += bids.tail[i] * amount;
+    if (edge.to == v) value += bids.head[i] * amount;
+  }
+  return value;
+}
+
+double price_of(const PricedCycle& pc, PlayerId v) {
+  double sum = 0.0;
+  for (const core::PlayerPrice& p : pc.prices) {
+    if (p.player == v) sum += p.price;
+  }
+  return sum;
+}
+
+double delay_bonus_of(const PricedCycle& pc, PlayerId v) {
+  for (const core::PlayerPrice& b : pc.player_delay_bonuses) {
+    if (b.player == v) return b.price;
+  }
+  return pc.delay_bonus;
+}
+
+void audit_pricing(const Game& game, const BidVector& bids,
+                   const Outcome& outcome, const AuditOptions& options,
+                   bool check_ir, AuditReport& report) {
+  for (std::size_t c = 0; c < outcome.cycles.size(); ++c) {
+    const PricedCycle& pc = outcome.cycles[c];
+    const std::vector<PlayerId> players = participants_of(game, pc.cycle);
+
+    // Schedule sanity.
+    if (pc.release_time < 0.0 || pc.release_time > 1.0 ||
+        !(pc.release_time == pc.release_time)) {
+      add_violation(report, ViolationKind::kBadSchedule,
+                    fmt("release_time %g outside [0, 1]", pc.release_time),
+                    -1, -1, static_cast<int>(c), pc.release_time);
+    }
+    if (pc.delay_bonus < 0.0) {
+      add_violation(report, ViolationKind::kBadSchedule,
+                    fmt("negative cycle delay bonus %g", pc.delay_bonus), -1,
+                    -1, static_cast<int>(c), pc.delay_bonus);
+    }
+    for (const core::PlayerPrice& b : pc.player_delay_bonuses) {
+      if (b.price < 0.0) {
+        add_violation(report, ViolationKind::kBadSchedule,
+                      fmt("negative per-player delay bonus %g", b.price),
+                      b.player, -1, static_cast<int>(c), b.price);
+      }
+    }
+
+    // Every priced player must own an endpoint of some cycle edge.
+    double price_sum = 0.0;
+    double price_mass = 0.0;
+    for (const core::PlayerPrice& p : pc.prices) {
+      price_sum += p.price;
+      price_mass += std::abs(p.price);
+      const bool in_range = p.player >= 0 && p.player < game.num_players();
+      const bool participates =
+          in_range && std::binary_search(players.begin(), players.end(),
+                                         p.player);
+      if (!participates) {
+        add_violation(report, ViolationKind::kStrangerPriced,
+                      "price attached to a non-participant", p.player, -1,
+                      static_cast<int>(c), p.price);
+      }
+    }
+
+    // Cyclic budget balance: the cycle's prices are a pure transfer.
+    const double cbb_slack = options.cbb_tolerance + 1e-12 * price_mass;
+    if (std::abs(price_sum) > cbb_slack ||
+        !(price_sum == price_sum)) {
+      add_violation(report, ViolationKind::kBudgetImbalance,
+                    fmt("cycle prices sum to %g (|.| must be <= %g)",
+                        price_sum, cbb_slack),
+                    -1, -1, static_cast<int>(c), price_sum);
+    }
+
+    // Individual rationality: no participant loses from a cycle it is
+    // part of, measured under the audited bid profile.
+    if (check_ir) {
+      for (PlayerId v : players) {
+        const double value = cycle_value_of(game, bids, pc.cycle, v);
+        const double price = price_of(pc, v);
+        const double bonus = delay_bonus_of(pc, v);
+        const double utility = value - price + bonus;
+        const double slack = options.ir_tolerance +
+                             1e-9 * (std::abs(value) + std::abs(price));
+        if (!(utility >= -slack)) {
+          add_violation(
+              report, ViolationKind::kNegativeUtility,
+              fmt("participant utility %g (value - price + bonus) below "
+                  "-%g",
+                  utility, slack),
+              v, -1, static_cast<int>(c), utility);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport InvariantAuditor::audit_circulation(
+    const core::Game& game, const flow::Circulation& f,
+    std::string_view subject) const {
+  AuditReport report;
+  report.subject = std::string(subject);
+  audit_flow(game, f, report);
+  return report;
+}
+
+AuditReport InvariantAuditor::audit_outcome(const core::Game& game,
+                                            const core::BidVector& bids,
+                                            const core::Outcome& outcome,
+                                            std::string_view subject) const {
+  AuditReport report;
+  report.subject = std::string(subject);
+
+  const auto m = static_cast<std::size_t>(game.num_edges());
+  if (bids.tail.size() != m || bids.head.size() != m) {
+    add_violation(report, ViolationKind::kSizeMismatch,
+                  "bid vector has (" + std::to_string(bids.tail.size()) +
+                      ", " + std::to_string(bids.head.size()) +
+                      ") entries for " + std::to_string(m) + " edges");
+    return report;
+  }
+  if (options_.check_bid_bounds) audit_bid_bounds(game, bids, report);
+  audit_flow(game, outcome.circulation, report);
+  audit_decomposition(game, outcome, report);
+  audit_pricing(game, bids, outcome, options_,
+                options_.check_individual_rationality, report);
+  return report;
+}
+
+}  // namespace musketeer::check

@@ -1,0 +1,70 @@
+// Invariant auditor: exact re-verification of mechanism outcomes.
+//
+// The property checkers in core/properties.hpp *measure* margins using the
+// same Game methods the mechanisms themselves use; a bug shared between a
+// mechanism and the measurement would cancel out. The auditor is the
+// independent witness: it recomputes every invariant directly from the raw
+// Game/Outcome data, in exact integer arithmetic (__int128 accumulators
+// over Amount) wherever the quantity is integral, and flags:
+//
+//   * flow conservation at every node            (exact)
+//   * capacity feasibility 0 <= f(e) <= c(e)     (exact)
+//   * sign-consistency: cycles resum to f        (exact)
+//   * simple-cycle structure of every cycle      (exact)
+//   * cyclic budget balance per cycle            (tolerance, coins)
+//   * per-cycle individual rationality           (tolerance, coins)
+//   * kMaxFeeRate bounds on bids and valuations  (exact)
+//   * release schedule sanity (M4/M5)            (exact)
+//
+// Deliberately avoids calling any Game/Outcome member defined in
+// core/*.cpp — only header-visible data and inline accessors — so the
+// auditor cannot inherit a bug from the code it audits. This also keeps
+// the link graph acyclic: musketeer_check depends on core *headers* only.
+#pragma once
+
+#include <string_view>
+
+#include "check/violation.hpp"
+#include "core/game.hpp"
+#include "core/outcome.hpp"
+
+namespace musketeer::check {
+
+struct AuditOptions {
+  /// Absolute tolerance (coins) on |sum of a cycle's prices|; matches the
+  /// default of core/properties.hpp's BudgetBalanceReport::holds().
+  double cbb_tolerance = 1e-6;
+  /// Absolute tolerance (coins) on per-cycle participant utility.
+  double ir_tolerance = 1e-7;
+  /// Audit per-cycle individual rationality under the submitted bids.
+  /// Off for mechanisms whose IR guarantee is conditional (M1 requires
+  /// self-selection; Hide & Seek ignores seller costs by design).
+  bool check_individual_rationality = true;
+  /// Audit the (-kMaxFeeRate, kMaxFeeRate) bounds on bids and valuations.
+  bool check_bid_bounds = true;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditOptions options = {}) : options_(options) {}
+
+  /// Audits a full mechanism outcome against the game it was computed for
+  /// and the bids it was computed from. `subject` labels the report.
+  AuditReport audit_outcome(const core::Game& game,
+                            const core::BidVector& bids,
+                            const core::Outcome& outcome,
+                            std::string_view subject = "outcome") const;
+
+  /// Audits only the circulation-level invariants (conservation,
+  /// capacity) of a flow assignment over the game's edges.
+  AuditReport audit_circulation(const core::Game& game,
+                                const flow::Circulation& f,
+                                std::string_view subject = "circulation") const;
+
+  const AuditOptions& options() const { return options_; }
+
+ private:
+  AuditOptions options_;
+};
+
+}  // namespace musketeer::check

@@ -1,0 +1,48 @@
+#include "check/violation.hpp"
+
+#include <cstdio>
+
+namespace musketeer::check {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kSizeMismatch: return "size-mismatch";
+    case ViolationKind::kBidBound: return "bid-bound";
+    case ViolationKind::kCapacity: return "capacity";
+    case ViolationKind::kConservation: return "conservation";
+    case ViolationKind::kMalformedCycle: return "malformed-cycle";
+    case ViolationKind::kDecompositionMismatch: return "decomposition-mismatch";
+    case ViolationKind::kStrangerPriced: return "stranger-priced";
+    case ViolationKind::kBudgetImbalance: return "budget-imbalance";
+    case ViolationKind::kNegativeUtility: return "negative-utility";
+    case ViolationKind::kBadSchedule: return "bad-schedule";
+  }
+  return "unknown";
+}
+
+int AuditReport::count(ViolationKind kind) const {
+  int n = 0;
+  for (const Violation& v : violations) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string AuditReport::to_string() const {
+  if (ok()) return "audit[" + subject + "]: ok";
+  std::string out = "audit[" + subject + "]: " +
+                    std::to_string(violations.size()) + " violation(s)";
+  for (const Violation& v : violations) {
+    out += "\n  [";
+    out += check::to_string(v.kind);
+    out += "] ";
+    out += v.detail;
+    char where[96];
+    std::snprintf(where, sizeof(where), " (node=%d edge=%d cycle=%d mag=%g)",
+                  v.node, v.edge, v.cycle, v.magnitude);
+    out += where;
+  }
+  return out;
+}
+
+}  // namespace musketeer::check

@@ -1,0 +1,75 @@
+// Structured invariant-violation reports.
+//
+// The auditor never aborts by itself: it returns an AuditReport listing
+// every violated invariant with enough context (edge, node, cycle index,
+// magnitude) to reproduce the failure. Callers that want hard failure
+// (the MUSKETEER_AUDIT hooks) feed `AuditReport::to_string()` into
+// MUSK_ASSERT_MSG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/graph.hpp"
+
+namespace musketeer::check {
+
+enum class ViolationKind {
+  /// Vector sizes disagree with the game (circulation or bid vectors).
+  kSizeMismatch,
+  /// A bid or valuation lies outside (-kMaxFeeRate, 0] / [0, kMaxFeeRate).
+  kBidBound,
+  /// f(e) < 0 or f(e) > capacity(e).
+  kCapacity,
+  /// Nonzero net flow at a vertex.
+  kConservation,
+  /// A cycle is not a simple cycle of the game graph (broken chaining,
+  /// repeated vertex, empty edge list, or non-positive amount).
+  kMalformedCycle,
+  /// The cycles do not resum to the outcome's circulation (the
+  /// decomposition is not sign-consistent).
+  kDecompositionMismatch,
+  /// A price is attached to a player that owns no edge of the cycle.
+  kStrangerPriced,
+  /// A cycle's prices do not sum to zero (cyclic budget balance).
+  kBudgetImbalance,
+  /// A truthful participant would realize negative utility from a cycle
+  /// (individual rationality).
+  kNegativeUtility,
+  /// release_time outside [0, 1] or a negative delay bonus.
+  kBadSchedule,
+};
+
+/// Human-readable name of a violation kind (stable, used in reports).
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kSizeMismatch;
+  /// Free-form detail, e.g. "net(+3) at node 4".
+  std::string detail;
+  /// Offending indices; -1 when not applicable.
+  flow::NodeId node = -1;
+  flow::EdgeId edge = -1;
+  int cycle = -1;
+  /// Size of the violation in the check's own unit (flow units for
+  /// conservation/capacity, coins for prices/utilities).
+  double magnitude = 0.0;
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+  /// Label of the audited artifact ("m3-double-auction", "decompose", ...).
+  std::string subject;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Count of violations of one kind.
+  int count(ViolationKind kind) const;
+  /// True iff at least one violation of `kind` was recorded.
+  bool has(ViolationKind kind) const { return count(kind) > 0; }
+
+  /// Multi-line report: one line per violation, prefixed by the subject.
+  std::string to_string() const;
+};
+
+}  // namespace musketeer::check

@@ -6,14 +6,14 @@
 
 namespace musketeer::core {
 
-Outcome NoRebalancing::run(const Game& game, const BidVector& bids) const {
+Outcome NoRebalancing::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   Outcome outcome;
   outcome.circulation.assign(static_cast<std::size_t>(game.num_edges()), 0);
   return outcome;
 }
 
-Outcome HideSeek::run(const Game& game, const BidVector& bids) const {
+Outcome HideSeek::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   // Rebalancing subgraph: depleted edges only (positive head bid). All
   // depleted edges weigh equally — Hide & Seek maximizes rebalanced
@@ -41,7 +41,7 @@ LocalRebalancing::LocalRebalancing(int max_path_length, double fee_rate)
   MUSK_ASSERT(fee_rate >= 0.0);
 }
 
-Outcome LocalRebalancing::run(const Game& game, const BidVector& bids) const {
+Outcome LocalRebalancing::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   std::vector<Amount> remaining(static_cast<std::size_t>(game.num_edges()));
   for (EdgeId e = 0; e < game.num_edges(); ++e) {

@@ -21,8 +21,10 @@ namespace musketeer::core {
 
 class NoRebalancing : public Mechanism {
  public:
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "no-rebalancing"; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 };
 
 class HideSeek : public Mechanism {
@@ -30,8 +32,15 @@ class HideSeek : public Mechanism {
   explicit HideSeek(flow::SolverKind solver = flow::SolverKind::kBellmanFord)
       : solver_(solver) {}
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "hide-and-seek"; }
+
+  /// Hide & Seek maximizes rebalanced liquidity over the depleted
+  /// subgraph and ignores private seller costs entirely — a seller edge
+  /// conscripted into a cycle can lose. Not an IR mechanism.
+  bool claims_individual_rationality() const override { return false; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;
@@ -44,8 +53,14 @@ class LocalRebalancing : public Mechanism {
   /// the buyer pays to intermediaries.
   explicit LocalRebalancing(int max_path_length = 4, double fee_rate = 0.001);
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "local-rebalancing"; }
+
+  /// Intermediaries are compensated at the public fee rate regardless of
+  /// their private routing cost, so IR can fail for them by construction.
+  bool claims_individual_rationality() const override { return false; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   int max_path_length_;

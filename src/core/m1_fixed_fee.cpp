@@ -31,7 +31,7 @@ Game m1_self_selected(const Game& game, double fee_rate, double k) {
   return filtered;
 }
 
-Outcome M1FixedFee::run(const Game& game, const BidVector& bids) const {
+Outcome M1FixedFee::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
 
   // D = declared depleted edges (positive head bid); the rest are I.

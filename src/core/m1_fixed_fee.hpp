@@ -28,11 +28,17 @@ class M1FixedFee : public Mechanism {
   M1FixedFee(double fee_rate, double k,
              flow::SolverKind solver = flow::SolverKind::kBellmanFord);
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M1-fixed-fee"; }
+
+  /// M1 is IR only after the self-selection step (m1_self_selected); run
+  /// on an unrestricted game a conscripted seller may be paid below cost.
+  bool claims_individual_rationality() const override { return false; }
 
   double fee_rate() const { return fee_rate_; }
   double k() const { return k_; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   double fee_rate_;

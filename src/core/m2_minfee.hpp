@@ -29,10 +29,19 @@ class M2MinFee : public Mechanism {
   explicit M2MinFee(double min_seller_fee,
                     flow::SolverKind solver = flow::SolverKind::kBellmanFord);
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M2-minfee"; }
 
+  /// Same non-strategic-seller model as M2-vcg.
+  BidVector audited_bids(const BidVector& bids) const override {
+    BidVector out = bids;
+    for (double& t : out.tail) t = 0.0;
+    return out;
+  }
+
   double min_seller_fee() const { return min_seller_fee_; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   double min_seller_fee_;

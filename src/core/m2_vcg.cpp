@@ -84,7 +84,7 @@ std::vector<double> M2Vcg::vcg_prices(const Game& game,
   return prices;
 }
 
-Outcome M2Vcg::run(const Game& game, const BidVector& raw_bids) const {
+Outcome M2Vcg::run_impl(const Game& game, const BidVector& raw_bids) const {
   const BidVector bids = buyers_only(raw_bids);
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
 
@@ -129,9 +129,9 @@ Outcome M2Vcg::run(const Game& game, const BidVector& raw_bids) const {
     // Steps 5-6: redistribute the collected fees to this cycle's sellers
     // (participants without a charge). Fall back to a free cycle when the
     // redistribution cannot be balanced (see header).
-    const auto num_sellers = static_cast<double>(
-        std::count(charged.begin(), charged.end(), false));
-    if (collected < -kTiny || (collected > kTiny && num_sellers == 0.0)) {
+    const auto num_sellers =
+        std::count(charged.begin(), charged.end(), false);
+    if (collected < -kTiny || (collected > kTiny && num_sellers == 0)) {
       pc.cycle = std::move(cycle);
       outcome.cycles.push_back(std::move(pc));
       continue;
@@ -140,7 +140,8 @@ Outcome M2Vcg::run(const Game& game, const BidVector& raw_bids) const {
       if (charged[i]) {
         pc.prices.push_back(PlayerPrice{players[i], charges[i]});
       } else if (collected > kTiny) {
-        pc.prices.push_back(PlayerPrice{players[i], -collected / num_sellers});
+        pc.prices.push_back(PlayerPrice{
+            players[i], -collected / static_cast<double>(num_sellers)});
       }
     }
     pc.cycle = std::move(cycle);

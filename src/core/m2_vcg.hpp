@@ -28,12 +28,22 @@ class M2Vcg : public Mechanism {
   explicit M2Vcg(flow::SolverKind solver = flow::SolverKind::kBellmanFord)
       : solver_(solver) {}
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M2-vcg"; }
+
+  /// M2's sellers are non-strategic: its guarantees (and hence the audit)
+  /// are stated against the bid profile with tail bids forced to zero.
+  BidVector audited_bids(const BidVector& bids) const override {
+    BidVector out = bids;
+    for (double& t : out.tail) t = 0.0;
+    return out;
+  }
 
   /// Aggregate VCG pivot price of each player under the given bids (tail
   /// bids zeroed). Exposed for tests and the truthfulness bench.
   std::vector<double> vcg_prices(const Game& game, const BidVector& bids) const;
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;

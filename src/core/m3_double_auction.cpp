@@ -18,7 +18,7 @@ std::vector<PlayerPrice> price_cycle_welfare_share(
   return prices;
 }
 
-Outcome M3DoubleAuction::run(const Game& game, const BidVector& bids) const {
+Outcome M3DoubleAuction::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
   const flow::Graph g = game.build_graph(bids);
   Outcome outcome;

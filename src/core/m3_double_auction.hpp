@@ -21,8 +21,10 @@ class M3DoubleAuction : public Mechanism {
       flow::SolverKind solver = flow::SolverKind::kBellmanFord)
       : solver_(solver) {}
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M3-double-auction"; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;

@@ -13,7 +13,7 @@ M4DelayedAuction::M4DelayedAuction(double delay_factor,
   MUSK_ASSERT_MSG(delay_factor > 0.0, "delay factor d must be positive");
 }
 
-Outcome M4DelayedAuction::run(const Game& game, const BidVector& bids) const {
+Outcome M4DelayedAuction::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
   const flow::Graph g = game.build_graph(bids);
   Outcome outcome;

@@ -30,10 +30,12 @@ class M4DelayedAuction : public Mechanism {
       double delay_factor,
       flow::SolverKind solver = flow::SolverKind::kBellmanFord);
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M4-delayed-auction"; }
 
   double delay_factor() const { return delay_factor_; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   double delay_factor_;

@@ -16,7 +16,7 @@ M5VariableDelay::M5VariableDelay(std::vector<double> delay_factors,
   }
 }
 
-Outcome M5VariableDelay::run(const Game& game, const BidVector& bids) const {
+Outcome M5VariableDelay::run_impl(const Game& game, const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
   MUSK_ASSERT_MSG(delay_factors_.size() ==
                       static_cast<std::size_t>(game.num_players()),

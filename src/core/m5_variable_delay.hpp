@@ -31,10 +31,12 @@ class M5VariableDelay : public Mechanism {
       std::vector<double> delay_factors,
       flow::SolverKind solver = flow::SolverKind::kBellmanFord);
 
-  Outcome run(const Game& game, const BidVector& bids) const override;
   std::string_view name() const override { return "M5-variable-delay"; }
 
   const std::vector<double>& delay_factors() const { return delay_factors_; }
+
+ protected:
+  Outcome run_impl(const Game& game, const BidVector& bids) const override;
 
  private:
   std::vector<double> delay_factors_;

@@ -2,8 +2,15 @@
 //
 //     M : (G, c, b) -> (f_i, p_i)_{1<=i<=k}
 //
-// Mechanisms are pure: `run` has no state, so property checkers and
+// Mechanisms are pure: running one has no state, so property checkers and
 // strategy probes can re-invoke them with perturbed bids cheaply.
+//
+// `run` is a template method: it delegates to the virtual `run_impl` and,
+// when the build defines MUSKETEER_AUDIT, feeds the result through the
+// invariant auditor (src/check/) — conservation, capacity, decomposition
+// sign-consistency, cyclic budget balance, IR and bid bounds are
+// re-verified after every single invocation, aborting with a structured
+// violation report on the first breach.
 #pragma once
 
 #include <string_view>
@@ -12,21 +19,48 @@
 #include "core/outcome.hpp"
 #include "flow/solver.hpp"
 
+#if defined(MUSKETEER_AUDIT)
+#include "check/audit_hook.hpp"
+#endif
+
 namespace musketeer::core {
 
 class Mechanism {
  public:
   virtual ~Mechanism() = default;
 
-  /// Computes the priced cycle decomposition for the given bids.
-  virtual Outcome run(const Game& game, const BidVector& bids) const = 0;
+  /// Computes the priced cycle decomposition for the given bids (and
+  /// audits it when MUSKETEER_AUDIT is compiled in).
+  Outcome run(const Game& game, const BidVector& bids) const {
+    Outcome outcome = run_impl(game, bids);
+#if defined(MUSKETEER_AUDIT)
+    check::audit_mechanism_outcome_or_die(*this, game, bids, outcome);
+#endif
+    return outcome;
+  }
 
   virtual std::string_view name() const = 0;
+
+  /// True when the mechanism guarantees per-cycle individual rationality
+  /// under the (audited) submitted bid profile. Mechanisms whose IR is
+  /// conditional — M1 needs self-selection, Hide & Seek and the local
+  /// baseline ignore private seller costs — override this to false so
+  /// the auditor skips the IR check (all other invariants still apply).
+  virtual bool claims_individual_rationality() const { return true; }
+
+  /// The bid profile the mechanism's guarantees are stated against. M2
+  /// overrides this to zero out tail bids (its sellers are non-strategic).
+  virtual BidVector audited_bids(const BidVector& bids) const { return bids; }
 
   /// Convenience: run under truthful bids.
   Outcome run_truthful(const Game& game) const {
     return run(game, game.truthful_bids());
   }
+
+ protected:
+  /// The mechanism proper. Implementations never call this directly —
+  /// always go through run() so the audit hook fires.
+  virtual Outcome run_impl(const Game& game, const BidVector& bids) const = 0;
 };
 
 }  // namespace musketeer::core

@@ -63,6 +63,12 @@ std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
   }
   MUSK_ASSERT(total_volume(remaining) == 0);
   MUSK_ASSERT(cycles.size() <= static_cast<std::size_t>(g.num_edges()));
+#if defined(MUSKETEER_AUDIT)
+  // Audit hook: full structural re-check (simple cycles, exact resum to f)
+  // after every decomposition.
+  MUSK_ASSERT_MSG(is_valid_decomposition(g, f, cycles),
+                  "audit: decomposition failed the sign-consistency re-check");
+#endif
   return cycles;
 }
 

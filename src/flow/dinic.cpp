@@ -80,6 +80,31 @@ Amount Dinic::solve(NodeId source, NodeId sink) {
       total += pushed;
     }
   }
+#if defined(MUSKETEER_AUDIT)
+  // Audit hook: re-derive per-edge flows from the residual capacities and
+  // verify capacity bounds, conservation at interior nodes, and that the
+  // net divergence at source/sink equals the reported flow value.
+  {
+    std::vector<Amount> net(adj_.size(), 0);
+    for (std::size_t h = 0; h < handles_.size(); ++h) {
+      const Amount flow = flow_on(static_cast<int>(h));
+      MUSK_ASSERT_MSG(
+          flow >= 0 && flow <= original_capacity_[h],
+          "audit: dinic pushed flow outside an edge's capacity bounds");
+      const auto [from, idx] = handles_[h];
+      const NodeId to = adj_[static_cast<std::size_t>(from)]
+                            [static_cast<std::size_t>(idx)].to;
+      net[static_cast<std::size_t>(from)] -= flow;
+      net[static_cast<std::size_t>(to)] += flow;
+    }
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      const Amount expected =
+          v == source ? -total : (v == sink ? total : 0);
+      MUSK_ASSERT_MSG(net[static_cast<std::size_t>(v)] == expected,
+                      "audit: dinic flow is not conserved");
+    }
+  }
+#endif
   return total;
 }
 

@@ -259,6 +259,13 @@ Circulation solve_network_simplex(const Graph& g, SolveStats* stats) {
   Circulation f = simplex.extract();
   MUSK_ASSERT_MSG(is_feasible(g, f),
                   "network simplex produced an infeasible circulation");
+#if defined(MUSKETEER_AUDIT)
+  // Audit hook: a spanning basis with no violating reduced cost must be
+  // optimal — re-certify with the independent residual-cycle test.
+  MUSK_ASSERT_MSG(is_optimal(g, f),
+                  "audit: network simplex basis optimality disagrees with "
+                  "the residual-cycle certificate");
+#endif
   return f;
 }
 

@@ -96,6 +96,13 @@ Circulation solve_max_welfare(const Graph& g, SolverKind kind,
       break;
   }
   MUSK_ASSERT_MSG(is_feasible(g, f), "solver produced infeasible circulation");
+#if defined(MUSKETEER_AUDIT)
+  // Audit hook: re-certify optimality via the (exact, integer-cost)
+  // negative-residual-cycle test after every solve, whichever backend ran.
+  MUSK_ASSERT_MSG(is_optimal(g, f),
+                  "audit: solver output failed the negative-residual-cycle "
+                  "optimality certificate");
+#endif
   return f;
 }
 

@@ -11,6 +11,13 @@ namespace {
 
 enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper, kFreeNonbasic };
 
+// Exact-zero test for tableau sparsity skips. Entries are assigned the
+// literal 0.0 during pivoting, so bitwise equality is the intended test
+// here -- a tolerance would wrongly skip genuinely tiny pivot updates.
+inline bool exactly_zero(double x) {
+  return x == 0.0;  // musk-lint: allow(float-eq)
+}
+
 struct Tableau {
   int m = 0;  // constraints
   int n = 0;  // total variables (structural + slacks + artificials)
@@ -42,7 +49,7 @@ struct Tableau {
     double d = obj[static_cast<std::size_t>(j)];
     for (int i = 0; i < m; ++i) {
       const double tij = t[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-      if (tij != 0.0) d -= cbasis[static_cast<std::size_t>(i)] * tij;
+      if (!exactly_zero(tij)) d -= cbasis[static_cast<std::size_t>(i)] * tij;
     }
     return d;
   }
@@ -133,7 +140,7 @@ SolveStatus run_phase(Tableau& tb, const SimplexOptions& opt, int& iterations) {
     if (t_limit > 0.0) {
       for (int i = 0; i < tb.m; ++i) {
         const double w = tb.t[static_cast<std::size_t>(i)][je];
-        if (w == 0.0) continue;
+        if (exactly_zero(w)) continue;
         const int bv = tb.basis[static_cast<std::size_t>(i)];
         tb.x[static_cast<std::size_t>(bv)] -=
             static_cast<double>(dir) * t_limit * w;
@@ -168,7 +175,7 @@ SolveStatus run_phase(Tableau& tb, const SimplexOptions& opt, int& iterations) {
       if (i == leave_row) continue;
       auto& row = tb.t[static_cast<std::size_t>(i)];
       const double factor = row[je];
-      if (factor == 0.0) continue;
+      if (exactly_zero(factor)) continue;
       for (int j = 0; j < tb.n; ++j) {
         row[static_cast<std::size_t>(j)] -= factor * prow[static_cast<std::size_t>(j)];
       }

@@ -1,0 +1,64 @@
+// The Mechanism::run() audit hook: clean mechanisms pass through it
+// untouched; a deliberately broken mechanism dies with a structured
+// report when MUSKETEER_AUDIT is compiled in.
+#include "check/audit_hook.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "core/mechanism.hpp"
+
+namespace musketeer {
+namespace {
+
+core::Game triangle_game() {
+  core::Game game(3);
+  game.add_edge(0, 1, 10, 0.0, 0.03);
+  game.add_edge(1, 2, 12, 0.0, 0.0);
+  game.add_edge(2, 0, 15, 0.0, 0.0);
+  return game;
+}
+
+/// A mechanism that violates conservation: it reports flow on the first
+/// edge only, with no cycles backing it.
+class BrokenMechanism : public core::Mechanism {
+ public:
+  std::string_view name() const override { return "broken"; }
+
+ protected:
+  core::Outcome run_impl(const core::Game& game,
+                         const core::BidVector&) const override {
+    core::Outcome outcome;
+    outcome.circulation.assign(static_cast<std::size_t>(game.num_edges()), 0);
+    outcome.circulation[0] = 1;
+    return outcome;
+  }
+};
+
+TEST(AuditHookTest, CleanOutcomePassesTheHookDirectly) {
+  const core::Game game = triangle_game();
+  const core::BidVector bids = game.truthful_bids();
+  const core::M3DoubleAuction m3;
+  const core::Outcome outcome = m3.run(game, bids);
+  // Direct invocation works in every build flavor; it aborts on violation.
+  check::audit_mechanism_outcome_or_die(m3, game, bids, outcome);
+}
+
+TEST(AuditHookDeathTest, BrokenMechanismDiesUnderAudit) {
+  const core::Game game = triangle_game();
+  const core::BidVector bids = game.truthful_bids();
+  const BrokenMechanism broken;
+#if defined(MUSKETEER_AUDIT)
+  EXPECT_DEATH(broken.run(game, bids), "conservation");
+#else
+  // Without the compiled-in hook run() must not audit; the violation is
+  // only caught when the hook is invoked explicitly.
+  const core::Outcome outcome = broken.run(game, bids);
+  EXPECT_DEATH(
+      check::audit_mechanism_outcome_or_die(broken, game, bids, outcome),
+      "conservation");
+#endif
+}
+
+}  // namespace
+}  // namespace musketeer

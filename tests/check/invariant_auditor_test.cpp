@@ -1,0 +1,229 @@
+// Corruption tests: hand-break each invariant of a known-good outcome and
+// assert the auditor flags it with the right violation kind (and nothing
+// else on the clean path).
+#include "check/invariant_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/game.hpp"
+#include "core/m1_fixed_fee.hpp"
+#include "core/m2_minfee.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+#include "core/m5_variable_delay.hpp"
+#include "core/outcome.hpp"
+
+namespace musketeer {
+namespace {
+
+using check::AuditOptions;
+using check::AuditReport;
+using check::InvariantAuditor;
+using check::ViolationKind;
+
+// A triangle with one depleted edge plus a fourth, isolated player (so
+// "stranger priced" has a stranger to price).
+core::Game triangle_game() {
+  core::Game game(4);
+  game.add_edge(0, 1, 10, 0.0, 0.03);  // depleted: buyer is player 1
+  game.add_edge(1, 2, 12, -0.001, 0.0);
+  game.add_edge(2, 0, 15, -0.001, 0.0);
+  return game;
+}
+
+struct Baseline {
+  core::Game game = triangle_game();
+  core::BidVector bids = game.truthful_bids();
+  core::Outcome outcome = core::M3DoubleAuction().run(game, bids);
+  InvariantAuditor auditor;
+
+  AuditReport audit() const {
+    return auditor.audit_outcome(game, bids, outcome, "test");
+  }
+};
+
+TEST(InvariantAuditorTest, CleanM3OutcomePasses) {
+  Baseline b;
+  ASSERT_FALSE(b.outcome.cycles.empty());
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, CleanOutcomeOfEveryMechanismPasses) {
+  const core::Game game = triangle_game();
+  const core::BidVector bids = game.truthful_bids();
+  std::vector<std::unique_ptr<core::Mechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<core::M1FixedFee>(0.01, 2.0));
+  mechanisms.push_back(std::make_unique<core::M2Vcg>());
+  mechanisms.push_back(std::make_unique<core::M2MinFee>(0.002));
+  mechanisms.push_back(std::make_unique<core::M3DoubleAuction>());
+  mechanisms.push_back(std::make_unique<core::M4DelayedAuction>(0.05));
+  mechanisms.push_back(std::make_unique<core::M5VariableDelay>(
+      std::vector<double>{0.05, 0.04, 0.03, 0.02}));
+  mechanisms.push_back(std::make_unique<core::NoRebalancing>());
+  mechanisms.push_back(std::make_unique<core::HideSeek>());
+  mechanisms.push_back(std::make_unique<core::LocalRebalancing>());
+  for (const auto& mechanism : mechanisms) {
+    const core::Outcome outcome = mechanism->run(game, bids);
+    AuditOptions options;
+    options.check_individual_rationality =
+        mechanism->claims_individual_rationality();
+    const AuditReport report = InvariantAuditor(options).audit_outcome(
+        game, mechanism->audited_bids(bids), outcome, mechanism->name());
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(InvariantAuditorTest, FlagsBrokenConservation) {
+  Baseline b;
+  b.outcome.circulation[0] += 1;  // net +1 at node 1, -1 at node 0
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kConservation)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsCapacityOverrun) {
+  Baseline b;
+  // Push every edge past its smallest capacity bound but keep the flow
+  // conserved, isolating the capacity check.
+  for (auto& f : b.outcome.circulation) f += 100;
+  for (auto& pc : b.outcome.cycles) pc.cycle.amount += 100;
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kCapacity)) << report.to_string();
+  EXPECT_FALSE(report.has(ViolationKind::kConservation)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsNegativeFlow) {
+  Baseline b;
+  for (auto& f : b.outcome.circulation) f -= 100;
+  for (auto& pc : b.outcome.cycles) pc.cycle.amount -= 100;
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kCapacity)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsUnbalancedCyclePrices) {
+  Baseline b;
+  ASSERT_FALSE(b.outcome.cycles.empty());
+  ASSERT_FALSE(b.outcome.cycles[0].prices.empty());
+  b.outcome.cycles[0].prices[0].price += 0.5;
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kBudgetImbalance))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsNegativeUtilityParticipant) {
+  Baseline b;
+  ASSERT_FALSE(b.outcome.cycles.empty());
+  // Transfer 1 coin between two participants: budget balance survives,
+  // individual rationality for the overcharged player does not.
+  auto& pc = b.outcome.cycles[0];
+  pc.prices.push_back(core::PlayerPrice{0, 1.0});
+  pc.prices.push_back(core::PlayerPrice{1, -1.0});
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kNegativeUtility))
+      << report.to_string();
+  EXPECT_FALSE(report.has(ViolationKind::kBudgetImbalance))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, NegativeUtilitySkippedWhenIrNotClaimed) {
+  Baseline b;
+  auto& pc = b.outcome.cycles[0];
+  pc.prices.push_back(core::PlayerPrice{0, 1.0});
+  pc.prices.push_back(core::PlayerPrice{1, -1.0});
+  AuditOptions options;
+  options.check_individual_rationality = false;
+  const AuditReport report = InvariantAuditor(options).audit_outcome(
+      b.game, b.bids, b.outcome, "no-ir");
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsPriceOnNonParticipant) {
+  Baseline b;
+  ASSERT_FALSE(b.outcome.cycles.empty());
+  auto& pc = b.outcome.cycles[0];
+  pc.prices.push_back(core::PlayerPrice{3, 0.25});   // the isolated player
+  pc.prices.push_back(core::PlayerPrice{0, -0.25});  // keep CBB intact
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kStrangerPriced))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsOutOfRangePricedPlayer) {
+  Baseline b;
+  auto& pc = b.outcome.cycles[0];
+  pc.prices.push_back(core::PlayerPrice{99, 0.0});
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kStrangerPriced))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsMalformedCycleChaining) {
+  Baseline b;
+  ASSERT_GE(b.outcome.cycles[0].cycle.edges.size(), 3u);
+  std::swap(b.outcome.cycles[0].cycle.edges[0],
+            b.outcome.cycles[0].cycle.edges[1]);
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kMalformedCycle))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsDecompositionMismatch) {
+  Baseline b;
+  ASSERT_FALSE(b.outcome.cycles.empty());
+  b.outcome.cycles[0].cycle.amount -= 1;  // cycles no longer resum to f
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kDecompositionMismatch))
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsOutOfRangeBid) {
+  Baseline b;
+  b.bids.head[0] = 0.5;  // >= kMaxFeeRate
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kBidBound)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsBadReleaseSchedule) {
+  Baseline b;
+  b.outcome.cycles[0].release_time = 1.5;
+  b.outcome.cycles[0].delay_bonus = -0.01;
+  const AuditReport report = b.audit();
+  EXPECT_EQ(report.count(ViolationKind::kBadSchedule), 2)
+      << report.to_string();
+}
+
+TEST(InvariantAuditorTest, FlagsSizeMismatch) {
+  Baseline b;
+  b.outcome.circulation.push_back(0);
+  const AuditReport report = b.audit();
+  EXPECT_TRUE(report.has(ViolationKind::kSizeMismatch)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, AuditCirculationChecksConservationOnly) {
+  const core::Game game = triangle_game();
+  InvariantAuditor auditor;
+  flow::Circulation f(static_cast<std::size_t>(game.num_edges()), 0);
+  EXPECT_TRUE(auditor.audit_circulation(game, f).ok());
+  f[1] = 3;  // 1 -> 2 without a return path
+  const AuditReport report = auditor.audit_circulation(game, f);
+  EXPECT_TRUE(report.has(ViolationKind::kConservation)) << report.to_string();
+}
+
+TEST(InvariantAuditorTest, ReportNamesKindsAndSubject) {
+  Baseline b;
+  b.outcome.circulation[0] += 1;
+  const AuditReport report = b.audit();
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("audit[test]"), std::string::npos) << text;
+  EXPECT_NE(text.find("conservation"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace musketeer

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""musk_lint: repo-specific lexical lint rules for the Musketeer tree.
+
+Rules (each has a stable id used in inline suppressions):
+
+  raw-assert   No raw C `assert(...)` -- use MUSK_ASSERT / MUSK_ASSERT_MSG
+               from util/assert.hpp so failures carry file/line context and
+               survive NDEBUG builds. (`static_assert` and gtest's
+               ASSERT_*/EXPECT_* macros are fine.)
+  float-eq     No `==` / `!=` against a floating-point literal outside
+               src/core/properties.cpp (the one place where tolerance
+               handling is centralised). Exact comparisons elsewhere hide
+               rounding bugs; compare against a tolerance instead.
+  rand         No `rand()` / `srand()` -- use util::Rng so every experiment
+               is seedable and reproducible.
+
+A line may opt out of one rule with a justification comment on that line:
+
+    x == 0.0;  // musk-lint: allow(float-eq)
+
+Usage: musk_lint.py [repo-root]   (defaults to the parent of tools/)
+Exit status: 0 clean, 1 violations found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+# `assert(` not preceded by an identifier character: skips static_assert,
+# MUSK_ASSERT (uppercase), and gtest ASSERT_* macros.
+RAW_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+# A float literal on either side of ==/!=.
+FLOAT_EQ = re.compile(r"[=!]=\s*-?\d+\.\d*|\d+\.\d*[fF]?\s*[=!]=")
+RAND = re.compile(r"(?<![A-Za-z0-9_.:])s?rand\s*\(")
+ALLOW = re.compile(r"musk-lint:\s*allow\(([a-z-]+)\)")
+
+# (rule id, pattern, predicate deciding whether the rule applies to a file).
+RULES = [
+    ("raw-assert", RAW_ASSERT, lambda rel: rel != Path("src/util/assert.hpp")),
+    ("float-eq", FLOAT_EQ,
+     lambda rel: rel.parts[0] == "src" and rel.name != "properties.cpp"),
+    ("rand", RAND, lambda rel: True),
+]
+
+
+def lint_file(root: Path, path: Path) -> list[str]:
+    rel = path.relative_to(root)
+    if rel.name == "musk_lint.py":
+        return []
+    violations = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{rel}: unreadable: {err}"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        allowed = set(ALLOW.findall(line))
+        for rule, pattern, applies in RULES:
+            if rule in allowed or not applies(rel):
+                continue
+            if pattern.search(line):
+                violations.append(
+                    f"{rel}:{lineno}: [{rule}] {line.strip()}")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent)
+    files = sorted(
+        p for d in SCAN_DIRS for p in (root / d).rglob("*")
+        if p.suffix in CXX_SUFFIXES and p.is_file())
+    if not files:
+        print(f"musk_lint: no C++ sources found under {root}", file=sys.stderr)
+        return 1
+    violations = [v for f in files for v in lint_file(root, f)]
+    for v in violations:
+        print(v)
+    print(f"musk_lint: scanned {len(files)} files, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
