@@ -1,0 +1,227 @@
+// SVC — service-layer throughput and latency:
+//
+// (a) sustained concurrent bid intake (4 closed-loop submitter threads
+//     hammering RebalanceService::submit while the main thread clears
+//     epochs), reporting bids/sec and ack-latency percentiles;
+// (b) first-epoch clear latency (drain -> snapshot -> mechanism ->
+//     settle) across network sizes;
+// (c) full wire-stack round-trip cost through an in-process musketeerd
+//     (socket + framing + codec + intake + ack);
+// (d) graceful shedding: 2x queue capacity of distinct players gets
+//     exactly capacity accepts and capacity explicit kRejectedFull
+//     rejections, replaces still land, and the next epoch drains clean.
+//
+// Companion to tools/musk_loadgen, which drives the same stack over real
+// sockets at a *configured* open-loop rate; this bench is closed-loop
+// and flagless so `build/bench/svc_throughput` just runs.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/mechanism_factory.hpp"
+#include "sim/engine.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace musketeer;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+sim::SimulationConfig bench_config(int nodes, std::uint64_t seed) {
+  sim::SimulationConfig config;
+  config.num_nodes = nodes;
+  config.seed = seed;
+  config.initial_skew = 0.4;
+  return config;
+}
+
+pcn::Network bench_network(const sim::SimulationConfig& config) {
+  util::Rng rng(config.seed);
+  return sim::build_network(config, rng);
+}
+
+std::vector<std::string> latency_row(const char* what,
+                                     std::vector<double>& ms) {
+  return {what,
+          std::to_string(ms.size()),
+          util::fmt_double(util::quantile(ms, 0.5), 3),
+          util::fmt_double(util::quantile(ms, 0.95), 3),
+          util::fmt_double(util::quantile(ms, 0.99), 3),
+          util::fmt_double(util::max_of(ms), 3)};
+}
+
+}  // namespace
+
+int main() {
+  // ------------------------------------------- (a) concurrent intake
+  constexpr int kThreads = 4;
+  constexpr int kSubmitsPerThread = 25000;
+  std::printf("SVC(a): sustained intake — %d closed-loop threads x %d "
+              "submits against a live service\n(100-node network, m3, "
+              "epochs clearing concurrently on the main thread)\n\n",
+              kThreads, kSubmitsPerThread);
+
+  util::Table lat({"path", "samples", "p50 ms", "p95 ms", "p99 ms", "max ms"});
+  {
+    const sim::SimulationConfig config = bench_config(100, 7);
+    pcn::Network network = bench_network(config);
+    const auto mechanism = core::make_mechanism("m3", {});
+    svc::ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.queue_capacity = 256;
+    svc::RebalanceService service(network, *mechanism, service_config);
+
+    std::vector<std::vector<double>> ack_ms(kThreads);
+    std::atomic<int> active{kThreads};
+    const auto t0 = Clock::now();
+    int epochs = 0;
+    {
+      std::vector<std::jthread> submitters;
+      submitters.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+          ack_ms[static_cast<std::size_t>(t)].reserve(kSubmitsPerThread);
+          for (int i = 0; i < kSubmitsPerThread; ++i) {
+            svc::BidSubmission bid;
+            bid.player =
+                static_cast<core::PlayerId>((t * 7919 + i) % 100);
+            const auto s0 = Clock::now();
+            service.submit(bid);
+            ack_ms[static_cast<std::size_t>(t)].push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() - s0)
+                    .count());
+          }
+          active.fetch_sub(1);
+        });
+      }
+      // Clear epochs for as long as the submitters keep the queue hot.
+      while (active.load() > 0) {
+        service.run_epoch();
+        ++epochs;
+      }
+    }
+    service.run_epoch();  // drain the leftovers
+    ++epochs;
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::vector<double> all_ack;
+    all_ack.reserve(static_cast<std::size_t>(kThreads) * kSubmitsPerThread);
+    for (auto& v : ack_ms) all_ack.insert(all_ack.end(), v.begin(), v.end());
+    std::vector<double> clear_ms;
+    for (const svc::EpochReport& r : service.reports()) {
+      clear_ms.push_back(1e3 * r.clear_seconds);
+    }
+    const svc::IntakeCounters counters = service.intake_counters();
+    std::printf("  %.2fs wall, %.0f bids/sec sustained, %d epochs cleared\n"
+                "  intake: %llu accepted, %llu replaced (every submit "
+                "accounted for)\n\n",
+                wall, static_cast<double>(counters.total()) / wall, epochs,
+                static_cast<unsigned long long>(counters.accepted),
+                static_cast<unsigned long long>(counters.replaced));
+    lat.add_row(latency_row("submit ack (in-process)", all_ack));
+    lat.add_row(latency_row("epoch clear (under load)", clear_ms));
+  }
+
+  // --------------------------------------- (b) clear latency vs size
+  std::vector<double> clear_by_size[3];
+  const int sizes[3] = {50, 100, 200};
+  for (int s = 0; s < 3; ++s) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const sim::SimulationConfig config = bench_config(sizes[s], seed);
+      pcn::Network network = bench_network(config);
+      const auto mechanism = core::make_mechanism("m3", {});
+      svc::ServiceConfig service_config;
+      service_config.policy = config.policy;
+      svc::RebalanceService service(network, *mechanism, service_config);
+      clear_by_size[s].push_back(1e3 * service.run_epoch().clear_seconds);
+    }
+  }
+  lat.add_row(latency_row("first clear, n=50 (12 seeds)", clear_by_size[0]));
+  lat.add_row(latency_row("first clear, n=100 (12 seeds)", clear_by_size[1]));
+  lat.add_row(latency_row("first clear, n=200 (12 seeds)", clear_by_size[2]));
+
+  // ------------------------------------------ (c) wire round trip
+  {
+    constexpr int kWireSubmits = 2000;
+    const sim::SimulationConfig config = bench_config(100, 9);
+    svc::DaemonConfig daemon_config;
+    daemon_config.service.policy = config.policy;
+    daemon_config.server.listen = "tcp:0";
+    svc::Daemon daemon(bench_network(config), core::make_mechanism("m3", {}),
+                       daemon_config);
+    daemon.start(/*periodic_epochs=*/false);
+    svc::Client client(daemon.endpoint());
+    std::vector<double> rtt_ms;
+    rtt_ms.reserve(kWireSubmits);
+    for (int i = 0; i < kWireSubmits; ++i) {
+      svc::BidSubmission bid;
+      bid.player = static_cast<core::PlayerId>(i % 100);
+      const auto s0 = Clock::now();
+      client.submit(bid);
+      rtt_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - s0)
+              .count());
+      if ((i + 1) % 500 == 0) daemon.service().run_epoch();
+    }
+    daemon.stop();
+    lat.add_row(latency_row("submit ack (wire, musketeerd)", rtt_ms));
+  }
+  lat.print();
+  util::maybe_export_csv(lat, "svc_latency");
+
+  // ------------------------------------------------- (d) shedding
+  std::printf("\nSVC(d): shedding at 2x queue capacity (capacity 64, 128 "
+              "distinct players)\n\n");
+  bool shedding_ok = true;
+  {
+    const sim::SimulationConfig config = bench_config(200, 21);
+    pcn::Network network = bench_network(config);
+    const auto mechanism = core::make_mechanism("m3", {});
+    svc::ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.queue_capacity = 64;
+    svc::RebalanceService service(network, *mechanism, service_config);
+
+    int accepted = 0;
+    int shed = 0;
+    for (core::PlayerId p = 0; p < 128; ++p) {
+      svc::BidSubmission bid;
+      bid.player = p;
+      const svc::IntakeStatus status = service.submit(bid);
+      accepted += (status == svc::IntakeStatus::kAccepted);
+      shed += (status == svc::IntakeStatus::kRejectedFull);
+    }
+    const bool replace_at_capacity =
+        service.submit(svc::BidSubmission{}) == svc::IntakeStatus::kReplaced;
+    const std::size_t applied = service.run_epoch().bids_applied;
+    const bool accepts_after_drain =
+        service.submit(svc::BidSubmission{}) == svc::IntakeStatus::kAccepted;
+
+    util::Table shed_table({"offered", "accepted", "shed (explicit)",
+                            "replace at cap", "applied", "accepts after"});
+    shed_table.add_row({"128", std::to_string(accepted), std::to_string(shed),
+                        replace_at_capacity ? "yes" : "no",
+                        std::to_string(applied),
+                        accepts_after_drain ? "yes" : "no"});
+    shed_table.print();
+    util::maybe_export_csv(shed_table, "svc_shedding");
+    shedding_ok = accepted == 64 && shed == 64 && replace_at_capacity &&
+                  applied == 64 && accepts_after_drain;
+  }
+  if (!shedding_ok) {
+    std::printf("\nFAIL: shedding did not behave as designed\n");
+    return 1;
+  }
+  std::printf("\nevery overflow submission was rejected explicitly; none "
+              "dropped silently\n");
+  return 0;
+}

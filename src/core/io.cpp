@@ -1,5 +1,8 @@
 #include "core/io.hpp"
 
+#include <bit>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -136,5 +139,269 @@ std::string describe_outcome(const Game& game, const Outcome& outcome) {
       << util::fmt_double(rationality.min_cycle_utility, 6) << "\n";
   return out.str();
 }
+
+namespace codec {
+
+namespace {
+
+void append_le(std::string& out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+double checked_finite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    throw CodecError(std::string("non-finite ") + what);
+  }
+  return v;
+}
+
+}  // namespace
+
+void put_u8(std::string& out, std::uint8_t v) { append_le(out, v, 1); }
+void put_u16(std::string& out, std::uint16_t v) { append_le(out, v, 2); }
+void put_u32(std::string& out, std::uint32_t v) { append_le(out, v, 4); }
+void put_u64(std::string& out, std::uint64_t v) { append_le(out, v, 8); }
+void put_i64(std::string& out, std::int64_t v) {
+  append_le(out, static_cast<std::uint64_t>(v), 8);
+}
+void put_f64(std::string& out, double v) {
+  append_le(out, std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void Reader::fail(const char* what) const {
+  throw CodecError(std::string("binary decode error: ") + what);
+}
+
+const unsigned char* Reader::take(std::size_t n) {
+  if (remaining() < n) fail("truncated input");
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() { return *take(1); }
+
+std::uint16_t Reader::u16() {
+  const unsigned char* p = take(2);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const unsigned char* p = take(4);
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t Reader::u64() {
+  const unsigned char* p = take(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+void Reader::expect_end() const {
+  if (!done()) fail("trailing bytes after record");
+}
+
+std::size_t Reader::check_count(std::uint64_t count,
+                                std::size_t min_record_bytes) {
+  if (min_record_bytes == 0) min_record_bytes = 1;
+  if (count > remaining() / min_record_bytes) {
+    fail("element count exceeds payload size");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+namespace {
+
+void check_version(Reader& in, const char* record) {
+  const std::uint16_t version = in.u16();
+  if (version != kBinaryVersion) {
+    throw CodecError(std::string("unsupported ") + record +
+                     " record version " + std::to_string(version));
+  }
+}
+
+}  // namespace
+
+void encode_game(const Game& game, std::string& out) {
+  put_u16(out, kBinaryVersion);
+  put_u32(out, static_cast<std::uint32_t>(game.num_players()));
+  put_u32(out, static_cast<std::uint32_t>(game.num_edges()));
+  for (const GameEdge& edge : game.edges()) {
+    put_u32(out, static_cast<std::uint32_t>(edge.from));
+    put_u32(out, static_cast<std::uint32_t>(edge.to));
+    put_i64(out, edge.capacity);
+    put_f64(out, edge.tail_valuation);
+    put_f64(out, edge.head_valuation);
+  }
+}
+
+Game decode_game(Reader& in) {
+  check_version(in, "game");
+  const std::uint32_t players = in.u32();
+  if (players > (1u << 26)) throw CodecError("implausible player count");
+  // Edge record: from u32 + to u32 + capacity i64 + two f64 = 32 bytes.
+  const std::size_t num_edges = in.check_count(in.u32(), 32);
+  Game game(static_cast<NodeId>(players));
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const std::uint32_t from = in.u32();
+    const std::uint32_t to = in.u32();
+    const std::int64_t capacity = in.i64();
+    const double tail = checked_finite(in.f64(), "tail valuation");
+    const double head = checked_finite(in.f64(), "head valuation");
+    if (from >= players || to >= players || from == to) {
+      throw CodecError("edge endpoints out of range");
+    }
+    if (capacity < 0) throw CodecError("negative capacity");
+    if (tail > 0.0 || tail <= -kMaxFeeRate) {
+      throw CodecError("tail valuation outside (-0.1, 0]");
+    }
+    if (head < 0.0 || head >= kMaxFeeRate) {
+      throw CodecError("head valuation outside [0, 0.1)");
+    }
+    game.add_edge(static_cast<NodeId>(from), static_cast<NodeId>(to),
+                  capacity, tail, head);
+  }
+  return game;
+}
+
+void encode_bids(const BidVector& bids, std::string& out) {
+  put_u16(out, kBinaryVersion);
+  put_u32(out, static_cast<std::uint32_t>(bids.size()));
+  for (std::size_t e = 0; e < bids.size(); ++e) {
+    put_f64(out, bids.tail[e]);
+    put_f64(out, bids.head[e]);
+  }
+}
+
+BidVector decode_bids(Reader& in) {
+  check_version(in, "bids");
+  const std::size_t n = in.check_count(in.u32(), 16);
+  BidVector bids;
+  bids.tail.reserve(n);
+  bids.head.reserve(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    const double tail = checked_finite(in.f64(), "tail bid");
+    const double head = checked_finite(in.f64(), "head bid");
+    if (tail > 0.0 || tail <= -kMaxFeeRate) {
+      throw CodecError("tail bid outside (-0.1, 0]");
+    }
+    if (head < 0.0 || head >= kMaxFeeRate) {
+      throw CodecError("head bid outside [0, 0.1)");
+    }
+    bids.tail.push_back(tail);
+    bids.head.push_back(head);
+  }
+  return bids;
+}
+
+namespace {
+
+void encode_player_prices(const std::vector<PlayerPrice>& prices,
+                          std::string& out) {
+  put_u32(out, static_cast<std::uint32_t>(prices.size()));
+  for (const PlayerPrice& p : prices) {
+    put_u32(out, static_cast<std::uint32_t>(p.player));
+    put_f64(out, p.price);
+  }
+}
+
+std::vector<PlayerPrice> decode_player_prices(Reader& in) {
+  const std::size_t n = in.check_count(in.u32(), 12);
+  std::vector<PlayerPrice> prices;
+  prices.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PlayerPrice p;
+    p.player = static_cast<PlayerId>(in.u32());
+    p.price = checked_finite(in.f64(), "price");
+    prices.push_back(p);
+  }
+  return prices;
+}
+
+}  // namespace
+
+void encode_outcome(const Outcome& outcome, std::string& out) {
+  put_u16(out, kBinaryVersion);
+  put_u32(out, static_cast<std::uint32_t>(outcome.circulation.size()));
+  for (const flow::Amount f : outcome.circulation) put_i64(out, f);
+  put_u32(out, static_cast<std::uint32_t>(outcome.cycles.size()));
+  for (const PricedCycle& pc : outcome.cycles) {
+    put_u32(out, static_cast<std::uint32_t>(pc.cycle.edges.size()));
+    for (const flow::EdgeId e : pc.cycle.edges) {
+      put_u32(out, static_cast<std::uint32_t>(e));
+    }
+    put_i64(out, pc.cycle.amount);
+    encode_player_prices(pc.prices, out);
+    put_f64(out, pc.release_time);
+    put_f64(out, pc.delay_bonus);
+    encode_player_prices(pc.player_delay_bonuses, out);
+  }
+}
+
+Outcome decode_outcome(Reader& in) {
+  check_version(in, "outcome");
+  Outcome outcome;
+  const std::size_t num_edges = in.check_count(in.u32(), 8);
+  outcome.circulation.reserve(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    const std::int64_t f = in.i64();
+    if (f < 0) throw CodecError("negative circulation flow");
+    outcome.circulation.push_back(f);
+  }
+  // A cycle needs at least edge-count u32 + amount i64 + two empty price
+  // lists (u32 each) + release/bonus f64s = 36 bytes.
+  const std::size_t num_cycles = in.check_count(in.u32(), 36);
+  outcome.cycles.reserve(num_cycles);
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    PricedCycle pc;
+    const std::size_t cycle_edges = in.check_count(in.u32(), 4);
+    pc.cycle.edges.reserve(cycle_edges);
+    for (std::size_t i = 0; i < cycle_edges; ++i) {
+      pc.cycle.edges.push_back(static_cast<flow::EdgeId>(in.u32()));
+    }
+    pc.cycle.amount = in.i64();
+    if (pc.cycle.amount < 0) throw CodecError("negative cycle amount");
+    pc.prices = decode_player_prices(in);
+    pc.release_time = checked_finite(in.f64(), "release time");
+    pc.delay_bonus = checked_finite(in.f64(), "delay bonus");
+    pc.player_delay_bonuses = decode_player_prices(in);
+    outcome.cycles.push_back(std::move(pc));
+  }
+  return outcome;
+}
+
+Game game_from_bytes(std::string_view bytes) {
+  Reader in(bytes);
+  Game game = decode_game(in);
+  in.expect_end();
+  return game;
+}
+
+BidVector bids_from_bytes(std::string_view bytes) {
+  Reader in(bytes);
+  BidVector bids = decode_bids(in);
+  in.expect_end();
+  return bids;
+}
+
+Outcome outcome_from_bytes(std::string_view bytes) {
+  Reader in(bytes);
+  Outcome outcome = decode_outcome(in);
+  in.expect_end();
+  return outcome;
+}
+
+}  // namespace codec
 
 }  // namespace musketeer::core

@@ -1,0 +1,39 @@
+#include "core/mechanism_factory.hpp"
+
+#include "core/baselines.hpp"
+#include "core/m1_fixed_fee.hpp"
+#include "core/m2_minfee.hpp"
+#include "core/m2_vcg.hpp"
+#include "core/m3_double_auction.hpp"
+#include "core/m4_delayed.hpp"
+
+namespace musketeer::core {
+
+std::unique_ptr<Mechanism> make_mechanism(const std::string& name,
+                                          const MechanismOptions& options) {
+  if (name == "m1") {
+    return std::make_unique<M1FixedFee>(options.fee, options.k);
+  }
+  if (name == "m2") return std::make_unique<M2Vcg>();
+  if (name == "m2-minfee") {
+    return std::make_unique<M2MinFee>(options.floor);
+  }
+  if (name == "m3") return std::make_unique<M3DoubleAuction>();
+  if (name == "m4") {
+    return std::make_unique<M4DelayedAuction>(options.delay);
+  }
+  if (name == "hideseek") return std::make_unique<HideSeek>();
+  if (name == "local") {
+    return std::make_unique<LocalRebalancing>(4, options.fee);
+  }
+  if (name == "none") return std::make_unique<NoRebalancing>();
+  return nullptr;
+}
+
+const std::vector<std::string>& mechanism_names() {
+  static const std::vector<std::string> names = {
+      "m1", "m2", "m2-minfee", "m3", "m4", "hideseek", "local", "none"};
+  return names;
+}
+
+}  // namespace musketeer::core

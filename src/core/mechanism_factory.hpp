@@ -1,0 +1,34 @@
+// Name-based mechanism construction shared by the CLI, the musketeerd
+// daemon, and tests — one place that knows how to spell every mechanism
+// and its tuning knobs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.hpp"
+
+namespace musketeer::core {
+
+struct MechanismOptions {
+  /// M4 delay factor.
+  double delay = 1.0;
+  /// M1 fixed fee rate / local-baseline per-hop fee.
+  double fee = 0.001;
+  /// M1 buyer-rate multiplier.
+  double k = 3.0;
+  /// M2-minfee seller floor.
+  double floor = 0.001;
+};
+
+/// Builds the mechanism named by `name` (one of mechanism_names()), or
+/// nullptr for an unknown name. "none" returns the NoRebalancing
+/// baseline, so a non-null result is always runnable.
+std::unique_ptr<Mechanism> make_mechanism(const std::string& name,
+                                          const MechanismOptions& options);
+
+/// Every name make_mechanism accepts, for usage strings.
+const std::vector<std::string>& mechanism_names();
+
+}  // namespace musketeer::core

@@ -64,6 +64,31 @@ double Network::depleted_direction_fraction(double threshold) const {
          (2.0 * static_cast<double>(channels_.size()));
 }
 
+std::uint64_t Network::state_digest() const {
+  // FNV-1a over the little-endian bytes of every state field, in channel
+  // order. Fee rates are static configuration, not evolving state, so
+  // they stay out of the digest.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(num_nodes_));
+  mix(static_cast<std::uint64_t>(channels_.size()));
+  for (const Channel& c : channels_) {
+    mix(static_cast<std::uint64_t>(c.a));
+    mix(static_cast<std::uint64_t>(c.b));
+    mix(static_cast<std::uint64_t>(c.balance_a));
+    mix(static_cast<std::uint64_t>(c.balance_b));
+    mix(static_cast<std::uint64_t>(c.locked_a));
+    mix(static_cast<std::uint64_t>(c.locked_b));
+    mix(c.disabled ? 1u : 0u);
+  }
+  return h;
+}
+
 std::vector<double> Network::imbalances() const {
   std::vector<double> out;
   out.reserve(channels_.size());

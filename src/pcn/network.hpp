@@ -2,6 +2,7 @@
 // conservation bookkeeping.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,13 @@ class Network {
   /// Per-channel imbalance |share_a - 0.5| * 2 in [0, 1], one per channel
   /// (0 = perfectly balanced).
   std::vector<double> imbalances() const;
+
+  /// Order-sensitive FNV-1a digest of the full channel state (endpoints,
+  /// balances, locks, disabled flags). Two networks that evolved through
+  /// the same operations have the same digest, so a service client can
+  /// check settled-state equivalence against a local replay from one u64
+  /// instead of a channel-by-channel dump.
+  std::uint64_t state_digest() const;
 
  private:
   NodeId num_nodes_;

@@ -95,8 +95,27 @@ RecoveryResult run_recovery(const SimulationConfig& config,
   return result;
 }
 
+pcn::RebalanceStats MechanismBackend::rebalance(
+    pcn::Network& network, const pcn::RebalancePolicy& policy) {
+  pcn::ExtractedGame extracted = pcn::extract_and_lock(network, policy);
+  if (extracted.game.num_edges() == 0) return {};
+  const core::Outcome outcome = mechanism_->run_truthful(extracted.game);
+  return pcn::apply_outcome(network, extracted, outcome);
+}
+
 SimulationResult run_simulation(const SimulationConfig& config,
                                 const core::Mechanism* mechanism) {
+  if (mechanism == nullptr) {
+    return run_simulation(config, static_cast<RebalanceBackend*>(nullptr),
+                          nullptr);
+  }
+  MechanismBackend backend(*mechanism);
+  return run_simulation(config, &backend, nullptr);
+}
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                RebalanceBackend* backend,
+                                pcn::Network* final_network) {
   util::Rng rng(config.seed);
   pcn::Network network = build_network(config, rng);
   // Workload RNG is forked before use so the payment stream is identical
@@ -150,20 +169,16 @@ SimulationResult run_simulation(const SimulationConfig& config,
     const auto imbalances = network.imbalances();
     metrics.mean_imbalance = util::mean(imbalances);
 
-    if (mechanism != nullptr && (epoch + 1) % config.rebalance_every == 0) {
-      const pcn::ExtractedGame extracted =
-          pcn::extract_and_lock(network, config.policy);
-      if (extracted.game.num_edges() > 0) {
-        const core::Outcome outcome = mechanism->run_truthful(extracted.game);
-        const pcn::RebalanceStats stats =
-            pcn::apply_outcome(network, extracted, outcome);
-        metrics.rebalance_cycles = stats.cycles_executed;
-        metrics.rebalanced_volume = stats.volume;
-        metrics.rebalance_fees = stats.fees_paid;
-      }
+    if (backend != nullptr && (epoch + 1) % config.rebalance_every == 0) {
+      const pcn::RebalanceStats stats =
+          backend->rebalance(network, config.policy);
+      metrics.rebalance_cycles = stats.cycles_executed;
+      metrics.rebalanced_volume = stats.volume;
+      metrics.rebalance_fees = stats.fees_paid;
     }
     result.epochs.push_back(metrics);
   }
+  if (final_network != nullptr) *final_network = std::move(network);
   return result;
 }
 

@@ -85,11 +85,49 @@ struct SimulationResult {
   flow::Amount total_rebalanced_volume() const;
 };
 
+/// How the engine performs a rebalancing round. The default
+/// (MechanismBackend) extracts the game and runs the mechanism
+/// in-process; src/svc/ provides a ServiceBackend that routes the same
+/// round through the epoch-batched rebalancing service, so E4-style
+/// throughput runs can exercise the serving code path with an
+/// otherwise identical payment stream.
+class RebalanceBackend {
+ public:
+  virtual ~RebalanceBackend() = default;
+
+  /// Performs one rebalancing round on the live network state and
+  /// reports what was executed.
+  virtual pcn::RebalanceStats rebalance(pcn::Network& network,
+                                        const pcn::RebalancePolicy& policy) = 0;
+};
+
+/// The historic in-process round: extract_and_lock + Mechanism::run +
+/// apply_outcome, all on the caller's thread.
+class MechanismBackend final : public RebalanceBackend {
+ public:
+  explicit MechanismBackend(const core::Mechanism& mechanism)
+      : mechanism_(&mechanism) {}
+
+  pcn::RebalanceStats rebalance(pcn::Network& network,
+                                const pcn::RebalancePolicy& policy) override;
+
+ private:
+  const core::Mechanism* mechanism_;
+};
+
 /// Runs the simulation with the given rebalancing mechanism (nullptr =
 /// never rebalance). The same seed produces the same payment stream for
 /// every mechanism, so results are directly comparable.
 SimulationResult run_simulation(const SimulationConfig& config,
                                 const core::Mechanism* mechanism);
+
+/// Backend-parameterized variant (nullptr backend = never rebalance).
+/// When `final_network` is non-null it receives the post-simulation
+/// network state — the handle the service-equivalence tests compare
+/// channel by channel.
+SimulationResult run_simulation(const SimulationConfig& config,
+                                RebalanceBackend* backend,
+                                pcn::Network* final_network);
 
 /// Builds the initial network (BA topology, random balance split) from
 /// the config — exposed for tests and examples.

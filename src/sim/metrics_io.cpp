@@ -1,0 +1,73 @@
+#include "sim/metrics_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace musketeer::sim {
+
+namespace {
+
+// %.17g round-trips every double, so two identical runs dump identical
+// files — the property the service/in-process diff relies on.
+std::string num(double v) { return util::format("%.17g", v); }
+
+}  // namespace
+
+void write_metrics_csv(const SimulationResult& result, std::ostream& out) {
+  out << "epoch,payments_attempted,payments_succeeded,success_rate,"
+         "volume_attempted,volume_succeeded,routing_fees,"
+         "depleted_fraction,mean_imbalance,rebalance_cycles,"
+         "rebalanced_volume,rebalance_fees\n";
+  for (const EpochMetrics& m : result.epochs) {
+    out << m.epoch << ',' << m.payments_attempted << ','
+        << m.payments_succeeded << ',' << num(m.success_rate()) << ','
+        << m.volume_attempted << ',' << m.volume_succeeded << ','
+        << num(m.routing_fees) << ',' << num(m.depleted_fraction) << ','
+        << num(m.mean_imbalance) << ',' << m.rebalance_cycles << ','
+        << m.rebalanced_volume << ',' << num(m.rebalance_fees) << '\n';
+  }
+}
+
+void write_metrics_json(const SimulationResult& result, std::ostream& out) {
+  out << "{\n  \"epochs\": [\n";
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    const EpochMetrics& m = result.epochs[i];
+    out << "    {\"epoch\": " << m.epoch
+        << ", \"payments_attempted\": " << m.payments_attempted
+        << ", \"payments_succeeded\": " << m.payments_succeeded
+        << ", \"success_rate\": " << num(m.success_rate())
+        << ", \"volume_attempted\": " << m.volume_attempted
+        << ", \"volume_succeeded\": " << m.volume_succeeded
+        << ", \"routing_fees\": " << num(m.routing_fees)
+        << ", \"depleted_fraction\": " << num(m.depleted_fraction)
+        << ", \"mean_imbalance\": " << num(m.mean_imbalance)
+        << ", \"rebalance_cycles\": " << m.rebalance_cycles
+        << ", \"rebalanced_volume\": " << m.rebalanced_volume
+        << ", \"rebalance_fees\": " << num(m.rebalance_fees) << "}"
+        << (i + 1 < result.epochs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overall\": {\"success_rate\": "
+      << num(result.overall_success_rate())
+      << ", \"volume_succeeded\": " << result.total_volume_succeeded()
+      << ", \"rebalanced_volume\": " << result.total_rebalanced_volume()
+      << "}\n}\n";
+}
+
+void save_metrics(const SimulationResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write metrics file: " + path);
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    write_metrics_json(result, out);
+  } else {
+    write_metrics_csv(result, out);
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("metrics write failed: " + path);
+}
+
+}  // namespace musketeer::sim

@@ -1,0 +1,27 @@
+// Machine-readable dumps of per-epoch simulation metrics.
+//
+// The sim driver historically printed a human table only; these writers
+// emit the full EpochMetrics series as CSV or JSON so a service-backed
+// run and an in-process run of the same scenario can be diffed
+// byte-for-byte (`musketeer sim ... --metrics-out a.json`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace musketeer::sim {
+
+/// One row per epoch; a fixed header row first. Doubles are printed with
+/// enough digits to round-trip, so equal runs produce equal files.
+void write_metrics_csv(const SimulationResult& result, std::ostream& out);
+
+/// {"epochs": [...], "overall": {...}} with one object per epoch.
+void write_metrics_json(const SimulationResult& result, std::ostream& out);
+
+/// Writes by extension: ".json" selects JSON, anything else CSV.
+/// Throws std::runtime_error on I/O failure.
+void save_metrics(const SimulationResult& result, const std::string& path);
+
+}  // namespace musketeer::sim

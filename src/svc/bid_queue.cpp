@@ -1,0 +1,97 @@
+#include "svc/bid_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace musketeer::svc {
+
+const char* to_string(IntakeStatus status) {
+  switch (status) {
+    case IntakeStatus::kAccepted: return "accepted";
+    case IntakeStatus::kReplaced: return "replaced";
+    case IntakeStatus::kRejectedFull: return "rejected-full";
+    case IntakeStatus::kRejectedInvalid: return "rejected-invalid";
+    case IntakeStatus::kRejectedClosed: return "rejected-closed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool valid_bid(const BidSubmission& bid, core::PlayerId num_players) {
+  if (bid.player < 0 || bid.player >= num_players) return false;
+  if (bid.has_tail &&
+      (!std::isfinite(bid.tail_bid) || bid.tail_bid > 0.0 ||
+       bid.tail_bid <= -core::kMaxFeeRate)) {
+    return false;
+  }
+  if (bid.has_head &&
+      (!std::isfinite(bid.head_bid) || bid.head_bid < 0.0 ||
+       bid.head_bid >= core::kMaxFeeRate)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BidQueue::BidQueue(std::size_t capacity, core::PlayerId num_players)
+    : capacity_(capacity), num_players_(num_players) {}
+
+IntakeStatus BidQueue::submit(const BidSubmission& bid) {
+  if (!valid_bid(bid, num_players_)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.rejected_invalid;
+    return IntakeStatus::kRejectedInvalid;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    ++counters_.rejected_closed;
+    return IntakeStatus::kRejectedClosed;
+  }
+  const auto it = index_.find(bid.player);
+  if (it != index_.end()) {
+    pending_[it->second] = bid;
+    ++counters_.replaced;
+    return IntakeStatus::kReplaced;
+  }
+  if (pending_.size() >= capacity_) {
+    ++counters_.rejected_full;
+    return IntakeStatus::kRejectedFull;
+  }
+  index_.emplace(bid.player, pending_.size());
+  pending_.push_back(bid);
+  ++counters_.accepted;
+  return IntakeStatus::kAccepted;
+}
+
+std::vector<BidSubmission> BidQueue::drain() {
+  std::vector<BidSubmission> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.swap(pending_);
+    index_.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BidSubmission& a, const BidSubmission& b) {
+              return a.player < b.player;
+            });
+  return out;
+}
+
+void BidQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+}
+
+std::size_t BidQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+IntakeCounters BidQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace musketeer::svc

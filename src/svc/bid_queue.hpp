@@ -1,0 +1,111 @@
+// Concurrent bid intake for the epoch-batched rebalancing service.
+//
+// Many connection handlers push, one epoch scheduler drains (bounded
+// MPSC). Semantics chosen for an auction, not a log:
+//
+//   * per-player replace: a newer submission from the same player
+//     overwrites the queued one (kReplaced) — the auction only ever
+//     wants each player's latest bid, so a player refreshing its bid
+//     can never be the reason the queue fills;
+//   * bounded + reject-with-reason: when `capacity` distinct players
+//     are already queued, further *new* players are refused with
+//     kRejectedFull instead of growing memory — explicit backpressure
+//     the wire protocol reports back to the client;
+//   * validated at the door: malformed bids (non-finite, outside the
+//     §2.3 box) never enter the queue (kRejectedInvalid);
+//   * atomic drain: the scheduler takes the whole pending set in one
+//     critical section, so a bid is applied to exactly one epoch — the
+//     first one cleared after its intake.
+//
+// drain() returns the submissions sorted by player id, making the
+// epoch's bid-override application order independent of intake thread
+// timing (the service-vs-single-threaded equivalence tests rely on it).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace musketeer::svc {
+
+/// One player's bid for the next epoch. The overrides apply to every
+/// edge of the extracted game the player is party to: `tail_bid`
+/// (seller ask, <= 0) wherever the player is an edge's tail, `head_bid`
+/// (buyer bid, >= 0) wherever it is the head. A submission with neither
+/// override is a participation refresh: the player keeps its extracted
+/// truthful valuations.
+struct BidSubmission {
+  core::PlayerId player = 0;
+  bool has_tail = false;
+  double tail_bid = 0.0;
+  bool has_head = false;
+  double head_bid = 0.0;
+  /// Opaque client-chosen tag echoed in the wire-protocol ack.
+  std::uint64_t client_tag = 0;
+};
+
+enum class IntakeStatus : std::uint8_t {
+  kAccepted = 0,        // queued; player was not pending
+  kReplaced = 1,        // queued; overwrote the player's pending bid
+  kRejectedFull = 2,    // queue at capacity and player not pending
+  kRejectedInvalid = 3, // bid outside the valid box / non-finite player
+  kRejectedClosed = 4,  // service shutting down
+};
+
+const char* to_string(IntakeStatus status);
+
+/// True for the two statuses that leave a bid in the queue.
+inline bool intake_ok(IntakeStatus status) {
+  return status == IntakeStatus::kAccepted ||
+         status == IntakeStatus::kReplaced;
+}
+
+struct IntakeCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t replaced = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_closed = 0;
+
+  std::uint64_t total() const {
+    return accepted + replaced + rejected_full + rejected_invalid +
+           rejected_closed;
+  }
+};
+
+class BidQueue {
+ public:
+  /// `capacity` bounds the number of *distinct players* pending at once;
+  /// `num_players` bounds valid player ids (submissions for ids outside
+  /// [0, num_players) are kRejectedInvalid).
+  BidQueue(std::size_t capacity, core::PlayerId num_players);
+
+  /// Thread-safe intake. Never blocks; full is an answer, not a wait.
+  IntakeStatus submit(const BidSubmission& bid);
+
+  /// Takes every pending submission (sorted by player id) and empties
+  /// the queue. Called by the epoch scheduler at the top of each epoch.
+  std::vector<BidSubmission> drain();
+
+  /// Further submits return kRejectedClosed; pending bids stay drainable.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  IntakeCounters counters() const;
+
+ private:
+  const std::size_t capacity_;
+  const core::PlayerId num_players_;
+
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+  std::vector<BidSubmission> pending_;
+  std::unordered_map<core::PlayerId, std::size_t> index_;
+  IntakeCounters counters_;
+};
+
+}  // namespace musketeer::svc

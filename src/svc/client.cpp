@@ -1,0 +1,175 @@
+#include "svc/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "svc/socket_util.hpp"
+
+namespace musketeer::svc {
+
+namespace {
+
+constexpr int kPollMillis = 100;
+
+}  // namespace
+
+Client::Client(const std::string& endpoint)
+    : fd_(connect_to(parse_endpoint(endpoint))) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      parser_(std::move(other.parser_)),
+      next_tag_(other.next_tag_),
+      epochs_(std::move(other.epochs_)),
+      notices_(std::move(other.notices_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    parser_ = std::move(other.parser_);
+    next_tag_ = other.next_tag_;
+    epochs_ = std::move(other.epochs_);
+    notices_ = std::move(other.notices_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_frame(MsgType type, std::string_view payload) {
+  if (fd_ < 0) throw std::runtime_error("client connection closed");
+  std::string frame;
+  append_frame(frame, type, payload);
+  if (!send_all(fd_, frame.data(), frame.size())) {
+    close();
+    throw std::runtime_error("send failed: connection lost");
+  }
+}
+
+void Client::hello(core::PlayerId player) {
+  HelloMsg msg;
+  msg.player = player;
+  send_frame(MsgType::kHello, encode_hello(msg));
+}
+
+std::optional<Frame> Client::read_frame(
+    std::chrono::steady_clock::time_point deadline) {
+  char buf[4096];
+  for (;;) {
+    if (auto frame = parser_.next()) {
+      switch (frame->type) {
+        case MsgType::kEpochResult:
+          epochs_.push_back(decode_epoch_result(frame->payload));
+          break;
+        case MsgType::kPlayerNotice:
+          notices_.push_back(decode_player_notice(frame->payload));
+          break;
+        case MsgType::kError: {
+          const ErrorMsg error = decode_error(frame->payload);
+          close();
+          throw WireError("server error: " + error.message);
+        }
+        case MsgType::kShutdown:
+          close();
+          break;
+        default:
+          break;
+      }
+      return frame;
+    }
+    if (fd_ < 0) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(
+        &pfd, 1, static_cast<int>(std::min<long long>(left, kPollMillis)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      close();
+      throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) continue;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      close();
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      close();
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+BidAckMsg Client::submit(const BidSubmission& bid,
+                         std::chrono::milliseconds timeout) {
+  BidSubmission tagged = bid;
+  if (tagged.client_tag == 0) tagged.client_tag = next_tag_++;
+  send_frame(MsgType::kSubmitBid, encode_submit_bid(tagged));
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (auto frame = read_frame(deadline)) {
+    if (frame->type == MsgType::kBidAck) {
+      const BidAckMsg ack = decode_bid_ack(frame->payload);
+      if (ack.client_tag == tagged.client_tag) return ack;
+    } else if (frame->type == MsgType::kShutdown) {
+      throw std::runtime_error("server shut down before ack");
+    }
+  }
+  throw std::runtime_error(closed() ? "connection lost awaiting bid ack"
+                                    : "timeout awaiting bid ack");
+}
+
+std::optional<EpochResultMsg> Client::wait_epoch_at_least(
+    std::uint32_t epoch, std::chrono::milliseconds timeout) {
+  const auto matches = [epoch](const EpochResultMsg& m) {
+    return m.epoch >= epoch;
+  };
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto it = std::find_if(epochs_.begin(), epochs_.end(), matches);
+    if (it != epochs_.end()) return *it;
+    if (fd_ < 0) return std::nullopt;
+    if (!read_frame(deadline).has_value() &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::vector<EpochResultMsg> Client::take_epoch_results() {
+  std::vector<EpochResultMsg> out;
+  out.swap(epochs_);
+  return out;
+}
+
+std::vector<PlayerNoticeMsg> Client::take_notices() {
+  std::vector<PlayerNoticeMsg> out;
+  out.swap(notices_);
+  return out;
+}
+
+}  // namespace musketeer::svc

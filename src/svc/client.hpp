@@ -1,0 +1,70 @@
+// Blocking client for the rebalancing service's wire protocol — the
+// node-side library used by musk_loadgen, the e2e tests, and any tool
+// that wants to talk to musketeerd.
+//
+// Not thread-safe: use one Client per thread (loadgen does exactly
+// that). Frames that arrive while waiting for something else (epoch
+// results, player notices) are queued, not dropped.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+namespace musketeer::svc {
+
+class Client {
+ public:
+  /// Connects to "tcp:<port>" / "unix:<path>". Throws on failure.
+  explicit Client(const std::string& endpoint);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Registers this connection's player id for settlement notices.
+  void hello(core::PlayerId player);
+
+  /// Sends a bid and blocks until its ack (matched by client_tag; a
+  /// fresh tag is assigned if the bid's is 0). Throws WireError on
+  /// protocol violations and std::runtime_error on timeout/disconnect.
+  BidAckMsg submit(const BidSubmission& bid,
+                   std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds(5000));
+
+  /// Waits until an epoch result with epoch >= `epoch` has been
+  /// received (consuming queued ones first); nullopt on timeout.
+  std::optional<EpochResultMsg> wait_epoch_at_least(
+      std::uint32_t epoch, std::chrono::milliseconds timeout);
+
+  /// Drains the queued epoch results / player notices received so far.
+  std::vector<EpochResultMsg> take_epoch_results();
+  std::vector<PlayerNoticeMsg> take_notices();
+
+  /// True once the server said kShutdown or the connection dropped.
+  bool closed() const { return fd_ < 0; }
+
+  void close();
+
+ private:
+  /// Reads socket bytes until one frame is complete or the deadline
+  /// passes; dispatches kEpochResult/kPlayerNotice/kError/kShutdown
+  /// internally and returns other frames to the caller.
+  std::optional<Frame> read_frame(
+      std::chrono::steady_clock::time_point deadline);
+  void send_frame(MsgType type, std::string_view payload);
+
+  int fd_ = -1;
+  FrameParser parser_;
+  std::uint64_t next_tag_ = 1;
+  std::vector<EpochResultMsg> epochs_;
+  std::vector<PlayerNoticeMsg> notices_;
+};
+
+}  // namespace musketeer::svc

@@ -1,0 +1,28 @@
+#include "svc/daemon.hpp"
+
+#include <utility>
+
+namespace musketeer::svc {
+
+Daemon::Daemon(pcn::Network network,
+               std::unique_ptr<core::Mechanism> mechanism,
+               DaemonConfig config)
+    : network_(std::move(network)), mechanism_(std::move(mechanism)) {
+  service_ = std::make_unique<RebalanceService>(network_, *mechanism_,
+                                                config.service);
+  server_ = std::make_unique<SocketServer>(*service_, config.server);
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start(bool periodic_epochs) {
+  server_->start();  // registers the epoch broadcast callback
+  if (periodic_epochs) service_->start();
+}
+
+void Daemon::stop() {
+  service_->stop();
+  server_->stop();
+}
+
+}  // namespace musketeer::svc

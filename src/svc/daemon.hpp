@@ -1,0 +1,59 @@
+// Owns one complete musketeerd instance: network + mechanism +
+// RebalanceService + SocketServer, wired in the right order (the
+// server's epoch-broadcast callback must be registered before the
+// scheduler starts). Used by the musketeerd binary and started
+// in-process by the end-to-end tests and musk_loadgen --spawn.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mechanism.hpp"
+#include "pcn/network.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace musketeer::svc {
+
+struct DaemonConfig {
+  ServiceConfig service;
+  ServerConfig server;
+};
+
+class Daemon {
+ public:
+  /// Takes ownership of the network and mechanism.
+  Daemon(pcn::Network network, std::unique_ptr<core::Mechanism> mechanism,
+         DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Starts the socket server and, when `periodic_epochs`, the epoch
+  /// scheduler. With periodic_epochs = false the caller drives epochs
+  /// via service().run_epoch() (tests, manual operation).
+  void start(bool periodic_epochs = true);
+
+  /// Stops scheduler then server. Idempotent; also run by the dtor.
+  void stop();
+
+  RebalanceService& service() { return *service_; }
+  SocketServer& server() { return *server_; }
+
+  /// Resolved listen endpoint (valid after start()).
+  std::string endpoint() const { return server_->endpoint(); }
+
+  /// Copy of the current network state under the service lock.
+  pcn::Network network_snapshot() const {
+    return service_->network_snapshot();
+  }
+
+ private:
+  pcn::Network network_;
+  std::unique_ptr<core::Mechanism> mechanism_;
+  std::unique_ptr<RebalanceService> service_;
+  std::unique_ptr<SocketServer> server_;
+};
+
+}  // namespace musketeer::svc

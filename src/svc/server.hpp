@@ -1,0 +1,89 @@
+// Socket front end of the rebalancing service.
+//
+// One accept thread plus one thread per connection, all jthreads with
+// stop-token-aware poll loops (no detach, no naked sleeps — the repo
+// lint enforces it). Connections speak the framed protocol in
+// svc/wire.hpp: bids are dispatched straight into the service's intake
+// queue and acked with the IntakeStatus; after every settled epoch the
+// server broadcasts the epoch result to all connections and a targeted
+// PlayerNotice to each connection that Hello'd a participating player.
+//
+// A malformed frame (bad magic, oversized length, truncated record)
+// earns the client a best-effort kError frame and a closed connection —
+// one bad client never poisons the service.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "svc/socket_util.hpp"
+#include "svc/wire.hpp"
+
+namespace musketeer::svc {
+
+struct ServerConfig {
+  /// "tcp:<port>" (loopback; 0 = ephemeral) or "unix:<path>".
+  std::string listen = "tcp:0";
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 64;
+};
+
+class SocketServer {
+ public:
+  /// Registers the epoch-broadcast callback on `service`, so the server
+  /// must be constructed (and start()ed) before service.start().
+  SocketServer(RebalanceService& service, ServerConfig config);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Throws on bind
+  /// failure. After return, endpoint() names the resolved address.
+  void start();
+
+  /// Sends kShutdown to every connection, closes all sockets, joins all
+  /// threads. Idempotent.
+  void stop();
+
+  /// Resolved listen address ("tcp:<real-port>" / "unix:<path>").
+  std::string endpoint() const;
+
+  std::size_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Player id from this connection's Hello (-1 = none).
+    std::atomic<core::PlayerId> player{-1};
+    std::atomic<bool> done{false};
+    std::mutex write_mutex;
+    std::jthread thread;
+  };
+
+  void accept_loop(const std::stop_token& stop);
+  void connection_loop(const std::stop_token& stop, Connection* conn);
+  void handle_frame(Connection* conn, const Frame& frame);
+  void broadcast_epoch(const EpochReport& report);
+  bool send_frame(Connection* conn, MsgType type, std::string_view payload);
+  void prune_finished_locked();
+
+  RebalanceService& service_;
+  const ServerConfig config_;
+  Endpoint endpoint_;
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> accepted_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::jthread accept_thread_;
+};
+
+}  // namespace musketeer::svc

@@ -1,0 +1,195 @@
+#include "svc/service.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace musketeer::svc {
+
+namespace {
+
+/// Overwrites the truthful bids with the drained submissions: a player's
+/// tail override applies to every edge it is tail of, head override to
+/// every edge it is head of. Values were validated at intake.
+void apply_overrides(const core::Game& game,
+                     const std::vector<BidSubmission>& subs,
+                     core::BidVector& bids) {
+  if (subs.empty()) return;
+  std::unordered_map<core::PlayerId, const BidSubmission*> by_player;
+  by_player.reserve(subs.size());
+  for (const BidSubmission& s : subs) by_player.emplace(s.player, &s);
+  for (core::EdgeId e = 0; e < game.num_edges(); ++e) {
+    const core::GameEdge& edge = game.edge(e);
+    if (const auto it = by_player.find(edge.from);
+        it != by_player.end() && it->second->has_tail) {
+      bids.tail[static_cast<std::size_t>(e)] = it->second->tail_bid;
+    }
+    if (const auto it = by_player.find(edge.to);
+        it != by_player.end() && it->second->has_head) {
+      bids.head[static_cast<std::size_t>(e)] = it->second->head_bid;
+    }
+  }
+}
+
+std::vector<PlayerNotice> build_notices(const core::Game& game,
+                                        const core::Outcome& outcome) {
+  std::map<core::PlayerId, PlayerNotice> by_player;  // sorted output
+  for (const core::PricedCycle& pc : outcome.cycles) {
+    for (const core::PlayerId v : game.cycle_players(pc.cycle)) {
+      PlayerNotice& notice = by_player[v];
+      notice.player = v;
+      notice.price += pc.price_of(v);
+      notice.cycles += 1;
+      notice.volume += pc.cycle.amount;
+      notice.delay_bonus += pc.delay_bonus_of(v);
+    }
+  }
+  std::vector<PlayerNotice> notices;
+  notices.reserve(by_player.size());
+  for (auto& [player, notice] : by_player) notices.push_back(notice);
+  return notices;
+}
+
+}  // namespace
+
+RebalanceService::RebalanceService(pcn::Network& network,
+                                   const core::Mechanism& mechanism,
+                                   ServiceConfig config)
+    : network_(network),
+      mechanism_(mechanism),
+      config_(config),
+      queue_(config.queue_capacity, network.num_nodes()) {}
+
+RebalanceService::~RebalanceService() { stop(); }
+
+IntakeStatus RebalanceService::submit(const BidSubmission& bid) {
+  return queue_.submit(bid);
+}
+
+EpochReport RebalanceService::run_epoch() {
+  std::lock_guard<std::mutex> epoch_lock(clear_mutex_);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::vector<BidSubmission> subs = queue_.drain();
+
+  // Snapshot: the extracted game is a value copy whose capacities are
+  // HTLC-locked on the live network, so clearing can proceed off-lock.
+  pcn::ExtractedGame extracted = [&] {
+    std::lock_guard<std::mutex> net_lock(network_mutex_);
+    return pcn::extract_and_lock(network_, config_.policy);
+  }();
+
+  EpochReport report;
+  {
+    std::lock_guard<std::mutex> lock(reports_mutex_);
+    report.epoch = epochs_cleared_;
+  }
+  report.bids_applied = subs.size();
+  report.game_edges = extracted.game.num_edges();
+
+  if (extracted.game.num_edges() > 0) {
+    core::BidVector bids = extracted.game.truthful_bids();
+    apply_overrides(extracted.game, subs, bids);
+    core::Outcome outcome;
+    try {
+      outcome = mechanism_.run(extracted.game, bids);
+    } catch (...) {
+      // Failed clear: release every pre-lock so no liquidity leaks.
+      std::lock_guard<std::mutex> net_lock(network_mutex_);
+      pcn::release_locks(network_, extracted);
+      throw;
+    }
+    pcn::RebalanceStats stats;
+    {
+      std::lock_guard<std::mutex> net_lock(network_mutex_);
+      stats = pcn::apply_outcome(network_, extracted, outcome);
+    }
+    report.cycles_executed = stats.cycles_executed;
+    report.rebalanced_volume = stats.volume;
+    report.fees_paid = stats.fees_paid;
+    report.max_release_time = stats.max_release_time;
+    report.notices = build_notices(extracted.game, outcome);
+  }
+
+  {
+    std::lock_guard<std::mutex> net_lock(network_mutex_);
+    report.network_digest = network_.state_digest();
+  }
+
+  report.clear_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  {
+    std::lock_guard<std::mutex> lock(reports_mutex_);
+    ++epochs_cleared_;
+    reports_.push_back(report);
+  }
+  reports_cv_.notify_all();
+  for (const auto& callback : callbacks_) callback(report);
+  return report;
+}
+
+void RebalanceService::start() {
+  MUSK_ASSERT_MSG(!started_, "RebalanceService started twice");
+  started_ = true;
+  scheduler_ = std::jthread(
+      [this](const std::stop_token& stop) { scheduler_loop(stop); });
+}
+
+void RebalanceService::stop() {
+  queue_.close();
+  if (scheduler_.joinable()) {
+    scheduler_.request_stop();
+    scheduler_cv_.notify_all();
+    scheduler_.join();
+  }
+}
+
+void RebalanceService::on_epoch(
+    std::function<void(const EpochReport&)> callback) {
+  MUSK_ASSERT_MSG(!started_, "on_epoch must be called before start()");
+  callbacks_.push_back(std::move(callback));
+}
+
+bool RebalanceService::wait_epochs(int n,
+                                   std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(reports_mutex_);
+  return reports_cv_.wait_for(lock, timeout,
+                              [&] { return epochs_cleared_ >= n; });
+}
+
+int RebalanceService::epochs_cleared() const {
+  std::lock_guard<std::mutex> lock(reports_mutex_);
+  return epochs_cleared_;
+}
+
+std::vector<EpochReport> RebalanceService::reports() const {
+  std::lock_guard<std::mutex> lock(reports_mutex_);
+  return reports_;
+}
+
+pcn::Network RebalanceService::network_snapshot() const {
+  std::lock_guard<std::mutex> lock(network_mutex_);
+  return network_;
+}
+
+void RebalanceService::scheduler_loop(const std::stop_token& stop) {
+  std::unique_lock<std::mutex> lock(scheduler_mutex_);
+  while (!stop.stop_requested()) {
+    // Stop-token-aware timed wait: wakes early on stop() instead of
+    // sleeping out the period.
+    scheduler_cv_.wait_for(lock, stop, config_.epoch_period,
+                           [] { return false; });
+    if (stop.stop_requested()) break;
+    lock.unlock();
+    run_epoch();
+    const bool reached_limit =
+        config_.max_epochs > 0 && epochs_cleared() >= config_.max_epochs;
+    lock.lock();
+    if (reached_limit) break;
+  }
+}
+
+}  // namespace musketeer::svc

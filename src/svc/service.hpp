@@ -1,0 +1,161 @@
+// The epoch-batched rebalancing service: intake -> snapshot -> clear ->
+// settle.
+//
+// A RebalanceService turns the repo's one-shot mechanism calls into a
+// long-running auction server over a live pcn::Network:
+//
+//   1. intake   — clients submit BidSubmissions concurrently through the
+//                 bounded BidQueue (newest-per-player wins, §bid_queue);
+//   2. snapshot — at the epoch boundary the scheduler atomically drains
+//                 the queue and, under the network mutex, runs
+//                 pcn::extract_and_lock: the game's capacities are
+//                 HTLC-locked, so the extracted Game is a self-contained
+//                 value snapshot whose outcome stays executable no
+//                 matter what payments hit the network while clearing;
+//   3. clear    — the mechanism runs on the scheduler thread, *off* the
+//                 network mutex, against truthful valuations overridden
+//                 by the drained bids;
+//   4. settle   — apply_outcome executes every priced cycle atomically
+//                 under the network mutex and releases leftover locks
+//                 (on mechanism failure all locks are released).
+//
+// Ordering guarantee: a submission acked with intake epoch E is applied
+// to exactly the first epoch cleared after its intake (i.e. epoch >= E),
+// unless the same player replaced it first.
+//
+// The service runs epochs either manually (run_epoch(), used by the sim
+// backend and tests) or periodically on an internal scheduler thread
+// (start()/stop(), used by musketeerd). Epoch completion is observable
+// via registered callbacks (socket broadcast) and wait_epochs().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/mechanism.hpp"
+#include "pcn/network.hpp"
+#include "pcn/rebalancer.hpp"
+#include "svc/bid_queue.hpp"
+
+namespace musketeer::svc {
+
+struct ServiceConfig {
+  pcn::RebalancePolicy policy;
+  /// Max distinct players pending in the intake queue.
+  std::size_t queue_capacity = 1024;
+  /// Period of the internal scheduler (periodic mode only; manual
+  /// run_epoch() ignores it).
+  std::chrono::milliseconds epoch_period{100};
+  /// Periodic mode stops itself after this many epochs (0 = run until
+  /// stop()).
+  int max_epochs = 0;
+};
+
+/// Per-player settlement notification for one epoch: what the node pays
+/// or receives and which cycles moved its liquidity.
+struct PlayerNotice {
+  core::PlayerId player = 0;
+  /// Net price across the epoch's cycles (>0 pays, <0 receives).
+  double price = 0.0;
+  /// Cycles of this epoch the player participated in.
+  int cycles = 0;
+  /// Total flow of those cycles.
+  flow::Amount volume = 0;
+  double delay_bonus = 0.0;
+};
+
+struct EpochReport {
+  int epoch = 0;
+  /// Distinct player submissions drained into this epoch.
+  std::size_t bids_applied = 0;
+  int game_edges = 0;
+  int cycles_executed = 0;
+  flow::Amount rebalanced_volume = 0;
+  double fees_paid = 0.0;
+  double max_release_time = 0.0;
+  /// Wall-clock seconds from queue drain to settled network.
+  double clear_seconds = 0.0;
+  /// pcn::Network::state_digest() of the settled network, taken under
+  /// the network lock right after settlement: one u64 a client can check
+  /// against a local replay to verify it observed the same state.
+  std::uint64_t network_digest = 0;
+  /// One entry per participating player, sorted by player id.
+  std::vector<PlayerNotice> notices;
+};
+
+class RebalanceService {
+ public:
+  /// The service operates on (and synchronizes) the caller's network;
+  /// the network must outlive the service.
+  RebalanceService(pcn::Network& network, const core::Mechanism& mechanism,
+                   ServiceConfig config);
+  ~RebalanceService();
+
+  RebalanceService(const RebalanceService&) = delete;
+  RebalanceService& operator=(const RebalanceService&) = delete;
+
+  /// Thread-safe bid intake (validated, bounded; see BidQueue).
+  IntakeStatus submit(const BidSubmission& bid);
+
+  /// Clears one epoch synchronously on the calling thread. Thread-safe
+  /// against intake and concurrent callers (epochs serialize).
+  EpochReport run_epoch();
+
+  /// Starts the periodic scheduler thread. Callbacks must be registered
+  /// before start().
+  void start();
+
+  /// Stops the scheduler (idempotent), closes intake, and waits for an
+  /// in-flight epoch to finish settling.
+  void stop();
+
+  /// Registers an epoch-completion callback, invoked on the clearing
+  /// thread after settlement. Not thread-safe; call before start().
+  void on_epoch(std::function<void(const EpochReport&)> callback);
+
+  /// Blocks until at least `n` epochs have cleared (or the deadline
+  /// passes); returns whether the target was reached.
+  bool wait_epochs(int n, std::chrono::milliseconds timeout) const;
+
+  int epochs_cleared() const;
+  IntakeCounters intake_counters() const { return queue_.counters(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+  const pcn::RebalancePolicy& policy() const { return config_.policy; }
+
+  /// All completed epoch reports, oldest first (copy).
+  std::vector<EpochReport> reports() const;
+
+  /// Copy of the network state under the service lock (tests, status).
+  pcn::Network network_snapshot() const;
+
+ private:
+  void scheduler_loop(const std::stop_token& stop);
+
+  pcn::Network& network_;
+  const core::Mechanism& mechanism_;
+  const ServiceConfig config_;
+  BidQueue queue_;
+
+  /// Guards the live network (extraction + settlement + snapshots).
+  mutable std::mutex network_mutex_;
+  /// Serializes epochs so manual and periodic clears cannot interleave.
+  std::mutex clear_mutex_;
+
+  mutable std::mutex reports_mutex_;
+  mutable std::condition_variable reports_cv_;
+  std::vector<EpochReport> reports_;
+  int epochs_cleared_ = 0;
+
+  std::vector<std::function<void(const EpochReport&)>> callbacks_;
+
+  std::mutex scheduler_mutex_;
+  std::condition_variable_any scheduler_cv_;
+  std::jthread scheduler_;
+  bool started_ = false;
+};
+
+}  // namespace musketeer::svc

@@ -1,0 +1,34 @@
+#include "svc/sim_backend.hpp"
+
+#include "util/assert.hpp"
+
+namespace musketeer::svc {
+
+ServiceBackend::ServiceBackend(const core::Mechanism& mechanism,
+                               std::size_t queue_capacity)
+    : mechanism_(mechanism), queue_capacity_(queue_capacity) {}
+
+ServiceBackend::~ServiceBackend() = default;
+
+pcn::RebalanceStats ServiceBackend::rebalance(
+    pcn::Network& network, const pcn::RebalancePolicy& policy) {
+  if (service_ == nullptr) {
+    bound_network_ = &network;
+    ServiceConfig config;
+    config.policy = policy;
+    config.queue_capacity = queue_capacity_;
+    service_ = std::make_unique<RebalanceService>(network, mechanism_,
+                                                  config);
+  }
+  MUSK_ASSERT_MSG(bound_network_ == &network,
+                  "ServiceBackend rebound to a different network");
+  const EpochReport report = service_->run_epoch();
+  pcn::RebalanceStats stats;
+  stats.cycles_executed = report.cycles_executed;
+  stats.volume = report.rebalanced_volume;
+  stats.fees_paid = report.fees_paid;
+  stats.max_release_time = report.max_release_time;
+  return stats;
+}
+
+}  // namespace musketeer::svc

@@ -1,0 +1,140 @@
+#include "svc/socket_util.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace musketeer::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.is_unix = true;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) {
+      throw std::runtime_error("empty unix socket path in '" + spec + "'");
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string port = spec.substr(4);
+    char* end = nullptr;
+    const long value = std::strtol(port.c_str(), &end, 10);
+    if (port.empty() || *end != '\0' || value < 0 || value > 65535) {
+      throw std::runtime_error("bad tcp port in '" + spec + "'");
+    }
+    endpoint.port = static_cast<std::uint16_t>(value);
+    return endpoint;
+  }
+  throw std::runtime_error("endpoint must be tcp:<port> or unix:<path>, got '" +
+                           spec + "'");
+}
+
+std::string to_string(const Endpoint& endpoint) {
+  return endpoint.is_unix ? "unix:" + endpoint.path
+                          : "tcp:" + std::to_string(endpoint.port);
+}
+
+int listen_on(Endpoint& endpoint, int backlog) {
+  const int fd =
+      ::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  if (endpoint.is_unix) {
+    ::unlink(endpoint.path.c_str());
+    const sockaddr_un addr = unix_addr(endpoint.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      fail("bind " + endpoint.path);
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_addr(endpoint.port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      fail("bind tcp:" + std::to_string(endpoint.port));
+    }
+    if (endpoint.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+        ::close(fd);
+        fail("getsockname");
+      }
+      endpoint.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    fail("listen");
+  }
+  return fd;
+}
+
+int connect_to(const Endpoint& endpoint) {
+  const int fd =
+      ::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  int rc;
+  if (endpoint.is_unix) {
+    const sockaddr_un addr = unix_addr(endpoint.path);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcp_addr(endpoint.port);
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc < 0) {
+    ::close(fd);
+    fail("connect " + to_string(endpoint));
+  }
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace musketeer::svc

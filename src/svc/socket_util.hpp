@@ -1,0 +1,36 @@
+// Minimal POSIX socket helpers shared by the service's server and
+// client: endpoint parsing ("tcp:PORT" on loopback, "unix:PATH"),
+// listening, and connecting. All functions throw std::runtime_error
+// with errno context on failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace musketeer::svc {
+
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;         // unix
+  std::uint16_t port = 0;   // tcp (0 = ephemeral when listening)
+};
+
+/// Parses "tcp:<port>" or "unix:<path>".
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Renders back to the "tcp:<port>" / "unix:<path>" form.
+std::string to_string(const Endpoint& endpoint);
+
+/// Binds and listens; returns the fd. For tcp with port 0, `endpoint`
+/// is updated with the kernel-assigned port. Unix paths are unlinked
+/// before bind (stale socket files from a crashed daemon).
+int listen_on(Endpoint& endpoint, int backlog);
+
+/// Blocking connect; returns the fd.
+int connect_to(const Endpoint& endpoint);
+
+/// send() the whole buffer (MSG_NOSIGNAL, EINTR-safe). Returns false on
+/// a connection error instead of throwing (peers vanish routinely).
+bool send_all(int fd, const char* data, std::size_t n);
+
+}  // namespace musketeer::svc

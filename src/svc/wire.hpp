@@ -1,0 +1,138 @@
+// Versioned, length-prefixed wire protocol for the rebalancing service.
+//
+// Every message is one frame:
+//
+//     offset 0   u32  magic    "MUSK" (0x4B53554D little-endian)
+//            4   u16  version  kWireVersion
+//            6   u16  type     MsgType
+//            8   u32  length   payload bytes (<= kMaxFramePayload)
+//           12   ...  payload  (per-type record, core::codec encoding)
+//
+// The incremental FrameParser validates magic/version/length *before*
+// buffering a payload, so a hostile "4 GiB frame" header costs 12 bytes
+// of buffering, not 4 GiB; payload decoding reuses the bounds-checked
+// core::codec::Reader, so truncated or oversized records throw
+// core::CodecError instead of reading garbage.
+//
+// Conversation shape:
+//   client -> server : kHello (optional; registers the player id this
+//                      connection wants settlement notices for)
+//   client -> server : kSubmitBid (any number, any time)
+//   server -> client : kBidAck (one per kSubmitBid, echoing client_tag;
+//                      carries the intake IntakeStatus and the epoch
+//                      counter at intake)
+//   server -> all    : kEpochResult (broadcast after each settle)
+//   server -> hello'd: kPlayerNotice (that player's price/cycles)
+//   server -> all    : kShutdown (then the connection closes)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/io.hpp"
+#include "svc/service.hpp"
+
+namespace musketeer::svc {
+
+inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kSubmitBid = 2,
+  kBidAck = 3,
+  kEpochResult = 4,
+  kPlayerNotice = 5,
+  kShutdown = 6,
+  kError = 7,
+};
+
+/// Thrown on malformed framing (bad magic/version/type, oversized
+/// length). Payload-level decode errors surface as core::CodecError.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Appends one complete frame to `out`.
+void append_frame(std::string& out, MsgType type, std::string_view payload);
+
+/// Incremental frame decoder over a byte stream (one per connection).
+/// feed() buffers bytes; next() yields complete frames in order and
+/// throws WireError on a malformed header — after which the stream is
+/// unusable and the connection should be dropped.
+class FrameParser {
+ public:
+  void feed(const char* data, std::size_t n);
+  std::optional<Frame> next();
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+// --- Message payloads --------------------------------------------------
+
+struct HelloMsg {
+  core::PlayerId player = 0;
+};
+
+struct BidAckMsg {
+  std::uint64_t client_tag = 0;
+  IntakeStatus status = IntakeStatus::kRejectedInvalid;
+  /// Service epoch counter at intake: an accepted bid is applied to the
+  /// first epoch cleared after this.
+  std::uint32_t intake_epoch = 0;
+};
+
+struct EpochResultMsg {
+  std::uint32_t epoch = 0;
+  std::uint64_t bids_applied = 0;
+  std::uint32_t game_edges = 0;
+  std::uint32_t cycles_executed = 0;
+  std::int64_t rebalanced_volume = 0;
+  double fees_paid = 0.0;
+  double clear_seconds = 0.0;
+  /// Settled-state digest (pcn::Network::state_digest()).
+  std::uint64_t network_digest = 0;
+};
+
+struct PlayerNoticeMsg {
+  std::uint32_t epoch = 0;
+  PlayerNotice notice;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+std::string encode_hello(const HelloMsg& msg);
+HelloMsg decode_hello(std::string_view payload);
+
+std::string encode_submit_bid(const BidSubmission& bid);
+BidSubmission decode_submit_bid(std::string_view payload);
+
+std::string encode_bid_ack(const BidAckMsg& msg);
+BidAckMsg decode_bid_ack(std::string_view payload);
+
+std::string encode_epoch_result(const EpochReport& report);
+EpochResultMsg decode_epoch_result(std::string_view payload);
+
+std::string encode_player_notice(std::uint32_t epoch,
+                                 const PlayerNotice& notice);
+PlayerNoticeMsg decode_player_notice(std::string_view payload);
+
+std::string encode_error(std::string_view message);
+ErrorMsg decode_error(std::string_view payload);
+
+}  // namespace musketeer::svc

@@ -47,6 +47,35 @@ TEST(NetworkTest, DepletedFraction) {
   EXPECT_DOUBLE_EQ(net.depleted_direction_fraction(0.05), 0.0);
 }
 
+TEST(NetworkTest, StateDigestTracksStateExactly) {
+  Network a = line_network();
+  Network b = line_network();
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  // Every state field moves the digest; undoing the move restores it.
+  const std::uint64_t base = a.state_digest();
+  a.channel(0).transfer(0, 10);
+  EXPECT_NE(a.state_digest(), base);
+  a.channel(0).transfer(1, 10);
+  EXPECT_EQ(a.state_digest(), base);
+
+  a.channel(1).lock(1, 5);
+  EXPECT_NE(a.state_digest(), base);
+  a.channel(1).unlock(1, 5);
+  EXPECT_EQ(a.state_digest(), base);
+
+  a.channel(1).disabled = true;
+  EXPECT_NE(a.state_digest(), base);
+  a.channel(1).disabled = false;
+  EXPECT_EQ(a.state_digest(), base);
+
+  // Same multiset of balances on different endpoints is a different state.
+  Network c(3);
+  c.add_channel(0, 1, 50, 50, 0.001, 0.001);
+  c.add_channel(2, 1, 80, 20, 0.001, 0.001);
+  EXPECT_NE(c.state_digest(), base);
+}
+
 TEST(NetworkTest, Imbalances) {
   Network net(2);
   net.add_channel(0, 1, 0, 100, 0.0, 0.0);

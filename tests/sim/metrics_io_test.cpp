@@ -1,0 +1,110 @@
+// Machine-readable metrics dumps: shape, determinism, file round-trip.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics_io.hpp"
+
+namespace musketeer::sim {
+namespace {
+
+SimulationResult small_run(std::uint64_t seed) {
+  SimulationConfig config;
+  config.num_nodes = 24;
+  config.epochs = 4;
+  config.payments_per_epoch = 30;
+  config.seed = seed;
+  core::M3DoubleAuction mechanism;
+  return run_simulation(config, &mechanism);
+}
+
+TEST(MetricsIo, CsvShape) {
+  const SimulationResult result = small_run(5);
+  std::ostringstream out;
+  write_metrics_csv(result, out);
+  const std::string csv = out.str();
+
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("epoch,", 0), 0u) << header;
+  const std::size_t columns =
+      static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) +
+      1;
+  int rows = 0;
+  for (std::string line; std::getline(lines, line);) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','),
+              static_cast<std::ptrdiff_t>(columns - 1))
+        << line;
+  }
+  EXPECT_EQ(rows, static_cast<int>(result.epochs.size()));
+}
+
+TEST(MetricsIo, JsonShape) {
+  const SimulationResult result = small_run(5);
+  std::ostringstream out;
+  write_metrics_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"epochs\""), std::string::npos);
+  EXPECT_NE(json.find("\"overall\""), std::string::npos);
+  std::size_t epoch_objects = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"payments_attempted\"", pos)) != std::string::npos;
+       ++pos) {
+    ++epoch_objects;
+  }
+  EXPECT_EQ(epoch_objects, result.epochs.size());
+}
+
+TEST(MetricsIo, IdenticalRunsProduceIdenticalDumps) {
+  const SimulationResult a = small_run(9);
+  const SimulationResult b = small_run(9);
+  std::ostringstream csv_a, csv_b, json_a, json_b;
+  write_metrics_csv(a, csv_a);
+  write_metrics_csv(b, csv_b);
+  write_metrics_json(a, json_a);
+  write_metrics_json(b, json_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(json_a.str(), json_b.str());
+
+  const SimulationResult c = small_run(10);
+  std::ostringstream csv_c;
+  write_metrics_csv(c, csv_c);
+  EXPECT_NE(csv_a.str(), csv_c.str()) << "different seeds, same dump";
+}
+
+TEST(MetricsIo, SaveSelectsFormatByExtension) {
+  const SimulationResult result = small_run(3);
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/metrics.json";
+  const std::string csv_path = dir + "/metrics.csv";
+  save_metrics(result, json_path);
+  save_metrics(result, csv_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string content;
+    char buffer[4096];
+    std::size_t n;
+    while (f && (n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      content.append(buffer, n);
+    }
+    if (f) std::fclose(f);
+    return content;
+  };
+  EXPECT_EQ(slurp(json_path).rfind("{", 0), 0u);
+  EXPECT_EQ(slurp(csv_path).rfind("epoch,", 0), 0u);
+
+  EXPECT_THROW(save_metrics(result, dir + "/no/such/dir/metrics.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace musketeer::sim

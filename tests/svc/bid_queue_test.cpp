@@ -1,0 +1,159 @@
+// BidQueue: replace semantics, backpressure, validation, concurrency.
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/bid_queue.hpp"
+
+namespace musketeer::svc {
+namespace {
+
+BidSubmission refresh(core::PlayerId player) {
+  BidSubmission bid;
+  bid.player = player;
+  return bid;
+}
+
+BidSubmission head_bid(core::PlayerId player, double value) {
+  BidSubmission bid;
+  bid.player = player;
+  bid.has_head = true;
+  bid.head_bid = value;
+  return bid;
+}
+
+TEST(BidQueue, AcceptThenDrainSortedByPlayer) {
+  BidQueue queue(16, 100);
+  EXPECT_EQ(queue.submit(refresh(7)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.submit(refresh(3)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.submit(refresh(42)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.size(), 3u);
+
+  const std::vector<BidSubmission> drained = queue.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].player, 3);
+  EXPECT_EQ(drained[1].player, 7);
+  EXPECT_EQ(drained[2].player, 42);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.drain().empty());
+}
+
+TEST(BidQueue, NewerSubmissionReplacesPending) {
+  BidQueue queue(16, 100);
+  EXPECT_EQ(queue.submit(head_bid(5, 0.01)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.submit(head_bid(5, 0.02)), IntakeStatus::kReplaced);
+  const std::vector<BidSubmission> drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_DOUBLE_EQ(drained[0].head_bid, 0.02);
+
+  const IntakeCounters counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 1u);
+  EXPECT_EQ(counters.replaced, 1u);
+}
+
+TEST(BidQueue, FullQueueRejectsNewPlayersButStillReplaces) {
+  BidQueue queue(2, 100);
+  EXPECT_EQ(queue.submit(refresh(0)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.submit(refresh(1)), IntakeStatus::kAccepted);
+  // A third distinct player is shed with an explicit reason...
+  EXPECT_EQ(queue.submit(refresh(2)), IntakeStatus::kRejectedFull);
+  // ...but a pending player refreshing its bid never fills the queue.
+  EXPECT_EQ(queue.submit(head_bid(1, 0.03)), IntakeStatus::kReplaced);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Draining frees the capacity.
+  queue.drain();
+  EXPECT_EQ(queue.submit(refresh(2)), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.counters().rejected_full, 1u);
+}
+
+TEST(BidQueue, InvalidBidsNeverEnter) {
+  BidQueue queue(16, 10);
+  EXPECT_EQ(queue.submit(refresh(-1)), IntakeStatus::kRejectedInvalid);
+  EXPECT_EQ(queue.submit(refresh(10)), IntakeStatus::kRejectedInvalid);
+
+  BidSubmission bad = head_bid(1, core::kMaxFeeRate);  // box is half-open
+  EXPECT_EQ(queue.submit(bad), IntakeStatus::kRejectedInvalid);
+  bad.head_bid = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(queue.submit(bad), IntakeStatus::kRejectedInvalid);
+  bad.head_bid = -0.001;
+  EXPECT_EQ(queue.submit(bad), IntakeStatus::kRejectedInvalid);
+
+  BidSubmission bad_tail = refresh(1);
+  bad_tail.has_tail = true;
+  bad_tail.tail_bid = 0.001;  // sellers ask, they do not pay
+  EXPECT_EQ(queue.submit(bad_tail), IntakeStatus::kRejectedInvalid);
+  bad_tail.tail_bid = -core::kMaxFeeRate;
+  EXPECT_EQ(queue.submit(bad_tail), IntakeStatus::kRejectedInvalid);
+
+  // Boundary values inside the box are fine.
+  BidSubmission edge = refresh(1);
+  edge.has_tail = true;
+  edge.tail_bid = 0.0;
+  edge.has_head = true;
+  edge.head_bid = 0.0;
+  EXPECT_EQ(queue.submit(edge), IntakeStatus::kAccepted);
+
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.counters().rejected_invalid, 7u);
+}
+
+TEST(BidQueue, CloseRejectsNewButKeepsPendingDrainable) {
+  BidQueue queue(16, 100);
+  EXPECT_EQ(queue.submit(refresh(1)), IntakeStatus::kAccepted);
+  queue.close();
+  EXPECT_EQ(queue.submit(refresh(2)), IntakeStatus::kRejectedClosed);
+  EXPECT_EQ(queue.drain().size(), 1u);
+  EXPECT_EQ(queue.counters().rejected_closed, 1u);
+}
+
+TEST(BidQueue, ConcurrentSubmitsAccountForEveryAttempt) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  constexpr std::size_t kCapacity = 64;
+  constexpr core::PlayerId kPlayers = 128;
+  BidQueue queue(kCapacity, kPlayers);
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> full{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto player = static_cast<core::PlayerId>(
+              (t * kPerThread + i) % kPlayers);
+          const IntakeStatus status = queue.submit(head_bid(player, 0.01));
+          if (intake_ok(status)) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ASSERT_EQ(status, IntakeStatus::kRejectedFull);
+            full.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+
+  const IntakeCounters counters = queue.counters();
+  EXPECT_EQ(counters.total(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(counters.accepted + counters.replaced, ok.load());
+  EXPECT_EQ(counters.rejected_full, full.load());
+  EXPECT_EQ(counters.rejected_invalid, 0u);
+
+  // The drained set is at most the capacity, sorted, distinct players.
+  const std::vector<BidSubmission> drained = queue.drain();
+  EXPECT_EQ(drained.size(), counters.accepted);
+  EXPECT_LE(drained.size(), kCapacity);
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_LT(drained[i - 1].player, drained[i].player);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::svc

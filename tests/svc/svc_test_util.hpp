@@ -1,0 +1,48 @@
+// Shared helpers for the service test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "pcn/network.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::svc::testutil {
+
+/// Channel-by-channel exact equality, the bar the ISSUE's end-to-end
+/// acceptance sets: balances are integer coins, so a service-backed run
+/// must match the single-threaded one to the coin, not approximately.
+inline void expect_networks_equal(const pcn::Network& a,
+                                  const pcn::Network& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  for (pcn::ChannelId c = 0; c < a.num_channels(); ++c) {
+    const pcn::Channel& x = a.channel(c);
+    const pcn::Channel& y = b.channel(c);
+    EXPECT_EQ(x.a, y.a) << "channel " << c;
+    EXPECT_EQ(x.b, y.b) << "channel " << c;
+    EXPECT_EQ(x.balance_a, y.balance_a) << "channel " << c;
+    EXPECT_EQ(x.balance_b, y.balance_b) << "channel " << c;
+    EXPECT_EQ(x.locked_a, y.locked_a) << "channel " << c;
+    EXPECT_EQ(x.locked_b, y.locked_b) << "channel " << c;
+    EXPECT_EQ(x.disabled, y.disabled) << "channel " << c;
+  }
+}
+
+/// Two calls with the same config produce identical networks (the rng
+/// is seeded per call), so each side of an equivalence test gets its
+/// own copy to mutate.
+inline pcn::Network make_network(const sim::SimulationConfig& config) {
+  util::Rng rng(config.seed);
+  return sim::build_network(config, rng);
+}
+
+inline sim::SimulationConfig small_config(std::uint64_t seed = 7) {
+  sim::SimulationConfig config;
+  config.num_nodes = 24;
+  config.initial_skew = 0.4;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace musketeer::svc::testutil

@@ -14,6 +14,21 @@ Rules (each has a stable id used in inline suppressions):
   rand         No `rand()` / `srand()` -- use util::Rng so every experiment
                is seedable and reproducible.
 
+Thread-hygiene rules (the service layer is concurrent; these keep every
+wait interruptible and every thread joined):
+
+  thread-detach  No `std::thread::detach()` -- a detached thread cannot be
+                 joined at shutdown, races destructors, and breaks tsan
+                 runs. Use std::jthread and keep the handle.
+  naked-sleep    No `sleep` / `usleep` / `sleep_for` / `sleep_until` -- a
+                 sleeping thread ignores shutdown. Wait on a
+                 condition_variable(_any) with a predicate/stop_token, or
+                 poll(2) with a bounded timeout, so stop requests interrupt
+                 the wait.
+  system-call    No `system()` -- it blocks, inherits fds into a shell, and
+                 is unkillable from a stop_token. Spawn helpers explicitly
+                 or do the work in-process.
+
 A line may opt out of one rule with a justification comment on that line:
 
     x == 0.0;  // musk-lint: allow(float-eq)
@@ -37,6 +52,15 @@ RAW_ASSERT = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 # A float literal on either side of ==/!=.
 FLOAT_EQ = re.compile(r"[=!]=\s*-?\d+\.\d*|\d+\.\d*[fF]?\s*[=!]=")
 RAND = re.compile(r"(?<![A-Za-z0-9_.:])s?rand\s*\(")
+# `.detach(` on anything thread-like (member call spelling).
+THREAD_DETACH = re.compile(r"\.\s*detach\s*\(")
+# Naked sleeps: POSIX sleep/usleep/nanosleep and std::this_thread
+# sleep_for/sleep_until.
+NAKED_SLEEP = re.compile(
+    r"(?<![A-Za-z0-9_])(?:u?sleep|nanosleep|sleep_for|sleep_until)\s*\(")
+# `system(` as a free/std call (not ::system qualifier-on-the-left like
+# foo::system or a member x.system()).
+SYSTEM_CALL = re.compile(r"(?<![A-Za-z0-9_.:])(?:std::|::)?system\s*\(")
 ALLOW = re.compile(r"musk-lint:\s*allow\(([a-z-]+)\)")
 
 # (rule id, pattern, predicate deciding whether the rule applies to a file).
@@ -45,6 +69,9 @@ RULES = [
     ("float-eq", FLOAT_EQ,
      lambda rel: rel.parts[0] == "src" and rel.name != "properties.cpp"),
     ("rand", RAND, lambda rel: True),
+    ("thread-detach", THREAD_DETACH, lambda rel: True),
+    ("naked-sleep", NAKED_SLEEP, lambda rel: True),
+    ("system-call", SYSTEM_CALL, lambda rel: True),
 ]
 
 

@@ -1,0 +1,289 @@
+// musk_loadgen — open-loop load generator for musketeerd.
+//
+//   musk_loadgen --connect tcp:PORT|unix:PATH [client options]
+//   musk_loadgen --spawn [daemon options] [client options]
+//
+// client options:
+//   --connections <n>   concurrent client connections        [4]
+//   --rate <r>          aggregate target bids/sec            [1000]
+//   --duration-s <s>    run length in seconds                [5]
+//   --players <p>       player-id space to cycle through     [nodes]
+//
+// daemon options (--spawn starts an in-process musketeerd on an
+// ephemeral loopback port):
+//   --nodes <n> --seed <s> --mechanism <m> --epoch-ms <ms>
+//   --queue-cap <n>
+//
+// Each connection thread paces submissions open-loop (scheduled send
+// times, bursting to catch up if acks lag) and measures the ack round
+// trip. The report gives sustained accepted bids/sec, the per-status
+// intake counts (rejected-full is the queue shedding load), ack-latency
+// percentiles, and epoch-clear-latency percentiles from the server's
+// epoch-result broadcasts.
+//
+// Exit status: 0 on success (including shed load — rejection is an
+// answer), 1 on usage errors, 2 on runtime errors.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mechanism_factory.hpp"
+#include "sim/engine.hpp"
+#include "svc/client.hpp"
+#include "svc/daemon.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace musketeer;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: musk_loadgen (--connect tcp:PORT|unix:PATH | --spawn)"
+               " [--connections n] [--rate r]\n"
+               "                    [--duration-s s] [--players p] "
+               "[--nodes n] [--seed s] [--mechanism m]\n"
+               "                    [--epoch-ms ms] [--queue-cap n]\n");
+  return 1;
+}
+
+struct WorkerStats {
+  std::vector<double> ack_ms;
+  std::uint64_t accepted = 0;
+  std::uint64_t replaced = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_closed = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> epoch_clear_ms;
+};
+
+struct StopSignal {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+
+  /// Interruptible wait until `when`; true means stop was requested.
+  bool wait_until(Clock::time_point when) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_until(lock, when, [this] { return stop; });
+  }
+
+  void trigger() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    cv.notify_all();
+  }
+};
+
+void print_percentiles(const char* label, std::vector<double>& xs) {
+  if (xs.empty()) {
+    std::printf("%s: no samples\n", label);
+    return;
+  }
+  std::printf("%s: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  (n=%zu)\n",
+              label, util::quantile(xs, 0.5), util::quantile(xs, 0.95),
+              util::quantile(xs, 0.99), util::max_of(xs), xs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  bool spawn = false;
+  int connections = 4;
+  double rate = 1000.0;
+  double duration_s = 5.0;
+  flow::NodeId players = 0;
+  std::string mechanism_name = "m3";
+  sim::SimulationConfig sim_config;
+  sim_config.initial_skew = 0.4;
+  svc::DaemonConfig daemon_config;
+  daemon_config.service.epoch_period = std::chrono::milliseconds(200);
+  daemon_config.server.listen = "tcp:0";
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--spawn") {
+        spawn = true;
+        continue;
+      }
+      if (i + 1 >= argc) return usage();
+      const std::string value = argv[++i];
+      if (flag == "--connect") {
+        connect = value;
+      } else if (flag == "--connections") {
+        connections = static_cast<int>(std::stol(value));
+      } else if (flag == "--rate") {
+        rate = std::stod(value);
+      } else if (flag == "--duration-s") {
+        duration_s = std::stod(value);
+      } else if (flag == "--players") {
+        players = static_cast<flow::NodeId>(std::stol(value));
+      } else if (flag == "--nodes") {
+        sim_config.num_nodes = static_cast<flow::NodeId>(std::stol(value));
+      } else if (flag == "--seed") {
+        sim_config.seed = std::stoull(value);
+      } else if (flag == "--mechanism") {
+        mechanism_name = value;
+      } else if (flag == "--epoch-ms") {
+        daemon_config.service.epoch_period =
+            std::chrono::milliseconds(std::stol(value));
+      } else if (flag == "--queue-cap") {
+        daemon_config.service.queue_capacity =
+            static_cast<std::size_t>(std::stoull(value));
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+        return usage();
+      }
+    }
+    if (spawn == !connect.empty()) return usage();  // exactly one source
+    if (connections < 1 || rate <= 0.0 || duration_s <= 0.0) return usage();
+    if (players == 0) players = sim_config.num_nodes;
+
+    std::unique_ptr<svc::Daemon> daemon;
+    if (spawn) {
+      auto mechanism =
+          core::make_mechanism(mechanism_name, core::MechanismOptions{});
+      if (!mechanism) return usage();
+      util::Rng rng(sim_config.seed);
+      daemon = std::make_unique<svc::Daemon>(
+          sim::build_network(sim_config, rng), std::move(mechanism),
+          daemon_config);
+      daemon->start();
+      connect = daemon->endpoint();
+      std::printf("spawned musketeerd (%s) on %s\n", mechanism_name.c_str(),
+                  connect.c_str());
+    }
+
+    StopSignal stop;
+    std::vector<WorkerStats> stats(
+        static_cast<std::size_t>(connections));
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(connections) /
+                                      rate));
+    const auto start = Clock::now();
+
+    std::vector<std::jthread> workers;
+    workers.reserve(static_cast<std::size_t>(connections));
+    for (int t = 0; t < connections; ++t) {
+      workers.emplace_back([&, t] {
+        WorkerStats& my = stats[static_cast<std::size_t>(t)];
+        try {
+          svc::Client client(connect);
+          client.hello(static_cast<core::PlayerId>(t) % players);
+          auto next = Clock::now();
+          std::uint64_t k = 0;
+          for (;;) {
+            if (stop.wait_until(next)) break;
+            next += interval;
+            svc::BidSubmission bid;
+            bid.player = static_cast<core::PlayerId>(
+                (static_cast<std::uint64_t>(t) +
+                 k * static_cast<std::uint64_t>(connections)) %
+                static_cast<std::uint64_t>(players));
+            ++k;
+            const auto t0 = Clock::now();
+            svc::BidAckMsg ack;
+            try {
+              ack = client.submit(bid);
+            } catch (const std::exception&) {
+              ++my.errors;
+              break;
+            }
+            my.ack_ms.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count());
+            switch (ack.status) {
+              case svc::IntakeStatus::kAccepted: ++my.accepted; break;
+              case svc::IntakeStatus::kReplaced: ++my.replaced; break;
+              case svc::IntakeStatus::kRejectedFull:
+                ++my.rejected_full;
+                break;
+              case svc::IntakeStatus::kRejectedInvalid:
+                ++my.rejected_invalid;
+                break;
+              case svc::IntakeStatus::kRejectedClosed:
+                ++my.rejected_closed;
+                break;
+            }
+          }
+          for (const svc::EpochResultMsg& epoch :
+               client.take_epoch_results()) {
+            my.epoch_clear_ms.push_back(1e3 * epoch.clear_seconds);
+          }
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "worker %d: %s\n", t, error.what());
+          ++my.errors;
+        }
+      });
+    }
+
+    stop.wait_until(start + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(duration_s)));
+    stop.trigger();
+    workers.clear();  // joins
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    WorkerStats total;
+    for (WorkerStats& s : stats) {
+      total.accepted += s.accepted;
+      total.replaced += s.replaced;
+      total.rejected_full += s.rejected_full;
+      total.rejected_invalid += s.rejected_invalid;
+      total.rejected_closed += s.rejected_closed;
+      total.errors += s.errors;
+      total.ack_ms.insert(total.ack_ms.end(), s.ack_ms.begin(),
+                          s.ack_ms.end());
+    }
+    // Every connection sees the same broadcasts; use connection 0's.
+    total.epoch_clear_ms = std::move(stats[0].epoch_clear_ms);
+    if (daemon) {
+      // Exact server-side latencies beat sampled broadcasts.
+      total.epoch_clear_ms.clear();
+      for (const svc::EpochReport& report : daemon->service().reports()) {
+        total.epoch_clear_ms.push_back(1e3 * report.clear_seconds);
+      }
+    }
+
+    const std::uint64_t queued = total.accepted + total.replaced;
+    const std::uint64_t submitted =
+        queued + total.rejected_full + total.rejected_invalid +
+        total.rejected_closed;
+    std::printf("connections %d, target %.0f bids/s, ran %.2f s\n",
+                connections, rate, elapsed);
+    std::printf("submitted %llu (%.1f/s), queued %llu (%.1f/s): "
+                "%llu accepted + %llu replaced\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<double>(submitted) / elapsed,
+                static_cast<unsigned long long>(queued),
+                static_cast<double>(queued) / elapsed,
+                static_cast<unsigned long long>(total.accepted),
+                static_cast<unsigned long long>(total.replaced));
+    std::printf("shed: %llu rejected-full, %llu rejected-invalid, "
+                "%llu rejected-closed, %llu transport errors\n",
+                static_cast<unsigned long long>(total.rejected_full),
+                static_cast<unsigned long long>(total.rejected_invalid),
+                static_cast<unsigned long long>(total.rejected_closed),
+                static_cast<unsigned long long>(total.errors));
+    print_percentiles("ack latency ms", total.ack_ms);
+    print_percentiles("epoch clear ms", total.epoch_clear_ms);
+
+    if (daemon) daemon->stop();
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "musk_loadgen: error: %s\n", error.what());
+    return 2;
+  }
+}

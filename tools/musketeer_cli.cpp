@@ -11,6 +11,11 @@
 //   --k <k>         M1 buyer-rate multiplier (default 3)
 //   --floor <f>     M2-minfee seller floor (default 0.001)
 //
+// `sim` additionally accepts:
+//   --metrics-out <path>   dump per-epoch metrics (.json → JSON, else CSV)
+//   --backend <b>          inproc (historic inline call) or service
+//                          (route every epoch through svc::RebalanceService)
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on invalid input.
 #include <cstdio>
 #include <cstring>
@@ -18,29 +23,19 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/baselines.hpp"
 #include "core/equilibrium.hpp"
 #include "core/io.hpp"
-#include "core/m1_fixed_fee.hpp"
-#include "core/m2_minfee.hpp"
-#include "core/m2_vcg.hpp"
-#include "core/m3_double_auction.hpp"
-#include "core/m4_delayed.hpp"
+#include "core/mechanism_factory.hpp"
 #include "gen/game_gen.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics_io.hpp"
 #include "sim/strategies.hpp"
+#include "svc/sim_backend.hpp"
 #include "util/table.hpp"
 
 using namespace musketeer;
 
 namespace {
-
-struct Options {
-  double delay = 1.0;
-  double fee = 0.001;
-  double k = 3.0;
-  double floor = 0.001;
-};
 
 int usage() {
   std::fprintf(stderr,
@@ -50,44 +45,38 @@ int usage() {
                "       musketeer gen <players> <attach> <seed> [game-file]\n"
                "       musketeer check <game-file>\n"
                "       musketeer sim <mechanism> <players> <epochs> "
-               "<payments-per-epoch> <seed> [options]\n");
+               "<payments-per-epoch> <seed> [options]\n"
+               "                     [--metrics-out path] "
+               "[--backend inproc|service]\n");
   return 1;
 }
 
-std::unique_ptr<core::Mechanism> make_mechanism(const std::string& name,
-                                                const Options& options) {
-  if (name == "m1") {
-    return std::make_unique<core::M1FixedFee>(options.fee, options.k);
-  }
-  if (name == "m2") return std::make_unique<core::M2Vcg>();
-  if (name == "m2-minfee") {
-    return std::make_unique<core::M2MinFee>(options.floor);
-  }
-  if (name == "m3") return std::make_unique<core::M3DoubleAuction>();
-  if (name == "m4") {
-    return std::make_unique<core::M4DelayedAuction>(options.delay);
-  }
-  if (name == "hideseek") return std::make_unique<core::HideSeek>();
-  if (name == "local") {
-    return std::make_unique<core::LocalRebalancing>(4, options.fee);
-  }
-  if (name == "none") return std::make_unique<core::NoRebalancing>();
-  return nullptr;
-}
+/// Mechanism knobs plus the sim-only flags; non-sim commands reject the
+/// sim-only ones via `allow_sim_flags`.
+struct CliOptions {
+  core::MechanismOptions mechanism;
+  std::string metrics_out;
+  std::string backend = "inproc";
+};
 
-Options parse_options(int argc, char** argv, int first) {
-  Options options;
+CliOptions parse_options(int argc, char** argv, int first,
+                         bool allow_sim_flags = false) {
+  CliOptions options;
   for (int i = first; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
-    const double value = std::stod(argv[i + 1]);
+    const std::string value = argv[i + 1];
     if (flag == "--delay") {
-      options.delay = value;
+      options.mechanism.delay = std::stod(value);
     } else if (flag == "--fee") {
-      options.fee = value;
+      options.mechanism.fee = std::stod(value);
     } else if (flag == "--k") {
-      options.k = value;
+      options.mechanism.k = std::stod(value);
     } else if (flag == "--floor") {
-      options.floor = value;
+      options.mechanism.floor = std::stod(value);
+    } else if (allow_sim_flags && flag == "--metrics-out") {
+      options.metrics_out = value;
+    } else if (allow_sim_flags && flag == "--backend") {
+      options.backend = value;
     } else {
       throw std::runtime_error("unknown option: " + flag);
     }
@@ -97,8 +86,8 @@ Options parse_options(int argc, char** argv, int first) {
 
 int cmd_run(int argc, char** argv) {
   if (argc < 4) return usage();
-  const Options options = parse_options(argc, argv, 4);
-  const auto mechanism = make_mechanism(argv[2], options);
+  const CliOptions options = parse_options(argc, argv, 4);
+  const auto mechanism = core::make_mechanism(argv[2], options.mechanism);
   if (!mechanism) return usage();
   const core::Game game = core::load_game(argv[3]);
   std::printf("game: %d players, %d edges\n", game.num_players(),
@@ -112,8 +101,8 @@ int cmd_run(int argc, char** argv) {
 
 int cmd_eq(int argc, char** argv) {
   if (argc < 4) return usage();
-  const Options options = parse_options(argc, argv, 4);
-  const auto mechanism = make_mechanism(argv[2], options);
+  const CliOptions options = parse_options(argc, argv, 4);
+  const auto mechanism = core::make_mechanism(argv[2], options.mechanism);
   if (!mechanism) return usage();
   const core::Game game = core::load_game(argv[3]);
   const core::EquilibriumResult result =
@@ -139,14 +128,28 @@ int cmd_sim(int argc, char** argv) {
   config.epochs = static_cast<int>(std::stol(argv[4]));
   config.payments_per_epoch = static_cast<int>(std::stol(argv[5]));
   config.seed = static_cast<std::uint64_t>(std::stoull(argv[6]));
+  const CliOptions options =
+      parse_options(argc, argv, 7, /*allow_sim_flags=*/true);
 
   std::unique_ptr<core::Mechanism> mechanism;
   if (mech_name != "none") {
-    mechanism = make_mechanism(mech_name, parse_options(argc, argv, 7));
+    mechanism = core::make_mechanism(mech_name, options.mechanism);
     if (!mechanism) return usage();
   }
-  const sim::SimulationResult result =
-      sim::run_simulation(config, mechanism.get());
+
+  sim::SimulationResult result;
+  if (options.backend == "service") {
+    if (!mechanism) {
+      throw std::runtime_error("--backend service needs a mechanism");
+    }
+    svc::ServiceBackend backend(*mechanism);
+    result = sim::run_simulation(config, &backend, nullptr);
+  } else if (options.backend == "inproc") {
+    result = sim::run_simulation(config, mechanism.get());
+  } else {
+    throw std::runtime_error("unknown backend: " + options.backend);
+  }
+
   util::Table table({"epoch", "success%", "depleted%", "rebalanced"});
   for (const sim::EpochMetrics& m : result.epochs) {
     table.add_row({util::fmt_int(m.epoch),
@@ -160,6 +163,10 @@ int cmd_sim(int argc, char** argv) {
               100.0 * result.overall_success_rate(),
               static_cast<long long>(result.total_volume_succeeded()),
               static_cast<long long>(result.total_rebalanced_volume()));
+  if (!options.metrics_out.empty()) {
+    sim::save_metrics(result, options.metrics_out);
+    std::printf("metrics written to %s\n", options.metrics_out.c_str());
+  }
   return 0;
 }
 
