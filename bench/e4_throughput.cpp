@@ -9,6 +9,7 @@
 //     routing already routes around most transient imbalance, so
 //     steady-state gains are small (documented in EXPERIMENTS.md).
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/engine.hpp"
 #include "sim/strategies.hpp"
@@ -37,25 +38,36 @@ sim::SimulationConfig base_config() {
   return config;
 }
 
+/// MUSK_BENCH_SHORT=1 shrinks both regimes (fewer seeds, payments, and
+/// epochs) so CI can smoke-run the full pipeline in seconds.
+bool short_mode() {
+  const char* v = std::getenv("MUSK_BENCH_SHORT");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
 }  // namespace
 
 int main() {
+  const int num_seeds = short_mode() ? 2 : 5;
+  const int recovery_payments = short_mode() ? 200 : 1000;
   // ------------------------------------------------------- (a) recovery
   std::printf("E4a: recovery from depletion (half the channels start "
-              "10/90; one rebalancing pass;\nidentical 1000-payment batch "
-              "per strategy; means over 5 seeds)\n\n");
+              "10/90; one rebalancing pass;\nidentical %d-payment batch "
+              "per strategy; means over %d seeds)\n\n",
+              recovery_payments, num_seeds);
   util::Table rec({"strategy", "success%", "depleted% before -> after",
                    "mean imbalance", "rebalanced volume", "fees"});
   const std::vector<sim::Strategy> strategies = sim::all_strategies();
   for (sim::Strategy s : strategies) {
     util::Accumulator succ, before, after, imb, vol, fees;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(num_seeds);
+         ++seed) {
       sim::SimulationConfig config = base_config();
       config.initial_skew = 0.4;   // 10/90 splits...
       config.skew_fraction = 0.5;  // ...on half the channels
       config.workload.amount_max = 40;
       config.max_hops = 4;  // realistic short routes: depletion bites
-      config.payments_per_epoch = 1000;
+      config.payments_per_epoch = recovery_payments;
       config.seed = seed;
       const auto mechanism = sim::make_strategy(s);
       const sim::RecoveryResult r =
@@ -78,8 +90,8 @@ int main() {
 
   // --------------------------------------------------- (b) steady state
   sim::SimulationConfig config = base_config();
-  config.epochs = 16;
-  config.payments_per_epoch = 500;
+  config.epochs = short_mode() ? 4 : 16;
+  config.payments_per_epoch = short_mode() ? 100 : 500;
   config.seed = 424242;
 
   std::printf("\nE4b: steady state — success rate by epoch "

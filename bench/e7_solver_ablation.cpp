@@ -30,10 +30,12 @@ int main() {
 
   util::Rng rng(2468);
   util::Table table({"n", "edges", "BF ms", "scaling ms", "minmean ms",
-                     "simplex ms", "simplex pivots", "LP ms", "agree"});
+                     "simplex ms", "simplex pivots", "NS fallbacks", "LP ms",
+                     "agree"});
   for (flow::NodeId n : {16, 32, 64, 128}) {
     util::Accumulator bf_ms, cs_ms, mm_ms, ns_ms, lp_ms, bf_cycles,
         cs_cycles, mm_cycles, ns_pivots, lp_iters;
+    int ns_fallbacks = 0;  // pivot-cap fallbacks to the BF canceller
     int edges = 0;
     bool all_agree = true;
     for (int trial = 0; trial < 3; ++trial) {
@@ -71,6 +73,7 @@ int main() {
           g, flow::SolverKind::kNetworkSimplex, &ns_stats);
       ns_ms.add(ms_since(t0));
       ns_pivots.add(ns_stats.cycles_cancelled);
+      ns_fallbacks += ns_stats.fallbacks;
 
       t0 = std::chrono::steady_clock::now();
       const lp::FlowLpResult lp_result = lp::solve_circulation_lp(g);
@@ -101,6 +104,7 @@ int main() {
                    util::fmt_double(mm_ms.mean(), 2),
                    util::fmt_double(ns_ms.mean(), 2),
                    util::fmt_double(ns_pivots.mean(), 0),
+                   util::fmt_int(ns_fallbacks),
                    util::fmt_double(lp_ms.mean(), 2),
                    all_agree ? "yes" : "NO"});
   }

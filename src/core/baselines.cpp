@@ -6,28 +6,45 @@
 
 namespace musketeer::core {
 
-Outcome NoRebalancing::run_impl(const Game& game, const BidVector& bids) const {
+namespace {
+
+// Hide & Seek's rebalancing subgraph: depleted edges keep their capacity
+// with unit weight, everything else is zeroed out.
+struct HideSeekSource {
+  const Game& game;
+  const BidVector& bids;
+
+  NodeId num_nodes() const { return game.num_players(); }
+  EdgeId num_edges() const { return game.num_edges(); }
+  NodeId edge_from(EdgeId e) const { return game.edge(e).from; }
+  NodeId edge_to(EdgeId e) const { return game.edge(e).to; }
+  Amount capacity(EdgeId e) const {
+    const bool depleted = bids.head[static_cast<std::size_t>(e)] > 0.0;
+    return depleted ? game.edge(e).capacity : 0;
+  }
+  double gain(EdgeId) const { return 1.0; }
+};
+
+}  // namespace
+
+Outcome NoRebalancing::run_impl(flow::SolveContext&, const Game& game,
+                                const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   Outcome outcome;
   outcome.circulation.assign(static_cast<std::size_t>(game.num_edges()), 0);
   return outcome;
 }
 
-Outcome HideSeek::run_impl(const Game& game, const BidVector& bids) const {
+Outcome HideSeek::run_impl(flow::SolveContext& ctx, const Game& game,
+                           const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   // Rebalancing subgraph: depleted edges only (positive head bid). All
   // depleted edges weigh equally — Hide & Seek maximizes rebalanced
   // liquidity, not bid-weighted welfare.
-  flow::Graph g(game.num_players());
-  for (EdgeId e = 0; e < game.num_edges(); ++e) {
-    const GameEdge& edge = game.edge(e);
-    const bool depleted = bids.head[static_cast<std::size_t>(e)] > 0.0;
-    g.add_edge(edge.from, edge.to, depleted ? edge.capacity : 0, 1.0);
-  }
+  ctx.bind_from(HideSeekSource{game, bids});
   Outcome outcome;
-  outcome.circulation = flow::solve_max_welfare(g, solver_);
-  for (flow::CycleFlow& cycle :
-       flow::decompose_sign_consistent(g, outcome.circulation)) {
+  outcome.circulation = ctx.solve(solver_);
+  for (flow::CycleFlow& cycle : ctx.decompose(outcome.circulation)) {
     PricedCycle pc;  // fee-free execution
     pc.cycle = std::move(cycle);
     outcome.cycles.push_back(std::move(pc));
@@ -41,7 +58,8 @@ LocalRebalancing::LocalRebalancing(int max_path_length, double fee_rate)
   MUSK_ASSERT(fee_rate >= 0.0);
 }
 
-Outcome LocalRebalancing::run_impl(const Game& game, const BidVector& bids) const {
+Outcome LocalRebalancing::run_impl(flow::SolveContext&, const Game& game,
+                                   const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
   std::vector<Amount> remaining(static_cast<std::size_t>(game.num_edges()));
   for (EdgeId e = 0; e < game.num_edges(); ++e) {

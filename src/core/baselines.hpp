@@ -24,7 +24,8 @@ class NoRebalancing : public Mechanism {
   std::string_view name() const override { return "no-rebalancing"; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 };
 
 class HideSeek : public Mechanism {
@@ -40,7 +41,8 @@ class HideSeek : public Mechanism {
   bool claims_individual_rationality() const override { return false; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;
@@ -60,7 +62,8 @@ class LocalRebalancing : public Mechanism {
   bool claims_individual_rationality() const override { return false; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   int max_path_length_;

@@ -29,8 +29,13 @@ EquilibriumResult best_response_dynamics(const Mechanism& mechanism,
   EquilibriumResult result;
   result.strategy.assign(static_cast<std::size_t>(game.num_players()), 1.0);
 
+  // One context across the whole dynamics: every run rebinds the same
+  // topology in place, so the O(players * passes * scales) mechanism runs
+  // never rebuild the flow graph.
+  flow::SolveContext ctx;
+
   {
-    const Outcome truthful = mechanism.run_truthful(game);
+    const Outcome truthful = mechanism.run_truthful(ctx, game);
     result.truthful_welfare = truthful.realized_welfare(game);
   }
 
@@ -43,13 +48,13 @@ EquilibriumResult best_response_dynamics(const Mechanism& mechanism,
       double best_scale = result.strategy[static_cast<std::size_t>(v)];
       candidate[static_cast<std::size_t>(v)] = best_scale;
       double best_utility =
-          mechanism.run(game, profile_bids(game, candidate))
+          mechanism.run(ctx, game, profile_bids(game, candidate))
               .player_utility(game, v);
       for (double scale : config.scales) {
         if (scale == best_scale) continue;
         candidate[static_cast<std::size_t>(v)] = scale;
         const double utility =
-            mechanism.run(game, profile_bids(game, candidate))
+            mechanism.run(ctx, game, profile_bids(game, candidate))
                 .player_utility(game, v);
         if (utility > best_utility + config.improvement_tolerance) {
           best_utility = utility;
@@ -69,7 +74,7 @@ EquilibriumResult best_response_dynamics(const Mechanism& mechanism,
 
   result.bids = profile_bids(game, result.strategy);
   result.equilibrium_welfare =
-      mechanism.run(game, result.bids).realized_welfare(game);
+      mechanism.run(ctx, game, result.bids).realized_welfare(game);
   return result;
 }
 

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "flow/solve_context.hpp"
 #include "util/assert.hpp"
 
 namespace musketeer::core {
+
+namespace {
+
+/// Edge-list adapter exposing a Game + BidVector to
+/// flow::SolveContext::bind_from (gain = tail + head, as build_graph).
+struct GameSource {
+  const Game& game;
+  const BidVector& bids;
+
+  NodeId num_nodes() const { return game.num_players(); }
+  EdgeId num_edges() const { return game.num_edges(); }
+  NodeId edge_from(EdgeId e) const { return game.edge(e).from; }
+  NodeId edge_to(EdgeId e) const { return game.edge(e).to; }
+  Amount capacity(EdgeId e) const { return game.edge(e).capacity; }
+  double gain(EdgeId e) const {
+    const auto i = static_cast<std::size_t>(e);
+    return bids.tail[i] + bids.head[i];
+  }
+};
+
+}  // namespace
 
 Game::Game(NodeId num_players) : num_players_(num_players) {
   MUSK_ASSERT(num_players >= 0);
@@ -60,6 +82,12 @@ flow::Graph Game::build_graph(const BidVector& bids) const {
     g.add_edge(e.from, e.to, e.capacity, bids.tail[i] + bids.head[i]);
   }
   return g;
+}
+
+const flow::Graph& Game::bind_graph(flow::SolveContext& ctx,
+                                    const BidVector& bids) const {
+  MUSK_ASSERT(bids.size() == edges_.size());
+  return ctx.bind_from(GameSource{*this, bids});
 }
 
 flow::Graph Game::build_graph_without(const BidVector& bids,

@@ -26,6 +26,10 @@
 #include "flow/decompose.hpp"
 #include "flow/graph.hpp"
 
+namespace musketeer::flow {
+class SolveContext;
+}
+
 namespace musketeer::core {
 
 /// Per-edge bid pair: what the tail (seller) and head (buyer) report.
@@ -33,7 +37,14 @@ struct BidVector {
   std::vector<double> tail;  // <= 0, one per edge
   std::vector<double> head;  // >= 0, one per edge
 
-  std::size_t size() const { return tail.size(); }
+  std::size_t size() const {
+    // A head/tail length mismatch means a malformed profile: every
+    // consumer indexes both arrays by the same edge id, so trusting
+    // tail.size() alone would read out of bounds later. Fail loudly here.
+    MUSK_ASSERT_MSG(tail.size() == head.size(),
+                    "BidVector tail/head length mismatch");
+    return tail.size();
+  }
 };
 
 /// One direction of a channel offered to the mechanism.
@@ -75,6 +86,13 @@ class Game {
   /// Flow graph whose per-edge gain is the aggregate bid
   /// tail + head (the edge's contribution to social welfare per unit).
   flow::Graph build_graph(const BidVector& bids) const;
+
+  /// Binds this game's graph (same edges and gains as build_graph) into
+  /// `ctx`, rebinding in place when the topology matches what the context
+  /// already holds. Returns the bound graph. The preferred entry point
+  /// for mechanisms: a warm context makes this allocation-free.
+  const flow::Graph& bind_graph(flow::SolveContext& ctx,
+                                const BidVector& bids) const;
 
   /// Same, but with every edge incident to `excluded` given capacity 0
   /// (the paper's G_{-v}).

@@ -4,6 +4,29 @@
 
 namespace musketeer::core {
 
+namespace {
+
+// M1's objective graph: depleted edges weigh k * p_hat, indifferent
+// edges -p_hat (the bid magnitudes are ignored — see the header).
+struct M1Source {
+  const Game& game;
+  const BidVector& bids;
+  double fee_rate;
+  double k;
+
+  NodeId num_nodes() const { return game.num_players(); }
+  EdgeId num_edges() const { return game.num_edges(); }
+  NodeId edge_from(EdgeId e) const { return game.edge(e).from; }
+  NodeId edge_to(EdgeId e) const { return game.edge(e).to; }
+  Amount capacity(EdgeId e) const { return game.edge(e).capacity; }
+  double gain(EdgeId e) const {
+    return bids.head[static_cast<std::size_t>(e)] > 0.0 ? k * fee_rate
+                                                        : -fee_rate;
+  }
+};
+
+}  // namespace
+
 M1FixedFee::M1FixedFee(double fee_rate, double k, flow::SolverKind solver)
     : fee_rate_(fee_rate), k_(k), solver_(solver) {
   MUSK_ASSERT_MSG(fee_rate > 0.0, "fee rate must be positive");
@@ -31,24 +54,21 @@ Game m1_self_selected(const Game& game, double fee_rate, double k) {
   return filtered;
 }
 
-Outcome M1FixedFee::run_impl(const Game& game, const BidVector& bids) const {
+Outcome M1FixedFee::run_impl(flow::SolveContext& ctx, const Game& game,
+                             const BidVector& bids) const {
   MUSK_ASSERT(bids.size() == static_cast<std::size_t>(game.num_edges()));
 
   // D = declared depleted edges (positive head bid); the rest are I.
   std::vector<bool> depleted(static_cast<std::size_t>(game.num_edges()));
-  flow::Graph g(game.num_players());
   for (EdgeId e = 0; e < game.num_edges(); ++e) {
-    const GameEdge& edge = game.edge(e);
-    const bool d = bids.head[static_cast<std::size_t>(e)] > 0.0;
-    depleted[static_cast<std::size_t>(e)] = d;
-    g.add_edge(edge.from, edge.to, edge.capacity,
-               d ? k_ * fee_rate_ : -fee_rate_);
+    depleted[static_cast<std::size_t>(e)] =
+        bids.head[static_cast<std::size_t>(e)] > 0.0;
   }
+  ctx.bind_from(M1Source{game, bids, fee_rate_, k_});
 
   Outcome outcome;
-  outcome.circulation = flow::solve_max_welfare(g, solver_);
-  for (flow::CycleFlow& cycle :
-       flow::decompose_sign_consistent(g, outcome.circulation)) {
+  outcome.circulation = ctx.solve(solver_);
+  for (flow::CycleFlow& cycle : ctx.decompose(outcome.circulation)) {
     // Seller fees: each indifferent edge's tail earns p_hat per unit.
     PricedCycle pc;
     int num_depleted = 0;

@@ -38,7 +38,8 @@ class M1FixedFee : public Mechanism {
   double k() const { return k_; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   double fee_rate_;

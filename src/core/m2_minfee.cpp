@@ -20,8 +20,9 @@ M2MinFee::M2MinFee(double min_seller_fee, flow::SolverKind solver)
                   "seller fee floor must be a valid fee rate");
 }
 
-Outcome M2MinFee::run_impl(const Game& game, const BidVector& bids) const {
-  Outcome outcome = M2Vcg(solver_).run(game, bids);
+Outcome M2MinFee::run_impl(flow::SolveContext& ctx, const Game& game,
+                           const BidVector& bids) const {
+  Outcome outcome = M2Vcg(solver_).run(ctx, game, bids);
 
   // Tail bids are zero in M2's model; buyer stakes drive the top-ups.
   BidVector buyer_bids = bids;

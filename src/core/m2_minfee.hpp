@@ -41,7 +41,8 @@ class M2MinFee : public Mechanism {
   double min_seller_fee() const { return min_seller_fee_; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   double min_seller_fee_;

@@ -30,9 +30,15 @@ double welfare_without(const Game& game, const BidVector& bids, PlayerId v,
 
 std::vector<double> M2Vcg::vcg_prices(const Game& game,
                                       const BidVector& raw_bids) const {
+  return vcg_prices(flow::local_context(), game, raw_bids);
+}
+
+std::vector<double> M2Vcg::vcg_prices(flow::SolveContext& ctx,
+                                      const Game& game,
+                                      const BidVector& raw_bids) const {
   const BidVector bids = buyers_only(raw_bids);
-  const flow::Graph g = game.build_graph(bids);
-  const flow::Circulation f = flow::solve_max_welfare(g, solver_);
+  game.bind_graph(ctx, bids);
+  const flow::Circulation f = ctx.solve(solver_);
 
   // Only buyers (players with a positive head bid) are strategic and
   // priced; sellers are compensated by redistribution instead.
@@ -52,17 +58,19 @@ std::vector<double> M2Vcg::vcg_prices(const Game& game,
 
   // The per-buyer exclusion solves are independent — fan them out across
   // hardware threads. Results land in pre-sized slots, so the outcome is
-  // byte-identical to the sequential order.
+  // byte-identical to the sequential order. Each exclusion is an O(deg)
+  // capacity mask on an already-bound context: the masked graph equals
+  // the paper's G_{-v} exactly, so no per-buyer rebuild is needed.
   std::vector<double> prices(static_cast<std::size_t>(game.num_players()), 0.0);
   std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
+  auto worker = [&](flow::SolveContext& wctx) {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= buyers.size()) return;
       const PlayerId v = buyers[i];
-      const flow::Graph g_minus = game.build_graph_without(bids, v);
-      const flow::Circulation f_minus =
-          flow::solve_max_welfare(g_minus, solver_);
+      wctx.mask_player(v);
+      const flow::Circulation f_minus = wctx.solve(solver_);
+      wctx.unmask();
       prices[static_cast<std::size_t>(v)] =
           welfare_without(game, bids, v, f_minus) -
           welfare_without(game, bids, v, f);
@@ -72,29 +80,37 @@ std::vector<double> M2Vcg::vcg_prices(const Game& game,
   const std::size_t num_threads =
       std::min<std::size_t>(buyers.size(), hw == 0 ? 2 : hw);
   if (num_threads <= 1) {
-    worker();
+    worker(ctx);
   } else {
+    // Contexts are single-threaded state: each worker binds its own
+    // (one structure build per worker, then mask-only solves).
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back(worker);
+      threads.emplace_back([&]() {
+        flow::SolveContext wctx;
+        game.bind_graph(wctx, bids);
+        worker(wctx);
+      });
     }
     for (std::thread& t : threads) t.join();
   }
   return prices;
 }
 
-Outcome M2Vcg::run_impl(const Game& game, const BidVector& raw_bids) const {
+Outcome M2Vcg::run_impl(flow::SolveContext& ctx, const Game& game,
+                        const BidVector& raw_bids) const {
   const BidVector bids = buyers_only(raw_bids);
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
 
-  const flow::Graph g = game.build_graph(bids);
+  game.bind_graph(ctx, bids);
   Outcome outcome;
-  outcome.circulation = flow::solve_max_welfare(g, solver_);
-  const std::vector<double> aggregate = vcg_prices(game, bids);
+  outcome.circulation = ctx.solve(solver_);
+  const std::vector<double> aggregate = vcg_prices(ctx, game, bids);
 
-  std::vector<flow::CycleFlow> cycles =
-      flow::decompose_sign_consistent(g, outcome.circulation);
+  // vcg_prices rebinds the same structure with the same bids and leaves
+  // no mask active, so the context still holds this game's graph.
+  std::vector<flow::CycleFlow> cycles = ctx.decompose(outcome.circulation);
 
   // Per-player total bid value over the whole circulation (denominator of
   // the proportional split).

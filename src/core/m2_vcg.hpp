@@ -39,11 +39,20 @@ class M2Vcg : public Mechanism {
   }
 
   /// Aggregate VCG pivot price of each player under the given bids (tail
-  /// bids zeroed). Exposed for tests and the truthfulness bench.
+  /// bids zeroed). Exposed for tests and the truthfulness bench. The
+  /// exclusion re-solves run as O(deg) capacity masks on `ctx`'s graph —
+  /// no per-buyer graph rebuilds. When the buyer set is large enough to
+  /// fan out across threads, each worker gets its own private context
+  /// (bound once) so `ctx` is never shared.
+  std::vector<double> vcg_prices(flow::SolveContext& ctx, const Game& game,
+                                 const BidVector& bids) const;
+
+  /// Context-free convenience (thread-local context).
   std::vector<double> vcg_prices(const Game& game, const BidVector& bids) const;
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;

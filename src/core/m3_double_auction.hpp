@@ -24,7 +24,8 @@ class M3DoubleAuction : public Mechanism {
   std::string_view name() const override { return "M3-double-auction"; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   flow::SolverKind solver_;

@@ -13,13 +13,13 @@ M4DelayedAuction::M4DelayedAuction(double delay_factor,
   MUSK_ASSERT_MSG(delay_factor > 0.0, "delay factor d must be positive");
 }
 
-Outcome M4DelayedAuction::run_impl(const Game& game, const BidVector& bids) const {
+Outcome M4DelayedAuction::run_impl(flow::SolveContext& ctx, const Game& game,
+                                   const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
-  const flow::Graph g = game.build_graph(bids);
+  game.bind_graph(ctx, bids);
   Outcome outcome;
-  outcome.circulation = flow::solve_max_welfare(g, solver_);
-  for (flow::CycleFlow& cycle :
-       flow::decompose_sign_consistent(g, outcome.circulation)) {
+  outcome.circulation = ctx.solve(solver_);
+  for (flow::CycleFlow& cycle : ctx.decompose(outcome.circulation)) {
     PricedCycle pc;
     pc.prices = price_cycle_welfare_share(game, bids, cycle);
     const double n = static_cast<double>(cycle.length());

@@ -35,7 +35,8 @@ class M4DelayedAuction : public Mechanism {
   double delay_factor() const { return delay_factor_; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   double delay_factor_;

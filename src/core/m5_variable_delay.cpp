@@ -16,16 +16,16 @@ M5VariableDelay::M5VariableDelay(std::vector<double> delay_factors,
   }
 }
 
-Outcome M5VariableDelay::run_impl(const Game& game, const BidVector& bids) const {
+Outcome M5VariableDelay::run_impl(flow::SolveContext& ctx, const Game& game,
+                                  const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
   MUSK_ASSERT_MSG(delay_factors_.size() ==
                       static_cast<std::size_t>(game.num_players()),
                   "one delay factor per player required");
-  const flow::Graph g = game.build_graph(bids);
+  game.bind_graph(ctx, bids);
   Outcome outcome;
-  outcome.circulation = flow::solve_max_welfare(g, solver_);
-  for (flow::CycleFlow& cycle :
-       flow::decompose_sign_consistent(g, outcome.circulation)) {
+  outcome.circulation = ctx.solve(solver_);
+  for (flow::CycleFlow& cycle : ctx.decompose(outcome.circulation)) {
     PricedCycle pc;
     pc.prices = price_cycle_welfare_share(game, bids, cycle);
     const std::vector<PlayerId> players = game.cycle_players(cycle);

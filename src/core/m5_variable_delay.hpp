@@ -36,7 +36,8 @@ class M5VariableDelay : public Mechanism {
   const std::vector<double>& delay_factors() const { return delay_factors_; }
 
  protected:
-  Outcome run_impl(const Game& game, const BidVector& bids) const override;
+  Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                   const BidVector& bids) const override;
 
  private:
   std::vector<double> delay_factors_;

@@ -11,12 +11,20 @@
 // sign-consistency, cyclic budget balance, IR and bid bounds are
 // re-verified after every single invocation, aborting with a structured
 // violation report on the first breach.
+//
+// Every run threads through a flow::SolveContext, which pools the flow
+// graph and all solver scratch across invocations (see
+// flow/solve_context.hpp). The context-free overloads delegate to the
+// calling thread's flow::local_context(), so legacy call sites keep
+// working and still benefit from buffer reuse — results are bit-identical
+// either way.
 #pragma once
 
 #include <string_view>
 
 #include "core/game.hpp"
 #include "core/outcome.hpp"
+#include "flow/solve_context.hpp"
 #include "flow/solver.hpp"
 
 #if defined(MUSKETEER_AUDIT)
@@ -30,13 +38,21 @@ class Mechanism {
   virtual ~Mechanism() = default;
 
   /// Computes the priced cycle decomposition for the given bids (and
-  /// audits it when MUSKETEER_AUDIT is compiled in).
-  Outcome run(const Game& game, const BidVector& bids) const {
-    Outcome outcome = run_impl(game, bids);
+  /// audits it when MUSKETEER_AUDIT is compiled in), solving through
+  /// `ctx`. The context must be owned by the calling thread.
+  Outcome run(flow::SolveContext& ctx, const Game& game,
+              const BidVector& bids) const {
+    Outcome outcome = run_impl(ctx, game, bids);
 #if defined(MUSKETEER_AUDIT)
     check::audit_mechanism_outcome_or_die(*this, game, bids, outcome);
 #endif
     return outcome;
+  }
+
+  /// Context-free convenience: runs on the calling thread's shared
+  /// context.
+  Outcome run(const Game& game, const BidVector& bids) const {
+    return run(flow::local_context(), game, bids);
   }
 
   virtual std::string_view name() const = 0;
@@ -53,14 +69,21 @@ class Mechanism {
   virtual BidVector audited_bids(const BidVector& bids) const { return bids; }
 
   /// Convenience: run under truthful bids.
+  Outcome run_truthful(flow::SolveContext& ctx, const Game& game) const {
+    return run(ctx, game, game.truthful_bids());
+  }
+
   Outcome run_truthful(const Game& game) const {
     return run(game, game.truthful_bids());
   }
 
  protected:
   /// The mechanism proper. Implementations never call this directly —
-  /// always go through run() so the audit hook fires.
-  virtual Outcome run_impl(const Game& game, const BidVector& bids) const = 0;
+  /// always go through run() so the audit hook fires. All flow graphs
+  /// and solver scratch should come from `ctx` so repeated runs on one
+  /// topology stay allocation-free.
+  virtual Outcome run_impl(flow::SolveContext& ctx, const Game& game,
+                           const BidVector& bids) const = 0;
 };
 
 }  // namespace musketeer::core

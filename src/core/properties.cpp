@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "flow/solve_context.hpp"
 #include "flow/solver.hpp"
 #include "util/assert.hpp"
 
@@ -47,10 +48,11 @@ RationalityReport check_individual_rationality(const Game& game,
 EfficiencyReport check_efficiency(const Game& game, const BidVector& bids,
                                   const Outcome& outcome) {
   EfficiencyReport report;
-  const flow::Graph g = game.build_graph(bids);
+  flow::SolveContext& ctx = flow::local_context();
+  const flow::Graph& g = game.bind_graph(ctx, bids);
   report.outcome_welfare = game.social_welfare(bids, outcome.circulation);
   report.certified_optimal = flow::is_optimal(g, outcome.circulation);
-  const flow::Circulation reference = flow::solve_max_welfare(g);
+  const flow::Circulation reference = ctx.solve();
   report.optimal_welfare = game.social_welfare(bids, reference);
   return report;
 }
@@ -76,15 +78,18 @@ DeviationReport probe_truthfulness(const Mechanism& mechanism,
                                    const std::vector<double>& scales) {
   MUSK_ASSERT(!scales.empty());
   const BidVector truthful = game.truthful_bids();
+  // One context for the whole probe: the game's topology never changes
+  // across deviations, so every run after the first rebinds in place.
+  flow::SolveContext ctx;
   DeviationReport report;
   report.truthful_utility =
-      mechanism.run(game, truthful).player_utility(game, player);
+      mechanism.run(ctx, game, truthful).player_utility(game, player);
   report.best_utility = report.truthful_utility;
   report.best_scale = 1.0;
   for (double scale : scales) {
     const BidVector deviated =
         scale_player_bids(game, truthful, player, scale);
-    const Outcome outcome = mechanism.run(game, deviated);
+    const Outcome outcome = mechanism.run(ctx, game, deviated);
     const double utility = outcome.player_utility(game, player);
     if (utility > report.best_utility) {
       report.best_utility = utility;

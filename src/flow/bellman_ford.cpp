@@ -25,13 +25,22 @@ NodeId walk_predecessors(NodeId start, int steps,
 
 std::vector<std::vector<int>> find_negative_cycles(
     NodeId num_nodes, std::span<const ResidualArc> arcs) {
+  BellmanFordScratch scratch;
+  return find_negative_cycles(num_nodes, arcs, scratch);
+}
+
+std::vector<std::vector<int>> find_negative_cycles(
+    NodeId num_nodes, std::span<const ResidualArc> arcs,
+    BellmanFordScratch& scratch) {
   std::vector<std::vector<int>> cycles;
   if (num_nodes == 0 || arcs.empty()) return cycles;
   const std::size_t n = static_cast<std::size_t>(num_nodes);
 
-  std::vector<std::int64_t> dist(n, 0);
-  std::vector<int> parent_arc(n, -1);
-  std::vector<NodeId> updated_last_pass;
+  std::vector<std::int64_t>& dist = scratch.dist;
+  std::vector<int>& parent_arc = scratch.parent_arc;
+  std::vector<NodeId>& updated_last_pass = scratch.updated_last_pass;
+  dist.assign(n, 0);
+  parent_arc.assign(n, -1);
   for (NodeId pass = 0; pass < num_nodes; ++pass) {
     updated_last_pass.clear();
     for (std::size_t a = 0; a < arcs.size(); ++a) {
@@ -49,7 +58,8 @@ std::vector<std::vector<int>> find_negative_cycles(
 
   // Every node updated in the n-th pass reaches a negative cycle via the
   // predecessor forest; harvest each distinct cycle once.
-  std::vector<unsigned char> claimed(n, 0);
+  std::vector<unsigned char>& claimed = scratch.claimed;
+  claimed.assign(n, 0);
   for (NodeId start : updated_last_pass) {
     const NodeId inside =
         walk_predecessors(start, num_nodes, parent_arc, arcs);
@@ -81,14 +91,23 @@ std::vector<std::vector<int>> find_negative_cycles(
 
 std::optional<std::vector<int>> find_negative_cycle(
     NodeId num_nodes, std::span<const ResidualArc> arcs) {
+  BellmanFordScratch scratch;
+  return find_negative_cycle(num_nodes, arcs, scratch);
+}
+
+std::optional<std::vector<int>> find_negative_cycle(
+    NodeId num_nodes, std::span<const ResidualArc> arcs,
+    BellmanFordScratch& scratch) {
   if (num_nodes == 0 || arcs.empty()) return std::nullopt;
   const std::size_t n = static_cast<std::size_t>(num_nodes);
 
   // Distances start at zero everywhere, which is equivalent to a virtual
   // source connected to every node with cost 0 — any negative cycle is
   // then reachable by construction.
-  std::vector<std::int64_t> dist(n, 0);
-  std::vector<int> parent_arc(n, -1);
+  std::vector<std::int64_t>& dist = scratch.dist;
+  std::vector<int>& parent_arc = scratch.parent_arc;
+  dist.assign(n, 0);
+  parent_arc.assign(n, -1);
 
   NodeId updated = -1;
   for (NodeId pass = 0; pass < num_nodes; ++pass) {

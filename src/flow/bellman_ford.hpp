@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "flow/residual.hpp"
+#include "flow/workspace.hpp"
 
 namespace musketeer::flow {
 
@@ -17,6 +18,12 @@ namespace musketeer::flow {
 std::optional<std::vector<int>> find_negative_cycle(
     NodeId num_nodes, std::span<const ResidualArc> arcs);
 
+/// Scratch-reusing variant (bit-identical result): distance/predecessor
+/// tables live in `scratch` and are reused across calls.
+std::optional<std::vector<int>> find_negative_cycle(
+    NodeId num_nodes, std::span<const ResidualArc> arcs,
+    BellmanFordScratch& scratch);
+
 /// Extracts *several* vertex-disjoint negative cycles from one
 /// Bellman–Ford run (one per distinct cycle in the final predecessor
 /// forest). Each Bellman–Ford pass costs O(nm); harvesting every cycle it
@@ -24,5 +31,10 @@ std::optional<std::vector<int>> find_negative_cycle(
 /// vector iff no negative cycle exists.
 std::vector<std::vector<int>> find_negative_cycles(
     NodeId num_nodes, std::span<const ResidualArc> arcs);
+
+/// Scratch-reusing variant (bit-identical result).
+std::vector<std::vector<int>> find_negative_cycles(
+    NodeId num_nodes, std::span<const ResidualArc> arcs,
+    BellmanFordScratch& scratch);
 
 }  // namespace musketeer::flow

@@ -6,12 +6,21 @@ namespace musketeer::flow {
 
 std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
                                                  const Circulation& f) {
+  DecomposeScratch scratch;
+  return decompose_sign_consistent(g, f, scratch);
+}
+
+std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
+                                                 const Circulation& f,
+                                                 DecomposeScratch& scratch) {
   MUSK_ASSERT_MSG(is_feasible(g, f), "can only decompose feasible circulations");
-  Circulation remaining = f;
+  Circulation& remaining = scratch.remaining;
+  remaining = f;
 
   // Per-node cursor into out_edges so exhausted edges are skipped in
   // amortized constant time across the whole peel.
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<std::size_t>& cursor = scratch.cursor;
+  cursor.assign(static_cast<std::size_t>(g.num_nodes()), 0);
 
   auto next_positive_out = [&](NodeId v) -> EdgeId {
     auto outs = g.out_edges(v);
@@ -25,14 +34,17 @@ std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
 
   std::vector<CycleFlow> cycles;
   // `on_path[v]` = position of v in the current walk, or -1.
-  std::vector<int> on_path(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<int>& on_path = scratch.on_path;
+  on_path.assign(static_cast<std::size_t>(g.num_nodes()), -1);
 
   for (NodeId start = 0; start < g.num_nodes(); ++start) {
     for (;;) {
       if (next_positive_out(start) < 0) break;
       // Walk forward along positive-flow edges until a node repeats.
-      std::vector<NodeId> path_nodes;
-      std::vector<EdgeId> path_edges;
+      std::vector<NodeId>& path_nodes = scratch.path_nodes;
+      std::vector<EdgeId>& path_edges = scratch.path_edges;
+      path_nodes.clear();
+      path_edges.clear();
       NodeId v = start;
       while (on_path[static_cast<std::size_t>(v)] < 0) {
         on_path[static_cast<std::size_t>(v)] =

@@ -13,6 +13,7 @@
 
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
+#include "flow/workspace.hpp"
 
 namespace musketeer::flow {
 
@@ -31,6 +32,12 @@ struct CycleFlow {
 /// simple cycles. Requires is_feasible(g, f).
 std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
                                                  const Circulation& f);
+
+/// Scratch-reusing variant (bit-identical result): the peel's remaining
+/// flow, cursors and walk buffers live in `scratch`.
+std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
+                                                 const Circulation& f,
+                                                 DecomposeScratch& scratch);
 
 /// Reconstitutes the circulation represented by a set of cycle flows.
 Circulation recompose(const Graph& g, const std::vector<CycleFlow>& cycles);

@@ -46,6 +46,12 @@ void Graph::set_gain(EdgeId e, double gain) {
   scaled_gains_[static_cast<std::size_t>(e)] = scale_gain(gain);
 }
 
+void Graph::set_capacity(EdgeId e, Amount capacity) {
+  MUSK_ASSERT(e >= 0 && e < num_edges());
+  MUSK_ASSERT(capacity >= 0);
+  edges_[static_cast<std::size_t>(e)].capacity = capacity;
+}
+
 Amount Graph::total_capacity() const {
   Amount total = 0;
   for (const Edge& e : edges_) total += e.capacity;

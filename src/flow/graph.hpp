@@ -76,6 +76,11 @@ class Graph {
   /// modified bids, e.g. VCG's per-player exclusion).
   void set_gain(EdgeId e, double gain);
 
+  /// Replaces the capacity of an edge without touching the adjacency
+  /// structure (SolveContext rebinding and capacity masks). Must be
+  /// non-negative.
+  void set_capacity(EdgeId e, Amount capacity);
+
   /// Sum of all edge capacities (an upper bound on any circulation's size).
   Amount total_capacity() const;
 

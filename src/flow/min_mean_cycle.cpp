@@ -17,18 +17,24 @@ bool rational_less(std::int64_t a, std::int64_t b, std::int64_t c,
 
 // Finds a cycle among arcs whose indices are in `allowed`, via iterative
 // DFS with tri-color marking. Returns arc indices in traversal order.
+// The adjacency lists and color array are borrowed from `scratch`.
 std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
                                         std::span<const ResidualArc> arcs,
-                                        const std::vector<int>& allowed) {
+                                        const std::vector<int>& allowed,
+                                        MinMeanScratch& scratch) {
   const std::size_t n = static_cast<std::size_t>(num_nodes);
-  std::vector<std::vector<int>> adj(n);
+  std::vector<std::vector<int>>& adj = scratch.adj;
+  if (adj.size() < n) adj.resize(n);
+  for (std::size_t v = 0; v < n; ++v) adj[v].clear();
   for (int a : allowed) {
     adj[static_cast<std::size_t>(arcs[static_cast<std::size_t>(a)].from)]
         .push_back(a);
   }
 
-  enum class Color : unsigned char { kWhite, kGray, kBlack };
-  std::vector<Color> color(n, Color::kWhite);
+  // Colors: 0 = white, 1 = gray, 2 = black.
+  constexpr unsigned char kWhite = 0, kGray = 1, kBlack = 2;
+  std::vector<unsigned char>& color = scratch.color;
+  color.assign(n, kWhite);
   // DFS stack entries: (node, next adjacency index to try, arc that led here).
   struct Frame {
     NodeId node;
@@ -37,10 +43,10 @@ std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
   };
 
   for (NodeId start = 0; start < num_nodes; ++start) {
-    if (color[static_cast<std::size_t>(start)] != Color::kWhite) continue;
+    if (color[static_cast<std::size_t>(start)] != kWhite) continue;
     std::vector<Frame> stack;
     stack.push_back(Frame{start, 0, -1});
-    color[static_cast<std::size_t>(start)] = Color::kGray;
+    color[static_cast<std::size_t>(start)] = kGray;
     while (!stack.empty()) {
       Frame& frame = stack.back();
       const auto& out = adj[static_cast<std::size_t>(frame.node)];
@@ -48,11 +54,11 @@ std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
         const int arc_idx = out[frame.next++];
         const NodeId next =
             arcs[static_cast<std::size_t>(arc_idx)].to;
-        const Color c = color[static_cast<std::size_t>(next)];
-        if (c == Color::kWhite) {
-          color[static_cast<std::size_t>(next)] = Color::kGray;
+        const unsigned char c = color[static_cast<std::size_t>(next)];
+        if (c == kWhite) {
+          color[static_cast<std::size_t>(next)] = kGray;
           stack.push_back(Frame{next, 0, arc_idx});
-        } else if (c == Color::kGray) {
+        } else if (c == kGray) {
           // Back edge: the cycle is `next -> ... -> frame.node -> next`.
           std::vector<int> cycle;
           cycle.push_back(arc_idx);
@@ -65,7 +71,7 @@ std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
           return cycle;
         }
       } else {
-        color[static_cast<std::size_t>(frame.node)] = Color::kBlack;
+        color[static_cast<std::size_t>(frame.node)] = kBlack;
         stack.pop_back();
       }
     }
@@ -78,33 +84,44 @@ std::vector<int> find_cycle_in_subgraph(NodeId num_nodes,
 
 std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
                                            std::span<const ResidualArc> arcs) {
+  MinMeanScratch scratch;
+  return min_mean_cycle(num_nodes, arcs, scratch);
+}
+
+std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
+                                           std::span<const ResidualArc> arcs,
+                                           MinMeanScratch& scratch) {
   if (num_nodes == 0 || arcs.empty()) return std::nullopt;
   const std::size_t n = static_cast<std::size_t>(num_nodes);
 
   // Karp's recurrence: dp[k][v] = min cost of any k-arc walk ending at v,
-  // starting anywhere (dp[0][*] = 0 emulates a virtual source).
-  std::vector<std::vector<std::int64_t>> dp(
-      n + 1, std::vector<std::int64_t>(n, kInf));
-  std::fill(dp[0].begin(), dp[0].end(), 0);
+  // starting anywhere (dp[0][*] = 0 emulates a virtual source). The table
+  // is flattened to (n+1) rows of n entries in scratch.dp.
+  std::vector<std::int64_t>& dp = scratch.dp;
+  dp.assign((n + 1) * n, kInf);
+  std::fill(dp.begin(), dp.begin() + static_cast<std::ptrdiff_t>(n), 0);
   for (std::size_t k = 1; k <= n; ++k) {
+    const std::size_t prev = (k - 1) * n;
+    const std::size_t cur = k * n;
     for (const ResidualArc& arc : arcs) {
-      const std::int64_t base = dp[k - 1][static_cast<std::size_t>(arc.from)];
+      const std::int64_t base = dp[prev + static_cast<std::size_t>(arc.from)];
       if (base >= kInf) continue;
-      auto& slot = dp[k][static_cast<std::size_t>(arc.to)];
+      auto& slot = dp[cur + static_cast<std::size_t>(arc.to)];
       slot = std::min(slot, base + arc.cost);
     }
   }
 
   // mu* = min_v max_k (dp[n][v] - dp[k][v]) / (n - k).
+  const std::size_t last = n * n;
   bool found = false;
   std::int64_t best_num = 0, best_den = 1;
   for (std::size_t v = 0; v < n; ++v) {
-    if (dp[n][v] >= kInf) continue;
+    if (dp[last + v] >= kInf) continue;
     bool inner_found = false;
     std::int64_t inner_num = 0, inner_den = 1;
     for (std::size_t k = 0; k < n; ++k) {
-      if (dp[k][v] >= kInf) continue;
-      const std::int64_t num = dp[n][v] - dp[k][v];
+      if (dp[k * n + v] >= kInf) continue;
+      const std::int64_t num = dp[last + v] - dp[k * n + v];
       const std::int64_t den = static_cast<std::int64_t>(n - k);
       if (!inner_found || rational_less(inner_num, inner_den, num, den)) {
         inner_found = true;
@@ -125,11 +142,13 @@ std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
   // denominator to stay integral), after which the minimum cycle mean is
   // exactly zero. Bellman–Ford then converges, and every cycle of the
   // tight-arc subgraph has shifted cost zero, i.e. original mean mu*.
-  std::vector<std::int64_t> shifted(arcs.size());
+  std::vector<std::int64_t>& shifted = scratch.shifted;
+  shifted.resize(arcs.size());
   for (std::size_t a = 0; a < arcs.size(); ++a) {
     shifted[a] = arcs[a].cost * best_den - best_num;
   }
-  std::vector<std::int64_t> dist(n, 0);
+  std::vector<std::int64_t>& dist = scratch.dist;
+  dist.assign(n, 0);
   for (std::size_t pass = 0; pass + 1 < n; ++pass) {
     bool changed = false;
     for (std::size_t a = 0; a < arcs.size(); ++a) {
@@ -142,14 +161,15 @@ std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
     }
     if (!changed) break;
   }
-  std::vector<int> tight;
+  std::vector<int>& tight = scratch.tight;
+  tight.clear();
   for (std::size_t a = 0; a < arcs.size(); ++a) {
     if (dist[static_cast<std::size_t>(arcs[a].from)] + shifted[a] ==
         dist[static_cast<std::size_t>(arcs[a].to)]) {
       tight.push_back(static_cast<int>(a));
     }
   }
-  std::vector<int> cycle = find_cycle_in_subgraph(num_nodes, arcs, tight);
+  std::vector<int> cycle = find_cycle_in_subgraph(num_nodes, arcs, tight, scratch);
 
   if (best_num < 0) {
     std::int64_t total = 0;

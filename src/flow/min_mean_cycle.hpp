@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "flow/residual.hpp"
+#include "flow/workspace.hpp"
 
 namespace musketeer::flow {
 
@@ -37,5 +38,12 @@ struct MinMeanCycle {
 /// extracts a witness cycle. Returns nullopt if the arc set is acyclic.
 std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
                                            std::span<const ResidualArc> arcs);
+
+/// Scratch-reusing variant (bit-identical result): the Karp DP table and
+/// witness-extraction buffers live in `scratch` and are reused across
+/// calls.
+std::optional<MinMeanCycle> min_mean_cycle(NodeId num_nodes,
+                                           std::span<const ResidualArc> arcs,
+                                           MinMeanScratch& scratch);
 
 }  // namespace musketeer::flow

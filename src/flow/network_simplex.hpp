@@ -13,17 +13,26 @@
 // no-negative-residual-cycle certificate in tests. Anti-cycling: Dantzig
 // pivoting switches to Bland's rule after a threshold, and a hard pivot
 // cap falls back to the proven Bellman–Ford solver (correctness is never
-// at the mercy of degenerate pivoting).
+// at the mercy of degenerate pivoting). Fallbacks are counted in
+// SolveStats::fallbacks so callers can see when the cap fired.
 #pragma once
 
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
 #include "flow/solver.hpp"
+#include "flow/workspace.hpp"
 
 namespace musketeer::flow {
 
 /// Solves max sum(gain_e * f_e) over feasible circulations via network
 /// simplex. Stats (when given) count pivots as cycles_cancelled.
 Circulation solve_network_simplex(const Graph& g, SolveStats* stats = nullptr);
+
+/// Scratch-reusing variant (bit-identical result): the basis, tree and
+/// potential buffers live in `ws` and are reused across solves. The full
+/// Workspace is taken (not just SimplexScratch) so the pivot-cap fallback
+/// path can reuse the Bellman–Ford scratch too.
+Circulation solve_network_simplex(const Graph& g, Workspace& ws,
+                                  SolveStats* stats = nullptr);
 
 }  // namespace musketeer::flow

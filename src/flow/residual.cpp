@@ -5,8 +5,15 @@
 namespace musketeer::flow {
 
 std::vector<ResidualArc> build_residual(const Graph& g, const Circulation& f) {
-  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
   std::vector<ResidualArc> arcs;
+  build_residual(g, f, arcs);
+  return arcs;
+}
+
+void build_residual(const Graph& g, const Circulation& f,
+                    std::vector<ResidualArc>& arcs) {
+  MUSK_ASSERT(f.size() == static_cast<std::size_t>(g.num_edges()));
+  arcs.clear();
   arcs.reserve(2 * static_cast<std::size_t>(g.num_edges()));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const Edge& edge = g.edge(e);
@@ -22,7 +29,6 @@ std::vector<ResidualArc> build_residual(const Graph& g, const Circulation& f) {
           ResidualArc{edge.to, edge.from, gain, fe, e, /*forward=*/false});
     }
   }
-  return arcs;
 }
 
 void push_along(const std::vector<ResidualArc>& arcs,

@@ -30,6 +30,11 @@ struct ResidualArc {
 /// omitted.
 std::vector<ResidualArc> build_residual(const Graph& g, const Circulation& f);
 
+/// In-place variant: clears and refills `arcs`, reusing its capacity.
+/// The hot path for solvers that rebuild the residual every iteration.
+void build_residual(const Graph& g, const Circulation& f,
+                    std::vector<ResidualArc>& arcs);
+
 /// Applies `amount` units of flow along the given arcs (indices into
 /// `arcs`) to the circulation: forward arcs gain flow, backward arcs lose
 /// it. Caller guarantees `amount` does not exceed any arc's residual.

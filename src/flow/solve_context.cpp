@@ -1,0 +1,68 @@
+#include "flow/solve_context.hpp"
+
+namespace musketeer::flow {
+
+void SolveContext::rebind_gains(std::span<const double> gains) {
+  MUSK_ASSERT_MSG(bound_, "rebind_gains before bind");
+  MUSK_ASSERT(static_cast<EdgeId>(gains.size()) == graph_.num_edges());
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    graph_.set_gain(e, gains[static_cast<std::size_t>(e)]);
+  }
+  ++stats_.rebinds;
+}
+
+void SolveContext::mask_player(NodeId v) {
+  MUSK_ASSERT_MSG(bound_, "mask_player before bind");
+  MUSK_ASSERT_MSG(masked_player_ < 0, "a capacity mask is already active");
+  MUSK_ASSERT(v >= 0 && v < graph_.num_nodes());
+  saved_caps_.clear();
+  // No self-loops, so out- and in-incidence are disjoint edge sets.
+  for (EdgeId e : graph_.out_edges(v)) {
+    saved_caps_.emplace_back(e, graph_.edge(e).capacity);
+    graph_.set_capacity(e, 0);
+  }
+  for (EdgeId e : graph_.in_edges(v)) {
+    saved_caps_.emplace_back(e, graph_.edge(e).capacity);
+    graph_.set_capacity(e, 0);
+  }
+  masked_player_ = v;
+}
+
+void SolveContext::unmask() {
+  MUSK_ASSERT_MSG(masked_player_ >= 0, "unmask without an active mask");
+  for (const auto& [e, cap] : saved_caps_) {
+    graph_.set_capacity(e, cap);
+  }
+  saved_caps_.clear();
+  masked_player_ = -1;
+}
+
+Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
+  MUSK_ASSERT_MSG(bound_, "SolveContext::solve before bind");
+  SolveStats local;
+  Circulation f = solve_max_welfare(graph_, ws_, kind, &local);
+  local.graph_rebuilds =
+      static_cast<int>(stats_.structure_builds - builds_at_last_solve_);
+  builds_at_last_solve_ = stats_.structure_builds;
+  ++stats_.solves;
+  stats_.fallbacks += local.fallbacks;
+  if (stats != nullptr) {
+    stats->cycles_cancelled += local.cycles_cancelled;
+    stats->units_pushed += local.units_pushed;
+    stats->fallbacks += local.fallbacks;
+    stats->graph_rebuilds += local.graph_rebuilds;
+  }
+  return f;
+}
+
+std::vector<CycleFlow> SolveContext::decompose(const Circulation& f) {
+  MUSK_ASSERT_MSG(bound_, "SolveContext::decompose before bind");
+  return decompose_sign_consistent(graph_, f, ws_.dec);
+}
+
+SolveContext& local_context() {
+  thread_local SolveContext context;
+  return context;
+}
+
+}  // namespace musketeer::flow

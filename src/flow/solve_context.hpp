@@ -1,0 +1,151 @@
+// SolveContext: the zero-rebuild solve path.
+//
+// A SolveContext owns a flow::Graph plus the pooled solver Workspace and
+// lets callers run many solves on one topology without re-allocating
+// either. The contract:
+//
+//   * bind_from(source)   — if the source has the same structure as the
+//     currently bound graph (node count and per-edge endpoints), only
+//     capacities and gains are refreshed in place ("rebind", O(m), no
+//     allocation); otherwise the graph is rebuilt ("structure build").
+//   * rebind_gains(gains) — cheapest path: refresh gains only.
+//   * mask_player(v)      — zero the capacity of every edge incident to v
+//     in O(deg(v)) using the graph's adjacency, saving the old values;
+//     unmask() restores them. The masked graph is exactly the paper's
+//     G_{-v}, so VCG exclusion re-solves need no graph rebuild at all.
+//   * solve(kind, stats)  — solve_max_welfare on the bound graph through
+//     the pooled workspace. SolveStats::graph_rebuilds reports how many
+//     structure builds this context performed since its previous solve
+//     (0 on a warm rebind-only path).
+//
+// Results are bit-identical to building a fresh Graph and calling the
+// legacy solvers: only buffers are reused, never algorithmic state.
+//
+// Thread ownership: a SolveContext is single-threaded state, like the
+// Workspace it embeds. One context per thread; the thread_local
+// local_context() backs legacy entry points, and components that solve
+// from multiple threads (e.g. M2's parallel VCG exclusions) create one
+// context per worker. See DESIGN.md §9.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "flow/decompose.hpp"
+#include "flow/graph.hpp"
+#include "flow/solver.hpp"
+#include "flow/workspace.hpp"
+
+namespace musketeer::flow {
+
+/// Lifetime counters of one SolveContext.
+struct ContextStats {
+  /// Full Graph (re)constructions (bind on a new/changed structure).
+  long long structure_builds = 0;
+  /// In-place capacity/gain refreshes on an unchanged structure.
+  long long rebinds = 0;
+  /// Solves run through this context.
+  long long solves = 0;
+  /// Network-simplex pivot-cap fallbacks observed across those solves.
+  long long fallbacks = 0;
+};
+
+class SolveContext {
+ public:
+  SolveContext() = default;
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+  SolveContext(SolveContext&&) = default;
+  SolveContext& operator=(SolveContext&&) = default;
+
+  bool bound() const { return bound_; }
+
+  const Graph& graph() const {
+    MUSK_ASSERT_MSG(bound_, "SolveContext used before bind");
+    return graph_;
+  }
+
+  Workspace& workspace() { return ws_; }
+  const ContextStats& stats() const { return stats_; }
+
+  /// Adopts `g` as the bound graph (always a structure build).
+  void bind(Graph&& g) {
+    MUSK_ASSERT_MSG(masked_player_ < 0, "bind while a capacity mask is active");
+    graph_ = std::move(g);
+    bound_ = true;
+    ++stats_.structure_builds;
+  }
+
+  /// Binds from any edge-list source. Source must provide num_nodes(),
+  /// num_edges(), edge_from(e), edge_to(e), capacity(e) and gain(e).
+  /// Rebinds in place when the structure (node count + per-edge
+  /// endpoints) matches the currently bound graph; rebuilds otherwise.
+  /// Returns the bound graph.
+  template <typename Source>
+  const Graph& bind_from(const Source& src) {
+    MUSK_ASSERT_MSG(masked_player_ < 0, "bind while a capacity mask is active");
+    const NodeId n = src.num_nodes();
+    const EdgeId m = src.num_edges();
+    bool match = bound_ && graph_.num_nodes() == n && graph_.num_edges() == m;
+    for (EdgeId e = 0; match && e < m; ++e) {
+      const Edge& cur = graph_.edge(e);
+      match = cur.from == src.edge_from(e) && cur.to == src.edge_to(e);
+    }
+    if (match) {
+      for (EdgeId e = 0; e < m; ++e) {
+        graph_.set_capacity(e, src.capacity(e));
+        graph_.set_gain(e, src.gain(e));
+      }
+      ++stats_.rebinds;
+    } else {
+      Graph g(n);
+      for (EdgeId e = 0; e < m; ++e) {
+        g.add_edge(src.edge_from(e), src.edge_to(e), src.capacity(e),
+                   src.gain(e));
+      }
+      graph_ = std::move(g);
+      bound_ = true;
+      ++stats_.structure_builds;
+    }
+    return graph_;
+  }
+
+  /// Refreshes per-edge gains only (capacities and structure untouched).
+  void rebind_gains(std::span<const double> gains);
+
+  /// Zeroes the capacity of every edge incident to `v` (the paper's
+  /// G_{-v}), saving the previous capacities. O(deg(v)). At most one
+  /// mask may be active at a time.
+  void mask_player(NodeId v);
+
+  /// Restores the capacities saved by mask_player.
+  void unmask();
+
+  /// Player currently masked, or -1.
+  NodeId masked_player() const { return masked_player_; }
+
+  /// Runs solve_max_welfare on the bound graph through the pooled
+  /// workspace. Bit-identical to the legacy entry point.
+  Circulation solve(SolverKind kind = SolverKind::kBellmanFord,
+                    SolveStats* stats = nullptr);
+
+  /// Sign-consistent decomposition of `f` on the bound graph through the
+  /// pooled scratch.
+  std::vector<CycleFlow> decompose(const Circulation& f);
+
+ private:
+  Graph graph_{0};
+  Workspace ws_;
+  ContextStats stats_;
+  bool bound_ = false;
+  NodeId masked_player_ = -1;
+  std::vector<std::pair<EdgeId, Amount>> saved_caps_;
+  long long builds_at_last_solve_ = 0;
+};
+
+/// The calling thread's shared context. Backs the legacy (context-free)
+/// mechanism entry points; never hand it to another thread.
+SolveContext& local_context();
+
+}  // namespace musketeer::flow

@@ -9,18 +9,19 @@ namespace musketeer::flow {
 
 namespace {
 
-Circulation solve_bellman_ford(const Graph& g, SolveStats* stats) {
+Circulation solve_bellman_ford(const Graph& g, Workspace& ws,
+                               SolveStats* stats) {
   Circulation f = zero_circulation(g);
   for (;;) {
-    const std::vector<ResidualArc> arcs = build_residual(g, f);
+    build_residual(g, f, ws.arcs);
     // Single-cycle cancelling measures faster here than harvesting every
     // disjoint cycle per pass (find_negative_cycles): on PCN-like graphs
     // the predecessor forest rarely holds more than one disjoint cycle,
     // so batching only adds bookkeeping (see bench/e7_solver_ablation).
-    const auto cycle = find_negative_cycle(g.num_nodes(), arcs);
+    const auto cycle = find_negative_cycle(g.num_nodes(), ws.arcs, ws.bf);
     if (!cycle) break;
-    const Amount amount = bottleneck(arcs, *cycle);
-    push_along(arcs, *cycle, amount, f);
+    const Amount amount = bottleneck(ws.arcs, *cycle);
+    push_along(ws.arcs, *cycle, amount, f);
     if (stats != nullptr) {
       ++stats->cycles_cancelled;
       stats->units_pushed += amount;
@@ -29,14 +30,14 @@ Circulation solve_bellman_ford(const Graph& g, SolveStats* stats) {
   return f;
 }
 
-Circulation solve_min_mean(const Graph& g, SolveStats* stats) {
+Circulation solve_min_mean(const Graph& g, Workspace& ws, SolveStats* stats) {
   Circulation f = zero_circulation(g);
   for (;;) {
-    const std::vector<ResidualArc> arcs = build_residual(g, f);
-    const auto mmc = min_mean_cycle(g.num_nodes(), arcs);
+    build_residual(g, f, ws.arcs);
+    const auto mmc = min_mean_cycle(g.num_nodes(), ws.arcs, ws.mmc);
     if (!mmc || !mmc->mean.is_negative()) break;
-    const Amount amount = bottleneck(arcs, mmc->arcs);
-    push_along(arcs, mmc->arcs, amount, f);
+    const Amount amount = bottleneck(ws.arcs, mmc->arcs);
+    push_along(ws.arcs, mmc->arcs, amount, f);
     if (stats != nullptr) {
       ++stats->cycles_cancelled;
       stats->units_pushed += amount;
@@ -45,7 +46,8 @@ Circulation solve_min_mean(const Graph& g, SolveStats* stats) {
   return f;
 }
 
-Circulation solve_capacity_scaling(const Graph& g, SolveStats* stats) {
+Circulation solve_capacity_scaling(const Graph& g, Workspace& ws,
+                                   SolveStats* stats) {
   Circulation f = zero_circulation(g);
   Amount max_capacity = 0;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -56,13 +58,14 @@ Circulation solve_capacity_scaling(const Graph& g, SolveStats* stats) {
 
   for (; delta >= 1; delta /= 2) {
     for (;;) {
-      const std::vector<ResidualArc> all = build_residual(g, f);
-      std::vector<ResidualArc> wide;
-      wide.reserve(all.size());
-      for (const ResidualArc& arc : all) {
+      build_residual(g, f, ws.arcs);
+      std::vector<ResidualArc>& wide = ws.wide;
+      wide.clear();
+      wide.reserve(ws.arcs.size());
+      for (const ResidualArc& arc : ws.arcs) {
         if (arc.residual >= delta) wide.push_back(arc);
       }
-      const auto cycle = find_negative_cycle(g.num_nodes(), wide);
+      const auto cycle = find_negative_cycle(g.num_nodes(), wide, ws.bf);
       if (!cycle) break;
       const Amount amount = bottleneck(wide, *cycle);
       MUSK_ASSERT(amount >= delta);
@@ -80,28 +83,41 @@ Circulation solve_capacity_scaling(const Graph& g, SolveStats* stats) {
 
 Circulation solve_max_welfare(const Graph& g, SolverKind kind,
                               SolveStats* stats) {
+  // A local workspace keeps the legacy entry point's allocation profile
+  // (every call allocates its own scratch), so workspace-reuse benchmarks
+  // compare against the true one-shot cost.
+  Workspace ws;
+  return solve_max_welfare(g, ws, kind, stats);
+}
+
+Circulation solve_max_welfare(const Graph& g, Workspace& ws, SolverKind kind,
+                              SolveStats* stats) {
   Circulation f;
   switch (kind) {
     case SolverKind::kBellmanFord:
-      f = solve_bellman_ford(g, stats);
+      f = solve_bellman_ford(g, ws, stats);
       break;
     case SolverKind::kMinMean:
-      f = solve_min_mean(g, stats);
+      f = solve_min_mean(g, ws, stats);
       break;
     case SolverKind::kCapacityScaling:
-      f = solve_capacity_scaling(g, stats);
+      f = solve_capacity_scaling(g, ws, stats);
       break;
     case SolverKind::kNetworkSimplex:
-      f = solve_network_simplex(g, stats);
+      f = solve_network_simplex(g, ws, stats);
       break;
   }
   MUSK_ASSERT_MSG(is_feasible(g, f), "solver produced infeasible circulation");
 #if defined(MUSKETEER_AUDIT)
   // Audit hook: re-certify optimality via the (exact, integer-cost)
   // negative-residual-cycle test after every solve, whichever backend ran.
-  MUSK_ASSERT_MSG(is_optimal(g, f),
-                  "audit: solver output failed the negative-residual-cycle "
-                  "optimality certificate");
+  // The certificate runs through the workspace too, so audited warm
+  // contexts stay allocation-free.
+  build_residual(g, f, ws.arcs);
+  MUSK_ASSERT_MSG(
+      !find_negative_cycle(g.num_nodes(), ws.arcs, ws.bf).has_value(),
+      "audit: solver output failed the negative-residual-cycle "
+      "optimality certificate");
 #endif
   return f;
 }

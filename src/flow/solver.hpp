@@ -16,12 +16,18 @@
 // Both produce *exactly* optimal circulations; tests cross-validate them
 // against each other, against the LP simplex encoder, and against the
 // min-mean >= 0 optimality certificate.
+//
+// Every solver has two entry points: the original allocating form and a
+// Workspace-taking form that pools all scratch (residual arc lists,
+// distance tables, simplex bases) in a caller-owned Workspace. The two
+// are bit-identical — the workspace form merely reuses buffers.
 #pragma once
 
 #include <cstdint>
 
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
+#include "flow/workspace.hpp"
 
 namespace musketeer::flow {
 
@@ -42,10 +48,25 @@ enum class SolverKind {
 struct SolveStats {
   int cycles_cancelled = 0;
   Amount units_pushed = 0;
+  /// Times the network simplex hit its pivot cap and fell back to the
+  /// Bellman–Ford canceller (0 for the other solver kinds).
+  int fallbacks = 0;
+  /// flow::Graph structure (re)builds performed by the SolveContext this
+  /// solve ran on since its previous solve (0 when solving through a bare
+  /// Graph or a warm rebind-only context). See flow/solve_context.hpp.
+  int graph_rebuilds = 0;
 };
 
 /// Computes a feasible circulation maximizing sum(gain(e) * f(e)).
 Circulation solve_max_welfare(const Graph& g,
+                              SolverKind kind = SolverKind::kBellmanFord,
+                              SolveStats* stats = nullptr);
+
+/// Workspace-reusing variant (bit-identical result): all solver scratch
+/// lives in `ws` and is reused across calls. After the first solve on a
+/// topology, subsequent same-size solves allocate nothing on the solve
+/// path beyond the returned circulation itself.
+Circulation solve_max_welfare(const Graph& g, Workspace& ws,
                               SolverKind kind = SolverKind::kBellmanFord,
                               SolveStats* stats = nullptr);
 

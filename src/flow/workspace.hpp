@@ -1,0 +1,94 @@
+// Reusable solver workspaces.
+//
+// Every solver in src/flow historically allocated its scratch state
+// (residual arc lists, Bellman–Ford distance/predecessor tables, Karp DP
+// tables, simplex bases, decomposition cursors) from the heap on every
+// call — fine for one-shot experiments, hostile to the epoch service and
+// to VCG's n+1 re-solves on an unchanged topology. A Workspace bundles
+// all of that scratch into one value that callers keep alive across
+// solves: after the first solve on a topology, subsequent solves on
+// same-or-smaller instances perform zero heap allocations on the solve
+// path.
+//
+// Ownership rule: a Workspace (like the SolveContext that embeds one) is
+// single-threaded state. One workspace per thread; never share across
+// concurrent solves. See DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/residual.hpp"
+
+namespace musketeer::flow {
+
+/// Scratch for find_negative_cycle / find_negative_cycles.
+struct BellmanFordScratch {
+  std::vector<std::int64_t> dist;
+  std::vector<int> parent_arc;
+  std::vector<NodeId> updated_last_pass;
+  std::vector<unsigned char> claimed;
+};
+
+/// Scratch for Karp's min-mean-cycle computation.
+struct MinMeanScratch {
+  /// Flattened (n+1) x n DP table of walk costs.
+  std::vector<std::int64_t> dp;
+  std::vector<std::int64_t> shifted;
+  std::vector<std::int64_t> dist;
+  std::vector<int> tight;
+  /// Tight-subgraph adjacency for witness extraction (outer vector is
+  /// resized to n; inner vectors keep their capacity across calls).
+  std::vector<std::vector<int>> adj;
+  std::vector<unsigned char> color;
+};
+
+/// Scratch for the network simplex basis (arcs, tree, potentials).
+struct SimplexScratch {
+  struct Arc {
+    NodeId from = 0;
+    NodeId to = 0;
+    Amount capacity = 0;
+    std::int64_t cost = 0;  // minimization cost = -scaled gain
+  };
+  /// One pivot-cycle traversal step.
+  struct Step {
+    std::size_t arc = 0;
+    bool forward = true;  // cycle traverses the arc in its own direction
+  };
+  std::vector<Arc> arcs;
+  std::vector<Amount> flow;
+  std::vector<signed char> state;
+  std::vector<int> parent_arc;
+  std::vector<int> depth;
+  std::vector<std::int64_t> pi;
+  std::vector<std::vector<std::size_t>> adjacency;
+  std::vector<NodeId> bfs_queue;
+  std::vector<Step> path;
+  std::vector<Step> from_target;
+  std::vector<Step> from_source;
+};
+
+/// Scratch for the sign-consistent cycle decomposition peel.
+struct DecomposeScratch {
+  Circulation remaining;
+  std::vector<std::size_t> cursor;
+  std::vector<int> on_path;
+  std::vector<NodeId> path_nodes;
+  std::vector<EdgeId> path_edges;
+};
+
+/// All solver scratch, pooled. Value-semantic: copying copies capacity
+/// hints, moving is cheap, destruction frees everything.
+struct Workspace {
+  /// Residual network of the current iterate (rebuilt in place).
+  std::vector<ResidualArc> arcs;
+  /// Delta-filtered arc subset (capacity scaling only).
+  std::vector<ResidualArc> wide;
+  BellmanFordScratch bf;
+  MinMeanScratch mmc;
+  SimplexScratch ns;
+  DecomposeScratch dec;
+};
+
+}  // namespace musketeer::flow

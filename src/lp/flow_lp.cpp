@@ -41,4 +41,9 @@ FlowLpResult solve_circulation_lp(const flow::Graph& g,
   return result;
 }
 
+FlowLpResult solve_circulation_lp(const flow::SolveContext& ctx,
+                                  const SimplexOptions& options) {
+  return solve_circulation_lp(ctx.graph(), options);
+}
+
 }  // namespace musketeer::lp

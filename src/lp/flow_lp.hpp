@@ -8,6 +8,7 @@
 
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
+#include "flow/solve_context.hpp"
 #include "lp/simplex.hpp"
 
 namespace musketeer::lp {
@@ -28,6 +29,12 @@ struct FlowLpResult {
 /// Builds the circulation LP for `g` (variables f_e in [0, c_e], zero net
 /// flow per vertex, maximize sum gain_e * f_e) and solves it.
 FlowLpResult solve_circulation_lp(const flow::Graph& g,
+                                  const SimplexOptions& options = {});
+
+/// Convenience: referees whatever graph `ctx` currently has bound (e.g.
+/// cross-checking a context-threaded mechanism solve without rebuilding
+/// the graph).
+FlowLpResult solve_circulation_lp(const flow::SolveContext& ctx,
                                   const SimplexOptions& options = {});
 
 }  // namespace musketeer::lp

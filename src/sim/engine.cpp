@@ -99,7 +99,7 @@ pcn::RebalanceStats MechanismBackend::rebalance(
     pcn::Network& network, const pcn::RebalancePolicy& policy) {
   pcn::ExtractedGame extracted = pcn::extract_and_lock(network, policy);
   if (extracted.game.num_edges() == 0) return {};
-  const core::Outcome outcome = mechanism_->run_truthful(extracted.game);
+  const core::Outcome outcome = mechanism_->run_truthful(ctx_, extracted.game);
   return pcn::apply_outcome(network, extracted, outcome);
 }
 

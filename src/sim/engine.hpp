@@ -102,7 +102,11 @@ class RebalanceBackend {
 };
 
 /// The historic in-process round: extract_and_lock + Mechanism::run +
-/// apply_outcome, all on the caller's thread.
+/// apply_outcome, all on the caller's thread. The backend owns a
+/// SolveContext that persists across epochs: when the extracted game's
+/// topology is stable (steady state), every round after the first
+/// rebinds gains/capacities in place instead of rebuilding the flow
+/// graph. Use from one thread at a time, like the rest of the engine.
 class MechanismBackend final : public RebalanceBackend {
  public:
   explicit MechanismBackend(const core::Mechanism& mechanism)
@@ -113,6 +117,7 @@ class MechanismBackend final : public RebalanceBackend {
 
  private:
   const core::Mechanism* mechanism_;
+  flow::SolveContext ctx_;
 };
 
 /// Runs the simulation with the given rebalancing mechanism (nullptr =

@@ -92,8 +92,9 @@ EpochReport RebalanceService::run_epoch() {
     core::BidVector bids = extracted.game.truthful_bids();
     apply_overrides(extracted.game, subs, bids);
     core::Outcome outcome;
+    const long long builds_before = solve_context_.stats().structure_builds;
     try {
-      outcome = mechanism_.run(extracted.game, bids);
+      outcome = mechanism_.run(solve_context_, extracted.game, bids);
     } catch (...) {
       // Failed clear: release every pre-lock so no liquidity leaks.
       std::lock_guard<std::mutex> net_lock(network_mutex_);
@@ -109,6 +110,8 @@ EpochReport RebalanceService::run_epoch() {
     report.rebalanced_volume = stats.volume;
     report.fees_paid = stats.fees_paid;
     report.max_release_time = stats.max_release_time;
+    report.graph_rebuilds = static_cast<int>(
+        solve_context_.stats().structure_builds - builds_before);
     report.notices = build_notices(extracted.game, outcome);
   }
 

@@ -79,6 +79,12 @@ struct EpochReport {
   double max_release_time = 0.0;
   /// Wall-clock seconds from queue drain to settled network.
   double clear_seconds = 0.0;
+  /// flow::Graph structure (re)builds the clearing solve context
+  /// performed for this epoch. The first epoch builds once; in a
+  /// quiescent steady state (stable extracted topology) every later
+  /// epoch rebinds in place and reports 0 — the zero-rebuild guarantee.
+  /// Not part of the wire protocol (local observability only).
+  int graph_rebuilds = 0;
   /// pcn::Network::state_digest() of the settled network, taken under
   /// the network lock right after settlement: one u64 a client can check
   /// against a local replay to verify it observed the same state.
@@ -144,6 +150,11 @@ class RebalanceService {
   mutable std::mutex network_mutex_;
   /// Serializes epochs so manual and periodic clears cannot interleave.
   std::mutex clear_mutex_;
+  /// The epoch pipeline's solve context, reused across epochs so a
+  /// steady-state clear performs zero flow-graph rebuilds and zero
+  /// solver allocations. Owned by the clearing step: only ever touched
+  /// with clear_mutex_ held.
+  flow::SolveContext solve_context_;
 
   mutable std::mutex reports_mutex_;
   mutable std::condition_variable reports_cv_;

@@ -26,7 +26,7 @@ class BrokenMechanism : public core::Mechanism {
   std::string_view name() const override { return "broken"; }
 
  protected:
-  core::Outcome run_impl(const core::Game& game,
+  core::Outcome run_impl(flow::SolveContext&, const core::Game& game,
                          const core::BidVector&) const override {
     core::Outcome outcome;
     outcome.circulation.assign(static_cast<std::size_t>(game.num_edges()), 0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/m3_double_auction.hpp"
+
 namespace musketeer::core {
 namespace {
 
@@ -100,6 +102,18 @@ TEST(GameTest, CycleWelfareMatchesSocialWelfareOfItsCirculation) {
   cycle.amount = 3;
   EXPECT_NEAR(game.cycle_welfare(v, cycle),
               game.social_welfare(v, flow::Circulation{3, 3, 3}), 1e-12);
+}
+
+TEST(GameDeathTest, MismatchedBidVectorDiesBeforeReachingSolver) {
+  // Regression: size() used to trust tail.size() silently, so a bids
+  // vector with fewer head entries sailed into the mechanism and read
+  // out of bounds. It must fail loudly at the first size() query.
+  const Game game = simple_game();
+  BidVector bids = game.truthful_bids();
+  bids.head.pop_back();
+  EXPECT_DEATH(bids.size(), "mismatch");
+  const M3DoubleAuction m3;
+  EXPECT_DEATH(m3.run(game, bids), "mismatch|invalid bid vector");
 }
 
 TEST(GameDeathTest, RejectsOutOfRangeValuations) {

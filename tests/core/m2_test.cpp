@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/properties.hpp"
+#include "flow/solve_context.hpp"
+#include "gen/game_gen.hpp"
 
 namespace musketeer::core {
 namespace {
@@ -109,6 +111,32 @@ TEST(M2Test, EfficiencyUnderReportedBids) {
   const EfficiencyReport report = check_efficiency(game, bids, outcome);
   EXPECT_TRUE(report.certified_optimal);
   EXPECT_NEAR(report.outcome_welfare, report.optimal_welfare, 1e-9);
+}
+
+TEST(M2Test, PricesBitIdenticalThroughReusedContext) {
+  // The workspace-reuse equivalence bar extends to prices: a context
+  // that has been through many unrelated games must yield exactly the
+  // doubles a fresh context does, masked exclusion solves included.
+  util::Rng rng(0xBEEF);
+  gen::GameConfig config;
+  config.depleted_share = 0.35;
+  const M2Vcg m2;
+  flow::SolveContext warm;
+  for (int round = 0; round < 10; ++round) {
+    const core::Game game =
+        gen::random_ba_game(12 + 3 * round, 2, config, rng);
+    const core::BidVector bids = game.truthful_bids();
+    const std::vector<double> reused = m2.vcg_prices(warm, game, bids);
+    flow::SolveContext fresh;
+    const std::vector<double> expected = m2.vcg_prices(fresh, game, bids);
+    ASSERT_EQ(reused.size(), expected.size());
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      EXPECT_EQ(reused[v], expected[v]) << "round " << round << " player " << v;
+    }
+    // And the legacy (thread-local context) entry point agrees too.
+    const std::vector<double> legacy = m2.vcg_prices(game, bids);
+    EXPECT_EQ(legacy, expected) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+// Workspace-reuse equivalence: one SolveContext driven through many
+// randomized games must return bit-identical circulations,
+// decompositions, and rebuild accounting versus fresh per-solve graphs
+// and workspaces — including after rebind_gains and under VCG-style
+// capacity masks.
+#include "flow/solve_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/decompose.hpp"
+#include "flow/solver.hpp"
+#include "gen/game_gen.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+void expect_same_cycles(const std::vector<CycleFlow>& got,
+                        const std::vector<CycleFlow>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].edges, want[i].edges);
+    EXPECT_EQ(got[i].amount, want[i].amount);
+  }
+}
+
+class SolveContextEquivalenceTest
+    : public ::testing::TestWithParam<SolverKind> {};
+
+// The headline satellite: 100 randomized games of varying size through
+// ONE reused context, each checked bit-for-bit against a fresh solve.
+TEST_P(SolveContextEquivalenceTest, HundredRandomGamesBitIdentical) {
+  const SolverKind kind = GetParam();
+  util::Rng rng(0xC0FFEE);
+  SolveContext ctx;
+  for (int round = 0; round < 100; ++round) {
+    gen::GameConfig config;
+    config.depleted_share = 0.2 + 0.2 * (round % 3);
+    const NodeId n = 8 + 4 * (round % 7);  // varying sizes force rebuilds
+    const core::Game game = gen::random_ba_game(n, 2, config, rng);
+    const core::BidVector bids = game.truthful_bids();
+
+    const Graph fresh = game.build_graph(bids);
+    SolveStats fresh_stats;
+    const Circulation f_fresh = solve_max_welfare(fresh, kind, &fresh_stats);
+    const auto cycles_fresh = decompose_sign_consistent(fresh, f_fresh);
+
+    game.bind_graph(ctx, bids);
+    SolveStats ctx_stats;
+    const Circulation f_ctx = ctx.solve(kind, &ctx_stats);
+
+    EXPECT_EQ(f_ctx, f_fresh) << "round " << round;
+    EXPECT_EQ(ctx_stats.cycles_cancelled, fresh_stats.cycles_cancelled);
+    EXPECT_EQ(ctx_stats.units_pushed, fresh_stats.units_pushed);
+    EXPECT_EQ(ctx_stats.fallbacks, fresh_stats.fallbacks);
+    expect_same_cycles(ctx.decompose(f_ctx), cycles_fresh);
+  }
+  // Sizes cycle with period 7, so most rounds rebind a recently seen
+  // structure only when the size repeats back-to-back — but every round
+  // either rebuilt or rebound, never both.
+  EXPECT_EQ(ctx.stats().structure_builds + ctx.stats().rebinds, 100);
+  EXPECT_EQ(ctx.stats().solves, 100);
+}
+
+// Same topology, fresh bids each round: after the first build every
+// bind must take the in-place rebind path and report zero rebuilds.
+TEST_P(SolveContextEquivalenceTest, StableTopologyRebindsOnly) {
+  const SolverKind kind = GetParam();
+  util::Rng rng(42);
+  gen::GameConfig config;
+  const gen::Topology topology = gen::barabasi_albert(24, 2, rng);
+  SolveContext ctx;
+  for (int round = 0; round < 20; ++round) {
+    const core::Game game = gen::random_game(24, topology, config, rng);
+    const core::BidVector bids = game.truthful_bids();
+    game.bind_graph(ctx, bids);
+    SolveStats stats;
+    const Circulation f_ctx = ctx.solve(kind, &stats);
+    EXPECT_EQ(stats.graph_rebuilds, round == 0 ? 1 : 0) << "round " << round;
+
+    const Graph fresh = game.build_graph(bids);
+    EXPECT_EQ(f_ctx, solve_max_welfare(fresh, kind)) << "round " << round;
+  }
+  EXPECT_EQ(ctx.stats().structure_builds, 1);
+  EXPECT_EQ(ctx.stats().rebinds, 19);
+}
+
+// rebind_gains: the cheapest refresh path must match a from-scratch
+// graph carrying the same gains.
+TEST_P(SolveContextEquivalenceTest, RebindGainsMatchesFreshGraph) {
+  const SolverKind kind = GetParam();
+  util::Rng rng(7);
+  gen::GameConfig config;
+  const core::Game game = gen::random_ba_game(20, 2, config, rng);
+  const core::BidVector bids = game.truthful_bids();
+
+  SolveContext ctx;
+  game.bind_graph(ctx, bids);
+  ctx.solve(kind);
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> gains(static_cast<std::size_t>(ctx.graph().num_edges()));
+    for (double& gain : gains) gain = rng.uniform_real(-0.05, 0.05);
+    ctx.rebind_gains(gains);
+
+    Graph fresh = game.build_graph(bids);
+    for (EdgeId e = 0; e < fresh.num_edges(); ++e) {
+      fresh.set_gain(e, gains[static_cast<std::size_t>(e)]);
+    }
+    SolveStats stats;
+    EXPECT_EQ(ctx.solve(kind, &stats), solve_max_welfare(fresh, kind));
+    EXPECT_EQ(stats.graph_rebuilds, 0);
+  }
+}
+
+// mask_player must reproduce build_graph_without (the paper's G_{-v})
+// exactly, for every player, and unmask must restore the full graph.
+TEST_P(SolveContextEquivalenceTest, MaskPlayerMatchesBuildWithout) {
+  const SolverKind kind = GetParam();
+  util::Rng rng(99);
+  gen::GameConfig config;
+  config.depleted_share = 0.4;
+  const core::Game game = gen::random_ba_game(16, 2, config, rng);
+  const core::BidVector bids = game.truthful_bids();
+
+  SolveContext ctx;
+  game.bind_graph(ctx, bids);
+  const Circulation f_full = ctx.solve(kind);
+
+  for (core::PlayerId v = 0; v < game.num_players(); ++v) {
+    ctx.mask_player(v);
+    const Graph& masked = ctx.graph();
+    const Graph without = game.build_graph_without(bids, v);
+    ASSERT_EQ(masked.num_edges(), without.num_edges());
+    for (EdgeId e = 0; e < masked.num_edges(); ++e) {
+      EXPECT_EQ(masked.edge(e).capacity, without.edge(e).capacity);
+      EXPECT_EQ(masked.scaled_gain(e), without.scaled_gain(e));
+    }
+    EXPECT_EQ(ctx.solve(kind), solve_max_welfare(without, kind));
+    ctx.unmask();
+  }
+  // After the last unmask the context solves the unmasked game again.
+  EXPECT_EQ(ctx.solve(kind), f_full);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolveContextEquivalenceTest,
+                         ::testing::Values(SolverKind::kBellmanFord,
+                                           SolverKind::kMinMean,
+                                           SolverKind::kCapacityScaling,
+                                           SolverKind::kNetworkSimplex));
+
+TEST(SolveContextTest, SolveBeforeBindDies) {
+  SolveContext ctx;
+  EXPECT_DEATH(ctx.solve(), "before bind");
+}
+
+TEST(SolveContextTest, LocalContextIsPerThreadSingleton) {
+  SolveContext& a = local_context();
+  SolveContext& b = local_context();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace musketeer::flow

@@ -204,5 +204,44 @@ TEST(Service, ConcurrentSubmitsDuringClears) {
   EXPECT_LE(applied, 6u * service.queue_capacity());
 }
 
+TEST(Service, SteadyStateEpochsPerformZeroGraphRebuilds) {
+  // The zero-rebuild guarantee: with no payment traffic between epochs,
+  // the network converges, extraction becomes topology-stable, and every
+  // quiescent clear rebinds the service's SolveContext in place.
+  const sim::SimulationConfig config = small_config(21);
+  pcn::Network network = make_network(config);
+  core::M3DoubleAuction mechanism;
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  RebalanceService service(network, mechanism, service_config);
+
+  std::vector<EpochReport> reports;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    reports.push_back(service.run_epoch());
+  }
+
+  // The first epoch binds the freshly extracted topology: >= 1 build.
+  ASSERT_GT(reports[0].game_edges, 0);
+  EXPECT_GE(reports[0].graph_rebuilds, 1);
+
+  // After the first epoch that moves nothing, the network (and hence the
+  // extracted game structure) is fixed: every later epoch must report
+  // zero structure builds AND keep moving nothing.
+  std::size_t quiescent = reports.size();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].cycles_executed == 0) {
+      quiescent = i;
+      break;
+    }
+  }
+  ASSERT_LT(quiescent, reports.size()) << "network never went quiescent";
+  for (std::size_t i = quiescent + 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].graph_rebuilds, 0) << "epoch " << i;
+    EXPECT_EQ(reports[i].cycles_executed, 0) << "epoch " << i;
+    EXPECT_EQ(reports[i].network_digest, reports[quiescent].network_digest)
+        << "epoch " << i;
+  }
+}
+
 }  // namespace
 }  // namespace musketeer::svc

@@ -13,6 +13,13 @@ Rules (each has a stable id used in inline suppressions):
                rounding bugs; compare against a tolerance instead.
   rand         No `rand()` / `srand()` -- use util::Rng so every experiment
                is seedable and reproducible.
+  graph-in-mechanism
+               No direct `flow::Graph` construction or `build_graph*()`
+               call inside src/core/m*_*.cpp -- mechanisms must obtain
+               their graphs through the flow::SolveContext layer
+               (Game::bind_graph / SolveContext::bind_from) so repeated
+               runs on one topology reuse the bound graph and solver
+               workspaces instead of rebuilding per call.
 
 Thread-hygiene rules (the service layer is concurrent; these keep every
 wait interruptible and every thread joined):
@@ -61,7 +68,12 @@ NAKED_SLEEP = re.compile(
 # `system(` as a free/std call (not ::system qualifier-on-the-left like
 # foo::system or a member x.system()).
 SYSTEM_CALL = re.compile(r"(?<![A-Za-z0-9_.:])(?:std::|::)?system\s*\(")
+# A Graph being constructed (`Graph g...`, by value) or an explicit
+# build_graph/build_graph_without call. Reference bindings (`Graph& g`)
+# to a context-owned graph are fine and do not match.
+GRAPH_IN_MECH = re.compile(r"\bGraph\s+[A-Za-z_]|\.\s*build_graph(?:_without)?\s*\(")
 ALLOW = re.compile(r"musk-lint:\s*allow\(([a-z-]+)\)")
+MECHANISM_FILE = re.compile(r"m\d+_\w+\.cpp$")
 
 # (rule id, pattern, predicate deciding whether the rule applies to a file).
 RULES = [
@@ -69,6 +81,9 @@ RULES = [
     ("float-eq", FLOAT_EQ,
      lambda rel: rel.parts[0] == "src" and rel.name != "properties.cpp"),
     ("rand", RAND, lambda rel: True),
+    ("graph-in-mechanism", GRAPH_IN_MECH,
+     lambda rel: rel.parts[:2] == ("src", "core")
+     and MECHANISM_FILE.match(rel.name) is not None),
     ("thread-detach", THREAD_DETACH, lambda rel: True),
     ("naked-sleep", NAKED_SLEEP, lambda rel: True),
     ("system-call", SYSTEM_CALL, lambda rel: True),
