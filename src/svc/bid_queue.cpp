@@ -12,6 +12,7 @@ const char* to_string(IntakeStatus status) {
     case IntakeStatus::kRejectedFull: return "rejected-full";
     case IntakeStatus::kRejectedInvalid: return "rejected-invalid";
     case IntakeStatus::kRejectedClosed: return "rejected-closed";
+    case IntakeStatus::kDuplicate: return "duplicate";
   }
   return "unknown";
 }
@@ -49,9 +50,20 @@ IntakeStatus BidQueue::submit(const BidSubmission& bid) {
     ++counters_.rejected_closed;
     return IntakeStatus::kRejectedClosed;
   }
+  if (bid.seq != 0) {
+    const auto seq_it = last_seq_.find(bid.player);
+    if (seq_it != last_seq_.end() && bid.seq <= seq_it->second) {
+      // A resubmission of something already taken (possibly drained
+      // into an epoch long ago). The earlier copy stands; acking
+      // kDuplicate tells the retrying client its bid landed.
+      ++counters_.duplicate;
+      return IntakeStatus::kDuplicate;
+    }
+  }
   const auto it = index_.find(bid.player);
   if (it != index_.end()) {
     pending_[it->second] = bid;
+    if (bid.seq != 0) last_seq_[bid.player] = bid.seq;
     ++counters_.replaced;
     return IntakeStatus::kReplaced;
   }
@@ -61,6 +73,7 @@ IntakeStatus BidQueue::submit(const BidSubmission& bid) {
   }
   index_.emplace(bid.player, pending_.size());
   pending_.push_back(bid);
+  if (bid.seq != 0) last_seq_[bid.player] = bid.seq;
   ++counters_.accepted;
   return IntakeStatus::kAccepted;
 }

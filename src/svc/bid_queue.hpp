@@ -45,6 +45,14 @@ struct BidSubmission {
   double head_bid = 0.0;
   /// Opaque client-chosen tag echoed in the wire-protocol ack.
   std::uint64_t client_tag = 0;
+  /// Per-player monotonic submission sequence number; 0 = unsequenced
+  /// (legacy clients, dedup bypassed). A submission whose seq is <= the
+  /// player's last queued seq is reported kDuplicate and dropped: a
+  /// client that resubmits after an ambiguous timeout cannot get the
+  /// bid taken twice. The watermark survives drains — that is the
+  /// point, since the ambiguity is precisely "was my bid drained into
+  /// an epoch before the ack got lost?".
+  std::uint32_t seq = 0;
 };
 
 enum class IntakeStatus : std::uint8_t {
@@ -53,6 +61,7 @@ enum class IntakeStatus : std::uint8_t {
   kRejectedFull = 2,    // queue at capacity and player not pending
   kRejectedInvalid = 3, // bid outside the valid box / non-finite player
   kRejectedClosed = 4,  // service shutting down
+  kDuplicate = 5,       // seq already taken: the earlier copy stands
 };
 
 const char* to_string(IntakeStatus status);
@@ -69,10 +78,11 @@ struct IntakeCounters {
   std::uint64_t rejected_full = 0;
   std::uint64_t rejected_invalid = 0;
   std::uint64_t rejected_closed = 0;
+  std::uint64_t duplicate = 0;
 
   std::uint64_t total() const {
     return accepted + replaced + rejected_full + rejected_invalid +
-           rejected_closed;
+           rejected_closed + duplicate;
   }
 };
 
@@ -105,6 +115,10 @@ class BidQueue {
   bool closed_ = false;
   std::vector<BidSubmission> pending_;
   std::unordered_map<core::PlayerId, std::size_t> index_;
+  /// Highest sequence number ever queued per player. Deliberately NOT
+  /// cleared by drain(): the duplicate answer must outlive the epoch
+  /// that consumed the original submission.
+  std::unordered_map<core::PlayerId, std::uint32_t> last_seq_;
   IntakeCounters counters_;
 };
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "svc/socket_util.hpp"
+#include "util/fault.hpp"
 
 namespace musketeer::svc {
 
@@ -19,15 +20,24 @@ constexpr int kPollMillis = 100;
 
 }  // namespace
 
-Client::Client(const std::string& endpoint)
-    : fd_(connect_to(parse_endpoint(endpoint))) {}
+Client::Client(const std::string& endpoint, const ClientConfig& config)
+    : endpoint_(endpoint),
+      config_(config),
+      fd_(connect_to(parse_endpoint(endpoint))),
+      jitter_rng_(config.jitter_seed != 0 ? util::Rng(config.jitter_seed)
+                                          : util::Rng()) {}
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_),
+    : endpoint_(std::move(other.endpoint_)),
+      config_(other.config_),
+      fd_(other.fd_),
       parser_(std::move(other.parser_)),
       next_tag_(other.next_tag_),
+      player_seq_(std::move(other.player_seq_)),
+      hello_player_(other.hello_player_),
+      jitter_rng_(other.jitter_rng_),
       epochs_(std::move(other.epochs_)),
       notices_(std::move(other.notices_)) {
   other.fd_ = -1;
@@ -36,9 +46,14 @@ Client::Client(Client&& other) noexcept
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
+    endpoint_ = std::move(other.endpoint_);
+    config_ = other.config_;
     fd_ = other.fd_;
     parser_ = std::move(other.parser_);
     next_tag_ = other.next_tag_;
+    player_seq_ = std::move(other.player_seq_);
+    hello_player_ = other.hello_player_;
+    jitter_rng_ = other.jitter_rng_;
     epochs_ = std::move(other.epochs_);
     notices_ = std::move(other.notices_);
     other.fd_ = -1;
@@ -53,10 +68,25 @@ void Client::close() {
   }
 }
 
+void Client::reconnect() {
+  close();
+  parser_ = FrameParser();
+  fd_ = connect_to(parse_endpoint(endpoint_));
+  if (hello_player_.has_value()) {
+    HelloMsg msg;
+    msg.player = *hello_player_;
+    send_frame(MsgType::kHello, encode_hello(msg));
+  }
+}
+
 void Client::send_frame(MsgType type, std::string_view payload) {
   if (fd_ < 0) throw std::runtime_error("client connection closed");
   std::string frame;
   append_frame(frame, type, payload);
+  // Chaos hook: a dropped frame vanishes silently (the classic lost
+  // submit), a truncated/corrupt one poisons the stream server-side.
+  MUSK_FAULT_MUTATE("wire.client.send", frame);
+  if (frame.empty()) return;
   if (!send_all(fd_, frame.data(), frame.size())) {
     close();
     throw std::runtime_error("send failed: connection lost");
@@ -64,6 +94,7 @@ void Client::send_frame(MsgType type, std::string_view payload) {
 }
 
 void Client::hello(core::PlayerId player) {
+  hello_player_ = player;
   HelloMsg msg;
   msg.player = player;
   send_frame(MsgType::kHello, encode_hello(msg));
@@ -84,7 +115,11 @@ std::optional<Frame> Client::read_frame(
         case MsgType::kError: {
           const ErrorMsg error = decode_error(frame->payload);
           close();
-          throw WireError("server error: " + error.message);
+          if (error.code == ErrorCode::kRetryAfter) {
+            throw ServerBusyError("server busy: " + error.message,
+                                  error.retry_after_ms);
+          }
+          throw RemoteError("server error: " + error.message);
         }
         case MsgType::kShutdown:
           close();
@@ -125,22 +160,61 @@ std::optional<Frame> Client::read_frame(
   }
 }
 
-BidAckMsg Client::submit(const BidSubmission& bid,
-                         std::chrono::milliseconds timeout) {
-  BidSubmission tagged = bid;
-  if (tagged.client_tag == 0) tagged.client_tag = next_tag_++;
-  send_frame(MsgType::kSubmitBid, encode_submit_bid(tagged));
+BidAckMsg Client::submit_once(const BidSubmission& bid,
+                              std::chrono::milliseconds timeout) {
+  send_frame(MsgType::kSubmitBid, encode_submit_bid(bid));
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (auto frame = read_frame(deadline)) {
     if (frame->type == MsgType::kBidAck) {
       const BidAckMsg ack = decode_bid_ack(frame->payload);
-      if (ack.client_tag == tagged.client_tag) return ack;
+      if (ack.client_tag == bid.client_tag) return ack;
     } else if (frame->type == MsgType::kShutdown) {
       throw std::runtime_error("server shut down before ack");
     }
   }
   throw std::runtime_error(closed() ? "connection lost awaiting bid ack"
                                     : "timeout awaiting bid ack");
+}
+
+BidAckMsg Client::submit(const BidSubmission& bid,
+                         std::chrono::milliseconds timeout) {
+  BidSubmission tagged = bid;
+  if (tagged.client_tag == 0) tagged.client_tag = next_tag_++;
+  // The sequence number is assigned ONCE, before the first attempt:
+  // every retry resends the same seq, which is what lets the server
+  // collapse an ambiguous-timeout resubmission into kDuplicate.
+  if (tagged.seq == 0) tagged.seq = ++player_seq_[tagged.player];
+
+  for (int attempt = 1;; ++attempt) {
+    std::uint32_t server_hint_ms = 0;
+    try {
+      if (fd_ < 0) reconnect();
+      return submit_once(tagged, timeout);
+    } catch (const ServerBusyError& busy) {
+      if (attempt >= config_.max_attempts) throw;
+      server_hint_ms = busy.retry_after_ms;
+    } catch (const std::runtime_error&) {
+      // Connection loss, ack timeout (ambiguous — the bid may have
+      // landed), remote error, corrupt stream: with the sequence
+      // number pinned, resubmitting is safe in every one of these.
+      if (attempt >= config_.max_attempts) throw;
+    }
+    backoff(attempt, server_hint_ms);
+  }
+}
+
+void Client::backoff(int attempt, std::uint32_t server_hint_ms) {
+  const long long cap = config_.backoff_max.count();
+  long long wait = config_.backoff_base.count();
+  for (int i = 1; i < attempt && wait < cap; ++i) wait *= 2;
+  wait = std::min(wait, cap);
+  wait = std::max<long long>(wait, server_hint_ms);
+  if (wait <= 0) return;
+  // Up to +50% jitter so a shed herd does not reconnect in lockstep.
+  wait += static_cast<long long>(
+      jitter_rng_.uniform(static_cast<std::uint64_t>(wait) / 2 + 1));
+  // poll(2) with no fds: the lint-sanctioned bounded block.
+  ::poll(nullptr, 0, static_cast<int>(wait));
 }
 
 std::optional<EpochResultMsg> Client::wait_epoch_at_least(

@@ -2,6 +2,16 @@
 // node-side library used by musk_loadgen, the e2e tests, and any tool
 // that wants to talk to musketeerd.
 //
+// Resilience (opt-in via ClientConfig::max_attempts > 1): submit()
+// assigns each bid a per-player monotonic sequence number and retries
+// through connection loss, server load shedding (kError{kRetryAfter}),
+// and ambiguous ack timeouts — reconnecting with exponential backoff
+// plus jitter and resubmitting the *same* sequence number, so the
+// server-side dedup guarantees the bid is taken at most once no matter
+// how many copies the retries deliver. A retried submission whose
+// original actually landed comes back as IntakeStatus::kDuplicate,
+// which callers should treat as success.
+//
 // Not thread-safe: use one Client per thread (loadgen does exactly
 // that). Frames that arrive while waiting for something else (epoch
 // results, player notices) are queued, not dropped.
@@ -11,16 +21,50 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "svc/wire.hpp"
+#include "util/rng.hpp"
 
 namespace musketeer::svc {
+
+/// The server shed this connection (kError{kRetryAfter}): it is
+/// degraded, not broken. retry_after_ms carries its backoff hint.
+class ServerBusyError : public WireError {
+ public:
+  ServerBusyError(const std::string& what, std::uint32_t retry_after)
+      : WireError(what), retry_after_ms(retry_after) {}
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// The server reported a generic error (kError{kGeneric}) and the
+/// connection is gone. Derives from WireError so legacy catch sites
+/// keep working.
+class RemoteError : public WireError {
+ public:
+  using WireError::WireError;
+};
+
+struct ClientConfig {
+  /// Submission/connect attempts before an error propagates. The
+  /// default 1 is the legacy fail-fast behavior; resilient callers set
+  /// 3–5 and treat kDuplicate acks as success.
+  int max_attempts = 1;
+  /// Backoff before retry k is base * 2^(k-1), capped at backoff_max,
+  /// never below the server's retry-after hint, plus up to +50% jitter.
+  std::chrono::milliseconds backoff_base{50};
+  std::chrono::milliseconds backoff_max{2000};
+  /// Jitter seed (deterministic tests; 0 picks the Rng default).
+  std::uint64_t jitter_seed = 0;
+};
 
 class Client {
  public:
   /// Connects to "tcp:<port>" / "unix:<path>". Throws on failure.
-  explicit Client(const std::string& endpoint);
+  explicit Client(const std::string& endpoint)
+      : Client(endpoint, ClientConfig{}) {}
+  Client(const std::string& endpoint, const ClientConfig& config);
   ~Client();
 
   Client(Client&& other) noexcept;
@@ -28,12 +72,17 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Registers this connection's player id for settlement notices.
+  /// Registers this connection's player id for settlement notices
+  /// (re-sent automatically after a reconnect).
   void hello(core::PlayerId player);
 
   /// Sends a bid and blocks until its ack (matched by client_tag; a
-  /// fresh tag is assigned if the bid's is 0). Throws WireError on
-  /// protocol violations and std::runtime_error on timeout/disconnect.
+  /// fresh tag is assigned if the bid's is 0, and a fresh per-player
+  /// sequence number if its seq is 0). With max_attempts > 1, retries
+  /// across reconnects as described above; `timeout` bounds each
+  /// attempt's ack wait. Throws WireError (or a subclass) on protocol
+  /// violations and std::runtime_error on timeout/disconnect once
+  /// attempts are exhausted.
   BidAckMsg submit(const BidSubmission& bid,
                    std::chrono::milliseconds timeout =
                        std::chrono::milliseconds(5000));
@@ -52,6 +101,12 @@ class Client {
 
   void close();
 
+  /// Closes and re-establishes the connection (fresh frame parser —
+  /// any half-received frame from the dead stream is dropped) and
+  /// replays the hello. submit() calls this itself between attempts;
+  /// it is public for callers that reconnect on their own schedule.
+  void reconnect();
+
  private:
   /// Reads socket bytes until one frame is complete or the deadline
   /// passes; dispatches kEpochResult/kPlayerNotice/kError/kShutdown
@@ -59,10 +114,22 @@ class Client {
   std::optional<Frame> read_frame(
       std::chrono::steady_clock::time_point deadline);
   void send_frame(MsgType type, std::string_view payload);
+  BidAckMsg submit_once(const BidSubmission& bid,
+                        std::chrono::milliseconds timeout);
+  /// Blocks for the attempt's backoff (exponential, jittered, at least
+  /// the server hint).
+  void backoff(int attempt, std::uint32_t server_hint_ms);
 
+  std::string endpoint_;
+  ClientConfig config_;
   int fd_ = -1;
   FrameParser parser_;
   std::uint64_t next_tag_ = 1;
+  /// Last sequence number assigned per player (monotonic per client;
+  /// the queue's watermark makes retried numbers idempotent).
+  std::unordered_map<core::PlayerId, std::uint32_t> player_seq_;
+  std::optional<core::PlayerId> hello_player_;
+  util::Rng jitter_rng_;
   std::vector<EpochResultMsg> epochs_;
   std::vector<PlayerNoticeMsg> notices_;
 };

@@ -8,6 +8,14 @@ Daemon::Daemon(pcn::Network network,
                std::unique_ptr<core::Mechanism> mechanism,
                DaemonConfig config)
     : network_(std::move(network)), mechanism_(std::move(mechanism)) {
+  if (!config.journal_path.empty()) {
+    // Replay before the service exists: recovery mutates the network
+    // single-threaded, and the service resumes at the recovered epoch.
+    journal_ = std::make_unique<Journal>(config.journal_path);
+    recovery_ = replay_journal(*journal_, network_, config.service.policy);
+    config.service.journal = journal_.get();
+    config.service.first_epoch = recovery_.next_epoch;
+  }
   service_ = std::make_unique<RebalanceService>(network_, *mechanism_,
                                                 config.service);
   server_ = std::make_unique<SocketServer>(*service_, config.server);

@@ -10,6 +10,7 @@
 
 #include "core/mechanism.hpp"
 #include "pcn/network.hpp"
+#include "svc/journal.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 
@@ -18,6 +19,12 @@ namespace musketeer::svc {
 struct DaemonConfig {
   ServiceConfig service;
   ServerConfig server;
+  /// When non-empty, open (or create) the epoch journal at this path,
+  /// replay it against the passed-in genesis network before the service
+  /// starts, and journal every epoch. The passed network must be the
+  /// same genesis state the journal was started against (digest-checked
+  /// on replay).
+  std::string journal_path;
 };
 
 class Daemon {
@@ -49,9 +56,20 @@ class Daemon {
     return service_->network_snapshot();
   }
 
+  /// What journal replay recovered at construction (zero-valued when no
+  /// journal is configured or the journal was empty).
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// The epoch journal, or nullptr when none is configured.
+  Journal* journal() { return journal_.get(); }
+
  private:
   pcn::Network network_;
   std::unique_ptr<core::Mechanism> mechanism_;
+  /// Declared before service_: the service borrows the journal, so the
+  /// journal must outlive it (and be destroyed after it).
+  std::unique_ptr<Journal> journal_;
+  RecoveryReport recovery_;
   std::unique_ptr<RebalanceService> service_;
   std::unique_ptr<SocketServer> server_;
 };

@@ -1,0 +1,323 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/io.hpp"
+#include "util/fault.hpp"
+
+namespace musketeer::svc {
+
+namespace {
+
+constexpr char kHeader[] = "MUSKJRN1";
+constexpr std::size_t kHeaderBytes = 8;
+// 'M' 'J' 'R' 'N' little-endian.
+constexpr std::uint32_t kRecordMagic = 0x4E524A4DU;
+// magic + type + epoch + digest + payload_len.
+constexpr std::size_t kRecordHeaderBytes = 4 + 1 + 4 + 8 + 4;
+constexpr std::size_t kChecksumBytes = 8;
+// An OUTCOME payload is one encoded core::Outcome; 16 MiB bounds even a
+// pathological million-cycle epoch, and anything larger in the file is
+// corruption, not data.
+constexpr std::size_t kMaxRecordPayload = 16u << 20;
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::string encode_record(RecordType type, int epoch, std::uint64_t digest,
+                          const std::string& payload) {
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size() + kChecksumBytes);
+  core::codec::put_u32(out, kRecordMagic);
+  core::codec::put_u8(out, static_cast<std::uint8_t>(type));
+  core::codec::put_u32(out, static_cast<std::uint32_t>(epoch));
+  core::codec::put_u64(out, digest);
+  core::codec::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  // Checksum covers type..payload: the magic only locates the record.
+  core::codec::put_u64(out, fnv1a(out.data() + 4, out.size() - 4));
+  return out;
+}
+
+[[noreturn]] void io_fail(const std::string& path, const char* what) {
+  throw JournalError("journal " + path + ": " + what + ": " +
+                     std::strerror(errno));
+}
+
+void write_all(int fd, const std::string& path, const char* data,
+               std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      io_fail(path, "write failed");
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+}  // namespace
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) io_fail(path_, "open failed");
+  try {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        io_fail(path_, "read failed");
+      }
+      if (got == 0) break;
+      buf.append(chunk, static_cast<std::size_t>(got));
+    }
+
+    if (buf.empty()) {
+      write_all(fd_, path_, kHeader, kHeaderBytes);
+      if (::fsync(fd_) != 0) io_fail(path_, "fsync failed");
+      committed_bytes_ = kHeaderBytes;
+      return;
+    }
+    if (buf.size() < kHeaderBytes ||
+        std::memcmp(buf.data(), kHeader, kHeaderBytes) != 0) {
+      throw JournalError("journal " + path_ +
+                         ": bad header (not a musketeer journal)");
+    }
+
+    // Keep the longest prefix of intact records; everything after the
+    // first torn or corrupt one is a crash artifact and is discarded.
+    std::size_t off = kHeaderBytes;
+    while (buf.size() - off >=
+           kRecordHeaderBytes + kChecksumBytes) {
+      const char* rec = buf.data() + off;
+      if (load_u32(rec) != kRecordMagic) break;
+      const std::uint8_t type = static_cast<std::uint8_t>(rec[4]);
+      if (type < static_cast<std::uint8_t>(RecordType::kBegin) ||
+          type > static_cast<std::uint8_t>(RecordType::kAborted)) {
+        break;
+      }
+      const std::uint32_t len = load_u32(rec + 17);
+      if (len > kMaxRecordPayload ||
+          buf.size() - off - kRecordHeaderBytes < len + kChecksumBytes) {
+        break;
+      }
+      if (fnv1a(rec + 4, kRecordHeaderBytes - 4 + len) !=
+          load_u64(rec + kRecordHeaderBytes + len)) {
+        break;
+      }
+      JournalRecord record;
+      record.type = static_cast<RecordType>(type);
+      record.epoch = static_cast<int>(load_u32(rec + 5));
+      record.digest = load_u64(rec + 9);
+      record.payload.assign(rec + kRecordHeaderBytes, len);
+      records_.push_back(std::move(record));
+      off += kRecordHeaderBytes + len + kChecksumBytes;
+    }
+    committed_bytes_ = off;
+    if (off < buf.size()) {
+      truncated_tail_bytes_ = buf.size() - off;
+      if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+        io_fail(path_, "truncate of torn tail failed");
+      }
+      if (::fsync(fd_) != 0) io_fail(path_, "fsync failed");
+    }
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append_begin(int epoch, std::uint64_t pre_digest) {
+  append(RecordType::kBegin, epoch, pre_digest, std::string());
+}
+
+void Journal::append_outcome(int epoch, std::uint64_t pre_digest,
+                             const core::Outcome& outcome) {
+  std::string payload;
+  core::codec::encode_outcome(outcome, payload);
+  append(RecordType::kOutcome, epoch, pre_digest, payload);
+}
+
+void Journal::append_settled(int epoch, std::uint64_t post_digest) {
+  append(RecordType::kSettled, epoch, post_digest, std::string());
+}
+
+void Journal::append_aborted(int epoch, std::uint64_t pre_digest) {
+  append(RecordType::kAborted, epoch, pre_digest, std::string());
+}
+
+void Journal::append(RecordType type, int epoch, std::uint64_t digest,
+                     const std::string& payload) {
+  if (poisoned_) {
+    throw JournalError("journal " + path_ +
+                       ": poisoned by earlier fsync failure");
+  }
+  if (payload.size() > kMaxRecordPayload) {
+    throw JournalError("journal " + path_ + ": record payload exceeds cap");
+  }
+  std::string bytes = encode_record(type, epoch, digest, payload);
+  const std::size_t full = bytes.size();
+  MUSK_FAULT_MUTATE("journal.write", bytes);
+  const bool torn = bytes.size() != full;
+
+  if (::lseek(fd_, static_cast<off_t>(committed_bytes_), SEEK_SET) < 0) {
+    io_fail(path_, "seek failed");
+  }
+  write_all(fd_, path_, bytes.data(), bytes.size());
+  if (torn) {
+    // A drop/truncate fault left a partial record on disk, exactly like
+    // a crash mid-write; make it durable so recovery sees the torn tail.
+    ::fsync(fd_);
+    throw util::fault::CrashPoint("torn write in journal " + path_);
+  }
+  if (MUSK_FAULT_FAIL("journal.fsync") || ::fsync(fd_) != 0) {
+    // The record reached the page cache but is not durable. It must not
+    // resurface on replay (the service will abort this epoch), so cut
+    // the file back to the committed prefix before reporting failure.
+    if (::ftruncate(fd_, static_cast<off_t>(committed_bytes_)) != 0) {
+      poisoned_ = true;
+      throw JournalError("journal " + path_ +
+                         ": fsync and truncate both failed; journal poisoned");
+    }
+    throw JournalError("journal " + path_ + ": fsync failed");
+  }
+  committed_bytes_ += full;
+  JournalRecord record;
+  record.type = type;
+  record.epoch = epoch;
+  record.digest = digest;
+  record.payload = payload;
+  records_.push_back(std::move(record));
+}
+
+RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
+                              const pcn::RebalancePolicy& policy) {
+  RecoveryReport report;
+  enum class Phase { kIdle, kBegun, kCommitted };
+  Phase phase = Phase::kIdle;
+  int current = 0;
+
+  const auto check_digest = [&](const JournalRecord& r, const char* when) {
+    const std::uint64_t have = network.state_digest();
+    if (r.digest != have) {
+      throw JournalError(
+          "journal " + journal.path() + ": digest mismatch at epoch " +
+          std::to_string(r.epoch) + " (" + when + "): journal " +
+          std::to_string(r.digest) + " vs network " + std::to_string(have) +
+          " — wrong genesis network for this journal?");
+    }
+  };
+
+  // Iterate by index over the records present at entry: closing an
+  // in-flight epoch appends to the journal below, after the scan.
+  const std::size_t n = journal.records().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const JournalRecord& r = journal.records()[i];
+    switch (r.type) {
+      case RecordType::kBegin:
+        if (phase == Phase::kCommitted) {
+          throw JournalError("journal " + journal.path() +
+                             ": BEGIN while epoch " + std::to_string(current) +
+                             " is committed but unsettled");
+        }
+        // A BEGIN on top of a BEGIN: the earlier epoch died before its
+        // outcome committed. Its locks lived only in the dead process.
+        if (phase == Phase::kBegun) ++report.rolled_back;
+        check_digest(r, "begin");
+        phase = Phase::kBegun;
+        current = r.epoch;
+        report.next_epoch = r.epoch;
+        break;
+      case RecordType::kOutcome: {
+        if (phase != Phase::kBegun || r.epoch != current) {
+          throw JournalError("journal " + journal.path() +
+                             ": OUTCOME without matching BEGIN at epoch " +
+                             std::to_string(r.epoch));
+        }
+        check_digest(r, "outcome");
+        // Extraction from the digest-verified pre-state is deterministic,
+        // so the stored outcome's edge indices line up with this game.
+        pcn::ExtractedGame extracted = pcn::extract_and_lock(network, policy);
+        const core::Outcome outcome =
+            core::codec::outcome_from_bytes(r.payload);
+        pcn::apply_outcome(network, extracted, outcome);
+        phase = Phase::kCommitted;
+        break;
+      }
+      case RecordType::kSettled:
+        if (phase == Phase::kIdle || r.epoch != current) {
+          throw JournalError("journal " + journal.path() +
+                             ": SETTLED without matching BEGIN at epoch " +
+                             std::to_string(r.epoch));
+        }
+        check_digest(r, "settled");
+        ++report.epochs_settled;
+        phase = Phase::kIdle;
+        report.next_epoch = current + 1;
+        break;
+      case RecordType::kAborted:
+        if (phase != Phase::kBegun || r.epoch != current) {
+          throw JournalError("journal " + journal.path() +
+                             ": ABORTED without matching BEGIN at epoch " +
+                             std::to_string(r.epoch));
+        }
+        // The service released the locks before writing the record, so
+        // the network is back at the pre-state; the epoch number is
+        // reused by the next clear.
+        check_digest(r, "aborted");
+        ++report.aborted_epochs;
+        phase = Phase::kIdle;
+        report.next_epoch = current;
+        break;
+    }
+  }
+
+  if (phase == Phase::kBegun) {
+    // Dangling BEGIN: crash before commit. Nothing durable happened.
+    ++report.rolled_back;
+    report.next_epoch = current;
+  } else if (phase == Phase::kCommitted) {
+    // Crash between commit and settle (or mid-settle): the outcome was
+    // applied exactly once above; close the epoch durably so a second
+    // recovery replays SETTLED instead of re-detecting the in-flight
+    // tail.
+    report.applied_inflight = true;
+    ++report.epochs_settled;
+    journal.append_settled(current, network.state_digest());
+    report.next_epoch = current + 1;
+  }
+  report.final_digest = network.state_digest();
+  return report;
+}
+
+}  // namespace musketeer::svc

@@ -1,0 +1,155 @@
+// Crash-safe epoch journal: an append-only, checksummed write-ahead log
+// that makes settlement atomic across daemon restarts.
+//
+// Per epoch the service appends up to three records:
+//
+//   BEGIN(epoch, pre_digest)          queue drained, capacities locked
+//   OUTCOME(epoch, pre_digest, bytes) the cleared outcome, fsync'd
+//                                     *before* apply_outcome runs
+//   SETTLED(epoch, post_digest)       settlement reached the network
+//
+// plus ABORTED(epoch, pre_digest) when the mechanism throws and the
+// service released the locks instead of settling. The fsync'd OUTCOME
+// record is the commit point: recovery (replay_journal) rebuilds the
+// network from its genesis state and re-runs the journal forward —
+//
+//   * every OUTCOME is re-applied exactly once (extraction from an
+//     identical pre-state is deterministic, verified by pre_digest);
+//   * a SETTLED record cross-checks the post-settlement digest;
+//   * a BEGIN with no OUTCOME is rolled back: the locks it took lived
+//     only in the dead process, so there is nothing to release;
+//   * a trailing OUTCOME with no SETTLED (crash between commit and
+//     settle, or mid-settle) is applied and then closed with a SETTLED
+//     record, so the epoch settles exactly once no matter how many
+//     times recovery itself is interrupted.
+//
+// File format: an 8-byte header "MUSKJRN1", then records
+//
+//   u32 magic 'MJRN' | u8 type | u32 epoch | u64 digest |
+//   u32 payload_len | payload | u64 fnv1a(type..payload)
+//
+// On open the journal scans the file, keeps the longest valid prefix,
+// and truncates any torn/corrupt tail (a crash mid-write loses at most
+// the record being written — never a committed one, because append
+// returns only after fsync).
+//
+// Scope: the journal records rebalancing settlements only. A recovered
+// network equals the crashed daemon's network exactly when rebalancing
+// was the only writer (true for musketeerd, whose network has no
+// external payment feed).
+//
+// Not thread-safe: the service serializes appends under its epoch lock,
+// and recovery runs before the service exists.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "pcn/network.hpp"
+#include "pcn/rebalancer.hpp"
+
+namespace musketeer::svc {
+
+/// Thrown on an unusable journal (wrong header, I/O failure, replay
+/// digest mismatch). Distinct from a torn tail, which open() repairs
+/// silently — a JournalError means the operator pointed the daemon at
+/// the wrong file or the wrong genesis network.
+class JournalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RecordType : std::uint8_t {
+  kBegin = 1,
+  kOutcome = 2,
+  kSettled = 3,
+  kAborted = 4,
+};
+
+struct JournalRecord {
+  RecordType type = RecordType::kBegin;
+  int epoch = 0;
+  /// BEGIN/OUTCOME/ABORTED carry the pre-settlement network digest;
+  /// SETTLED carries the post-settlement digest.
+  std::uint64_t digest = 0;
+  /// OUTCOME only: codec::encode_outcome bytes.
+  std::string payload;
+};
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal at `path`, validates the
+  /// header, loads every intact record, and truncates a torn tail.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Every committed record: what open() recovered plus every append
+  /// since, in file order.
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// Bytes of committed (written + fsync'd) journal.
+  std::uint64_t committed_bytes() const { return committed_bytes_; }
+
+  /// Bytes discarded by open() as a torn/corrupt tail (observability).
+  std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
+
+  void append_begin(int epoch, std::uint64_t pre_digest);
+  void append_outcome(int epoch, std::uint64_t pre_digest,
+                      const core::Outcome& outcome);
+  void append_settled(int epoch, std::uint64_t post_digest);
+  void append_aborted(int epoch, std::uint64_t pre_digest);
+
+ private:
+  /// Encodes, writes, and fsyncs one record; only then is it added to
+  /// records_ and counted in committed_bytes_. On fsync failure the
+  /// file is truncated back to the committed prefix (a written but
+  /// unsynced record must not resurface on replay) and JournalError is
+  /// thrown; if even the truncate fails the journal is poisoned and
+  /// every later append throws.
+  void append(RecordType type, int epoch, std::uint64_t digest,
+              const std::string& payload);
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<JournalRecord> records_;
+  std::uint64_t committed_bytes_ = 0;
+  std::uint64_t truncated_tail_bytes_ = 0;
+  bool poisoned_ = false;
+};
+
+/// Outcome of replaying a journal onto the genesis network at startup.
+struct RecoveryReport {
+  /// Epochs fully replayed (SETTLED seen, including the close-out
+  /// SETTLED that recovery itself appends for an in-flight outcome).
+  int epochs_settled = 0;
+  /// True when the tail held a committed OUTCOME with no SETTLED — the
+  /// daemon died between commit and settle (or mid-settle); recovery
+  /// applied it once and closed the epoch.
+  bool applied_inflight = false;
+  /// BEGIN records with no OUTCOME/ABORTED: the locks died with the
+  /// process, nothing durable happened, the epoch number is reused.
+  int rolled_back = 0;
+  /// ABORTED records seen (mechanism threw; epoch number was reused).
+  int aborted_epochs = 0;
+  /// Epoch the restarted service must resume at.
+  int next_epoch = 0;
+  /// network.state_digest() after replay.
+  std::uint64_t final_digest = 0;
+};
+
+/// Replays `journal` onto `network`, which must be in the same genesis
+/// state the journal was started against (verified record-by-record via
+/// digests; mismatch throws JournalError). Mutates the journal only to
+/// close an in-flight epoch with its missing SETTLED record.
+RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
+                              const pcn::RebalancePolicy& policy);
+
+}  // namespace musketeer::svc

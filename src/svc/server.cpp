@@ -7,6 +7,7 @@
 #include <cerrno>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace musketeer::svc {
 
@@ -83,8 +84,18 @@ void SocketServer::accept_loop(const std::stop_token& stop) {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     if (connections_.size() >=
         static_cast<std::size_t>(config_.max_connections)) {
-      // Connection-level load shedding: over the cap we close instead
-      // of queueing unbounded handler threads.
+      // Connection-level load shedding: over the cap we refuse to queue
+      // another handler thread, but tell the client it hit a degraded
+      // server, not a dead one — best-effort retry-after frame, then
+      // close.
+      ErrorMsg shed;
+      shed.code = ErrorCode::kRetryAfter;
+      shed.retry_after_ms =
+          static_cast<std::uint32_t>(config_.shed_retry_after_ms);
+      shed.message = "server at connection capacity";
+      std::string frame;
+      append_frame(frame, MsgType::kError, encode_error(shed));
+      send_all(fd, frame.data(), frame.size());
       ::close(fd);
       continue;
     }
@@ -150,6 +161,7 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       const BidSubmission bid = decode_submit_bid(frame.payload);
       BidAckMsg ack;
       ack.client_tag = bid.client_tag;
+      ack.seq = bid.seq;
       ack.intake_epoch =
           static_cast<std::uint32_t>(service_.epochs_cleared());
       ack.status = service_.submit(bid);
@@ -166,6 +178,9 @@ bool SocketServer::send_frame(Connection* conn, MsgType type,
                               std::string_view payload) {
   std::string frame;
   append_frame(frame, type, payload);
+  // Chaos hook: drop/truncate/corrupt the outbound frame (a lost or
+  // mangled ack is what forces clients into idempotent resubmission).
+  MUSK_FAULT_MUTATE("wire.server.send", frame);
   std::lock_guard<std::mutex> lock(conn->write_mutex);
   if (conn->done.load()) return false;
   if (!send_all(conn->fd, frame.data(), frame.size())) {

@@ -29,8 +29,12 @@ namespace musketeer::svc {
 struct ServerConfig {
   /// "tcp:<port>" (loopback; 0 = ephemeral) or "unix:<path>".
   std::string listen = "tcp:0";
-  /// Accepted connections beyond this are closed immediately.
+  /// Accepted connections beyond this are shed: the server sends a
+  /// structured kError{kRetryAfter} frame and closes, so a well-behaved
+  /// client backs off and retries instead of seeing a silent hangup.
   int max_connections = 64;
+  /// Backoff hint carried in the shed frame.
+  int shed_retry_after_ms = 200;
 };
 
 class SocketServer {

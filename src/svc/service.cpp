@@ -1,9 +1,12 @@
 #include "svc/service.hpp"
 
+#include <cstdio>
 #include <map>
 #include <unordered_map>
 
+#include "svc/journal.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace musketeer::svc {
 
@@ -59,7 +62,8 @@ RebalanceService::RebalanceService(pcn::Network& network,
     : network_(network),
       mechanism_(mechanism),
       config_(config),
-      queue_(config.queue_capacity, network.num_nodes()) {}
+      queue_(config.queue_capacity, network.num_nodes()),
+      epochs_cleared_(config.first_epoch) {}
 
 RebalanceService::~RebalanceService() { stop(); }
 
@@ -75,8 +79,11 @@ EpochReport RebalanceService::run_epoch() {
 
   // Snapshot: the extracted game is a value copy whose capacities are
   // HTLC-locked on the live network, so clearing can proceed off-lock.
+  // The pre-lock digest is what recovery verifies extraction against.
+  std::uint64_t pre_digest = 0;
   pcn::ExtractedGame extracted = [&] {
     std::lock_guard<std::mutex> net_lock(network_mutex_);
+    pre_digest = network_.state_digest();
     return pcn::extract_and_lock(network_, config_.policy);
   }();
 
@@ -88,6 +95,20 @@ EpochReport RebalanceService::run_epoch() {
   report.bids_applied = subs.size();
   report.game_edges = extracted.game.num_edges();
 
+  Journal* const journal = config_.journal;
+  try {
+    if (journal != nullptr) journal->append_begin(report.epoch, pre_digest);
+    MUSK_FAULT_HIT("svc.crash_after_begin");
+  } catch (const util::fault::CrashPoint&) {
+    // Simulated kill -9: no cleanup runs. The locks die with the
+    // process; recovery rolls the dangling BEGIN back.
+    throw;
+  } catch (...) {
+    std::lock_guard<std::mutex> net_lock(network_mutex_);
+    pcn::release_locks(network_, extracted);
+    throw;
+  }
+
   if (extracted.game.num_edges() > 0) {
     core::BidVector bids = extracted.game.truthful_bids();
     apply_overrides(extracted.game, subs, bids);
@@ -95,17 +116,45 @@ EpochReport RebalanceService::run_epoch() {
     const long long builds_before = solve_context_.stats().structure_builds;
     try {
       outcome = mechanism_.run(solve_context_, extracted.game, bids);
+      MUSK_FAULT_HIT("svc.crash_before_commit");
+      // The fsync'd OUTCOME record is the commit point: once it returns,
+      // this epoch settles — now, or at recovery after a crash.
+      if (journal != nullptr) {
+        journal->append_outcome(report.epoch, pre_digest, outcome);
+      }
+    } catch (const util::fault::CrashPoint&) {
+      throw;
     } catch (...) {
-      // Failed clear: release every pre-lock so no liquidity leaks.
-      std::lock_guard<std::mutex> net_lock(network_mutex_);
-      pcn::release_locks(network_, extracted);
+      // Failed clear (or a commit that could not be made durable):
+      // release every pre-lock so no liquidity leaks, then record the
+      // abort so recovery can tell a clean rollback from a crash.
+      {
+        std::lock_guard<std::mutex> net_lock(network_mutex_);
+        pcn::release_locks(network_, extracted);
+      }
+      if (journal != nullptr) {
+        try {
+          journal->append_aborted(report.epoch, pre_digest);
+        } catch (const util::fault::CrashPoint&) {
+          throw;
+        } catch (const std::exception& err) {
+          // Recovery treats a dangling BEGIN exactly like an ABORTED
+          // epoch (rolled back, number reused); losing the record costs
+          // observability, not safety.
+          std::fprintf(stderr,
+                       "musketeer: failed to journal abort of epoch %d: %s\n",
+                       report.epoch, err.what());
+        }
+      }
       throw;
     }
+    MUSK_FAULT_HIT("svc.crash_after_commit");
     pcn::RebalanceStats stats;
     {
       std::lock_guard<std::mutex> net_lock(network_mutex_);
       stats = pcn::apply_outcome(network_, extracted, outcome);
     }
+    MUSK_FAULT_HIT("svc.crash_mid_settle");
     report.cycles_executed = stats.cycles_executed;
     report.rebalanced_volume = stats.volume;
     report.fees_paid = stats.fees_paid;
@@ -118,6 +167,12 @@ EpochReport RebalanceService::run_epoch() {
   {
     std::lock_guard<std::mutex> net_lock(network_mutex_);
     report.network_digest = network_.state_digest();
+  }
+  // A SETTLED append failure propagates with the settlement already
+  // applied: the journal's committed OUTCOME makes recovery re-apply it
+  // exactly once, so restarting the daemon is the correct response.
+  if (journal != nullptr) {
+    journal->append_settled(report.epoch, report.network_digest);
   }
 
   report.clear_seconds =

@@ -43,6 +43,8 @@
 
 namespace musketeer::svc {
 
+class Journal;
+
 struct ServiceConfig {
   pcn::RebalancePolicy policy;
   /// Max distinct players pending in the intake queue.
@@ -53,6 +55,17 @@ struct ServiceConfig {
   /// Periodic mode stops itself after this many epochs (0 = run until
   /// stop()).
   int max_epochs = 0;
+  /// Optional write-ahead journal (borrowed; must outlive the service).
+  /// When set, every epoch is journaled BEGIN -> OUTCOME -> SETTLED with
+  /// the OUTCOME fsync'd before settlement, so a crashed daemon recovers
+  /// via replay_journal. A journal append failure aborts the epoch
+  /// (locks released) and propagates — the service must not keep
+  /// settling epochs it cannot make durable.
+  Journal* journal = nullptr;
+  /// Epoch number of the first epoch this service clears. Recovery sets
+  /// it to RecoveryReport::next_epoch so epoch numbering continues
+  /// seamlessly across a restart.
+  int first_epoch = 0;
 };
 
 /// Per-player settlement notification for one epoch: what the node pays
@@ -159,7 +172,7 @@ class RebalanceService {
   mutable std::mutex reports_mutex_;
   mutable std::condition_variable reports_cv_;
   std::vector<EpochReport> reports_;
-  int epochs_cleared_ = 0;
+  int epochs_cleared_;
 
   std::vector<std::function<void(const EpochReport&)>> callbacks_;
 

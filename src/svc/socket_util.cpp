@@ -3,12 +3,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace musketeer::svc {
 
@@ -34,6 +37,48 @@ sockaddr_in tcp_addr(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   return addr;
+}
+
+/// Decides whether an existing unix socket path may be unlinked before
+/// bind. Unconditional unlinking lets two daemons racing on startup
+/// silently steal each other's socket; instead, probe it:
+///   * path absent                -> nothing to clean up;
+///   * path is not a socket       -> refuse (never unlink a user's file);
+///   * connect succeeds           -> a live daemon owns it: refuse, the
+///                                   bind caller reports address-in-use;
+///   * connect refused / ENOENT   -> stale leftover of a dead process,
+///                                   safe to remove.
+void remove_stale_unix_socket(const std::string& path) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return;
+    fail("stat " + path);
+  }
+  if (!S_ISSOCK(st.st_mode)) {
+    throw std::runtime_error("refusing to bind " + path +
+                             ": exists and is not a socket");
+  }
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) fail("socket");
+  const sockaddr_un addr = unix_addr(path);
+  const int rc =
+      ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  const int connect_errno = errno;
+  ::close(probe);
+  if (rc == 0) {
+    throw std::runtime_error("refusing to bind " + path +
+                             ": a live daemon is accepting on it");
+  }
+  if (connect_errno == ECONNREFUSED || connect_errno == ENOENT) {
+    // Dead owner: the kernel refuses connections to an unlinked-in-
+    // spirit socket whose listener is gone. Reclaim the path.
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      fail("unlink stale socket " + path);
+    }
+    return;
+  }
+  errno = connect_errno;
+  fail("probe " + path);
 }
 
 }  // namespace
@@ -72,7 +117,12 @@ int listen_on(Endpoint& endpoint, int backlog) {
       ::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   if (endpoint.is_unix) {
-    ::unlink(endpoint.path.c_str());
+    try {
+      remove_stale_unix_socket(endpoint.path);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
     const sockaddr_un addr = unix_addr(endpoint.path);
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
         0) {
@@ -106,6 +156,10 @@ int listen_on(Endpoint& endpoint, int backlog) {
 }
 
 int connect_to(const Endpoint& endpoint) {
+  if (MUSK_FAULT_FAIL("sock.connect")) {
+    errno = ECONNREFUSED;
+    fail("connect " + to_string(endpoint) + " (injected)");
+  }
   const int fd =
       ::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");

@@ -22,8 +22,10 @@ Endpoint parse_endpoint(const std::string& spec);
 std::string to_string(const Endpoint& endpoint);
 
 /// Binds and listens; returns the fd. For tcp with port 0, `endpoint`
-/// is updated with the kernel-assigned port. Unix paths are unlinked
-/// before bind (stale socket files from a crashed daemon).
+/// is updated with the kernel-assigned port. An existing unix socket
+/// path is connect-probed first: a provably stale one (dead owner) is
+/// unlinked and reclaimed, a live one — or a non-socket file — makes
+/// listen_on throw instead of stealing the path from its owner.
 int listen_on(Endpoint& endpoint, int backlog);
 
 /// Blocking connect; returns the fd.

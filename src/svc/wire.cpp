@@ -96,6 +96,7 @@ std::string encode_submit_bid(const BidSubmission& bid) {
   put_f64(out, bid.tail_bid);
   put_f64(out, bid.head_bid);
   put_u64(out, bid.client_tag);
+  put_u32(out, bid.seq);
   return out;
 }
 
@@ -110,6 +111,7 @@ BidSubmission decode_submit_bid(std::string_view payload) {
   bid.tail_bid = in.f64();
   bid.head_bid = in.f64();
   bid.client_tag = in.u64();
+  bid.seq = in.u32();
   expect_consumed(in, "submit-bid");
   // Semantic validation (bounds, finiteness) happens at the BidQueue
   // door so wire decoding and intake report through one channel.
@@ -121,6 +123,7 @@ std::string encode_bid_ack(const BidAckMsg& msg) {
   put_u64(out, msg.client_tag);
   put_u8(out, static_cast<std::uint8_t>(msg.status));
   put_u32(out, msg.intake_epoch);
+  put_u32(out, msg.seq);
   return out;
 }
 
@@ -129,11 +132,12 @@ BidAckMsg decode_bid_ack(std::string_view payload) {
   BidAckMsg msg;
   msg.client_tag = in.u64();
   const std::uint8_t status = in.u8();
-  if (status > static_cast<std::uint8_t>(IntakeStatus::kRejectedClosed)) {
+  if (status > static_cast<std::uint8_t>(IntakeStatus::kDuplicate)) {
     throw WireError("unknown intake status in ack");
   }
   msg.status = static_cast<IntakeStatus>(status);
   msg.intake_epoch = in.u32();
+  msg.seq = in.u32();
   expect_consumed(in, "bid-ack");
   return msg;
 }
@@ -198,20 +202,35 @@ PlayerNoticeMsg decode_player_notice(std::string_view payload) {
   return msg;
 }
 
-std::string encode_error(std::string_view message) {
+std::string encode_error(const ErrorMsg& msg) {
   std::string out;
-  put_u32(out, static_cast<std::uint32_t>(message.size()));
-  out.append(message.data(), message.size());
+  put_u16(out, static_cast<std::uint16_t>(msg.code));
+  put_u32(out, msg.retry_after_ms);
+  put_u32(out, static_cast<std::uint32_t>(msg.message.size()));
+  out.append(msg.message.data(), msg.message.size());
   return out;
+}
+
+std::string encode_error(std::string_view message) {
+  ErrorMsg msg;
+  msg.message = std::string(message);
+  return encode_error(msg);
 }
 
 ErrorMsg decode_error(std::string_view payload) {
   Reader in = payload_reader(payload);
-  const std::size_t n = in.check_count(in.u32(), 1);
   ErrorMsg msg;
-  msg.message = std::string(payload.substr(4, n));
-  // Manually consumed the bytes: reconstruct reader position by check.
-  if (payload.size() != 4 + n) {
+  const std::uint16_t code = in.u16();
+  if (code > static_cast<std::uint16_t>(ErrorCode::kRetryAfter)) {
+    throw WireError("unknown error code " + std::to_string(code));
+  }
+  msg.code = static_cast<ErrorCode>(code);
+  msg.retry_after_ms = in.u32();
+  const std::size_t n = in.check_count(in.u32(), 1);
+  constexpr std::size_t kPrefix = 2 + 4 + 4;
+  msg.message = std::string(payload.substr(kPrefix, n));
+  // The message bytes were consumed via substr, not the reader.
+  if (payload.size() != kPrefix + n) {
     throw WireError("trailing bytes in error payload");
   }
   return msg;

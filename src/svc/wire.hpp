@@ -17,13 +17,23 @@
 // Conversation shape:
 //   client -> server : kHello (optional; registers the player id this
 //                      connection wants settlement notices for)
-//   client -> server : kSubmitBid (any number, any time)
-//   server -> client : kBidAck (one per kSubmitBid, echoing client_tag;
-//                      carries the intake IntakeStatus and the epoch
-//                      counter at intake)
+//   client -> server : kSubmitBid (any number, any time; carries a
+//                      per-player sequence number so a resubmission
+//                      after an ambiguous timeout is idempotent)
+//   server -> client : kBidAck (one per kSubmitBid, echoing client_tag
+//                      and seq; carries the intake IntakeStatus and the
+//                      epoch counter at intake — kDuplicate means an
+//                      earlier copy of this seq was already taken)
 //   server -> all    : kEpochResult (broadcast after each settle)
 //   server -> hello'd: kPlayerNotice (that player's price/cycles)
 //   server -> all    : kShutdown (then the connection closes)
+//   server -> client : kError; code kRetryAfter is load shedding (the
+//                      client should back off retry_after_ms and
+//                      reconnect), kGeneric is a protocol violation.
+//
+// Version history: v1 (PR 2) had no submit-bid/ack sequence numbers and
+// a bare-string error payload. v2 is not v1-compatible; both sides
+// reject mismatched versions at the frame header.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +47,7 @@
 namespace musketeer::svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
@@ -93,6 +103,8 @@ struct BidAckMsg {
   /// Service epoch counter at intake: an accepted bid is applied to the
   /// first epoch cleared after this.
   std::uint32_t intake_epoch = 0;
+  /// Echo of the submission's sequence number (0 = unsequenced).
+  std::uint32_t seq = 0;
 };
 
 struct EpochResultMsg {
@@ -112,7 +124,18 @@ struct PlayerNoticeMsg {
   PlayerNotice notice;
 };
 
+enum class ErrorCode : std::uint16_t {
+  /// Protocol violation or server-side failure; the connection closes.
+  kGeneric = 0,
+  /// Load shedding: the server is degraded, not broken. The client
+  /// should wait retry_after_ms, then reconnect and resubmit.
+  kRetryAfter = 1,
+};
+
 struct ErrorMsg {
+  ErrorCode code = ErrorCode::kGeneric;
+  /// kRetryAfter only: suggested client backoff in milliseconds.
+  std::uint32_t retry_after_ms = 0;
   std::string message;
 };
 
@@ -132,6 +155,8 @@ std::string encode_player_notice(std::uint32_t epoch,
                                  const PlayerNotice& notice);
 PlayerNoticeMsg decode_player_notice(std::string_view payload);
 
+std::string encode_error(const ErrorMsg& msg);
+/// Convenience: a kGeneric error with just a message.
 std::string encode_error(std::string_view message);
 ErrorMsg decode_error(std::string_view payload);
 

@@ -1,0 +1,95 @@
+// Deterministic fault injection for chaos testing the service stack.
+//
+// A *fault point* is a named place in the code where a failure can be
+// provoked: a frame about to hit the socket, an fsync about to be
+// issued, the instant between journaling an outcome and settling it.
+// Points are compiled in only under -DMUSKETEER_FAULTS (the `chaos`
+// preset); without the definition every hook macro expands to nothing,
+// so the production build pays zero overhead — not even a branch.
+//
+// Faults are driven from a *schedule*, parsed from the MUSK_FAULT_SPEC
+// environment variable (or configure()):
+//
+//     MUSK_FAULT_SPEC="seed=42;svc.crash_after_commit@2=crash;wire.client.send=drop"
+//
+//   entry    := <point>[@<nth>]=<action>[:<arg>]
+//   point    := a registered name (see fault::points())
+//   nth      := 1-based hit count at which the entry fires once
+//               (default 1); hits are counted per point across hooks
+//   action   := crash     throw fault::CrashPoint (a simulated kill -9:
+//                         catch sites must NOT run graceful cleanup)
+//               fail      the guarded operation reports failure
+//               drop      the guarded byte buffer is cleared
+//               truncate  the guarded byte buffer loses its second half
+//               corrupt   one seeded-random byte of the buffer is flipped
+//               delay     the hook blocks for <arg> milliseconds
+//
+// Entries are one-shot and the schedule is explicit, so a chaos run is
+// exactly reproducible from its spec string; `seed` only feeds the
+// corrupt action's byte choice. All state is process-global and
+// mutex-guarded (hooks fire from connection handlers, the scheduler
+// thread, and test threads alike).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace musketeer::util::fault {
+
+/// Thrown by a `crash` entry. Models the process dying at the point:
+/// catch sites must rethrow it *before* any catch (...) cleanup so the
+/// durable state (journal file) looks exactly like a real kill -9.
+class CrashPoint : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// True when the build carries the fault hooks (-DMUSKETEER_FAULTS).
+bool compiled_in();
+
+/// Replaces the schedule. Throws std::runtime_error on a malformed spec
+/// or an unregistered point name. An empty spec clears the schedule.
+void configure(const std::string& spec);
+
+/// configure(getenv("MUSK_FAULT_SPEC") or ""). Called lazily by the
+/// first hook, so daemons pick the schedule up without wiring.
+void configure_from_env();
+
+/// Clears the schedule and every hit counter.
+void clear();
+
+/// The active schedule, rendered back to spec form (artifact logging).
+std::string schedule_string();
+
+/// Every registered point name (stable order).
+std::vector<std::string> points();
+
+/// Times `point` was hit since the last clear()/configure().
+std::uint64_t hits(const std::string& point);
+
+// --- hooks (call through the MUSK_FAULT_* macros) ----------------------
+
+/// Counts a hit; fires crash/delay entries scheduled for it.
+void hit(const char* point);
+
+/// Counts a hit; true when a `fail` entry fires (crash/delay also honored).
+bool should_fail(const char* point);
+
+/// Counts a hit; applies drop/truncate/corrupt to `bytes` when scheduled
+/// (crash/delay also honored).
+void mutate(const char* point, std::string& bytes);
+
+}  // namespace musketeer::util::fault
+
+#if defined(MUSKETEER_FAULTS)
+#define MUSK_FAULT_HIT(point) ::musketeer::util::fault::hit(point)
+#define MUSK_FAULT_FAIL(point) ::musketeer::util::fault::should_fail(point)
+#define MUSK_FAULT_MUTATE(point, bytes) \
+  ::musketeer::util::fault::mutate(point, bytes)
+#else
+#define MUSK_FAULT_HIT(point) static_cast<void>(0)
+#define MUSK_FAULT_FAIL(point) false
+#define MUSK_FAULT_MUTATE(point, bytes) static_cast<void>(0)
+#endif

@@ -180,6 +180,35 @@ TEST(IoBinary, OversizedCycleAndPriceCountsRejected) {
   EXPECT_THROW(codec::outcome_from_bytes(bytes), CodecError);
 }
 
+TEST(IoBinary, OversizedCirculationCountRejected) {
+  // The circulation list is the first count in an outcome record; a bomb
+  // there must die in check_count like the others.
+  std::string bytes;
+  codec::put_u16(bytes, codec::kBinaryVersion);
+  codec::put_u32(bytes, 0xffffffffu);  // circulation entries
+  EXPECT_THROW(codec::outcome_from_bytes(bytes), CodecError);
+}
+
+TEST(IoBinary, EmptyAndGarbageInputRejected) {
+  EXPECT_THROW(codec::game_from_bytes(""), CodecError);
+  EXPECT_THROW(codec::bids_from_bytes(""), CodecError);
+  EXPECT_THROW(codec::outcome_from_bytes(""), CodecError);
+
+  // All-ones garbage: version check fires first; with the version bytes
+  // patched in, the saturated counts must still be rejected.
+  std::string garbage(64, static_cast<char>(0xff));
+  EXPECT_THROW(codec::game_from_bytes(garbage), CodecError);
+  EXPECT_THROW(codec::bids_from_bytes(garbage), CodecError);
+  EXPECT_THROW(codec::outcome_from_bytes(garbage), CodecError);
+
+  std::string versioned;
+  codec::put_u16(versioned, codec::kBinaryVersion);
+  versioned += std::string(62, static_cast<char>(0xff));
+  EXPECT_THROW(codec::game_from_bytes(versioned), CodecError);
+  EXPECT_THROW(codec::bids_from_bytes(versioned), CodecError);
+  EXPECT_THROW(codec::outcome_from_bytes(versioned), CodecError);
+}
+
 TEST(IoBinary, ImplausiblePlayerCountRejected) {
   std::string bytes;
   codec::put_u16(bytes, codec::kBinaryVersion);

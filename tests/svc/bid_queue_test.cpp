@@ -155,5 +155,139 @@ TEST(BidQueue, ConcurrentSubmitsAccountForEveryAttempt) {
   }
 }
 
+TEST(BidQueue, ExactlyAtCapacityBoundary) {
+  constexpr std::size_t kCapacity = 8;
+  BidQueue queue(kCapacity, 100);
+  for (core::PlayerId p = 0; p < static_cast<core::PlayerId>(kCapacity); ++p) {
+    EXPECT_EQ(queue.submit(refresh(p)), IntakeStatus::kAccepted);
+  }
+  EXPECT_EQ(queue.size(), kCapacity);
+
+  // The capacity-th distinct player was the last one in; the next is out.
+  EXPECT_EQ(queue.submit(refresh(50)), IntakeStatus::kRejectedFull);
+  // Pending players still replace at exactly full...
+  EXPECT_EQ(queue.submit(head_bid(3, 0.02)), IntakeStatus::kReplaced);
+  // ...and a sequence-tracked retry of a queued bid is answered
+  // kDuplicate, never kRejectedFull — the retrying client must learn
+  // its bid landed even while the queue sheds new players.
+  BidSubmission seq_bid = refresh(2);
+  seq_bid.seq = 4;
+  EXPECT_EQ(queue.submit(seq_bid), IntakeStatus::kReplaced);
+  EXPECT_EQ(queue.submit(seq_bid), IntakeStatus::kDuplicate);
+  EXPECT_EQ(queue.size(), kCapacity);
+}
+
+TEST(BidQueue, ConcurrentSubmittersAtExactlyCapacityNeverShed) {
+  // With distinct players == queue_capacity, rejection is impossible no
+  // matter how submissions interleave: every player either enters or
+  // replaces its own pending bid.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  constexpr std::size_t kCapacity = 16;
+  BidQueue queue(kCapacity, static_cast<core::PlayerId>(kCapacity));
+
+  std::atomic<std::uint64_t> rejected{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto player = static_cast<core::PlayerId>(
+              (t * kPerThread + i) % kCapacity);
+          const IntakeStatus status = queue.submit(head_bid(player, 0.01));
+          if (!intake_ok(status)) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+
+  EXPECT_EQ(rejected.load(), 0u);
+  const IntakeCounters counters = queue.counters();
+  EXPECT_EQ(counters.accepted, kCapacity);
+  EXPECT_EQ(counters.replaced,
+            static_cast<std::uint64_t>(kThreads) * kPerThread - kCapacity);
+  EXPECT_EQ(counters.rejected_full, 0u);
+  EXPECT_EQ(queue.drain().size(), kCapacity);
+}
+
+TEST(BidQueue, SequenceWatermarkDedupsAcrossDrain) {
+  BidQueue queue(16, 100);
+  BidSubmission bid = head_bid(1, 0.01);
+  bid.seq = 5;
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kAccepted);
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kDuplicate);  // same seq
+  bid.seq = 4;
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kDuplicate);  // older seq
+  bid.seq = 6;
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kReplaced);   // newer wins
+
+  const std::vector<BidSubmission> drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].seq, 6u);
+
+  // The watermark deliberately survives the drain: this is exactly the
+  // ambiguous-timeout window ("was my bid drained before the ack got
+  // lost?") that idempotent resubmission exists for.
+  bid.seq = 6;
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kDuplicate);
+  bid.seq = 7;
+  EXPECT_EQ(queue.submit(bid), IntakeStatus::kAccepted);
+
+  const IntakeCounters counters = queue.counters();
+  EXPECT_EQ(counters.duplicate, 3u);
+  EXPECT_EQ(counters.total(), 6u);
+}
+
+TEST(BidQueue, ZeroSequenceBypassesDedup) {
+  BidQueue queue(16, 100);
+  BidSubmission seq1 = head_bid(1, 0.01);
+  seq1.seq = 1;
+  EXPECT_EQ(queue.submit(seq1), IntakeStatus::kAccepted);
+  // A legacy (seq 0) client can always overwrite, and does not move the
+  // watermark...
+  EXPECT_EQ(queue.submit(head_bid(1, 0.02)), IntakeStatus::kReplaced);
+  // ...so the tracked client's stale retry still dedups.
+  EXPECT_EQ(queue.submit(seq1), IntakeStatus::kDuplicate);
+}
+
+TEST(BidQueue, RejectedInvalidDoesNotAdvanceWatermark) {
+  BidQueue queue(16, 10);
+  BidSubmission bad = head_bid(1, -0.5);  // out of the bid box
+  bad.seq = 3;
+  EXPECT_EQ(queue.submit(bad), IntakeStatus::kRejectedInvalid);
+  // The corrected resubmission reuses the sequence number and must not
+  // be mistaken for a duplicate of the rejected attempt.
+  BidSubmission good = head_bid(1, 0.01);
+  good.seq = 3;
+  EXPECT_EQ(queue.submit(good), IntakeStatus::kAccepted);
+}
+
+TEST(BidQueue, ConcurrentSameSequenceRetriesCollapseToOne) {
+  constexpr int kThreads = 8;
+  BidQueue queue(16, 100);
+  std::atomic<int> accepted{0};
+  std::atomic<int> duplicate{0};
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        BidSubmission bid = head_bid(7, 0.01);
+        bid.seq = 1;
+        const IntakeStatus status = queue.submit(bid);
+        if (status == IntakeStatus::kAccepted) ++accepted;
+        if (status == IntakeStatus::kDuplicate) ++duplicate;
+      });
+    }
+  }
+  // However the racing retries interleave, exactly one copy is taken.
+  EXPECT_EQ(accepted.load(), 1);
+  EXPECT_EQ(duplicate.load(), kThreads - 1);
+  EXPECT_EQ(queue.drain().size(), 1u);
+}
+
 }  // namespace
 }  // namespace musketeer::svc

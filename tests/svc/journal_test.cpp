@@ -1,0 +1,310 @@
+// Epoch journal: record round-trips, torn/corrupt-tail repair on open,
+// and replay_journal's recovery state machine (rollback, exactly-once
+// in-flight application, digest verification).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "pcn/rebalancer.hpp"
+#include "svc/journal.hpp"
+#include "svc/service.hpp"
+#include "svc_test_util.hpp"
+
+namespace musketeer::svc {
+namespace {
+
+using testutil::expect_networks_equal;
+using testutil::make_network;
+using testutil::small_config;
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "musk_journal_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+void append_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ 0x40));
+}
+
+TEST(Journal, RecordsSurviveReopen) {
+  const std::string path = temp_journal("reopen");
+  {
+    Journal journal(path);
+    journal.append_begin(0, 111);
+    journal.append_settled(0, 222);
+    journal.append_begin(1, 222);
+    journal.append_aborted(1, 222);
+    EXPECT_EQ(journal.records().size(), 4u);
+  }
+  Journal journal(path);
+  ASSERT_EQ(journal.records().size(), 4u);
+  EXPECT_EQ(journal.truncated_tail_bytes(), 0u);
+  EXPECT_EQ(journal.records()[0].type, RecordType::kBegin);
+  EXPECT_EQ(journal.records()[0].epoch, 0);
+  EXPECT_EQ(journal.records()[0].digest, 111u);
+  EXPECT_EQ(journal.records()[1].type, RecordType::kSettled);
+  EXPECT_EQ(journal.records()[1].digest, 222u);
+  EXPECT_EQ(journal.records()[2].type, RecordType::kBegin);
+  EXPECT_EQ(journal.records()[2].epoch, 1);
+  EXPECT_EQ(journal.records()[3].type, RecordType::kAborted);
+}
+
+TEST(Journal, TornTailTruncatedOnOpen) {
+  const std::string path = temp_journal("torn");
+  std::uint64_t committed = 0;
+  {
+    Journal journal(path);
+    journal.append_begin(0, 7);
+    journal.append_settled(0, 9);
+    committed = journal.committed_bytes();
+  }
+  // A crash mid-write leaves a partial record: magic plus a few bytes.
+  append_raw(path, std::string("MJRN\x01garbage", 12));
+
+  Journal journal(path);
+  EXPECT_EQ(journal.records().size(), 2u);
+  EXPECT_EQ(journal.truncated_tail_bytes(), 12u);
+  EXPECT_EQ(journal.committed_bytes(), committed);
+
+  // The repair is durable: appending continues from the cut point and a
+  // third open sees a clean file.
+  journal.append_begin(1, 9);
+  Journal reopened(path);
+  EXPECT_EQ(reopened.records().size(), 3u);
+  EXPECT_EQ(reopened.truncated_tail_bytes(), 0u);
+}
+
+TEST(Journal, CorruptRecordDropsItAndEverythingAfter) {
+  const std::string path = temp_journal("corrupt");
+  std::uint64_t after_first = 0;
+  {
+    Journal journal(path);
+    journal.append_begin(0, 7);
+    after_first = journal.committed_bytes();
+    journal.append_settled(0, 9);
+    journal.append_begin(1, 9);
+  }
+  // Flip a byte inside the second record's digest field: its checksum
+  // no longer matches, so it and the intact record after it are both
+  // discarded (the scan keeps only the longest valid prefix).
+  flip_byte(path, static_cast<std::size_t>(after_first) + 10);
+
+  Journal journal(path);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].type, RecordType::kBegin);
+  EXPECT_GT(journal.truncated_tail_bytes(), 0u);
+  EXPECT_EQ(journal.committed_bytes(), after_first);
+}
+
+TEST(Journal, BadHeaderRejected) {
+  const std::string path = temp_journal("badheader");
+  append_raw(path, "NOTAJRNL and then some");
+  EXPECT_THROW(Journal journal(path), JournalError);
+  // A short file cannot be a journal either.
+  const std::string short_path = temp_journal("shortheader");
+  append_raw(short_path, "MU");
+  EXPECT_THROW(Journal journal(short_path), JournalError);
+}
+
+TEST(Journal, EmptyJournalReplaysToGenesis) {
+  const std::string path = temp_journal("empty");
+  Journal journal(path);
+  pcn::Network network = make_network(small_config(7));
+  const std::uint64_t genesis = network.state_digest();
+  const RecoveryReport report =
+      replay_journal(journal, network, small_config(7).policy);
+  EXPECT_EQ(report.epochs_settled, 0);
+  EXPECT_EQ(report.rolled_back, 0);
+  EXPECT_EQ(report.next_epoch, 0);
+  EXPECT_FALSE(report.applied_inflight);
+  EXPECT_EQ(report.final_digest, genesis);
+  EXPECT_EQ(network.state_digest(), genesis);
+}
+
+TEST(Journal, ReplayReproducesServiceRunExactly) {
+  const sim::SimulationConfig config = small_config(5);
+  const std::string path = temp_journal("replay");
+  core::M3DoubleAuction mechanism;
+
+  pcn::Network live = make_network(config);
+  {
+    Journal journal(path);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    RebalanceService service(live, mechanism, service_config);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const EpochReport report = service.run_epoch();
+      EXPECT_EQ(report.epoch, epoch);
+    }
+  }
+
+  Journal journal(path);
+  pcn::Network recovered = make_network(config);
+  const RecoveryReport report =
+      replay_journal(journal, recovered, config.policy);
+  EXPECT_EQ(report.epochs_settled, 3);
+  EXPECT_EQ(report.rolled_back, 0);
+  EXPECT_EQ(report.aborted_epochs, 0);
+  EXPECT_FALSE(report.applied_inflight);
+  EXPECT_EQ(report.next_epoch, 3);
+  EXPECT_EQ(report.final_digest, live.state_digest());
+  expect_networks_equal(recovered, live);
+}
+
+TEST(Journal, InflightOutcomeAppliedExactlyOnceAndClosed) {
+  const sim::SimulationConfig config = small_config(5);
+  const std::string path = temp_journal("inflight");
+  core::M3DoubleAuction mechanism;
+
+  // Reference: what one fully settled epoch produces.
+  pcn::Network reference = make_network(config);
+  ServiceConfig reference_config;
+  reference_config.policy = config.policy;
+  RebalanceService reference_service(reference, mechanism, reference_config);
+  const EpochReport reference_report = reference_service.run_epoch();
+  ASSERT_GT(reference_report.cycles_executed, 0) << "seed cleared no cycles";
+
+  // Hand-build the crash shape: BEGIN + committed OUTCOME, no SETTLED —
+  // the daemon died after the commit point but before settlement.
+  {
+    pcn::Network staging = make_network(config);
+    const std::uint64_t pre = staging.state_digest();
+    pcn::ExtractedGame extracted =
+        pcn::extract_and_lock(staging, config.policy);
+    const core::Outcome outcome = mechanism.run_truthful(extracted.game);
+    Journal journal(path);
+    journal.append_begin(0, pre);
+    journal.append_outcome(0, pre, outcome);
+  }
+
+  {
+    Journal journal(path);
+    pcn::Network recovered = make_network(config);
+    const RecoveryReport report =
+        replay_journal(journal, recovered, config.policy);
+    EXPECT_TRUE(report.applied_inflight);
+    EXPECT_EQ(report.epochs_settled, 1);
+    EXPECT_EQ(report.next_epoch, 1);
+    EXPECT_EQ(report.final_digest, reference_report.network_digest);
+    expect_networks_equal(recovered, reference);
+    // Recovery closed the epoch durably.
+    ASSERT_FALSE(journal.records().empty());
+    EXPECT_EQ(journal.records().back().type, RecordType::kSettled);
+    EXPECT_EQ(journal.records().back().digest, reference_report.network_digest);
+  }
+
+  // A second recovery (recovery itself interrupted and retried) replays
+  // the close-out SETTLED instead of re-detecting an in-flight tail: the
+  // outcome is never applied twice.
+  Journal journal(path);
+  pcn::Network again = make_network(config);
+  const RecoveryReport second = replay_journal(journal, again, config.policy);
+  EXPECT_FALSE(second.applied_inflight);
+  EXPECT_EQ(second.epochs_settled, 1);
+  EXPECT_EQ(second.next_epoch, 1);
+  expect_networks_equal(again, reference);
+}
+
+TEST(Journal, DanglingBeginRolledBackAndEpochReused) {
+  const sim::SimulationConfig config = small_config(7);
+  const std::string path = temp_journal("dangling");
+  pcn::Network network = make_network(config);
+  const std::uint64_t genesis = network.state_digest();
+  {
+    Journal journal(path);
+    journal.append_begin(0, genesis);
+  }
+  Journal journal(path);
+  const RecoveryReport report =
+      replay_journal(journal, network, config.policy);
+  EXPECT_EQ(report.rolled_back, 1);
+  EXPECT_EQ(report.epochs_settled, 0);
+  EXPECT_EQ(report.next_epoch, 0);
+  EXPECT_EQ(network.state_digest(), genesis);
+}
+
+TEST(Journal, AbortedEpochReusesItsNumber) {
+  const sim::SimulationConfig config = small_config(7);
+  const std::string path = temp_journal("aborted");
+  pcn::Network network = make_network(config);
+  const std::uint64_t genesis = network.state_digest();
+  {
+    Journal journal(path);
+    journal.append_begin(2, genesis);
+    journal.append_aborted(2, genesis);
+  }
+  Journal journal(path);
+  const RecoveryReport report =
+      replay_journal(journal, network, config.policy);
+  EXPECT_EQ(report.aborted_epochs, 1);
+  EXPECT_EQ(report.rolled_back, 0);
+  EXPECT_EQ(report.next_epoch, 2);
+  EXPECT_EQ(network.state_digest(), genesis);
+}
+
+TEST(Journal, WrongGenesisNetworkRejected) {
+  const sim::SimulationConfig config = small_config(5);
+  const std::string path = temp_journal("wronggenesis");
+  {
+    pcn::Network network = make_network(config);
+    Journal journal(path);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    core::M3DoubleAuction mechanism;
+    RebalanceService service(network, mechanism, service_config);
+    service.run_epoch();
+  }
+  Journal journal(path);
+  pcn::Network wrong = make_network(small_config(8));  // different seed
+  EXPECT_THROW(replay_journal(journal, wrong, config.policy), JournalError);
+}
+
+TEST(Journal, MalformedRecordSequencesRejectedOnReplay) {
+  const sim::SimulationConfig config = small_config(7);
+  pcn::Network network = make_network(config);
+  const std::uint64_t genesis = network.state_digest();
+
+  {
+    // SETTLED with no BEGIN at all.
+    const std::string path = temp_journal("orphan_settled");
+    {
+      Journal journal(path);
+      journal.append_settled(0, genesis);
+    }
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    EXPECT_THROW(replay_journal(journal, net, config.policy), JournalError);
+  }
+  {
+    // ABORTED with no BEGIN.
+    const std::string path = temp_journal("orphan_aborted");
+    {
+      Journal journal(path);
+      journal.append_aborted(0, genesis);
+    }
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    EXPECT_THROW(replay_journal(journal, net, config.policy), JournalError);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::svc

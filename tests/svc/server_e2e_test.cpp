@@ -1,7 +1,18 @@
-// End-to-end: in-process musketeerd, concurrent wire clients, and exact
-// equivalence of the settled network with a single-threaded sim run.
+// End-to-end: in-process musketeerd, concurrent wire clients, exact
+// equivalence of the settled network with a single-threaded sim run, and
+// unix-socket path reclamation (stale sockets reclaimed, live ones and
+// regular files refused).
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -234,6 +245,103 @@ TEST(ServerE2E, ShutdownClosesClients) {
       std::runtime_error);
   EXPECT_TRUE(client.closed());
   daemon.reset();
+}
+
+std::string unix_socket_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "musk_e2e_" + name + ".sock";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::unique_ptr<Daemon> make_unix_daemon(const sim::SimulationConfig& config,
+                                         const std::string& path) {
+  DaemonConfig daemon_config;
+  daemon_config.service.policy = config.policy;
+  daemon_config.server.listen = "unix:" + path;
+  return std::make_unique<Daemon>(
+      make_network(config), core::make_mechanism("m3", {}), daemon_config);
+}
+
+// Binds a unix socket at `path` and closes the fd without unlinking —
+// exactly the wreckage a kill -9'd daemon leaves behind. connect() to it
+// yields ECONNREFUSED, which is how listen_on proves the owner is dead.
+void leave_stale_socket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  ::close(fd);
+}
+
+TEST(ServerE2E, StaleUnixSocketReclaimed) {
+  const sim::SimulationConfig config = small_config(11);
+  const std::string path = unix_socket_path("stale");
+  leave_stale_socket(path);
+
+  auto daemon = make_unix_daemon(config, path);
+  daemon->start(/*periodic_epochs=*/false);
+  Client client(daemon->endpoint());
+  BidSubmission bid;
+  bid.player = 0;
+  EXPECT_TRUE(intake_ok(client.submit(bid).status));
+  client.close();
+  daemon->stop();
+  daemon.reset();
+
+  // The socket file the stopped daemon left behind is itself stale now:
+  // a restart on the same path reclaims it the same way.
+  auto second = make_unix_daemon(config, path);
+  second->start(/*periodic_epochs=*/false);
+  Client again(second->endpoint());
+  EXPECT_TRUE(intake_ok(again.submit(bid).status));
+  second->stop();
+}
+
+TEST(ServerE2E, LiveUnixSocketNotStolen) {
+  const sim::SimulationConfig config = small_config(12);
+  const std::string path = unix_socket_path("live");
+
+  auto first = make_unix_daemon(config, path);
+  first->start(/*periodic_epochs=*/false);
+
+  // A second daemon on the same path must refuse to start rather than
+  // unlink the live socket out from under the first.
+  auto usurper = make_unix_daemon(config, path);
+  EXPECT_THROW(usurper->start(/*periodic_epochs=*/false),
+               std::runtime_error);
+
+  // The first daemon is unharmed and still answering.
+  Client client(first->endpoint());
+  BidSubmission bid;
+  bid.player = 1;
+  EXPECT_TRUE(intake_ok(client.submit(bid).status));
+  first->stop();
+}
+
+TEST(ServerE2E, NonSocketFileAtUnixPathRefusedAndPreserved) {
+  const sim::SimulationConfig config = small_config(13);
+  const std::string path = unix_socket_path("notasocket");
+  {
+    std::ofstream out(path);
+    out << "precious user data";
+  }
+
+  auto daemon = make_unix_daemon(config, path);
+  EXPECT_THROW(daemon->start(/*periodic_epochs=*/false),
+               std::runtime_error);
+
+  // The file was not unlinked or truncated.
+  std::ifstream in(path);
+  std::string contents;
+  std::getline(in, contents);
+  EXPECT_EQ(contents, "precious user data");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 // RebalanceService: snapshot/clear/settle equivalence with the historic
-// inline path, bid-override application, notices, and the scheduler.
+// inline path, bid-override application, notices, the scheduler, and
+// clean abort (locks released, journal closed) when a mechanism throws.
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "core/m4_delayed.hpp"
 #include "pcn/rebalancer.hpp"
 #include "sim/engine.hpp"
+#include "svc/journal.hpp"
 #include "svc/service.hpp"
 #include "svc/sim_backend.hpp"
 #include "svc_test_util.hpp"
@@ -241,6 +245,82 @@ TEST(Service, SteadyStateEpochsPerformZeroGraphRebuilds) {
     EXPECT_EQ(reports[i].network_digest, reports[quiescent].network_digest)
         << "epoch " << i;
   }
+}
+
+/// Fails its first clear, then behaves like M3: the service must treat
+/// the failure as a clean abort and the retry as a fresh epoch.
+class ThrowOnceMechanism : public core::Mechanism {
+ public:
+  std::string_view name() const override { return "throw-once"; }
+
+ protected:
+  core::Outcome run_impl(flow::SolveContext& ctx, const core::Game& game,
+                         const core::BidVector& bids) const override {
+    if (!thrown_) {
+      thrown_ = true;
+      throw std::runtime_error("mechanism exploded mid-clear");
+    }
+    return inner_.run(ctx, game, bids);
+  }
+
+ private:
+  mutable bool thrown_ = false;
+  core::M3DoubleAuction inner_;
+};
+
+TEST(Service, MechanismThrowReleasesLocksAndReusesEpoch) {
+  const sim::SimulationConfig config = small_config(5);
+  const std::string journal_path =
+      ::testing::TempDir() + "musk_service_abort.jrn";
+  std::remove(journal_path.c_str());
+  pcn::Network network = make_network(config);
+  pcn::Network reference = make_network(config);
+  const std::uint64_t genesis = network.state_digest();
+  ThrowOnceMechanism mechanism;
+  Journal journal(journal_path);
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  service_config.journal = &journal;
+  RebalanceService service(network, mechanism, service_config);
+
+  // A bid queued for the failed epoch is consumed by the drain; the
+  // epoch itself aborts.
+  BidSubmission bid;
+  bid.player = 1;
+  ASSERT_EQ(service.submit(bid), IntakeStatus::kAccepted);
+  EXPECT_THROW(service.run_epoch(), std::runtime_error);
+
+  // Clean abort: every HTLC pre-lock released, balances untouched, and
+  // the failed epoch's number not consumed.
+  EXPECT_EQ(network.state_digest(), genesis);
+  for (pcn::ChannelId c = 0; c < network.num_channels(); ++c) {
+    EXPECT_EQ(network.channel(c).locked_a, 0) << "channel " << c;
+    EXPECT_EQ(network.channel(c).locked_b, 0) << "channel " << c;
+  }
+  EXPECT_EQ(service.epochs_cleared(), 0);
+  EXPECT_TRUE(service.reports().empty());
+
+  // The abort is durable: the journal closed epoch 0 with ABORTED, so a
+  // recovering daemon knows the rollback was deliberate.
+  ASSERT_EQ(journal.records().size(), 2u);
+  EXPECT_EQ(journal.records()[0].type, RecordType::kBegin);
+  EXPECT_EQ(journal.records()[0].epoch, 0);
+  EXPECT_EQ(journal.records()[0].digest, genesis);
+  EXPECT_EQ(journal.records()[1].type, RecordType::kAborted);
+  EXPECT_EQ(journal.records()[1].epoch, 0);
+
+  // The retry clears epoch 0 and, bids aside, matches a service that
+  // never failed (the aborted attempt left no trace on the network).
+  const EpochReport report = service.run_epoch();
+  EXPECT_EQ(report.epoch, 0);
+  EXPECT_EQ(report.bids_applied, 0u);  // the bid died with the abort
+
+  core::M3DoubleAuction clean;
+  ServiceConfig reference_config;
+  reference_config.policy = config.policy;
+  RebalanceService reference_service(reference, clean, reference_config);
+  reference_service.run_epoch();
+  expect_networks_equal(network, reference);
 }
 
 }  // namespace

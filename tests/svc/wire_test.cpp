@@ -195,6 +195,67 @@ TEST(Wire, PlayerNoticeAndErrorRoundTrip) {
   EXPECT_THROW(decode_error(encode_error("boom") + "!"), WireError);
 }
 
+TEST(Wire, SubmitBidSequenceRoundTrip) {
+  BidSubmission bid;
+  bid.player = 3;
+  bid.has_head = true;
+  bid.head_bid = 0.01;
+  bid.client_tag = 77;
+  bid.seq = 0xabcdef01u;
+  const BidSubmission back = decode_submit_bid(encode_submit_bid(bid));
+  EXPECT_EQ(back.seq, 0xabcdef01u);
+  // seq 0 (unsequenced, pre-v2 client behaviour) survives too.
+  bid.seq = 0;
+  EXPECT_EQ(decode_submit_bid(encode_submit_bid(bid)).seq, 0u);
+}
+
+TEST(Wire, BidAckSequenceAndDuplicateStatusRoundTrip) {
+  BidAckMsg ack;
+  ack.client_tag = 5;
+  ack.status = IntakeStatus::kDuplicate;
+  ack.intake_epoch = 2;
+  ack.seq = 41;
+  const BidAckMsg back = decode_bid_ack(encode_bid_ack(ack));
+  EXPECT_EQ(back.status, IntakeStatus::kDuplicate);
+  EXPECT_EQ(back.seq, 41u);
+}
+
+TEST(Wire, StructuredErrorRoundTrip) {
+  ErrorMsg busy;
+  busy.code = ErrorCode::kRetryAfter;
+  busy.retry_after_ms = 250;
+  busy.message = "shedding load";
+  const ErrorMsg back = decode_error(encode_error(busy));
+  EXPECT_EQ(back.code, ErrorCode::kRetryAfter);
+  EXPECT_EQ(back.retry_after_ms, 250u);
+  EXPECT_EQ(back.message, "shedding load");
+
+  // The legacy string overload is a kGeneric error with no hint.
+  const ErrorMsg generic = decode_error(encode_error("boom"));
+  EXPECT_EQ(generic.code, ErrorCode::kGeneric);
+  EXPECT_EQ(generic.retry_after_ms, 0u);
+}
+
+TEST(Wire, UnknownErrorCodeRejected) {
+  // Hand-craft a payload with code 2 (beyond the known enum range).
+  std::string payload;
+  core::codec::put_u16(payload, 2);
+  core::codec::put_u32(payload, 0);
+  core::codec::put_u32(payload, 0);
+  EXPECT_THROW(decode_error(payload), WireError);
+}
+
+TEST(Wire, TruncatedErrorPayloadsThrow) {
+  ErrorMsg msg;
+  msg.code = ErrorCode::kRetryAfter;
+  msg.retry_after_ms = 9;
+  msg.message = "hi";
+  const std::string payload = encode_error(msg);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(decode_error(payload.substr(0, len)), std::runtime_error);
+  }
+}
+
 TEST(Wire, HelloRoundTrip) {
   HelloMsg msg;
   msg.player = 123;

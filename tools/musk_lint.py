@@ -35,6 +35,15 @@ wait interruptible and every thread joined):
   system-call    No `system()` -- it blocks, inherits fds into a shell, and
                  is unkillable from a stop_token. Spawn helpers explicitly
                  or do the work in-process.
+  cv-wait        No deadline-free `.wait(` (condition_variable or future) --
+                 a wait with no timeout can block shutdown forever if the
+                 matching notify is lost to a crash or a bug. Use
+                 `wait_for` / `wait_until` in a predicate loop so the wait
+                 re-checks its exit condition on a bounded cadence.
+  bare-catch     No `catch (...)` that swallows -- a handler that neither
+                 rethrows nor is explicitly allowed hides the very failures
+                 the chaos suite injects. Cleanup-and-rethrow handlers
+                 (a `throw;` within the next few lines) are fine.
 
 A line may opt out of one rule with a justification comment on that line:
 
@@ -68,6 +77,15 @@ NAKED_SLEEP = re.compile(
 # `system(` as a free/std call (not ::system qualifier-on-the-left like
 # foo::system or a member x.system()).
 SYSTEM_CALL = re.compile(r"(?<![A-Za-z0-9_.:])(?:std::|::)?system\s*\(")
+# `.wait(` exactly: `.wait_for(` / `.wait_until(` have a `_` after "wait"
+# and do not match.
+CV_WAIT = re.compile(r"\.\s*wait\s*\(")
+# A catch-everything handler. Checked with lookahead in lint_file: only a
+# handler with no `throw` in the following lines is a violation.
+BARE_CATCH = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+RETHROW = re.compile(r"\bthrow\b")
+# How many lines after a catch (...) may contain the rethrow.
+BARE_CATCH_LOOKAHEAD = 20
 # A Graph being constructed (`Graph g...`, by value) or an explicit
 # build_graph/build_graph_without call. Reference bindings (`Graph& g`)
 # to a context-owned graph are fine and do not match.
@@ -87,7 +105,23 @@ RULES = [
     ("thread-detach", THREAD_DETACH, lambda rel: True),
     ("naked-sleep", NAKED_SLEEP, lambda rel: True),
     ("system-call", SYSTEM_CALL, lambda rel: True),
+    ("cv-wait", CV_WAIT, lambda rel: True),
 ]
+
+
+def is_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def swallowing_catch(lines: list[str], index: int) -> bool:
+    """True if the catch (...) at lines[index] never rethrows.
+
+    Lexical approximation: a cleanup-and-rethrow handler mentions `throw`
+    within the handler's first few lines; a swallowing one does not.
+    """
+    lookahead = lines[index:index + BARE_CATCH_LOOKAHEAD]
+    return not any(RETHROW.search(line) for line in lookahead)
 
 
 def lint_file(root: Path, path: Path) -> list[str]:
@@ -99,7 +133,8 @@ def lint_file(root: Path, path: Path) -> list[str]:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
         return [f"{rel}: unreadable: {err}"]
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
         allowed = set(ALLOW.findall(line))
         for rule, pattern, applies in RULES:
             if rule in allowed or not applies(rel):
@@ -107,6 +142,11 @@ def lint_file(root: Path, path: Path) -> list[str]:
             if pattern.search(line):
                 violations.append(
                     f"{rel}:{lineno}: [{rule}] {line.strip()}")
+        if ("bare-catch" not in allowed and not is_comment(line)
+                and BARE_CATCH.search(line)
+                and swallowing_catch(lines, lineno - 1)):
+            violations.append(
+                f"{rel}:{lineno}: [bare-catch] {line.strip()}")
     return violations
 
 

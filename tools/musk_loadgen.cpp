@@ -61,6 +61,7 @@ struct WorkerStats {
   std::uint64_t rejected_full = 0;
   std::uint64_t rejected_invalid = 0;
   std::uint64_t rejected_closed = 0;
+  std::uint64_t duplicate = 0;
   std::uint64_t errors = 0;
   std::vector<double> epoch_clear_ms;
 };
@@ -216,6 +217,7 @@ int main(int argc, char** argv) {
               case svc::IntakeStatus::kRejectedClosed:
                 ++my.rejected_closed;
                 break;
+              case svc::IntakeStatus::kDuplicate: ++my.duplicate; break;
             }
           }
           for (const svc::EpochResultMsg& epoch :
@@ -243,6 +245,7 @@ int main(int argc, char** argv) {
       total.rejected_full += s.rejected_full;
       total.rejected_invalid += s.rejected_invalid;
       total.rejected_closed += s.rejected_closed;
+      total.duplicate += s.duplicate;
       total.errors += s.errors;
       total.ack_ms.insert(total.ack_ms.end(), s.ack_ms.begin(),
                           s.ack_ms.end());
@@ -260,7 +263,7 @@ int main(int argc, char** argv) {
     const std::uint64_t queued = total.accepted + total.replaced;
     const std::uint64_t submitted =
         queued + total.rejected_full + total.rejected_invalid +
-        total.rejected_closed;
+        total.rejected_closed + total.duplicate;
     std::printf("connections %d, target %.0f bids/s, ran %.2f s\n",
                 connections, rate, elapsed);
     std::printf("submitted %llu (%.1f/s), queued %llu (%.1f/s): "
@@ -272,10 +275,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.accepted),
                 static_cast<unsigned long long>(total.replaced));
     std::printf("shed: %llu rejected-full, %llu rejected-invalid, "
-                "%llu rejected-closed, %llu transport errors\n",
+                "%llu rejected-closed, %llu duplicate, "
+                "%llu transport errors\n",
                 static_cast<unsigned long long>(total.rejected_full),
                 static_cast<unsigned long long>(total.rejected_invalid),
                 static_cast<unsigned long long>(total.rejected_closed),
+                static_cast<unsigned long long>(total.duplicate),
                 static_cast<unsigned long long>(total.errors));
     print_percentiles("ack latency ms", total.ack_ms);
     print_percentiles("epoch clear ms", total.epoch_clear_ms);

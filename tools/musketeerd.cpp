@@ -10,6 +10,10 @@
 //   --epoch-ms <ms>    epoch period                          [1000]
 //   --epochs <n>       stop after n epochs (0 = run forever) [0]
 //   --queue-cap <n>    intake queue capacity (players)       [1024]
+//   --journal <path>   crash-safe epoch journal (WAL); on restart the
+//                      daemon replays it against the genesis network
+//                      (same --nodes/--seed/--skew) and resumes at the
+//                      recovered epoch                       [off]
 //
 // The daemon builds the same Barabási–Albert network the simulator
 // uses (so a daemon run is comparable to `musketeer sim`), then serves
@@ -41,7 +45,7 @@ int usage() {
                "usage: musketeerd [--listen tcp:PORT|unix:PATH] "
                "[--mechanism m] [--nodes n] [--seed s] [--skew x]\n"
                "                  [--epoch-ms ms] [--epochs n] "
-               "[--queue-cap n]\n");
+               "[--queue-cap n] [--journal path]\n");
   return 1;
 }
 
@@ -77,6 +81,8 @@ int main(int argc, char** argv) {
       } else if (flag == "--queue-cap") {
         config.service.queue_capacity =
             static_cast<std::size_t>(std::stoull(value));
+      } else if (flag == "--journal") {
+        config.journal_path = value;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return usage();
@@ -97,6 +103,15 @@ int main(int argc, char** argv) {
     pcn::Network network = sim::build_network(sim_config, rng);
 
     svc::Daemon daemon(std::move(network), std::move(mechanism), config);
+    if (!config.journal_path.empty()) {
+      const svc::RecoveryReport& rec = daemon.recovery();
+      std::printf("musketeerd: journal %s: %d epoch(s) replayed"
+                  "%s, %d rolled back, %d aborted; resuming at epoch %d\n",
+                  config.journal_path.c_str(), rec.epochs_settled,
+                  rec.applied_inflight ? " (1 in-flight outcome applied)"
+                                       : "",
+                  rec.rolled_back, rec.aborted_epochs, rec.next_epoch);
+    }
     daemon.service().on_epoch([](const svc::EpochReport& report) {
       std::printf("epoch %d: bids %zu, edges %d, cycles %d, volume %lld, "
                   "fees %.6f, clear %.3f ms, state %016llx\n",
