@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/ordered_mutex.hpp"
+
 namespace musketeer::svc {
 
 const char* to_string(IntakeStatus status) {
@@ -41,11 +43,11 @@ BidQueue::BidQueue(std::size_t capacity, core::PlayerId num_players)
 
 IntakeStatus BidQueue::submit(const BidSubmission& bid) {
   if (!valid_bid(bid, num_players_)) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::OrderedLock lock(mutex_);
     ++counters_.rejected_invalid;
     return IntakeStatus::kRejectedInvalid;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::OrderedLock lock(mutex_);
   if (closed_) {
     ++counters_.rejected_closed;
     return IntakeStatus::kRejectedClosed;
@@ -81,7 +83,7 @@ IntakeStatus BidQueue::submit(const BidSubmission& bid) {
 std::vector<BidSubmission> BidQueue::drain() {
   std::vector<BidSubmission> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::OrderedLock lock(mutex_);
     out.swap(pending_);
     index_.clear();
   }
@@ -93,17 +95,17 @@ std::vector<BidSubmission> BidQueue::drain() {
 }
 
 void BidQueue::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::OrderedLock lock(mutex_);
   closed_ = true;
 }
 
 std::size_t BidQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::OrderedLock lock(mutex_);
   return pending_.size();
 }
 
 IntakeCounters BidQueue::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::OrderedLock lock(mutex_);
   return counters_;
 }
 

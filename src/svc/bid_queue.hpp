@@ -23,11 +23,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/ordered_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace musketeer::svc {
 
@@ -94,32 +95,34 @@ class BidQueue {
   BidQueue(std::size_t capacity, core::PlayerId num_players);
 
   /// Thread-safe intake. Never blocks; full is an answer, not a wait.
-  IntakeStatus submit(const BidSubmission& bid);
+  IntakeStatus submit(const BidSubmission& bid) MUSK_EXCLUDES(mutex_);
 
   /// Takes every pending submission (sorted by player id) and empties
   /// the queue. Called by the epoch scheduler at the top of each epoch.
-  std::vector<BidSubmission> drain();
+  std::vector<BidSubmission> drain() MUSK_EXCLUDES(mutex_);
 
   /// Further submits return kRejectedClosed; pending bids stay drainable.
-  void close();
+  void close() MUSK_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const MUSK_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
-  IntakeCounters counters() const;
+  IntakeCounters counters() const MUSK_EXCLUDES(mutex_);
 
  private:
   const std::size_t capacity_;
   const core::PlayerId num_players_;
 
-  mutable std::mutex mutex_;
-  bool closed_ = false;
-  std::vector<BidSubmission> pending_;
-  std::unordered_map<core::PlayerId, std::size_t> index_;
+  mutable util::OrderedMutex mutex_{util::LockRank::kBidQueue, "bid-queue"};
+  bool closed_ MUSK_GUARDED_BY(mutex_) = false;
+  std::vector<BidSubmission> pending_ MUSK_GUARDED_BY(mutex_);
+  std::unordered_map<core::PlayerId, std::size_t> index_
+      MUSK_GUARDED_BY(mutex_);
   /// Highest sequence number ever queued per player. Deliberately NOT
   /// cleared by drain(): the duplicate answer must outlive the epoch
   /// that consumed the original submission.
-  std::unordered_map<core::PlayerId, std::uint32_t> last_seq_;
-  IntakeCounters counters_;
+  std::unordered_map<core::PlayerId, std::uint32_t> last_seq_
+      MUSK_GUARDED_BY(mutex_);
+  IntakeCounters counters_ MUSK_GUARDED_BY(mutex_);
 };
 
 }  // namespace musketeer::svc

@@ -178,6 +178,7 @@ void Journal::append_aborted(int epoch, std::uint64_t pre_digest) {
 
 void Journal::append(RecordType type, int epoch, std::uint64_t digest,
                      const std::string& payload) {
+  const util::OrderedLock lock(mutex_);
   if (poisoned_) {
     throw JournalError("journal " + path_ +
                        ": poisoned by earlier fsync failure");

@@ -38,8 +38,10 @@
 // was the only writer (true for musketeerd, whose network has no
 // external payment feed).
 //
-// Not thread-safe: the service serializes appends under its epoch lock,
-// and recovery runs before the service exists.
+// Appends are serialized internally (rank kJournal, below the service's
+// epoch lock that normally drives them); the read accessors assume a
+// quiescent journal — recovery runs before the service exists, and
+// tests inspect records between epochs.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +52,8 @@
 #include "core/outcome.hpp"
 #include "pcn/network.hpp"
 #include "pcn/rebalancer.hpp"
+#include "util/ordered_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace musketeer::svc {
 
@@ -101,11 +105,14 @@ class Journal {
   /// Bytes discarded by open() as a torn/corrupt tail (observability).
   std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
 
-  void append_begin(int epoch, std::uint64_t pre_digest);
+  void append_begin(int epoch, std::uint64_t pre_digest)
+      MUSK_EXCLUDES(mutex_);
   void append_outcome(int epoch, std::uint64_t pre_digest,
-                      const core::Outcome& outcome);
-  void append_settled(int epoch, std::uint64_t post_digest);
-  void append_aborted(int epoch, std::uint64_t pre_digest);
+                      const core::Outcome& outcome) MUSK_EXCLUDES(mutex_);
+  void append_settled(int epoch, std::uint64_t post_digest)
+      MUSK_EXCLUDES(mutex_);
+  void append_aborted(int epoch, std::uint64_t pre_digest)
+      MUSK_EXCLUDES(mutex_);
 
  private:
   /// Encodes, writes, and fsyncs one record; only then is it added to
@@ -115,14 +122,20 @@ class Journal {
   /// thrown; if even the truncate fails the journal is poisoned and
   /// every later append throws.
   void append(RecordType type, int epoch, std::uint64_t digest,
-              const std::string& payload);
+              const std::string& payload) MUSK_EXCLUDES(mutex_);
 
   std::string path_;
-  int fd_ = -1;
+
+  /// Serializes appends (the file offset and poison state are one
+  /// atomically-advanced unit). records_/committed_bytes_ are written
+  /// under it too but read through the quiescent-only accessors above.
+  util::OrderedMutex mutex_{util::LockRank::kJournal, "journal"};
+  int fd_ MUSK_GUARDED_BY(mutex_) = -1;
+  bool poisoned_ MUSK_GUARDED_BY(mutex_) = false;
+
   std::vector<JournalRecord> records_;
   std::uint64_t committed_bytes_ = 0;
   std::uint64_t truncated_tail_bytes_ = 0;
-  bool poisoned_ = false;
 };
 
 /// Outcome of replaying a journal onto the genesis network at startup.

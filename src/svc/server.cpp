@@ -47,7 +47,7 @@ void SocketServer::stop() {
   }
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const util::OrderedLock lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (const auto& conn : connections) {
@@ -75,13 +75,13 @@ void SocketServer::accept_loop(const std::stop_token& stop) {
       break;
     }
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      const util::OrderedLock lock(connections_mutex_);
       prune_finished_locked();
     }
     if (rc == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const util::OrderedLock lock(connections_mutex_);
     if (connections_.size() >=
         static_cast<std::size_t>(config_.max_connections)) {
       // Connection-level load shedding: over the cap we refuse to queue
@@ -110,6 +110,7 @@ void SocketServer::accept_loop(const std::stop_token& stop) {
 }
 
 void SocketServer::prune_finished_locked() {
+  connections_mutex_.assert_held();
   std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
     if (!conn->done.load()) return false;
     ::close(conn->fd);
@@ -181,7 +182,7 @@ bool SocketServer::send_frame(Connection* conn, MsgType type,
   // Chaos hook: drop/truncate/corrupt the outbound frame (a lost or
   // mangled ack is what forces clients into idempotent resubmission).
   MUSK_FAULT_MUTATE("wire.server.send", frame);
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  const util::OrderedLock lock(conn->write_mutex);
   if (conn->done.load()) return false;
   if (!send_all(conn->fd, frame.data(), frame.size())) {
     conn->done.store(true);
@@ -192,7 +193,7 @@ bool SocketServer::send_frame(Connection* conn, MsgType type,
 
 void SocketServer::broadcast_epoch(const EpochReport& report) {
   const std::string result_payload = encode_epoch_result(report);
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  const util::OrderedLock lock(connections_mutex_);
   for (const auto& conn : connections_) {
     if (conn->done.load()) continue;
     send_frame(conn.get(), MsgType::kEpochResult, result_payload);

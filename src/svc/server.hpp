@@ -15,7 +15,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +22,8 @@
 #include "svc/service.hpp"
 #include "svc/socket_util.hpp"
 #include "svc/wire.hpp"
+#include "util/ordered_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace musketeer::svc {
 
@@ -66,16 +67,22 @@ class SocketServer {
     /// Player id from this connection's Hello (-1 = none).
     std::atomic<core::PlayerId> player{-1};
     std::atomic<bool> done{false};
-    std::mutex write_mutex;
+    /// Serializes writes to fd (epoch broadcast on the clearing thread
+    /// vs. acks on the connection thread). Guards no member — the fd's
+    /// read side belongs to the connection thread alone.
+    util::OrderedMutex write_mutex{util::LockRank::kConnection,
+                                   "server.connection.write"};
     std::jthread thread;
   };
 
-  void accept_loop(const std::stop_token& stop);
+  void accept_loop(const std::stop_token& stop)
+      MUSK_EXCLUDES(connections_mutex_);
   void connection_loop(const std::stop_token& stop, Connection* conn);
   void handle_frame(Connection* conn, const Frame& frame);
-  void broadcast_epoch(const EpochReport& report);
+  void broadcast_epoch(const EpochReport& report)
+      MUSK_EXCLUDES(connections_mutex_);
   bool send_frame(Connection* conn, MsgType type, std::string_view payload);
-  void prune_finished_locked();
+  void prune_finished_locked() MUSK_REQUIRES(connections_mutex_);
 
   RebalanceService& service_;
   const ServerConfig config_;
@@ -85,8 +92,11 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> accepted_{0};
 
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  util::OrderedMutex connections_mutex_{util::LockRank::kServer,
+                                        "server.connections"};
+  std::vector<std::unique_ptr<Connection>> connections_
+      MUSK_GUARDED_BY(connections_mutex_);
+
   std::jthread accept_thread_;
 };
 

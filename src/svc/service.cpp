@@ -59,10 +59,10 @@ std::vector<PlayerNotice> build_notices(const core::Game& game,
 RebalanceService::RebalanceService(pcn::Network& network,
                                    const core::Mechanism& mechanism,
                                    ServiceConfig config)
-    : network_(network),
-      mechanism_(mechanism),
+    : mechanism_(mechanism),
       config_(config),
       queue_(config.queue_capacity, network.num_nodes()),
+      network_(network),
       epochs_cleared_(config.first_epoch) {}
 
 RebalanceService::~RebalanceService() { stop(); }
@@ -71,8 +71,15 @@ IntakeStatus RebalanceService::submit(const BidSubmission& bid) {
   return queue_.submit(bid);
 }
 
+pcn::ExtractedGame RebalanceService::extract_snapshot(
+    std::uint64_t& pre_digest) {
+  const util::OrderedLock net_lock(network_mutex_);
+  pre_digest = network_.state_digest();
+  return pcn::extract_and_lock(network_, config_.policy);
+}
+
 EpochReport RebalanceService::run_epoch() {
-  std::lock_guard<std::mutex> epoch_lock(clear_mutex_);
+  const util::OrderedLock epoch_lock(clear_mutex_);
   const auto t0 = std::chrono::steady_clock::now();
 
   const std::vector<BidSubmission> subs = queue_.drain();
@@ -81,15 +88,11 @@ EpochReport RebalanceService::run_epoch() {
   // HTLC-locked on the live network, so clearing can proceed off-lock.
   // The pre-lock digest is what recovery verifies extraction against.
   std::uint64_t pre_digest = 0;
-  pcn::ExtractedGame extracted = [&] {
-    std::lock_guard<std::mutex> net_lock(network_mutex_);
-    pre_digest = network_.state_digest();
-    return pcn::extract_and_lock(network_, config_.policy);
-  }();
+  pcn::ExtractedGame extracted = extract_snapshot(pre_digest);
 
   EpochReport report;
   {
-    std::lock_guard<std::mutex> lock(reports_mutex_);
+    const util::OrderedLock lock(reports_mutex_);
     report.epoch = epochs_cleared_;
   }
   report.bids_applied = subs.size();
@@ -104,7 +107,7 @@ EpochReport RebalanceService::run_epoch() {
     // process; recovery rolls the dangling BEGIN back.
     throw;
   } catch (...) {
-    std::lock_guard<std::mutex> net_lock(network_mutex_);
+    const util::OrderedLock net_lock(network_mutex_);
     pcn::release_locks(network_, extracted);
     throw;
   }
@@ -129,7 +132,7 @@ EpochReport RebalanceService::run_epoch() {
       // release every pre-lock so no liquidity leaks, then record the
       // abort so recovery can tell a clean rollback from a crash.
       {
-        std::lock_guard<std::mutex> net_lock(network_mutex_);
+        const util::OrderedLock net_lock(network_mutex_);
         pcn::release_locks(network_, extracted);
       }
       if (journal != nullptr) {
@@ -151,7 +154,7 @@ EpochReport RebalanceService::run_epoch() {
     MUSK_FAULT_HIT("svc.crash_after_commit");
     pcn::RebalanceStats stats;
     {
-      std::lock_guard<std::mutex> net_lock(network_mutex_);
+      const util::OrderedLock net_lock(network_mutex_);
       stats = pcn::apply_outcome(network_, extracted, outcome);
     }
     MUSK_FAULT_HIT("svc.crash_mid_settle");
@@ -165,7 +168,7 @@ EpochReport RebalanceService::run_epoch() {
   }
 
   {
-    std::lock_guard<std::mutex> net_lock(network_mutex_);
+    const util::OrderedLock net_lock(network_mutex_);
     report.network_digest = network_.state_digest();
   }
   // A SETTLED append failure propagates with the settlement already
@@ -180,7 +183,7 @@ EpochReport RebalanceService::run_epoch() {
           .count();
 
   {
-    std::lock_guard<std::mutex> lock(reports_mutex_);
+    const util::OrderedLock lock(reports_mutex_);
     ++epochs_cleared_;
     reports_.push_back(report);
   }
@@ -190,8 +193,7 @@ EpochReport RebalanceService::run_epoch() {
 }
 
 void RebalanceService::start() {
-  MUSK_ASSERT_MSG(!started_, "RebalanceService started twice");
-  started_ = true;
+  MUSK_ASSERT_MSG(!started_.exchange(true), "RebalanceService started twice");
   scheduler_ = std::jthread(
       [this](const std::stop_token& stop) { scheduler_loop(stop); });
 }
@@ -207,34 +209,38 @@ void RebalanceService::stop() {
 
 void RebalanceService::on_epoch(
     std::function<void(const EpochReport&)> callback) {
-  MUSK_ASSERT_MSG(!started_, "on_epoch must be called before start()");
+  MUSK_ASSERT_MSG(!started_.load(), "on_epoch must be called before start()");
+  // Guarded registration: a manual run_epoch() on another thread reads
+  // callbacks_ under the same lock, so a late registration serializes
+  // against the in-flight epoch instead of racing its iteration.
+  const util::OrderedLock epoch_lock(clear_mutex_);
   callbacks_.push_back(std::move(callback));
 }
 
 bool RebalanceService::wait_epochs(int n,
                                    std::chrono::milliseconds timeout) const {
-  std::unique_lock<std::mutex> lock(reports_mutex_);
-  return reports_cv_.wait_for(lock, timeout,
-                              [&] { return epochs_cleared_ >= n; });
+  util::OrderedUniqueLock lock(reports_mutex_);
+  return reports_cv_.wait_for(
+      lock, timeout, [&] { return epochs_cleared_for_wait() >= n; });
 }
 
 int RebalanceService::epochs_cleared() const {
-  std::lock_guard<std::mutex> lock(reports_mutex_);
+  const util::OrderedLock lock(reports_mutex_);
   return epochs_cleared_;
 }
 
 std::vector<EpochReport> RebalanceService::reports() const {
-  std::lock_guard<std::mutex> lock(reports_mutex_);
+  const util::OrderedLock lock(reports_mutex_);
   return reports_;
 }
 
 pcn::Network RebalanceService::network_snapshot() const {
-  std::lock_guard<std::mutex> lock(network_mutex_);
+  const util::OrderedLock lock(network_mutex_);
   return network_;
 }
 
 void RebalanceService::scheduler_loop(const std::stop_token& stop) {
-  std::unique_lock<std::mutex> lock(scheduler_mutex_);
+  util::OrderedUniqueLock lock(scheduler_mutex_);
   while (!stop.stop_requested()) {
     // Stop-token-aware timed wait: wakes early on stop() instead of
     // sleeping out the period.

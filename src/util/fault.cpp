@@ -3,9 +3,11 @@
 #include <poll.h>
 
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "util/ordered_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace musketeer::util::fault {
 namespace {
@@ -35,12 +37,16 @@ struct Entry {
 };
 
 struct State {
-  std::mutex mu;
-  std::uint64_t seed = 1;
-  std::unordered_map<std::string, std::vector<Entry>> entries;
-  std::unordered_map<std::string, std::uint64_t> counters;
-  std::string spec;
-  bool env_loaded = false;
+  /// Ranked last: hooks fire from under every other lock in the tree
+  /// (journal appends, connection writes, the epoch pipeline).
+  OrderedMutex mu{LockRank::kFaultRegistry, "fault-registry"};
+  std::uint64_t seed MUSK_GUARDED_BY(mu) = 1;
+  std::unordered_map<std::string, std::vector<Entry>> entries
+      MUSK_GUARDED_BY(mu);
+  std::unordered_map<std::string, std::uint64_t> counters
+      MUSK_GUARDED_BY(mu);
+  std::string spec MUSK_GUARDED_BY(mu);
+  bool env_loaded MUSK_GUARDED_BY(mu) = false;
 };
 
 State& state() {
@@ -69,7 +75,8 @@ std::uint64_t mix(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-void parse_locked(State& s, const std::string& spec) {
+void parse_locked(State& s, const std::string& spec) MUSK_REQUIRES(s.mu) {
+  s.mu.assert_held();
   s.entries.clear();
   s.counters.clear();
   s.seed = 1;
@@ -111,7 +118,8 @@ void parse_locked(State& s, const std::string& spec) {
   }
 }
 
-void ensure_env_locked(State& s) {
+void ensure_env_locked(State& s) MUSK_REQUIRES(s.mu) {
+  s.mu.assert_held();
   if (s.env_loaded) return;
   s.env_loaded = true;
   const char* spec = std::getenv("MUSK_FAULT_SPEC");
@@ -120,7 +128,7 @@ void ensure_env_locked(State& s) {
 
 // Advances the point's hit counter and returns the entry (if any) that
 // fires on this hit. Entries are one-shot.
-Entry* advance_locked(State& s, const char* point) {
+Entry* advance_locked(State& s, const char* point) MUSK_REQUIRES(s.mu) {
   ensure_env_locked(s);
   const std::uint64_t n = ++s.counters[point];
   auto it = s.entries.find(point);
@@ -156,21 +164,21 @@ bool compiled_in() {
 
 void configure(const std::string& spec) {
   State& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const OrderedLock lock(s.mu);
   parse_locked(s, spec);
   s.env_loaded = true;  // explicit schedule wins over the environment
 }
 
 void configure_from_env() {
   State& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const OrderedLock lock(s.mu);
   s.env_loaded = false;
   ensure_env_locked(s);
 }
 
 void clear() {
   State& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const OrderedLock lock(s.mu);
   s.entries.clear();
   s.counters.clear();
   s.spec.clear();
@@ -180,7 +188,7 @@ void clear() {
 
 std::string schedule_string() {
   State& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const OrderedLock lock(s.mu);
   return s.spec;
 }
 
@@ -190,7 +198,7 @@ std::vector<std::string> points() {
 
 std::uint64_t hits(const std::string& point) {
   State& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const OrderedLock lock(s.mu);
   const auto it = s.counters.find(point);
   return it == s.counters.end() ? 0 : it->second;
 }
@@ -199,7 +207,7 @@ void hit(const char* point) {
   State& s = state();
   std::uint64_t delay = 0;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const OrderedLock lock(s.mu);
     Entry* e = advance_locked(s, point);
     if (e == nullptr) return;
     switch (e->action) {
@@ -220,7 +228,7 @@ bool should_fail(const char* point) {
   std::uint64_t delay = 0;
   bool fail = false;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const OrderedLock lock(s.mu);
     Entry* e = advance_locked(s, point);
     if (e != nullptr) {
       switch (e->action) {
@@ -245,7 +253,7 @@ void mutate(const char* point, std::string& bytes) {
   State& s = state();
   std::uint64_t delay = 0;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const OrderedLock lock(s.mu);
     Entry* e = advance_locked(s, point);
     if (e != nullptr) {
       switch (e->action) {

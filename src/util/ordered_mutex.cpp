@@ -1,0 +1,132 @@
+#include "util/ordered_mutex.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+namespace musketeer::util {
+namespace lock_rank {
+
+bool compiled_in() {
+#if defined(MUSKETEER_LOCK_RANK)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(MUSKETEER_LOCK_RANK)
+
+namespace {
+
+struct HeldLock {
+  const OrderedMutex* mutex = nullptr;
+  std::source_location site;
+};
+
+struct ThreadState {
+  std::vector<HeldLock> held;
+  int peak = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+[[noreturn]] void inversion(const OrderedMutex& acquiring,
+                            std::source_location site,
+                            const HeldLock& held) {
+  std::fprintf(
+      stderr,
+      "musketeer lock-rank violation: acquiring \"%s\" (rank %d) while "
+      "holding \"%s\" (rank %d)\n"
+      "  acquisition at %s:%u\n"
+      "  conflicting hold from %s:%u\n"
+      "  lock ranks must strictly decrease within a thread "
+      "(DESIGN.md section 11)\n",
+      acquiring.name(), static_cast<int>(acquiring.rank()),
+      held.mutex->name(), static_cast<int>(held.mutex->rank()),
+      site.file_name(), site.line(), held.site.file_name(),
+      held.site.line());
+  std::abort();
+}
+
+}  // namespace
+
+void check_acquire(const OrderedMutex& mutex, std::source_location site) {
+  ThreadState& state = thread_state();
+  for (const HeldLock& held : state.held) {
+    // Equal rank counts as an inversion: peers that nest need distinct
+    // ranks, or two threads nesting them in opposite orders deadlock.
+    if (static_cast<int>(mutex.rank()) >=
+        static_cast<int>(held.mutex->rank())) {
+      inversion(mutex, site, held);
+    }
+  }
+  state.held.push_back(HeldLock{&mutex, site});
+  if (static_cast<int>(state.held.size()) > state.peak) {
+    state.peak = static_cast<int>(state.held.size());
+  }
+}
+
+void on_release(const OrderedMutex& mutex) {
+  std::vector<HeldLock>& held = thread_state().held;
+  // Releases are almost always LIFO; scan from the top so the common
+  // case is O(1). Releasing a lock this thread does not hold means the
+  // wrapper was bypassed — abort rather than corrupt the stack.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mutex == &mutex) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "musketeer lock-rank violation: releasing \"%s\" (rank %d) "
+               "which the calling thread does not hold\n",
+               mutex.name(), static_cast<int>(mutex.rank()));
+  std::abort();
+}
+
+bool holds(const OrderedMutex& mutex) {
+  for (const HeldLock& held : thread_state().held) {
+    if (held.mutex == &mutex) return true;
+  }
+  return false;
+}
+
+int held_depth() {
+  return static_cast<int>(thread_state().held.size());
+}
+
+int thread_peak_depth() { return thread_state().peak; }
+
+#else  // !MUSKETEER_LOCK_RANK
+
+void check_acquire(const OrderedMutex&, std::source_location) {}
+void on_release(const OrderedMutex&) {}
+bool holds(const OrderedMutex&) { return false; }
+int held_depth() { return 0; }
+int thread_peak_depth() { return 0; }
+
+#endif
+
+}  // namespace lock_rank
+
+void OrderedMutex::assert_held(std::source_location site) const {
+#if defined(MUSKETEER_LOCK_RANK)
+  if (!lock_rank::holds(*this)) {
+    std::fprintf(stderr,
+                 "musketeer lock-rank violation: \"%s\" (rank %d) must be "
+                 "held by the calling thread\n  at %s:%u\n",
+                 name(), static_cast<int>(rank()), site.file_name(),
+                 site.line());
+    std::abort();
+  }
+#else
+  static_cast<void>(site);
+#endif
+}
+
+}  // namespace musketeer::util

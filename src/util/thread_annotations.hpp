@@ -1,0 +1,82 @@
+// Clang thread-safety capability annotations for the Musketeer tree.
+//
+// These macros expand to Clang's -Wthread-safety attributes when the
+// compiler supports them and to nothing everywhere else (gcc builds the
+// dev container; clang runs in the CI `thread-safety` job with
+// -Werror=thread-safety -Werror=thread-safety-beta). Annotating is not
+// optional in the service layer: the musk_lint `unranked-mutex` and
+// `unguarded-member` rules require every cross-thread mutex to be a
+// util::OrderedMutex and every member grouped under one to carry
+// MUSK_GUARDED_BY, so a data race in src/svc/ is a *compile error* on
+// the analysis build, not a tsan coin flip.
+//
+// Conventions (DESIGN.md §11):
+//   * a mutex member is declared with the members it guards immediately
+//     after it, each tagged MUSK_GUARDED_BY(that_mutex_);
+//   * a private helper that assumes a lock is held is suffixed _locked
+//     and tagged MUSK_REQUIRES(mutex_) — and calls mutex_.assert_held()
+//     so the contract is also checked at runtime under
+//     -DMUSKETEER_LOCK_RANK;
+//   * public entry points that take a lock internally are tagged
+//     MUSK_EXCLUDES(mutex_) so a caller already holding it is rejected
+//     at compile time instead of deadlocking.
+#pragma once
+
+// Clang has supported the capability attributes since 3.6; gate on the
+// attribute itself so any future compiler that grows them picks them up.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MUSK_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(MUSK_THREAD_ANNOTATION)
+#define MUSK_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define MUSK_CAPABILITY(x) MUSK_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (OrderedLock / OrderedUniqueLock).
+#define MUSK_SCOPED_CAPABILITY MUSK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define MUSK_GUARDED_BY(x) MUSK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define MUSK_PT_GUARDED_BY(x) MUSK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capabilities held on entry (and still on exit).
+#define MUSK_REQUIRES(...) \
+  MUSK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities (held on exit, not on entry).
+#define MUSK_ACQUIRE(...) \
+  MUSK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (held on entry, not on exit).
+#define MUSK_RELEASE(...) \
+  MUSK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define MUSK_TRY_ACQUIRE(...) \
+  MUSK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (anti-deadlock: the function
+/// acquires them itself).
+#define MUSK_EXCLUDES(...) MUSK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define MUSK_RETURN_CAPABILITY(x) MUSK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assertion that the capability is held (assert_held()).
+#define MUSK_ASSERT_CAPABILITY(x) \
+  MUSK_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: the function body is exempt from analysis. Every use
+/// must carry a comment explaining why the analysis cannot see the
+/// invariant (the classic case: a condition-variable predicate lambda,
+/// which the analysis checks out of context even though the wait
+/// re-acquires the lock around every evaluation).
+#define MUSK_NO_THREAD_SAFETY_ANALYSIS \
+  MUSK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,6 @@
+// Fixture: a mechanism constructing its own Graph bypasses the
+// SolveContext workspace reuse (graph-in-mechanism).
+void m9_lint_bad() {
+  flow::Graph g(4);
+  g.add_edge(0, 1, 10);
+}

@@ -1,0 +1,5 @@
+// Fixture: mechanisms bind the context-owned graph by reference.
+void m9_lint_ok(core::Game& game) {
+  flow::Graph& g = game.bound_graph();
+  g.reset_flows();
+}

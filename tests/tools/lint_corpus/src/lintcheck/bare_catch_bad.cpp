@@ -1,0 +1,8 @@
+// Fixture: a catch-everything handler that swallows hides injected
+// faults.
+void bare_catch_bad(void (*risky)()) {
+  try {
+    risky();
+  } catch (...) {
+  }
+}

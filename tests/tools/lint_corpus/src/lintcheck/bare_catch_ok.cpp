@@ -1,0 +1,9 @@
+// Fixture: cleanup-and-rethrow is the sanctioned catch (...) shape.
+void bare_catch_ok(void (*risky)(), void (*cleanup)()) {
+  try {
+    risky();
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+}

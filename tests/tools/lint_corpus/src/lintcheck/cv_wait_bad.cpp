@@ -1,0 +1,7 @@
+// Fixture: a deadline-free wait blocks shutdown forever if the notify
+// is lost.
+void cv_wait_bad(std::condition_variable& cv,  // musk-lint: allow(unranked-mutex)
+                 std::unique_lock<std::mutex>& lock,  // musk-lint: allow(unranked-mutex)
+                 bool& done) {
+  cv.wait(lock, [&] { return done; });
+}

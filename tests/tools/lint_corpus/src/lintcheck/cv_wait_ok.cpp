@@ -1,0 +1,8 @@
+// Fixture: wait_for in a predicate loop re-checks the exit condition on
+// a bounded cadence.
+void cv_wait_ok(musketeer::util::OrderedCondVar& cv,
+                musketeer::util::OrderedUniqueLock& lock, bool& done) {
+  while (!done) {
+    cv.wait_for(lock, std::chrono::milliseconds(100), [&] { return done; });
+  }
+}

@@ -1,0 +1,5 @@
+// Fixture: exact comparison against a floating-point literal hides
+// rounding bugs.
+bool float_eq_bad(double x) {
+  return x == 0.0;
+}

@@ -1,0 +1,5 @@
+// Fixture: compare against a tolerance instead.
+bool float_eq_ok(double x) {
+  const double tol = 1e-9;
+  return x < tol && x > -tol;
+}

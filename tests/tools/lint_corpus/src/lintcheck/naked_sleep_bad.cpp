@@ -1,0 +1,4 @@
+// Fixture: a sleeping thread ignores stop requests.
+void naked_sleep_bad() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}

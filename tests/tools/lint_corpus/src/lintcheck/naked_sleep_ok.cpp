@@ -1,0 +1,6 @@
+// Fixture: bounded condition-variable wait re-checks its predicate, so
+// a stop request interrupts it.
+void naked_sleep_ok(musketeer::util::OrderedCondVar& cv,
+                    musketeer::util::OrderedUniqueLock& lock, bool& done) {
+  cv.wait_for(lock, std::chrono::milliseconds(50), [&] { return done; });
+}

@@ -1,0 +1,5 @@
+// Fixture: libc rand() is unseedable per-experiment and not reproducible.
+int rand_bad() {
+  srand(42);
+  return rand();
+}

@@ -1,0 +1,5 @@
+// Fixture: util::Rng carries an explicit seed.
+int rand_ok() {
+  musketeer::util::Rng rng(42);
+  return static_cast<int>(rng.next_u64());
+}

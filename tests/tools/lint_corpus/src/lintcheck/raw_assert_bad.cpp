@@ -1,0 +1,4 @@
+// Fixture: raw C assert must be flagged (vanishes under NDEBUG).
+void raw_assert_bad(int x) {
+  assert(x > 0);
+}

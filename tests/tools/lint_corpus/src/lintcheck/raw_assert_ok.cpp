@@ -1,0 +1,7 @@
+// Fixture: the sanctioned spellings — MUSK_ASSERT survives NDEBUG,
+// static_assert and gtest ASSERT_* are compile-time / test-framework.
+void raw_assert_ok(int x) {
+  MUSK_ASSERT(x > 0);
+  MUSK_ASSERT_MSG(x > 0, "x must be positive");
+  static_assert(sizeof(int) >= 4);
+}

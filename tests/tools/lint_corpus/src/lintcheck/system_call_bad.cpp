@@ -1,0 +1,5 @@
+// Fixture: system() blocks, inherits fds into a shell, and ignores stop
+// tokens.
+int system_call_bad() {
+  return std::system("true");
+}

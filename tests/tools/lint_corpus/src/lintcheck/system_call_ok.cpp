@@ -1,0 +1,5 @@
+// Fixture: do the work in-process (qualified member spellings like
+// subsystem.system_time() are also fine and must not match).
+int system_call_ok(const Clock& subsystem) {
+  return subsystem.system_time();
+}

@@ -1,0 +1,4 @@
+// Fixture: jthread joins on destruction; keep the handle.
+void thread_detach_ok() {
+  std::jthread t([](const std::stop_token&) {});
+}

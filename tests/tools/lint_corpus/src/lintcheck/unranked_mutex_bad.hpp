@@ -1,0 +1,10 @@
+// Fixture: raw standard-library synchronisation in the service tree is
+// invisible to the lock-rank auditor and to clang's capability analysis.
+#pragma once
+
+class UnrankedMutexBad {
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int value_ = 0;
+};

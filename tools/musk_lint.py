@@ -45,12 +45,34 @@ wait interruptible and every thread joined):
                  the chaos suite injects. Cleanup-and-rethrow handlers
                  (a `throw;` within the next few lines) are fine.
 
+Lock-discipline rules (every lock in the tree carries a rank from the
+hierarchy in DESIGN.md section 11 and its guarded state is annotated):
+
+  unranked-mutex No raw `std::mutex` / `std::condition_variable` (or their
+                 timed/recursive/shared/_any variants) in src/ outside
+                 src/util/ -- use util::OrderedMutex / util::OrderedCondVar
+                 so every acquisition is rank-checked by the lock-order
+                 auditor and visible to clang's thread-safety analysis.
+  unguarded-member
+                 In src/ headers outside src/util/, every member declared
+                 in the contiguous run after an OrderedMutex member must
+                 carry MUSK_GUARDED_BY(...) or be exempt (std::atomic,
+                 std::jthread, OrderedMutex/OrderedCondVar, const/static/
+                 constexpr). State the mutex does not guard belongs after
+                 a blank line or access specifier, not interleaved with
+                 what it does guard.
+
 A line may opt out of one rule with a justification comment on that line:
 
     x == 0.0;  // musk-lint: allow(float-eq)
 
-Usage: musk_lint.py [repo-root]   (defaults to the parent of tools/)
-Exit status: 0 clean, 1 violations found.
+Usage: musk_lint.py [repo-root]              lint the tree
+       musk_lint.py --selftest [repo-root]   run every rule against the
+                                             fixture corpus under
+                                             tests/tools/lint_corpus/ and
+                                             diff the violation set against
+                                             its expected.txt manifest
+Exit status: 0 clean, 1 violations found (or selftest mismatch).
 """
 
 from __future__ import annotations
@@ -90,6 +112,20 @@ BARE_CATCH_LOOKAHEAD = 20
 # build_graph/build_graph_without call. Reference bindings (`Graph& g`)
 # to a context-owned graph are fine and do not match.
 GRAPH_IN_MECH = re.compile(r"\bGraph\s+[A-Za-z_]|\.\s*build_graph(?:_without)?\s*\(")
+# Any raw standard-library mutex or condition variable type. OrderedMutex
+# wraps these inside src/util/, which is exempt via the path predicate.
+UNRANKED_MUTEX = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_|shared_timed_)?"
+    r"(?:mutex|condition_variable(?:_any)?)\b")
+# Arms the unguarded-member scan: an OrderedMutex member declaration.
+ORDERED_MUTEX_MEMBER = re.compile(r"\bOrderedMutex\s+[A-Za-z_][A-Za-z0-9_]*")
+# A declaration exempt from MUSK_GUARDED_BY: synchronisation objects,
+# atomics, thread handles, and immutable members need no guard.
+GUARD_EXEMPT = re.compile(
+    r"MUSK_GUARDED_BY|MUSK_PT_GUARDED_BY|std::atomic|std::jthread"
+    r"|std::stop_token|OrderedMutex|OrderedCondVar"
+    r"|\bstatic\b|\bconstexpr\b|^\s*const\b")
+ACCESS_SPECIFIER = re.compile(r"^\s*(?:public|protected|private)\s*:")
 ALLOW = re.compile(r"musk-lint:\s*allow\(([a-z-]+)\)")
 MECHANISM_FILE = re.compile(r"m\d+_\w+\.cpp$")
 
@@ -106,7 +142,70 @@ RULES = [
     ("naked-sleep", NAKED_SLEEP, lambda rel: True),
     ("system-call", SYSTEM_CALL, lambda rel: True),
     ("cv-wait", CV_WAIT, lambda rel: True),
+    ("unranked-mutex", UNRANKED_MUTEX,
+     lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "util")),
 ]
+
+
+def applies_unguarded_member(rel: Path) -> bool:
+    return (rel.parts[0] == "src" and rel.parts[:2] != ("src", "util")
+            and rel.suffix in {".hpp", ".h"})
+
+
+def unguarded_members(rel: Path, lines: list[str]) -> list[str]:
+    """Members declared right after an OrderedMutex without MUSK_GUARDED_BY.
+
+    An OrderedMutex member arms the scan; every following declaration in
+    the same contiguous run must either carry MUSK_GUARDED_BY or be exempt
+    (GUARD_EXEMPT). The run ends at a blank line, an access specifier, or
+    the end of the class -- put unguarded state there, visibly outside the
+    mutex's block. Declarations may span lines; each is judged whole (the
+    text up to its `;`). Comment lines are transparent.
+    """
+    violations = []
+    # idle: before any mutex | consume_mutex: inside a multi-line mutex
+    # decl | armed: between decls in a mutex's run | consume_decl: inside
+    # the decl being judged.
+    state = "idle"
+    decl: list[tuple[int, str]] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if state == "idle":
+            if not is_comment(line) and ORDERED_MUTEX_MEMBER.search(line):
+                state = "armed" if ";" in line else "consume_mutex"
+            continue
+        if state == "consume_mutex":
+            if ";" in line:
+                state = "armed"
+            continue
+        if state == "armed":
+            if (not stripped or ACCESS_SPECIFIER.match(line)
+                    or stripped.startswith("};")):
+                state = "idle"
+                continue
+            if is_comment(line) or stripped.startswith("#"):
+                continue
+            if ORDERED_MUTEX_MEMBER.search(line):
+                # A second mutex starts its own run.
+                state = "armed" if ";" in line else "consume_mutex"
+                continue
+            decl = [(lineno, line)]
+            state = "consume_decl"
+        elif state == "consume_decl":
+            decl.append((lineno, line))
+        if state == "consume_decl" and any(";" in t for _, t in decl):
+            first_lineno, first_line = decl[0]
+            text = " ".join(part.strip() for _, part in decl)
+            decl = []
+            state = "armed"
+            if "unguarded-member" in ALLOW.findall(text):
+                continue
+            if GUARD_EXEMPT.search(text):
+                continue
+            violations.append(
+                f"{rel}:{first_lineno}: [unguarded-member] "
+                f"{first_line.strip()}")
+    return violations
 
 
 def is_comment(line: str) -> bool:
@@ -147,15 +246,71 @@ def lint_file(root: Path, path: Path) -> list[str]:
                 and swallowing_catch(lines, lineno - 1)):
             violations.append(
                 f"{rel}:{lineno}: [bare-catch] {line.strip()}")
+    if applies_unguarded_member(rel):
+        violations.extend(unguarded_members(rel, lines))
     return violations
 
 
+# Regex over our own violation format, for the selftest diff.
+VIOLATION_LINE = re.compile(r"^(.*?):\d+: \[([a-z-]+)\]")
+
+
+def selftest(root: Path) -> int:
+    """Lints the fixture corpus and diffs against its expected.txt.
+
+    The corpus mirrors repo paths (so path predicates fire) and carries a
+    manifest of `<relpath> <rule>` lines: one per violation the fixtures
+    must produce. Any difference in either direction -- a rule that went
+    quiet or one that started firing on clean code -- fails the test.
+    """
+    corpus = root / "tests" / "tools" / "lint_corpus"
+    manifest = corpus / "expected.txt"
+    if not manifest.is_file():
+        print(f"musk_lint: selftest manifest missing: {manifest}",
+              file=sys.stderr)
+        return 1
+    expected = set()
+    for raw in manifest.read_text(encoding="utf-8").splitlines():
+        entry = raw.split("#", 1)[0].strip()
+        if not entry:
+            continue
+        path, rule = entry.rsplit(None, 1)
+        expected.add((path, rule))
+    files = sorted(p for p in corpus.rglob("*")
+                   if p.suffix in CXX_SUFFIXES and p.is_file())
+    got = set()
+    for f in files:
+        for v in lint_file(corpus, f):
+            m = VIOLATION_LINE.match(v)
+            if m:
+                got.add((m.group(1), m.group(2)))
+    status = 0
+    for path, rule in sorted(expected - got):
+        print(f"musk_lint selftest: MISSED expected violation "
+              f"[{rule}] in {path}")
+        status = 1
+    for path, rule in sorted(got - expected):
+        print(f"musk_lint selftest: FALSE POSITIVE [{rule}] in {path}")
+        status = 1
+    print(f"musk_lint selftest: {len(files)} fixtures, "
+          f"{len(got)} violations, "
+          f"{'MISMATCH' if status else 'all as expected'}")
+    return status
+
+
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    run_selftest = "--selftest" in argv
+    if run_selftest:
+        argv.remove("--selftest")
     root = Path(argv[1]).resolve() if len(argv) > 1 else (
         Path(__file__).resolve().parent.parent)
+    if run_selftest:
+        return selftest(root)
     files = sorted(
         p for d in SCAN_DIRS for p in (root / d).rglob("*")
-        if p.suffix in CXX_SUFFIXES and p.is_file())
+        if p.suffix in CXX_SUFFIXES and p.is_file()
+        and "lint_corpus" not in p.parts)
     if not files:
         print(f"musk_lint: no C++ sources found under {root}", file=sys.stderr)
         return 1
