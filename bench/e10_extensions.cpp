@@ -12,6 +12,8 @@
 #include "core/m5_variable_delay.hpp"
 #include "core/properties.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -41,6 +43,8 @@ core::Game ring_game(util::Rng& rng, flow::NodeId n) {
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e10_extensions");
+  const obs::Timer bench_timer;
   std::printf("E10a: M5 variable delays — deviation gain vs delay-factor "
               "spread\n(single-cycle games, all players probed, 10 seeds "
               "per spread)\n\n");
@@ -147,5 +151,6 @@ int main() {
       "the floor buys sellers guaranteed income at the price of dropped\n"
       "cycles (liquidity) and growing buyer manipulability: the exact\n"
       "trade-off behind the Section-4 open question.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 1);
   return 0;
 }

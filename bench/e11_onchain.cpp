@@ -5,14 +5,18 @@
 #include <cstdio>
 
 #include "core/m3_double_auction.hpp"
+#include "obs/trace.hpp"
 #include "pcn/onchain.hpp"
 #include "pcn/rebalancer.hpp"
 #include "sim/engine.hpp"
+#include "util/bench_json.hpp"
 #include "util/table.hpp"
 
 using namespace musketeer;
 
 int main() {
+  util::BenchReport bench("e11_onchain");
+  const obs::Timer bench_timer;
   std::printf("E11: rebalancing vs on-chain top-up economics\n\n");
 
   // (a) Break-even deficits across fee regimes.
@@ -104,5 +108,6 @@ int main() {
               "paper's motivation for keeping rebalancing off-chain, with\n"
               "on-chain only worthwhile past the break-even deficits in\n"
               "the first table.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 1);
   return 0;
 }

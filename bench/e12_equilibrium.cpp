@@ -12,12 +12,17 @@
 #include "core/m3_double_auction.hpp"
 #include "core/m4_delayed.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace musketeer;
 
 int main() {
+  util::BenchReport bench("e12_equilibrium");
+  bench.config("seeds_per_cell", std::int64_t{10});
+  const obs::Timer bench_timer;
   std::printf("E12: best-response equilibria and price of anarchy "
               "(10 random BA games per size)\n\n");
 
@@ -67,5 +72,6 @@ int main() {
       "can cost more welfare at equilibrium than M3's price shading: the\n"
       "allocation itself moves. A quantitative answer to Section 4's\n"
       "\"finer analysis of incentives\" question.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 60);
   return 0;
 }

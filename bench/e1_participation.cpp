@@ -11,6 +11,8 @@
 #include "core/baselines.hpp"
 #include "core/m3_double_auction.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -32,6 +34,9 @@ Row evaluate(const core::Mechanism& mechanism, const core::Game& game) {
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e1_participation");
+  bench.config("trials_per_cell", std::int64_t{5});
+  const obs::Timer bench_timer;
   std::printf("E1: all-user participation vs baselines "
               "(volume = rebalanced coins, SW = realized welfare)\n\n");
 
@@ -121,5 +126,6 @@ int main() {
               "welfare gain over hide&seek grows as the depleted share\n"
               "shrinks — more seller liquidity to recruit.\n");
   (void)none;
+  bench.add_seconds("total", bench_timer.seconds(), 60);
   return 0;
 }

@@ -15,12 +15,17 @@
 #include "core/m4_delayed.hpp"
 #include "core/properties.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace musketeer;
 
 int main() {
+  util::BenchReport bench("e2_mechanism_welfare");
+  bench.config("trials_per_size", std::int64_t{5});
+  const obs::Timer bench_timer;
   std::printf("E2: mechanism welfare and fee comparison "
               "(means over 5 random games per size)\n\n");
 
@@ -107,5 +112,6 @@ int main() {
       "limited by its fixed fee schedule. CBB max ~ 0 and IR min >= 0 for\n"
       "M1/M3/M4 on every instance; M2's IR holds for buyers (sellers are\n"
       "non-strategic in its model).\n");
+  bench.add_seconds("total", bench_timer.seconds(), 25);
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "core/m4_delayed.hpp"
 #include "core/properties.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +58,10 @@ void probe_all_players(const core::Mechanism& mechanism,
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e3_truthfulness");
+  bench.config("ring_trials", std::int64_t{20});
+  bench.config("ba_trials", std::int64_t{8});
+  const obs::Timer bench_timer;
   std::printf("E3: best-response deviation gains "
               "(grid of %zu bid scalings per player)\n\n",
               kScales.size());
@@ -127,5 +133,6 @@ int main() {
       "bid-independent, but selection externalities create real residual\n"
       "gains the brief announcement's proof does not cover (documented in\n"
       "EXPERIMENTS.md). M3 remains the most manipulable throughout.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 28);
   return 0;
 }

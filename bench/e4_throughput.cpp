@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/strategies.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +52,12 @@ bool short_mode() {
 int main() {
   const int num_seeds = short_mode() ? 2 : 5;
   const int recovery_payments = short_mode() ? 200 : 1000;
+  util::BenchReport bench("e4_throughput");
+  bench.config("short_mode", short_mode());
+  bench.config("seeds", static_cast<std::int64_t>(num_seeds));
+  bench.config("recovery_payments",
+               static_cast<std::int64_t>(recovery_payments));
+  obs::Timer section_timer;
   // ------------------------------------------------------- (a) recovery
   std::printf("E4a: recovery from depletion (half the channels start "
               "10/90; one rebalancing pass;\nidentical %d-payment batch "
@@ -87,6 +95,10 @@ int main() {
   }
   rec.print();
   util::maybe_export_csv(rec, "e4_recovery");
+  bench.add_seconds("recovery", section_timer.seconds(),
+                    static_cast<std::uint64_t>(num_seeds) *
+                        sim::all_strategies().size());
+  section_timer.reset();
 
   // --------------------------------------------------- (b) steady state
   sim::SimulationConfig config = base_config();
@@ -103,6 +115,10 @@ int main() {
     const auto mechanism = sim::make_strategy(s);
     results.push_back(sim::run_simulation(config, mechanism.get()));
   }
+  bench.add_seconds("steady_state", section_timer.seconds(),
+                    strategies.size() *
+                        static_cast<std::uint64_t>(config.epochs));
+  section_timer.reset();
 
   std::vector<std::string> headers{"epoch"};
   for (sim::Strategy s : strategies) headers.push_back(strategy_name(s));
@@ -162,6 +178,7 @@ int main() {
   }
   churn.print();
   util::maybe_export_csv(churn, "e4_churn");
+  bench.add_seconds("churn", section_timer.seconds(), 6);
 
   std::printf(
       "\nexpected shape: in (a) the all-user auctions repair depletion the\n"

@@ -7,6 +7,7 @@
 #include "flow/decompose.hpp"
 #include "flow/solver.hpp"
 #include "gen/game_gen.hpp"
+#include "util/bench_json.hpp"
 
 using namespace musketeer;
 
@@ -88,6 +89,36 @@ BENCHMARK(BM_FullM3Pipeline)
     ->Range(32, 256)
     ->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus every per-iteration run collected into
+/// the shared BENCH_<name>.json format (ns/op from accumulated real
+/// time, n = iterations; aggregates skipped).
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCollector(util::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.iterations <= 0) continue;
+      report_.add(run.benchmark_name(),
+                  run.real_accumulated_time * 1e9 /
+                      static_cast<double>(run.iterations),
+                  static_cast<std::uint64_t>(run.iterations));
+    }
+  }
+
+ private:
+  util::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  util::BenchReport bench("e5_scalability");
+  JsonCollector reporter(bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

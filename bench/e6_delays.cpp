@@ -10,6 +10,8 @@
 #include "core/m4_delayed.hpp"
 #include "core/properties.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -22,6 +24,9 @@ const std::vector<double> kScales{0.25, 0.5, 0.75, 0.9, 1.1};
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e6_delays");
+  bench.config("trials_per_d", std::int64_t{10});
+  const obs::Timer bench_timer;
   std::printf("E6: M4 delay mechanics vs the delay factor d "
               "(10 random games per d)\n\n");
 
@@ -94,5 +99,6 @@ int main() {
               "clamping component at the price of slower releases: the\n"
               "paper's \"economic efficiency only w.r.t. liquidity\"\n"
               "trade-off, quantified.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 50);
   return 0;
 }

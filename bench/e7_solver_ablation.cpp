@@ -3,12 +3,15 @@
 // exactly); very different runtimes and iteration counts.
 #include <chrono>
 #include <cstdio>
+#include <utility>
 
 #include "flow/min_mean_cycle.hpp"
 #include "flow/residual.hpp"
 #include "flow/solver.hpp"
 #include "gen/game_gen.hpp"
 #include "lp/flow_lp.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +28,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e7_solver_ablation");
+  bench.config("trials_per_size", std::int64_t{3});
   std::printf("E7: solver ablation (3 random games per size; welfare "
               "agreement checked exactly)\n\n");
 
@@ -97,6 +102,15 @@ int main() {
       if (!flow::is_optimal(g, f_bf) || !flow::is_optimal(g, f_mm)) {
         all_agree = false;
       }
+    }
+    // ms means over the trials -> ns/op per solver at this size.
+    const std::pair<const char*, const util::Accumulator*> solver_ms[] = {
+        {"bellman_ford", &bf_ms},    {"capacity_scaling", &cs_ms},
+        {"min_mean", &mm_ms},        {"network_simplex", &ns_ms},
+        {"lp_simplex", &lp_ms}};
+    for (const auto& [op, acc] : solver_ms) {
+      bench.add(util::format("%s/n%d", op, n), 1e6 * acc->mean(),
+                acc->count());
     }
     table.add_row({util::fmt_int(n), util::fmt_int(edges),
                    util::fmt_double(bf_ms.mean(), 2),

@@ -9,6 +9,8 @@
 #include "core/m4_delayed.hpp"
 #include "core/strategy.hpp"
 #include "gen/game_gen.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +35,8 @@ core::Game paper_pattern() {
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e8_collusion");
+  const obs::Timer bench_timer;
   std::printf("E8: collusion (group strategyproofness) probes\n\n");
 
   const core::M2Vcg m2;
@@ -104,5 +108,6 @@ int main() {
               "jointly gain, and the paper-pattern gain is strictly\n"
               "positive for every mechanism. Designing group-strategyproof\n"
               "rebalancing is the paper's open problem.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 1);
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "core/m3_double_auction.hpp"
 #include "core/m4_delayed.hpp"
 #include "core/repeated.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -35,6 +37,9 @@ core::GameSampler competitive_market() {
 }  // namespace
 
 int main() {
+  util::BenchReport bench("e9_repeated_games");
+  bench.config("rounds", std::int64_t{600});
+  const obs::Timer bench_timer;
   std::printf("E9: repeated rebalancing with adaptive buyers "
               "(600 rounds, 5 seeds per cell)\n\n");
 
@@ -90,5 +95,6 @@ int main() {
       "stays near the highest factor that never loses trades; persistence\n"
       "has little to exploit. The welfare ratio records what shading-\n"
       "killed trades cost the market.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 30);
   return 0;
 }

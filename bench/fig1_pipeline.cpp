@@ -11,11 +11,15 @@
 #include "core/m3_double_auction.hpp"
 #include "core/properties.hpp"
 #include "flow/solver.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/table.hpp"
 
 using namespace musketeer;
 
 int main() {
+  util::BenchReport bench("fig1_pipeline");
+  bench.config("players", std::int64_t{6});
   std::printf("FIG1: the Musketeer pipeline on a 6-player PCN\n\n");
 
   // (a)+(b): players submit capacities and bids. Depleted edges carry
@@ -53,7 +57,9 @@ int main() {
   // (c): the welfare-maximizing rebalancing circulation.
   const core::BidVector bids = game.truthful_bids();
   const flow::Graph g = game.build_graph(bids);
+  const obs::Timer solve_timer;
   const flow::Circulation f = flow::solve_max_welfare(g);
+  bench.add_seconds("solve_max_welfare", solve_timer.seconds(), 1);
   std::printf("\n(c) optimal rebalancing circulation "
               "(SW = %.4f, certified optimal = %s):\n",
               flow::welfare(g, f), flow::is_optimal(g, f) ? "yes" : "no");
@@ -67,7 +73,9 @@ int main() {
   circulation.print();
 
   // (d): sign-consistent cycles with prices (mechanism M3).
+  const obs::Timer m3_timer;
   const core::Outcome outcome = core::M3DoubleAuction().run(game, bids);
+  bench.add_seconds("m3_run", m3_timer.seconds(), 1);
   std::printf("\n(d) sign-consistent priced cycles:\n");
   for (std::size_t i = 0; i < outcome.cycles.size(); ++i) {
     const core::PricedCycle& pc = outcome.cycles[i];

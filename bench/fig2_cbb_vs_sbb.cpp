@@ -12,10 +12,15 @@
 
 #include "core/m3_double_auction.hpp"
 #include "flow/solver.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 
 using namespace musketeer;
 
 int main() {
+  util::BenchReport bench("fig2_cbb_vs_sbb");
+  bench.config("players", std::int64_t{5});
+  const obs::Timer bench_timer;
   std::printf("FIG2: cyclic vs strong budget balance\n\n");
 
   // Valid bids must be strictly below the 10%% cap, so the figure's 0.1 /
@@ -82,5 +87,6 @@ int main() {
   std::printf("\nwelfare check: CBB circulation SW = %.4f (optimal: %s)\n",
               flow::welfare(g, cbb.circulation),
               flow::is_optimal(g, cbb.circulation) ? "yes" : "no");
+  bench.add_seconds("total", bench_timer.seconds(), 1);
   return 0;
 }

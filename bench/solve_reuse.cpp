@@ -33,6 +33,7 @@
 #include "sim/engine.hpp"
 #include "svc/service.hpp"
 #include "util/assert.hpp"
+#include "util/bench_json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -166,6 +167,8 @@ int main() {
 
   std::printf("solve_reuse: fresh-build vs SolveContext reuse%s\n\n",
               short_mode ? " (short mode)" : "");
+  util::BenchReport bench("solve_reuse");
+  bench.config("short_mode", short_mode);
 
   // ------------------------------- (a) M2 VCG exclusion sweep
   std::printf("(a) M2 VCG exclusion sweep on steady-state games, "
@@ -193,6 +196,10 @@ int main() {
     const double speedup = fresh.seconds / reuse.seconds;
     if (n == 200) speedup_200 = speedup;
 
+    bench.add_seconds(util::format("vcg_sweep_fresh/n%d", n), fresh.seconds,
+                      static_cast<std::uint64_t>(fresh.solves));
+    bench.add_seconds(util::format("vcg_sweep_reuse/n%d", n), reuse.seconds,
+                      static_cast<std::uint64_t>(reuse.solves));
     table.add_row(
         {util::fmt_int(n), util::fmt_int(game.num_edges()),
          util::fmt_int(static_cast<long long>(buyers.size())),
@@ -239,6 +246,8 @@ int main() {
   const long long allocs = g_allocs.load(std::memory_order_relaxed) - a0;
   const double secs = seconds_since(t0);
 
+  bench.add_seconds("service_epoch", secs,
+                    static_cast<std::uint64_t>(epochs));
   util::Table svc_table({"epochs", "warmup", "rebuilds", "epochs/s",
                          "allocs/epoch"});
   svc_table.add_row(

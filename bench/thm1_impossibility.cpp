@@ -15,6 +15,8 @@
 #include "core/m4_delayed.hpp"
 #include "core/myerson.hpp"
 #include "core/properties.hpp"
+#include "obs/trace.hpp"
+#include "util/bench_json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -27,6 +29,9 @@ const std::vector<double> kScales{0.3, 0.5, 0.7, 0.8, 0.9, 1.1, 1.3};
 }  // namespace
 
 int main() {
+  util::BenchReport bench("thm1_impossibility");
+  bench.config("grid", std::int64_t{5});
+  const obs::Timer bench_timer;
   std::printf("THM1: Myerson-Satterthwaite triangle sweep "
               "(V_a seller cost, V_b buyer value)\n\n");
 
@@ -97,5 +102,6 @@ int main() {
               m2_seller_ir_violations);
   std::printf("=> no mechanism satisfied all four desiderata on the family, "
               "as Theorem 1 requires.\n");
+  bench.add_seconds("total", bench_timer.seconds(), 25);
   return 0;
 }

@@ -21,15 +21,21 @@ std::vector<PlayerPrice> price_cycle_welfare_share(
 Outcome M3DoubleAuction::run_impl(flow::SolveContext& ctx, const Game& game,
                                   const BidVector& bids) const {
   MUSK_ASSERT_MSG(game.is_valid(bids), "invalid bid vector");
-  game.bind_graph(ctx, bids);
+  {
+    MUSK_OBS_SPAN(bind_span, "core.bind_graph");
+    game.bind_graph(ctx, bids);
+  }
   Outcome outcome;
   outcome.circulation = ctx.solve(solver_);
-  for (flow::CycleFlow& cycle : ctx.decompose(outcome.circulation)) {
+  std::vector<flow::CycleFlow> cycles = ctx.decompose(outcome.circulation);
+  MUSK_OBS_SPAN(pricing_span, "core.pricing");
+  for (flow::CycleFlow& cycle : cycles) {
     PricedCycle pc;
     pc.prices = price_cycle_welfare_share(game, bids, cycle);
     pc.cycle = std::move(cycle);
     outcome.cycles.push_back(std::move(pc));
   }
+  MUSK_OBS_HISTOGRAM("core.pricing.seconds", pricing_span.end());
   return outcome;
 }
 

@@ -42,7 +42,11 @@ class Mechanism {
   /// `ctx`. The context must be owned by the calling thread.
   Outcome run(flow::SolveContext& ctx, const Game& game,
               const BidVector& bids) const {
+    MUSK_OBS_SPAN(span, "core.mechanism");
+    span.set_detail(name().data());  // name() returns a literal-backed view
+    MUSK_OBS_COUNT("core.mechanism.run_total", 1);
     Outcome outcome = run_impl(ctx, game, bids);
+    MUSK_OBS_HISTOGRAM("core.mechanism.seconds", span.seconds());
 #if defined(MUSKETEER_AUDIT)
     check::audit_mechanism_outcome_or_die(*this, game, bids, outcome);
 #endif

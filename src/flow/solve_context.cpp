@@ -1,6 +1,34 @@
 #include "flow/solve_context.hpp"
 
+#include "obs/obs.hpp"
+
 namespace musketeer::flow {
+
+namespace {
+
+const char* solver_kind_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kBellmanFord: return "bellman_ford";
+    case SolverKind::kMinMean: return "min_mean";
+    case SolverKind::kCapacityScaling: return "capacity_scaling";
+    case SolverKind::kNetworkSimplex: return "network_simplex";
+  }
+  return "unknown";
+}
+
+/// Static span names so Event can store them by pointer. (Unused when
+/// the MUSK_OBS_SPAN macro compiles to nothing.)
+[[maybe_unused]] const char* solve_span_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kBellmanFord: return "flow.solve/bellman_ford";
+    case SolverKind::kMinMean: return "flow.solve/min_mean";
+    case SolverKind::kCapacityScaling: return "flow.solve/capacity_scaling";
+    case SolverKind::kNetworkSimplex: return "flow.solve/network_simplex";
+  }
+  return "flow.solve/unknown";
+}
+
+}  // namespace
 
 void SolveContext::rebind_gains(std::span<const double> gains) {
   MUSK_ASSERT_MSG(bound_, "rebind_gains before bind");
@@ -39,6 +67,8 @@ void SolveContext::unmask() {
 
 Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
   MUSK_ASSERT_MSG(bound_, "SolveContext::solve before bind");
+  MUSK_OBS_SPAN(span, solve_span_name(kind));
+  span.set_detail(solver_kind_name(kind));
   SolveStats local;
   Circulation f = solve_max_welfare(graph_, ws_, kind, &local);
   local.graph_rebuilds =
@@ -46,6 +76,10 @@ Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
   builds_at_last_solve_ = stats_.structure_builds;
   ++stats_.solves;
   stats_.fallbacks += local.fallbacks;
+  MUSK_OBS_COUNT("flow.solve.total", 1);
+  MUSK_OBS_COUNT("flow.solve.fallback_total",
+                 static_cast<std::uint64_t>(local.fallbacks));
+  MUSK_OBS_HISTOGRAM("flow.solve.seconds", span.end());
   if (stats != nullptr) {
     stats->cycles_cancelled += local.cycles_cancelled;
     stats->units_pushed += local.units_pushed;
@@ -57,7 +91,11 @@ Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
 
 std::vector<CycleFlow> SolveContext::decompose(const Circulation& f) {
   MUSK_ASSERT_MSG(bound_, "SolveContext::decompose before bind");
-  return decompose_sign_consistent(graph_, f, ws_.dec);
+  MUSK_OBS_SPAN(span, "flow.decompose");
+  std::vector<CycleFlow> cycles = decompose_sign_consistent(graph_, f, ws_.dec);
+  MUSK_OBS_COUNT("flow.decompose.cycles_total", cycles.size());
+  MUSK_OBS_HISTOGRAM("flow.decompose.seconds", span.end());
+  return cycles;
 }
 
 SolveContext& local_context() {

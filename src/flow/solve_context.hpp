@@ -36,6 +36,7 @@
 #include "flow/graph.hpp"
 #include "flow/solver.hpp"
 #include "flow/workspace.hpp"
+#include "obs/obs.hpp"
 
 namespace musketeer::flow {
 
@@ -98,6 +99,7 @@ class SolveContext {
         graph_.set_gain(e, src.gain(e));
       }
       ++stats_.rebinds;
+      MUSK_OBS_COUNT("flow.graph.rebind_total", 1);
     } else {
       Graph g(n);
       for (EdgeId e = 0; e < m; ++e) {
@@ -107,6 +109,7 @@ class SolveContext {
       graph_ = std::move(g);
       bound_ = true;
       ++stats_.structure_builds;
+      MUSK_OBS_COUNT("flow.graph.build_total", 1);
     }
     return graph_;
   }

@@ -1,0 +1,80 @@
+// Instrumentation macro layer: the one header hot paths include.
+//
+// With MUSKETEER_OBS (the default; CMake option MUSKETEER_OBS=ON) each
+// macro resolves its instrument once per site via a function-local
+// static reference — after the first hit, a count is one relaxed
+// atomic add and a span is a clock read plus a branch. With
+// -DMUSKETEER_OBS=OFF every macro expands to nothing and its arguments
+// are never evaluated, so instrumented and uninstrumented builds run
+// byte-identical settlement logic (tests/obs verifies digests match and
+// bench/svc_throughput gates the residual cost).
+//
+// Naming scheme (DESIGN.md §12): dot-separated lowercase
+// `<layer>.<object>.<unit>` — e.g. `svc.epoch.clear_seconds`,
+// `flow.solve.rebind_total`, `pcn.imbalance.gini`. Histograms of
+// durations always end in `_seconds`; counters in `_total`.
+#pragma once
+
+#if defined(MUSKETEER_OBS)
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+/// Adds `n` to the process-global counter `name` (a string literal).
+#define MUSK_OBS_COUNT(name, n)                                         \
+  do {                                                                  \
+    static ::musketeer::obs::Counter& musk_obs_counter_ =               \
+        ::musketeer::obs::registry().counter(name);                     \
+    musk_obs_counter_.add(n);                                           \
+  } while (0)
+
+/// Sets the process-global gauge `name` to `v`.
+#define MUSK_OBS_GAUGE(name, v)                                         \
+  do {                                                                  \
+    static ::musketeer::obs::Gauge& musk_obs_gauge_ =                   \
+        ::musketeer::obs::registry().gauge(name);                       \
+    musk_obs_gauge_.set(v);                                             \
+  } while (0)
+
+/// Records `v` into the process-global histogram `name`.
+#define MUSK_OBS_HISTOGRAM(name, v)                                     \
+  do {                                                                  \
+    static ::musketeer::obs::Histogram& musk_obs_histogram_ =           \
+        ::musketeer::obs::registry().histogram(name);                   \
+    musk_obs_histogram_.record(v);                                      \
+  } while (0)
+
+/// Declares a scoped trace span named `var`. Use `var.set_epoch()` /
+/// `var.set_detail()` / `var.end()` on it; all are no-ops when OFF.
+#define MUSK_OBS_SPAN(var, name) ::musketeer::obs::Span var(name)
+
+#else  // !MUSKETEER_OBS
+
+#define MUSK_OBS_COUNT(name, n) \
+  do {                          \
+  } while (0)
+#define MUSK_OBS_GAUGE(name, v) \
+  do {                          \
+  } while (0)
+#define MUSK_OBS_HISTOGRAM(name, v) \
+  do {                              \
+  } while (0)
+
+namespace musketeer::obs {
+
+/// Inert stand-in so `MUSK_OBS_SPAN(s, "x"); ... s.end();` compiles
+/// unchanged when observability is compiled out. seconds() returns 0 —
+/// code that must measure regardless uses obs::Timer.
+struct NoopSpan {
+  void set_epoch(unsigned long long) {}
+  void set_detail(const char*) {}
+  double end() { return 0.0; }
+  double seconds() const { return 0.0; }
+};
+
+}  // namespace musketeer::obs
+
+#define MUSK_OBS_SPAN(var, name) \
+  [[maybe_unused]] ::musketeer::obs::NoopSpan var {}
+
+#endif  // MUSKETEER_OBS

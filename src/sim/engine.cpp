@@ -97,6 +97,7 @@ RecoveryResult run_recovery(const SimulationConfig& config,
 
 pcn::RebalanceStats MechanismBackend::rebalance(
     pcn::Network& network, const pcn::RebalancePolicy& policy) {
+  MUSK_OBS_SPAN(span, "sim.rebalance");
   pcn::ExtractedGame extracted = pcn::extract_and_lock(network, policy);
   if (extracted.game.num_edges() == 0) return {};
   const core::Outcome outcome = mechanism_->run_truthful(ctx_, extracted.game);
@@ -168,6 +169,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
         network.depleted_direction_fraction(config.policy.depleted_threshold);
     const auto imbalances = network.imbalances();
     metrics.mean_imbalance = util::mean(imbalances);
+    metrics.gini_imbalance = util::gini(imbalances);
 
     if (backend != nullptr && (epoch + 1) % config.rebalance_every == 0) {
       const pcn::RebalanceStats stats =

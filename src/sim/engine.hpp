@@ -31,6 +31,10 @@ struct EpochMetrics {
   double depleted_fraction = 0.0;
   /// Mean channel imbalance in [0, 1] before rebalancing.
   double mean_imbalance = 0.0;
+  /// Gini coefficient of the per-channel imbalances before rebalancing
+  /// (Pickhardt-style inequality measure: 0 = every channel equally
+  /// (im)balanced, ->1 = imbalance concentrated on a few channels).
+  double gini_imbalance = 0.0;
   /// Rebalancing activity in this epoch.
   int rebalance_cycles = 0;
   flow::Amount rebalanced_volume = 0;

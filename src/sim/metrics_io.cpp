@@ -19,14 +19,15 @@ std::string num(double v) { return util::format("%.17g", v); }
 void write_metrics_csv(const SimulationResult& result, std::ostream& out) {
   out << "epoch,payments_attempted,payments_succeeded,success_rate,"
          "volume_attempted,volume_succeeded,routing_fees,"
-         "depleted_fraction,mean_imbalance,rebalance_cycles,"
+         "depleted_fraction,mean_imbalance,gini_imbalance,rebalance_cycles,"
          "rebalanced_volume,rebalance_fees\n";
   for (const EpochMetrics& m : result.epochs) {
     out << m.epoch << ',' << m.payments_attempted << ','
         << m.payments_succeeded << ',' << num(m.success_rate()) << ','
         << m.volume_attempted << ',' << m.volume_succeeded << ','
         << num(m.routing_fees) << ',' << num(m.depleted_fraction) << ','
-        << num(m.mean_imbalance) << ',' << m.rebalance_cycles << ','
+        << num(m.mean_imbalance) << ',' << num(m.gini_imbalance) << ','
+        << m.rebalance_cycles << ','
         << m.rebalanced_volume << ',' << num(m.rebalance_fees) << '\n';
   }
 }
@@ -44,6 +45,7 @@ void write_metrics_json(const SimulationResult& result, std::ostream& out) {
         << ", \"routing_fees\": " << num(m.routing_fees)
         << ", \"depleted_fraction\": " << num(m.depleted_fraction)
         << ", \"mean_imbalance\": " << num(m.mean_imbalance)
+        << ", \"gini_imbalance\": " << num(m.gini_imbalance)
         << ", \"rebalance_cycles\": " << m.rebalance_cycles
         << ", \"rebalanced_volume\": " << m.rebalanced_volume
         << ", \"rebalance_fees\": " << num(m.rebalance_fees) << "}"

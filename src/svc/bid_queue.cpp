@@ -75,6 +75,7 @@ IntakeStatus BidQueue::submit(const BidSubmission& bid) {
   }
   index_.emplace(bid.player, pending_.size());
   pending_.push_back(bid);
+  high_watermark_ = std::max(high_watermark_, pending_.size());
   if (bid.seq != 0) last_seq_[bid.player] = bid.seq;
   ++counters_.accepted;
   return IntakeStatus::kAccepted;
@@ -107,6 +108,11 @@ std::size_t BidQueue::size() const {
 IntakeCounters BidQueue::counters() const {
   const util::OrderedLock lock(mutex_);
   return counters_;
+}
+
+std::size_t BidQueue::high_watermark() const {
+  const util::OrderedLock lock(mutex_);
+  return high_watermark_;
 }
 
 }  // namespace musketeer::svc

@@ -108,6 +108,11 @@ class BidQueue {
   std::size_t capacity() const { return capacity_; }
   IntakeCounters counters() const MUSK_EXCLUDES(mutex_);
 
+  /// Largest number of distinct players ever pending at once (since
+  /// construction; drains do not reset it) — the backpressure headroom
+  /// signal the stats endpoint reports.
+  std::size_t high_watermark() const MUSK_EXCLUDES(mutex_);
+
  private:
   const std::size_t capacity_;
   const core::PlayerId num_players_;
@@ -123,6 +128,7 @@ class BidQueue {
   std::unordered_map<core::PlayerId, std::uint32_t> last_seq_
       MUSK_GUARDED_BY(mutex_);
   IntakeCounters counters_ MUSK_GUARDED_BY(mutex_);
+  std::size_t high_watermark_ MUSK_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace musketeer::svc

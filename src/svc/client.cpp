@@ -130,7 +130,9 @@ std::optional<Frame> Client::read_frame(
       return frame;
     }
     if (fd_ < 0) return std::nullopt;
-    const auto now = std::chrono::steady_clock::now();
+    // Deadline plumbing, not a measurement (here and below).
+    const auto now =
+        std::chrono::steady_clock::now();  // musk-lint: allow(adhoc-timing)
     if (now >= deadline) return std::nullopt;
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                           deadline - now)
@@ -163,7 +165,8 @@ std::optional<Frame> Client::read_frame(
 BidAckMsg Client::submit_once(const BidSubmission& bid,
                               std::chrono::milliseconds timeout) {
   send_frame(MsgType::kSubmitBid, encode_submit_bid(bid));
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = std::chrono::steady_clock::now() +  // musk-lint: allow(adhoc-timing)
+      timeout;
   while (auto frame = read_frame(deadline)) {
     if (frame->type == MsgType::kBidAck) {
       const BidAckMsg ack = decode_bid_ack(frame->payload);
@@ -217,18 +220,33 @@ void Client::backoff(int attempt, std::uint32_t server_hint_ms) {
   ::poll(nullptr, 0, static_cast<int>(wait));
 }
 
+StatsResponseMsg Client::stats(std::chrono::milliseconds timeout) {
+  send_frame(MsgType::kStatsRequest, {});
+  const auto deadline = std::chrono::steady_clock::now() +  // musk-lint: allow(adhoc-timing)
+      timeout;
+  while (auto frame = read_frame(deadline)) {
+    if (frame->type == MsgType::kStatsResponse) {
+      return decode_stats_response(frame->payload);
+    }
+  }
+  throw std::runtime_error(closed() ? "connection lost awaiting stats"
+                                    : "timeout awaiting stats");
+}
+
 std::optional<EpochResultMsg> Client::wait_epoch_at_least(
     std::uint32_t epoch, std::chrono::milliseconds timeout) {
   const auto matches = [epoch](const EpochResultMsg& m) {
     return m.epoch >= epoch;
   };
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = std::chrono::steady_clock::now() +  // musk-lint: allow(adhoc-timing)
+      timeout;
   for (;;) {
     const auto it = std::find_if(epochs_.begin(), epochs_.end(), matches);
     if (it != epochs_.end()) return *it;
     if (fd_ < 0) return std::nullopt;
     if (!read_frame(deadline).has_value() &&
-        std::chrono::steady_clock::now() >= deadline) {
+        std::chrono::steady_clock::now() >=  // musk-lint: allow(adhoc-timing)
+            deadline) {
       return std::nullopt;
     }
   }

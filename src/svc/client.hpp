@@ -92,6 +92,12 @@ class Client {
   std::optional<EpochResultMsg> wait_epoch_at_least(
       std::uint32_t epoch, std::chrono::milliseconds timeout);
 
+  /// Requests the server's live stats snapshot (kStatsRequest) and
+  /// blocks for the response. Fail-fast (no retry loop): stats are a
+  /// point-in-time read, so the caller just asks again.
+  StatsResponseMsg stats(std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(5000));
+
   /// Drains the queued epoch results / player notices received so far.
   std::vector<EpochResultMsg> take_epoch_results();
   std::vector<PlayerNoticeMsg> take_notices();

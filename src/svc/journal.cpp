@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "core/io.hpp"
+#include "obs/obs.hpp"
 #include "util/fault.hpp"
 
 namespace musketeer::svc {
@@ -176,8 +177,25 @@ void Journal::append_aborted(int epoch, std::uint64_t pre_digest) {
   append(RecordType::kAborted, epoch, pre_digest, std::string());
 }
 
+namespace {
+
+[[maybe_unused]] const char* record_type_name(RecordType type) {
+  switch (type) {
+    case RecordType::kBegin: return "begin";
+    case RecordType::kOutcome: return "outcome";
+    case RecordType::kSettled: return "settled";
+    case RecordType::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 void Journal::append(RecordType type, int epoch, std::uint64_t digest,
                      const std::string& payload) {
+  MUSK_OBS_SPAN(span, "svc.journal_append");
+  span.set_detail(record_type_name(type));
+  span.set_epoch(static_cast<std::uint64_t>(epoch));
   const util::OrderedLock lock(mutex_);
   if (poisoned_) {
     throw JournalError("journal " + path_ +
@@ -213,6 +231,8 @@ void Journal::append(RecordType type, int epoch, std::uint64_t digest,
     throw JournalError("journal " + path_ + ": fsync failed");
   }
   committed_bytes_ += full;
+  MUSK_OBS_COUNT("svc.journal.append_total", 1);
+  MUSK_OBS_HISTOGRAM("svc.journal.append_seconds", span.end());
   JournalRecord record;
   record.type = type;
   record.epoch = epoch;

@@ -44,6 +44,7 @@
 // tests inspect records between epochs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -99,8 +100,12 @@ class Journal {
   /// since, in file order.
   const std::vector<JournalRecord>& records() const { return records_; }
 
-  /// Bytes of committed (written + fsync'd) journal.
-  std::uint64_t committed_bytes() const { return committed_bytes_; }
+  /// Bytes of committed (written + fsync'd) journal. Atomic so the
+  /// stats endpoint can read it while the clearing thread appends (the
+  /// other read accessors remain quiescent-only).
+  std::uint64_t committed_bytes() const {
+    return committed_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Bytes discarded by open() as a torn/corrupt tail (observability).
   std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
@@ -134,7 +139,7 @@ class Journal {
   bool poisoned_ MUSK_GUARDED_BY(mutex_) = false;
 
   std::vector<JournalRecord> records_;
-  std::uint64_t committed_bytes_ = 0;
+  std::atomic<std::uint64_t> committed_bytes_{0};
   std::uint64_t truncated_tail_bytes_ = 0;
 };
 

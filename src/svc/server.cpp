@@ -6,6 +6,8 @@
 
 #include <cerrno>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 
@@ -169,6 +171,25 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       send_frame(conn, MsgType::kBidAck, encode_bid_ack(ack));
       return;
     }
+    case MsgType::kStatsRequest: {
+      if (!frame.payload.empty()) {
+        throw WireError("non-empty stats-request payload");
+      }
+      const ServiceStats stats = service_.stats_snapshot();
+      StatsResponseMsg msg;
+      msg.epoch = static_cast<std::uint32_t>(stats.epochs_cleared);
+      msg.uptime_seconds = stats.uptime_seconds;
+      msg.queue_depth = stats.queue_depth;
+      msg.queue_capacity = stats.queue_capacity;
+      msg.queue_high_watermark = stats.queue_high_watermark;
+      msg.journal_bytes = stats.journal_bytes;
+      msg.imbalance_gini = stats.imbalance_gini;
+      msg.imbalance_mean = stats.imbalance_mean;
+      msg.intake = stats.intake;
+      msg.registry_json = obs::registry().to_json();
+      send_frame(conn, MsgType::kStatsResponse, encode_stats_response(msg));
+      return;
+    }
     default:
       throw WireError("unexpected client message type " +
                       std::to_string(static_cast<int>(frame.type)));
@@ -192,6 +213,8 @@ bool SocketServer::send_frame(Connection* conn, MsgType type,
 }
 
 void SocketServer::broadcast_epoch(const EpochReport& report) {
+  MUSK_OBS_SPAN(span, "svc.broadcast");
+  span.set_epoch(report.trace_id);
   const std::string result_payload = encode_epoch_result(report);
   const util::OrderedLock lock(connections_mutex_);
   for (const auto& conn : connections_) {

@@ -1,12 +1,16 @@
 #include "svc/service.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <map>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "svc/journal.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
+#include "util/stats.hpp"
 
 namespace musketeer::svc {
 
@@ -80,23 +84,42 @@ pcn::ExtractedGame RebalanceService::extract_snapshot(
 
 EpochReport RebalanceService::run_epoch() {
   const util::OrderedLock epoch_lock(clear_mutex_);
-  const auto t0 = std::chrono::steady_clock::now();
-
-  const std::vector<BidSubmission> subs = queue_.drain();
-
-  // Snapshot: the extracted game is a value copy whose capacities are
-  // HTLC-locked on the live network, so clearing can proceed off-lock.
-  // The pre-lock digest is what recovery verifies extraction against.
-  std::uint64_t pre_digest = 0;
-  pcn::ExtractedGame extracted = extract_snapshot(pre_digest);
+  // The authoritative clear_seconds clock: an obs::Timer, so the
+  // measurement survives -DMUSKETEER_OBS=OFF (spans report 0 there).
+  const obs::Timer t0;
 
   EpochReport report;
   {
     const util::OrderedLock lock(reports_mutex_);
     report.epoch = epochs_cleared_;
   }
+  // (pid << 32) | (epoch + 1): correlates the report with its trace
+  // spans; +1 keeps a first epoch numbered 0 distinguishable from "no
+  // trace" in span args.
+  const std::uint64_t trace_id =
+      (static_cast<std::uint64_t>(::getpid()) << 32) |
+      static_cast<std::uint32_t>(report.epoch + 1);
+  report.trace_id = trace_id;
+  MUSK_OBS_SPAN(epoch_span, "svc.epoch");
+  epoch_span.set_epoch(trace_id);
+
+  MUSK_OBS_SPAN(drain_span, "svc.drain");
+  drain_span.set_epoch(trace_id);
+  const std::vector<BidSubmission> subs = queue_.drain();
+  report.drain_seconds = drain_span.end();
+
+  // Snapshot: the extracted game is a value copy whose capacities are
+  // HTLC-locked on the live network, so clearing can proceed off-lock.
+  // The pre-lock digest is what recovery verifies extraction against.
+  MUSK_OBS_SPAN(snapshot_span, "svc.snapshot");
+  snapshot_span.set_epoch(trace_id);
+  std::uint64_t pre_digest = 0;
+  pcn::ExtractedGame extracted = extract_snapshot(pre_digest);
+  report.snapshot_seconds = snapshot_span.end();
+
   report.bids_applied = subs.size();
   report.game_edges = extracted.game.num_edges();
+  MUSK_OBS_COUNT("svc.epoch.bids_applied_total", subs.size());
 
   Journal* const journal = config_.journal;
   try {
@@ -118,7 +141,12 @@ EpochReport RebalanceService::run_epoch() {
     core::Outcome outcome;
     const long long builds_before = solve_context_.stats().structure_builds;
     try {
-      outcome = mechanism_.run(solve_context_, extracted.game, bids);
+      {
+        MUSK_OBS_SPAN(solve_span, "svc.clear");
+        solve_span.set_epoch(trace_id);
+        outcome = mechanism_.run(solve_context_, extracted.game, bids);
+        report.solve_seconds = solve_span.end();
+      }
       MUSK_FAULT_HIT("svc.crash_before_commit");
       // The fsync'd OUTCOME record is the commit point: once it returns,
       // this epoch settles — now, or at recovery after a crash.
@@ -154,8 +182,11 @@ EpochReport RebalanceService::run_epoch() {
     MUSK_FAULT_HIT("svc.crash_after_commit");
     pcn::RebalanceStats stats;
     {
+      MUSK_OBS_SPAN(settle_span, "svc.settle");
+      settle_span.set_epoch(trace_id);
       const util::OrderedLock net_lock(network_mutex_);
       stats = pcn::apply_outcome(network_, extracted, outcome);
+      report.settle_seconds = settle_span.end();
     }
     MUSK_FAULT_HIT("svc.crash_mid_settle");
     report.cycles_executed = stats.cycles_executed;
@@ -170,6 +201,15 @@ EpochReport RebalanceService::run_epoch() {
   {
     const util::OrderedLock net_lock(network_mutex_);
     report.network_digest = network_.state_digest();
+    // Pickhardt-style imbalance telemetry over the settled balances,
+    // cached in atomics so the stats endpoint never takes this lock.
+    const std::vector<double> imbalances = network_.imbalances();
+    const double gini = util::gini(imbalances);
+    const double mean = util::mean(imbalances);
+    imbalance_gini_.store(gini, std::memory_order_relaxed);
+    imbalance_mean_.store(mean, std::memory_order_relaxed);
+    MUSK_OBS_GAUGE("pcn.imbalance.gini", gini);
+    MUSK_OBS_GAUGE("pcn.imbalance.mean", mean);
   }
   // A SETTLED append failure propagates with the settlement already
   // applied: the journal's committed OUTCOME makes recovery re-apply it
@@ -178,9 +218,12 @@ EpochReport RebalanceService::run_epoch() {
     journal->append_settled(report.epoch, report.network_digest);
   }
 
-  report.clear_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  report.clear_seconds = t0.seconds();
+  epoch_span.end();
+  MUSK_OBS_COUNT("svc.epoch.total", 1);
+  MUSK_OBS_HISTOGRAM("svc.epoch.clear_seconds", report.clear_seconds);
+  MUSK_OBS_GAUGE("svc.queue.high_watermark",
+                 static_cast<double>(queue_.high_watermark()));
 
   {
     const util::OrderedLock lock(reports_mutex_);
@@ -227,6 +270,22 @@ bool RebalanceService::wait_epochs(int n,
 int RebalanceService::epochs_cleared() const {
   const util::OrderedLock lock(reports_mutex_);
   return epochs_cleared_;
+}
+
+ServiceStats RebalanceService::stats_snapshot() const {
+  ServiceStats stats;
+  stats.epochs_cleared = epochs_cleared();
+  stats.uptime_seconds = uptime_timer_.seconds();
+  stats.queue_depth = queue_.size();
+  stats.queue_capacity = queue_.capacity();
+  stats.queue_high_watermark = queue_.high_watermark();
+  if (config_.journal != nullptr) {
+    stats.journal_bytes = config_.journal->committed_bytes();
+  }
+  stats.imbalance_gini = imbalance_gini_.load(std::memory_order_relaxed);
+  stats.imbalance_mean = imbalance_mean_.load(std::memory_order_relaxed);
+  stats.intake = queue_.counters();
+  return stats;
 }
 
 std::vector<EpochReport> RebalanceService::reports() const {

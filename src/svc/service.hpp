@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/mechanism.hpp"
+#include "obs/trace.hpp"
 #include "pcn/network.hpp"
 #include "pcn/rebalancer.hpp"
 #include "svc/bid_queue.hpp"
@@ -82,6 +83,24 @@ struct PlayerNotice {
   double delay_bonus = 0.0;
 };
 
+/// Lock-free service state snapshot for the kStatsRequest endpoint and
+/// musk_stats: everything here is readable while an epoch clears.
+struct ServiceStats {
+  int epochs_cleared = 0;
+  double uptime_seconds = 0.0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_high_watermark = 0;
+  /// Committed journal bytes (0 when running without a journal).
+  std::uint64_t journal_bytes = 0;
+  /// Pickhardt-style network imbalance, refreshed at each settle (0
+  /// before the first epoch): Gini coefficient and mean of the
+  /// per-channel imbalances.
+  double imbalance_gini = 0.0;
+  double imbalance_mean = 0.0;
+  IntakeCounters intake;
+};
+
 struct EpochReport {
   int epoch = 0;
   /// Distinct player submissions drained into this epoch.
@@ -93,6 +112,17 @@ struct EpochReport {
   double max_release_time = 0.0;
   /// Wall-clock seconds from queue drain to settled network.
   double clear_seconds = 0.0;
+  /// Correlates this report with its spans in a trace file:
+  /// (pid << 32) | (epoch + 1). Stable across the epoch's spans, unique
+  /// across concurrently-traced daemons. 0 when tracing never ran.
+  std::uint64_t trace_id = 0;
+  /// Per-phase breakdown of clear_seconds, measured by the epoch
+  /// tracer's spans. All 0 when the build compiles observability out
+  /// (-DMUSKETEER_OBS=OFF) — clear_seconds itself is always measured.
+  double drain_seconds = 0.0;     ///< queue drain
+  double snapshot_seconds = 0.0;  ///< extract_and_lock under network mutex
+  double solve_seconds = 0.0;     ///< mechanism run (bind+solve+price)
+  double settle_seconds = 0.0;    ///< apply_outcome under network mutex
   /// flow::Graph structure (re)builds the clearing solve context
   /// performed for this epoch. The first epoch builds once; in a
   /// quiescent steady state (stable extracted topology) every later
@@ -149,6 +179,11 @@ class RebalanceService {
   IntakeCounters intake_counters() const { return queue_.counters(); }
   std::size_t queue_capacity() const { return queue_.capacity(); }
   const pcn::RebalancePolicy& policy() const { return config_.policy; }
+
+  /// Live service state for the stats endpoint. Safe to call from any
+  /// thread at any time: every field comes from an atomic or a
+  /// short-critical-section accessor — never the epoch or network lock.
+  ServiceStats stats_snapshot() const MUSK_EXCLUDES(reports_mutex_);
 
   /// All completed epoch reports, oldest first (copy).
   std::vector<EpochReport> reports() const MUSK_EXCLUDES(reports_mutex_);
@@ -208,6 +243,13 @@ class RebalanceService {
 
   std::jthread scheduler_;
   std::atomic<bool> started_{false};
+
+  /// Service start time (uptime for the stats endpoint).
+  const obs::Timer uptime_timer_;
+  /// Imbalance gauges refreshed under the network lock at each settle;
+  /// atomics so stats_snapshot() reads them lock-free.
+  std::atomic<double> imbalance_gini_{0.0};
+  std::atomic<double> imbalance_mean_{0.0};
 };
 
 }  // namespace musketeer::svc

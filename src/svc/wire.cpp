@@ -16,7 +16,7 @@ namespace {
 
 bool known_type(std::uint16_t type) {
   return type >= static_cast<std::uint16_t>(MsgType::kHello) &&
-         type <= static_cast<std::uint16_t>(MsgType::kError);
+         type <= static_cast<std::uint16_t>(MsgType::kStatsResponse);
 }
 
 /// Reads through the whole payload or throws (CodecError on truncation
@@ -215,6 +215,60 @@ std::string encode_error(std::string_view message) {
   ErrorMsg msg;
   msg.message = std::string(message);
   return encode_error(msg);
+}
+
+std::string encode_stats_response(const StatsResponseMsg& msg) {
+  std::string out;
+  put_u32(out, msg.epoch);
+  put_f64(out, msg.uptime_seconds);
+  put_u64(out, msg.queue_depth);
+  put_u64(out, msg.queue_capacity);
+  put_u64(out, msg.queue_high_watermark);
+  put_u64(out, msg.journal_bytes);
+  put_f64(out, msg.imbalance_gini);
+  put_f64(out, msg.imbalance_mean);
+  put_u64(out, msg.intake.accepted);
+  put_u64(out, msg.intake.replaced);
+  put_u64(out, msg.intake.rejected_full);
+  put_u64(out, msg.intake.rejected_invalid);
+  put_u64(out, msg.intake.rejected_closed);
+  put_u64(out, msg.intake.duplicate);
+  put_u32(out, static_cast<std::uint32_t>(msg.registry_json.size()));
+  out.append(msg.registry_json.data(), msg.registry_json.size());
+  return out;
+}
+
+StatsResponseMsg decode_stats_response(std::string_view payload) {
+  Reader in = payload_reader(payload);
+  StatsResponseMsg msg;
+  msg.epoch = in.u32();
+  msg.uptime_seconds = in.f64();
+  msg.queue_depth = in.u64();
+  msg.queue_capacity = in.u64();
+  msg.queue_high_watermark = in.u64();
+  msg.journal_bytes = in.u64();
+  msg.imbalance_gini = in.f64();
+  msg.imbalance_mean = in.f64();
+  msg.intake.accepted = in.u64();
+  msg.intake.replaced = in.u64();
+  msg.intake.rejected_full = in.u64();
+  msg.intake.rejected_invalid = in.u64();
+  msg.intake.rejected_closed = in.u64();
+  msg.intake.duplicate = in.u64();
+  if (!std::isfinite(msg.uptime_seconds) ||
+      !std::isfinite(msg.imbalance_gini) ||
+      !std::isfinite(msg.imbalance_mean)) {
+    throw WireError("non-finite stats-response field");
+  }
+  const std::size_t n = in.check_count(in.u32(), 1);
+  // Fixed-size prefix: u32 epoch + 3 doubles + 10 u64s + the u32 length.
+  constexpr std::size_t kPrefix = 4 + 8 * 3 + 8 * 10 + 4;
+  msg.registry_json = std::string(payload.substr(kPrefix, n));
+  // The JSON bytes were consumed via substr, not the reader.
+  if (payload.size() != kPrefix + n) {
+    throw WireError("trailing bytes in stats-response payload");
+  }
+  return msg;
 }
 
 ErrorMsg decode_error(std::string_view payload) {

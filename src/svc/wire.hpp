@@ -31,9 +31,15 @@
 //                      client should back off retry_after_ms and
 //                      reconnect), kGeneric is a protocol violation.
 //
+//   client -> server : kStatsRequest (empty payload)
+//   server -> client : kStatsResponse (live ServiceStats + the obs
+//                      registry snapshot as JSON; musk_stats renders it)
+//
 // Version history: v1 (PR 2) had no submit-bid/ack sequence numbers and
-// a bare-string error payload. v2 is not v1-compatible; both sides
-// reject mismatched versions at the frame header.
+// a bare-string error payload. v2 (PR 5) added both. v3 adds the
+// kStatsRequest/kStatsResponse introspection pair. Versions are not
+// cross-compatible; both sides reject mismatched versions at the frame
+// header.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +53,7 @@
 namespace musketeer::svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
@@ -59,6 +65,8 @@ enum class MsgType : std::uint16_t {
   kPlayerNotice = 5,
   kShutdown = 6,
   kError = 7,
+  kStatsRequest = 8,
+  kStatsResponse = 9,
 };
 
 /// Thrown on malformed framing (bad magic/version/type, oversized
@@ -159,5 +167,24 @@ std::string encode_error(const ErrorMsg& msg);
 /// Convenience: a kGeneric error with just a message.
 std::string encode_error(std::string_view message);
 ErrorMsg decode_error(std::string_view payload);
+
+/// kStatsResponse payload: the service's ServiceStats plus the obs
+/// registry snapshot (Registry::to_json() bytes, opaque to the wire
+/// layer). kStatsRequest has an empty payload.
+struct StatsResponseMsg {
+  std::uint32_t epoch = 0;
+  double uptime_seconds = 0.0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t queue_high_watermark = 0;
+  std::uint64_t journal_bytes = 0;
+  double imbalance_gini = 0.0;
+  double imbalance_mean = 0.0;
+  IntakeCounters intake;
+  std::string registry_json;
+};
+
+std::string encode_stats_response(const StatsResponseMsg& msg);
+StatsResponseMsg decode_stats_response(std::string_view payload);
 
 }  // namespace musketeer::svc

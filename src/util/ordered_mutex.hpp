@@ -26,7 +26,10 @@
 //   kReports(30)   > completed-epoch reports + wait_epochs
 //   kBidQueue(20)  > bid intake
 //   kFaultRegistry(10) > util::fault schedule (hooks fire under
-//                        everything above, so it must rank last)
+//                        everything above, so it must rank low)
+//   kObsRegistry(5)    > obs metrics registry (instruments may be
+//                        registered from any context — even fault hooks
+//                        count events — so it ranks below everything)
 //
 // Note the discovered order Service > Server: epoch broadcast runs on
 // the clearing thread with the epoch lock held and then walks the
@@ -54,6 +57,7 @@ enum class LockRank : int {
   kReports = 30,
   kBidQueue = 20,
   kFaultRegistry = 10,
+  kObsRegistry = 5,
 };
 
 class OrderedMutex;

@@ -1,0 +1,156 @@
+// Histogram bucket layout, quantile accuracy against a sorted
+// reference, shard merging, and the determinism guarantee musk_loadgen
+// leans on: the same multiset of samples reports bit-identical
+// percentiles no matter how it was split across threads or instances.
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace musketeer::obs {
+namespace {
+
+/// Fixed-seed latency-shaped samples spanning several octaves.
+std::vector<double> sample_set(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // log-uniform over [1e-6, 1e1): microseconds to seconds.
+    xs.push_back(std::pow(10.0, rng.uniform_real(-6.0, 1.0)));
+  }
+  return xs;
+}
+
+TEST(HistogramBuckets, LowerBoundRoundTrips) {
+  for (int i = 1; i < Histogram::kTotalBuckets - 1; ++i) {
+    const double lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "bucket " << i;
+    const double hi = Histogram::bucket_upper_bound(i);
+    ASSERT_GT(hi, lo);
+    // A value strictly inside the bucket maps back to it.
+    const double mid = lo + (hi - lo) / 2.0;
+    EXPECT_EQ(Histogram::bucket_index(mid), i) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, UnderflowAndOverflow) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kTotalBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(
+                std::numeric_limits<double>::infinity()),
+            Histogram::kTotalBuckets - 1);
+  // Tiny-but-positive lands in the underflow bucket too.
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0);
+}
+
+TEST(HistogramQuantile, MatchesSortedReferenceWithinBucketError) {
+  const std::vector<double> xs = sample_set(20000, 42);
+  Histogram hist;
+  for (const double x : xs) hist.record(x);
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, xs.size());
+
+  // Relative quantile error is bounded by one sub-bucket: 1/kSubBuckets.
+  const double tol = 1.0 / Histogram::kSubBuckets + 1e-9;
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double exact = util::quantile(xs, q);
+    const double approx = snap.quantile(q);
+    EXPECT_NEAR(approx / exact, 1.0, 2.0 * tol) << "q=" << q;
+  }
+  // p100 is exact; p0 is clamped to min from below and bounded above by
+  // the upper edge of min's bucket.
+  const double lo = *std::min_element(xs.begin(), xs.end());
+  EXPECT_GE(snap.quantile(0.0), lo);
+  EXPECT_LE(snap.quantile(0.0),
+            Histogram::bucket_upper_bound(Histogram::bucket_index(lo)));
+  EXPECT_EQ(snap.quantile(1.0), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(HistogramQuantile, MeanSumMinMaxAreExact) {
+  const std::vector<double> xs = sample_set(500, 7);
+  Histogram hist;
+  double sum = 0.0;
+  for (const double x : xs) {
+    hist.record(x);
+    sum += x;
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, xs.size());
+  EXPECT_NEAR(snap.sum, sum, 1e-9 * sum);
+  EXPECT_EQ(snap.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(snap.max, *std::max_element(xs.begin(), xs.end()));
+  EXPECT_NEAR(snap.mean(), sum / static_cast<double>(xs.size()),
+              1e-12 * snap.mean());
+}
+
+TEST(HistogramMerge, SnapshotMergeEqualsSingleInstance) {
+  const std::vector<double> xs = sample_set(5000, 99);
+  Histogram whole, left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.record(xs[i]);
+    (i % 2 == 0 ? left : right).record(xs[i]);
+  }
+  HistogramSnapshot merged = left.snapshot();
+  merged.merge(right.snapshot());
+  const HistogramSnapshot single = whole.snapshot();
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_EQ(merged.min, single.min);
+  EXPECT_EQ(merged.max, single.max);
+  EXPECT_EQ(merged.buckets, single.buckets);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile(q), single.quantile(q)) << "q=" << q;
+  }
+}
+
+// The musk_loadgen property: percentiles are a function of the sample
+// multiset only. Recording the same fixed-seed samples through 4
+// concurrent threads (per-thread shards) must report p50/p99 that are
+// IDENTICAL — bit for bit — to a single-threaded recording.
+TEST(HistogramMerge, ThreadSplitPercentilesAreIdentical) {
+  const std::vector<double> xs = sample_set(8000, 2024);
+
+  Histogram single;
+  for (const double x : xs) single.record(x);
+
+  Histogram sharded;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size();
+             i += 4) {
+          sharded.record(xs[i]);
+        }
+      });
+    }
+  }  // join: shards of exited threads stay merged into snapshot()
+
+  const HistogramSnapshot a = single.snapshot();
+  const HistogramSnapshot b = sharded.snapshot();
+  ASSERT_EQ(a.count, b.count);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(HistogramSnapshot, EmptyIsAllZero) {
+  Histogram hist;
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace musketeer::obs

@@ -1,0 +1,90 @@
+// The observability gate: instrumentation must never change what the
+// system computes. Two angles, both valid in either build flavor:
+//
+//   * Macro gating — under -DMUSKETEER_OBS=OFF the MUSK_OBS_* macros
+//     expand to nothing and their arguments are never evaluated; under
+//     ON they hit the global registry. (The residual runtime cost of
+//     the OFF expansion is gated at 1.05x in bench/svc_throughput.)
+//   * Outcome invariance — a deterministic service run settles to the
+//     same network digest with tracing enabled as with it disabled.
+//     Combined with the digest-equality tests in tests/svc running in
+//     an OBS=OFF build, this pins the acceptance claim that the switch
+//     is bit-identical on outcomes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/m3_double_auction.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "svc/service.hpp"
+#include "svc_test_util.hpp"
+
+namespace musketeer::obs {
+namespace {
+
+TEST(ObsGate, MacrosAreCompiledOutWhenDisabled) {
+  bool evaluated = false;
+  const auto touch = [&evaluated] {
+    evaluated = true;
+    return 1.0;
+  };
+  MUSK_OBS_COUNT("test.gate.touch_total", static_cast<std::uint64_t>(touch()));
+  MUSK_OBS_GAUGE("test.gate.level", touch());
+  MUSK_OBS_HISTOGRAM("test.gate.wait_seconds", touch());
+  MUSK_OBS_SPAN(span, "test.gate.span");
+  span.set_epoch(1);
+  span.set_detail("gate");
+  const double secs = span.end();
+
+  const std::string json = registry().to_json();
+#ifdef MUSKETEER_OBS
+  EXPECT_TRUE(evaluated);
+  EXPECT_GE(secs, 0.0);
+  EXPECT_NE(json.find("test.gate.touch_total"), std::string::npos);
+  EXPECT_NE(json.find("test.gate.level"), std::string::npos);
+  EXPECT_NE(json.find("test.gate.wait_seconds"), std::string::npos);
+#else
+  // Arguments unevaluated, registry untouched, span inert.
+  EXPECT_FALSE(evaluated);
+  EXPECT_EQ(secs, 0.0);
+  EXPECT_EQ(json.find("test.gate."), std::string::npos);
+#endif
+}
+
+TEST(ObsGate, TracingDoesNotPerturbSettlement) {
+  const sim::SimulationConfig config = svc::testutil::small_config(23);
+
+  const auto run = [&config] {
+    pcn::Network net = svc::testutil::make_network(config);
+    core::M3DoubleAuction mechanism;
+    svc::ServiceConfig service_config;
+    service_config.policy = config.policy;
+    svc::RebalanceService service(net, mechanism, service_config);
+    std::uint64_t digest = 0;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      digest = service.run_epoch().network_digest;
+    }
+    return digest;
+  };
+
+  trace::stop();
+  trace::clear();
+  const std::uint64_t quiet = run();
+
+  trace::start();
+  const std::uint64_t traced = run();
+  trace::stop();
+
+#ifdef MUSKETEER_OBS
+  // The traced run actually recorded the epoch spans it claims to.
+  EXPECT_FALSE(trace::drain().empty());
+#endif
+  trace::clear();
+
+  EXPECT_EQ(quiet, traced);
+}
+
+}  // namespace
+}  // namespace musketeer::obs

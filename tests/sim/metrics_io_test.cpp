@@ -33,6 +33,7 @@ TEST(MetricsIo, CsvShape) {
   std::string header;
   ASSERT_TRUE(std::getline(lines, header));
   EXPECT_EQ(header.rfind("epoch,", 0), 0u) << header;
+  EXPECT_NE(header.find(",gini_imbalance,"), std::string::npos) << header;
   const std::size_t columns =
       static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) +
       1;
@@ -60,6 +61,19 @@ TEST(MetricsIo, JsonShape) {
     ++epoch_objects;
   }
   EXPECT_EQ(epoch_objects, result.epochs.size());
+
+  // Every epoch object carries the imbalance-concentration field, and
+  // the simulated values are genuine Gini coefficients: in [0, 1].
+  std::size_t gini_fields = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"gini_imbalance\": ", pos)) != std::string::npos;
+       ++pos) {
+    ++gini_fields;
+    const double v = std::stod(json.substr(pos + 18));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(gini_fields, result.epochs.size());
 }
 
 TEST(MetricsIo, IdenticalRunsProduceIdenticalDumps) {

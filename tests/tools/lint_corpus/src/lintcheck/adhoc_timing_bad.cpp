@@ -1,0 +1,10 @@
+// Fixture: raw clock reads scattered through product code bypass the
+// observability layer (no span, no histogram, no trace).
+void adhoc_timing_bad() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  (void)t0;
+  (void)t1;
+  (void)wall;
+}

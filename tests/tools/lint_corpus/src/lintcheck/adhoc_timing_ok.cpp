@@ -1,0 +1,14 @@
+// Fixture: sanctioned timing. Durations come from obs::Timer, spans
+// from MUSK_OBS_SPAN, raw time_points from obs::Timer::clock(); naming
+// a clock type (deadline parameters) reads nothing and is fine, and a
+// justified raw read may opt out inline.
+void adhoc_timing_ok(std::chrono::steady_clock::time_point deadline) {
+  const musketeer::obs::Timer timer;
+  const auto now = musketeer::obs::Timer::clock();
+  const auto poll_deadline =
+      std::chrono::steady_clock::now();  // musk-lint: allow(adhoc-timing)
+  (void)deadline;
+  (void)now;
+  (void)poll_deadline;
+  (void)timer;
+}

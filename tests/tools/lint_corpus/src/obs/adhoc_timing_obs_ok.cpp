@@ -1,0 +1,6 @@
+// Fixture: src/obs is the sanctioned home of the raw clock — the rule's
+// path predicate must keep it silent here.
+void adhoc_timing_obs_ok() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+}

@@ -1,0 +1,9 @@
+// Fixture: src/obs may hold plain std::mutex leaf locks (histogram
+// shard lists, trace rings) — they are taken during thread-local
+// teardown, after the rank auditor's own thread_local state may already
+// be gone, so the unranked-mutex rule exempts the directory.
+#pragma once
+
+struct ObsShardList {
+  std::mutex shards_mutex;
+};

@@ -1,0 +1,7 @@
+// Fixture: the rule also covers tools/ — CLI utilities time through
+// obs::Timer like everything else.
+int main() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return 0;
+}

@@ -44,6 +44,13 @@ wait interruptible and every thread joined):
                  rethrows nor is explicitly allowed hides the very failures
                  the chaos suite injects. Cleanup-and-rethrow handlers
                  (a `throw;` within the next few lines) are fine.
+  adhoc-timing   No `steady_clock::now()` (or high_resolution_clock /
+                 system_clock) in src/ or tools/ outside src/obs/ -- time
+                 a duration with obs::Timer, a span with MUSK_OBS_SPAN,
+                 and get a raw time_point (deadline arithmetic) from
+                 obs::Timer::clock(), so every measurement flows through
+                 the one observability clock. bench/ and tests/ are
+                 exempt: harnesses time whatever they like.
 
 Lock-discipline rules (every lock in the tree carries a rank from the
 hierarchy in DESIGN.md section 11 and its guarded state is annotated):
@@ -112,6 +119,10 @@ BARE_CATCH_LOOKAHEAD = 20
 # build_graph/build_graph_without call. Reference bindings (`Graph& g`)
 # to a context-owned graph are fine and do not match.
 GRAPH_IN_MECH = re.compile(r"\bGraph\s+[A-Za-z_]|\.\s*build_graph(?:_without)?\s*\(")
+# A raw clock read. Naming a clock type (steady_clock::time_point in a
+# deadline parameter) is fine; *reading* it outside src/obs is not.
+ADHOC_TIMING = re.compile(
+    r"\b(?:steady_clock|high_resolution_clock|system_clock)\s*::\s*now\s*\(")
 # Any raw standard-library mutex or condition variable type. OrderedMutex
 # wraps these inside src/util/, which is exempt via the path predicate.
 UNRANKED_MUTEX = re.compile(
@@ -143,7 +154,11 @@ RULES = [
     ("system-call", SYSTEM_CALL, lambda rel: True),
     ("cv-wait", CV_WAIT, lambda rel: True),
     ("unranked-mutex", UNRANKED_MUTEX,
-     lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "util")),
+     lambda rel: rel.parts[0] == "src"
+     and rel.parts[:2] not in {("src", "util"), ("src", "obs")}),
+    ("adhoc-timing", ADHOC_TIMING,
+     lambda rel: rel.parts[0] in {"src", "tools"}
+     and rel.parts[:2] != ("src", "obs")),
 ]
 
 

@@ -19,7 +19,9 @@
 // trip. The report gives sustained accepted bids/sec, the per-status
 // intake counts (rejected-full is the queue shedding load), ack-latency
 // percentiles, and epoch-clear-latency percentiles from the server's
-// epoch-result broadcasts.
+// epoch-result broadcasts. Latencies go into shared obs::Histogram
+// instances (per-thread shards, merged at drain), so the percentiles
+// are identical no matter how the samples were split across workers.
 //
 // Exit status: 0 on success (including shed load — rejection is an
 // answer), 1 on usage errors, 2 on runtime errors.
@@ -33,14 +35,17 @@
 #include <vector>
 
 #include "core/mechanism_factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "svc/client.hpp"
 #include "svc/daemon.hpp"
 #include "util/rng.hpp"
-#include "util/stats.hpp"
 
 using namespace musketeer;
-using Clock = std::chrono::steady_clock;
+// Pacing clock: obs::Timer::clock() is the sanctioned steady-clock
+// source (see musk_lint's adhoc-timing rule).
+using TimePoint = std::chrono::steady_clock::time_point;
 
 namespace {
 
@@ -55,7 +60,6 @@ int usage() {
 }
 
 struct WorkerStats {
-  std::vector<double> ack_ms;
   std::uint64_t accepted = 0;
   std::uint64_t replaced = 0;
   std::uint64_t rejected_full = 0;
@@ -63,7 +67,6 @@ struct WorkerStats {
   std::uint64_t rejected_closed = 0;
   std::uint64_t duplicate = 0;
   std::uint64_t errors = 0;
-  std::vector<double> epoch_clear_ms;
 };
 
 struct StopSignal {
@@ -72,7 +75,7 @@ struct StopSignal {
   bool stop = false;
 
   /// Interruptible wait until `when`; true means stop was requested.
-  bool wait_until(Clock::time_point when) {
+  bool wait_until(TimePoint when) {
     std::unique_lock<std::mutex> lock(mutex);
     return cv.wait_until(lock, when, [this] { return stop; });
   }
@@ -86,14 +89,14 @@ struct StopSignal {
   }
 };
 
-void print_percentiles(const char* label, std::vector<double>& xs) {
-  if (xs.empty()) {
+void print_percentiles(const char* label, const obs::HistogramSnapshot& s) {
+  if (s.count == 0) {
     std::printf("%s: no samples\n", label);
     return;
   }
-  std::printf("%s: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  (n=%zu)\n",
-              label, util::quantile(xs, 0.5), util::quantile(xs, 0.95),
-              util::quantile(xs, 0.99), util::max_of(xs), xs.size());
+  std::printf("%s: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  (n=%llu)\n",
+              label, s.quantile(0.5), s.quantile(0.95), s.quantile(0.99),
+              s.max, static_cast<unsigned long long>(s.count));
 }
 
 }  // namespace
@@ -170,10 +173,16 @@ int main(int argc, char** argv) {
     StopSignal stop;
     std::vector<WorkerStats> stats(
         static_cast<std::size_t>(connections));
-    const auto interval = std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(static_cast<double>(connections) /
-                                      rate));
-    const auto start = Clock::now();
+    // Shared histograms: record() lands in the calling thread's shard,
+    // snapshot() after the join merges every shard deterministically.
+    obs::Histogram ack_hist;
+    obs::Histogram epoch_hist;
+    const auto interval =
+        std::chrono::duration_cast<TimePoint::duration>(
+            std::chrono::duration<double>(static_cast<double>(connections) /
+                                          rate));
+    const obs::Timer run_timer;
+    const TimePoint start = obs::Timer::clock();
 
     std::vector<std::jthread> workers;
     workers.reserve(static_cast<std::size_t>(connections));
@@ -183,7 +192,7 @@ int main(int argc, char** argv) {
         try {
           svc::Client client(connect);
           client.hello(static_cast<core::PlayerId>(t) % players);
-          auto next = Clock::now();
+          TimePoint next = obs::Timer::clock();
           std::uint64_t k = 0;
           for (;;) {
             if (stop.wait_until(next)) break;
@@ -194,7 +203,7 @@ int main(int argc, char** argv) {
                  k * static_cast<std::uint64_t>(connections)) %
                 static_cast<std::uint64_t>(players));
             ++k;
-            const auto t0 = Clock::now();
+            const obs::Timer t0;
             svc::BidAckMsg ack;
             try {
               ack = client.submit(bid);
@@ -202,9 +211,7 @@ int main(int argc, char** argv) {
               ++my.errors;
               break;
             }
-            my.ack_ms.push_back(
-                std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                    .count());
+            ack_hist.record(1e3 * t0.seconds());
             switch (ack.status) {
               case svc::IntakeStatus::kAccepted: ++my.accepted; break;
               case svc::IntakeStatus::kReplaced: ++my.replaced; break;
@@ -220,9 +227,14 @@ int main(int argc, char** argv) {
               case svc::IntakeStatus::kDuplicate: ++my.duplicate; break;
             }
           }
-          for (const svc::EpochResultMsg& epoch :
-               client.take_epoch_results()) {
-            my.epoch_clear_ms.push_back(1e3 * epoch.clear_seconds);
+          // Every connection sees the same broadcasts; connection 0
+          // records them (the spawn path overrides with exact
+          // server-side reports below).
+          if (t == 0 && !spawn) {
+            for (const svc::EpochResultMsg& epoch :
+                 client.take_epoch_results()) {
+              epoch_hist.record(1e3 * epoch.clear_seconds);
+            }
           }
         } catch (const std::exception& error) {
           std::fprintf(stderr, "worker %d: %s\n", t, error.what());
@@ -231,12 +243,12 @@ int main(int argc, char** argv) {
       });
     }
 
-    stop.wait_until(start + std::chrono::duration_cast<Clock::duration>(
-                                std::chrono::duration<double>(duration_s)));
+    stop.wait_until(start +
+                    std::chrono::duration_cast<TimePoint::duration>(
+                        std::chrono::duration<double>(duration_s)));
     stop.trigger();
     workers.clear();  // joins
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    const double elapsed = run_timer.seconds();
 
     WorkerStats total;
     for (WorkerStats& s : stats) {
@@ -247,16 +259,11 @@ int main(int argc, char** argv) {
       total.rejected_closed += s.rejected_closed;
       total.duplicate += s.duplicate;
       total.errors += s.errors;
-      total.ack_ms.insert(total.ack_ms.end(), s.ack_ms.begin(),
-                          s.ack_ms.end());
     }
-    // Every connection sees the same broadcasts; use connection 0's.
-    total.epoch_clear_ms = std::move(stats[0].epoch_clear_ms);
     if (daemon) {
       // Exact server-side latencies beat sampled broadcasts.
-      total.epoch_clear_ms.clear();
       for (const svc::EpochReport& report : daemon->service().reports()) {
-        total.epoch_clear_ms.push_back(1e3 * report.clear_seconds);
+        epoch_hist.record(1e3 * report.clear_seconds);
       }
     }
 
@@ -282,8 +289,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.rejected_closed),
                 static_cast<unsigned long long>(total.duplicate),
                 static_cast<unsigned long long>(total.errors));
-    print_percentiles("ack latency ms", total.ack_ms);
-    print_percentiles("epoch clear ms", total.epoch_clear_ms);
+    print_percentiles("ack latency ms", ack_hist.snapshot());
+    print_percentiles("epoch clear ms", epoch_hist.snapshot());
 
     if (daemon) daemon->stop();
     return 0;

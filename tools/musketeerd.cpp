@@ -14,6 +14,9 @@
 //                      daemon replays it against the genesis network
 //                      (same --nodes/--seed/--skew) and resumes at the
 //                      recovered epoch                       [off]
+//   --trace-out <path> collect epoch trace spans while running and, on
+//                      shutdown, write them as Chrome trace_event JSON
+//                      (load at chrome://tracing)            [off]
 //
 // The daemon builds the same Barabási–Albert network the simulator
 // uses (so a daemon run is comparable to `musketeer sim`), then serves
@@ -25,9 +28,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/mechanism_factory.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "svc/daemon.hpp"
 #include "util/rng.hpp"
@@ -45,7 +50,7 @@ int usage() {
                "usage: musketeerd [--listen tcp:PORT|unix:PATH] "
                "[--mechanism m] [--nodes n] [--seed s] [--skew x]\n"
                "                  [--epoch-ms ms] [--epochs n] "
-               "[--queue-cap n] [--journal path]\n");
+               "[--queue-cap n] [--journal path] [--trace-out path]\n");
   return 1;
 }
 
@@ -54,6 +59,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string listen = "tcp:7740";
   std::string mechanism_name = "m3";
+  std::string trace_out;
   sim::SimulationConfig sim_config;
   sim_config.initial_skew = 0.4;
   svc::DaemonConfig config;
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::stoull(value));
       } else if (flag == "--journal") {
         config.journal_path = value;
+      } else if (flag == "--trace-out") {
+        trace_out = value;
       } else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return usage();
@@ -101,6 +109,8 @@ int main(int argc, char** argv) {
 
     util::Rng rng(sim_config.seed);
     pcn::Network network = sim::build_network(sim_config, rng);
+
+    if (!trace_out.empty()) obs::trace::start();
 
     svc::Daemon daemon(std::move(network), std::move(mechanism), config);
     if (!config.journal_path.empty()) {
@@ -145,6 +155,21 @@ int main(int argc, char** argv) {
       }
     }
     daemon.stop();
+    if (!trace_out.empty()) {
+      obs::trace::stop();
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "musketeerd: cannot write trace file %s\n",
+                     trace_out.c_str());
+        return 2;
+      }
+      const std::size_t events = obs::trace::write_chrome_json(out);
+      out.flush();
+      std::printf("musketeerd: wrote %zu trace event(s) to %s"
+                  " (%llu dropped); load at chrome://tracing\n",
+                  events, trace_out.c_str(),
+                  static_cast<unsigned long long>(obs::trace::dropped()));
+    }
     const auto counters = daemon.service().intake_counters();
     std::printf("musketeerd: stopped after %d epoch(s); intake: "
                 "%llu accepted, %llu replaced, %llu rejected-full, "
