@@ -1,10 +1,12 @@
 #include "core/m2_vcg.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
+#include <utility>
+#include <vector>
 
+#include "flow/executor.hpp"
+#include "flow/partitioner.hpp"
 #include "util/assert.hpp"
 
 namespace musketeer::core {
@@ -24,6 +26,22 @@ BidVector buyers_only(const BidVector& bids) {
 double welfare_without(const Game& game, const BidVector& bids, PlayerId v,
                        const flow::Circulation& f) {
   return game.social_welfare(bids, f) - game.player_value(v, bids, f);
+}
+
+/// Zeroes the capacity of every edge incident to `v` in `g`, recording
+/// the previous values in `saved` (the component-local analogue of
+/// SolveContext::mask_player).
+void mask_in(flow::Graph& g, PlayerId v,
+             std::vector<std::pair<flow::EdgeId, flow::Amount>>& saved) {
+  saved.clear();
+  for (const flow::EdgeId e : g.out_edges(v)) {
+    saved.emplace_back(e, g.edge(e).capacity);
+    g.set_capacity(e, 0);
+  }
+  for (const flow::EdgeId e : g.in_edges(v)) {
+    saved.emplace_back(e, g.edge(e).capacity);
+    g.set_capacity(e, 0);
+  }
 }
 
 }  // namespace
@@ -56,45 +74,66 @@ std::vector<double> M2Vcg::vcg_prices(flow::SolveContext& ctx,
     }
   }
 
-  // The per-buyer exclusion solves are independent — fan them out across
-  // hardware threads. Results land in pre-sized slots, so the outcome is
-  // byte-identical to the sequential order. Each exclusion is an O(deg)
-  // capacity mask on an already-bound context: the masked graph equals
-  // the paper's G_{-v} exactly, so no per-buyer rebuild is needed.
   std::vector<double> prices(static_cast<std::size_t>(game.num_players()), 0.0);
-  std::atomic<std::size_t> next{0};
-  auto worker = [&](flow::SolveContext& wctx) {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= buyers.size()) return;
-      const PlayerId v = buyers[i];
-      wctx.mask_player(v);
-      const flow::Circulation f_minus = wctx.solve(solver_);
-      wctx.unmask();
+
+  if (!ctx.shards_ready()) {
+    // Monolithic path: each exclusion is an O(deg) capacity mask on the
+    // already-bound context, re-solved on the whole graph.
+    for (const PlayerId v : buyers) {
+      ctx.mask_player(v);
+      const flow::Circulation f_minus = ctx.solve(solver_);
+      ctx.unmask();
       prices[static_cast<std::size_t>(v)] =
           welfare_without(game, bids, v, f_minus) -
           welfare_without(game, bids, v, f);
     }
-  };
-  const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t num_threads =
-      std::min<std::size_t>(buyers.size(), hw == 0 ? 2 : hw);
-  if (num_threads <= 1) {
-    worker(ctx);
-  } else {
-    // Contexts are single-threaded state: each worker binds its own
-    // (one structure build per worker, then mask-only solves).
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back([&]() {
-        flow::SolveContext wctx;
-        game.bind_graph(wctx, bids);
-        worker(wctx);
-      });
-    }
-    for (std::thread& t : threads) t.join();
+    return prices;
   }
+
+  // Sharded path: f_{-v} differs from f only on v's weakly-connected
+  // component, so each exclusion re-solves that component alone, and
+  // components reprice as independent executor tasks. Every task owns a
+  // private copy of its component subgraph plus a fresh workspace —
+  // SolveContext stays single-threaded state. Prices land in disjoint
+  // slots (a buyer belongs to exactly one component), and each price is
+  // computed from the same full-graph f_{-v} welfare expression as the
+  // monolithic path, so the result is bit-identical to it.
+  std::vector<std::vector<PlayerId>> by_component(
+      static_cast<std::size_t>(ctx.num_components()));
+  std::vector<int> priced_components;
+  for (const PlayerId v : buyers) {
+    const int c = ctx.component_of(v);
+    MUSK_ASSERT_MSG(c != flow::kNoComponent, "buyer with no incident edge");
+    if (by_component[static_cast<std::size_t>(c)].empty()) {
+      priced_components.push_back(c);
+    }
+    by_component[static_cast<std::size_t>(c)].push_back(v);
+  }
+  ctx.executor()->run(priced_components.size(), [&](std::size_t i) {
+    const int c = priced_components[i];
+    // Deliberate copy: each task masks caps in place, so it needs its
+    // own graph, not the context's shared shard.
+    flow::Graph g = ctx.component_graph(c);  // musk-lint: allow(graph-in-mechanism)
+    flow::Workspace ws;
+    const std::span<const flow::EdgeId> edges = ctx.component_edges(c);
+    flow::Circulation f_minus = f;
+    std::vector<std::pair<flow::EdgeId, flow::Amount>> saved;
+    for (const PlayerId v : by_component[static_cast<std::size_t>(c)]) {
+      mask_in(g, v, saved);
+      const flow::Circulation local = flow::solve_max_welfare(g, ws, solver_);
+      for (const auto& [e, cap] : saved) g.set_capacity(e, cap);
+      // Scatter overwrites every component entry, so f_minus needs no
+      // reset between buyers; outside the component it stays equal to f
+      // — exactly the whole-graph f_{-v} (unmasked components re-solve
+      // to their cached optimum deterministically).
+      for (std::size_t local_e = 0; local_e < edges.size(); ++local_e) {
+        f_minus[static_cast<std::size_t>(edges[local_e])] = local[local_e];
+      }
+      prices[static_cast<std::size_t>(v)] =
+          welfare_without(game, bids, v, f_minus) -
+          welfare_without(game, bids, v, f);
+    }
+  });
   return prices;
 }
 

@@ -41,9 +41,12 @@ class M2Vcg : public Mechanism {
   /// Aggregate VCG pivot price of each player under the given bids (tail
   /// bids zeroed). Exposed for tests and the truthfulness bench. The
   /// exclusion re-solves run as O(deg) capacity masks on `ctx`'s graph —
-  /// no per-buyer graph rebuilds. When the buyer set is large enough to
-  /// fan out across threads, each worker gets its own private context
-  /// (bound once) so `ctx` is never shared.
+  /// no per-buyer graph rebuilds. When `ctx` carries a current shard
+  /// pool (an attached Executor with concurrency > 1), each exclusion
+  /// re-solves only the masked buyer's weakly-connected component, and
+  /// components are repriced as parallel executor tasks with task-local
+  /// solver state — `ctx` itself is never shared across threads. Prices
+  /// are bit-identical either way.
   std::vector<double> vcg_prices(flow::SolveContext& ctx, const Game& game,
                                  const BidVector& bids) const;
 

@@ -1,0 +1,89 @@
+#include "flow/partitioner.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace musketeer::flow {
+
+EdgeId Partition::largest_component_edges() const {
+  EdgeId largest = 0;
+  for (int c = 0; c < num_components(); ++c) {
+    largest = std::max(largest, static_cast<EdgeId>(edges(c).size()));
+  }
+  return largest;
+}
+
+NodeId Partitioner::find_root(NodeId v) {
+  // Path halving: every probe points a node at its grandparent, so the
+  // forest flattens as it is queried without a second pass.
+  while (parent_[static_cast<std::size_t>(v)] != v) {
+    const NodeId grandparent =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+    parent_[static_cast<std::size_t>(v)] = grandparent;
+    v = grandparent;
+  }
+  return v;
+}
+
+const Partition& Partitioner::run(const Graph& g) {
+  MUSK_OBS_SPAN(span, "flow.partition");
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+
+  parent_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) parent_[static_cast<std::size_t>(v)] = v;
+  for (EdgeId e = 0; e < m; ++e) {
+    // Union over every edge, capacity-0 included: the partition must
+    // reflect the arc layout the solvers see, not the currently-pushable
+    // subgraph (DESIGN.md §13).
+    const Edge& edge = g.edge(e);
+    const NodeId a = find_root(edge.from);
+    const NodeId b = find_root(edge.to);
+    if (a != b) parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+  // Number components by smallest member node: scanning nodes in id
+  // order and assigning ids on first sight of each root gives exactly
+  // that, independent of union order.
+  Partition& p = partition_;
+  p.component_of_.assign(static_cast<std::size_t>(n), kNoComponent);
+  std::vector<int>& root_component = root_component_;  // reused scratch
+  root_component.assign(static_cast<std::size_t>(n), kNoComponent);
+  int num_components = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.out_edges(v).empty() && g.in_edges(v).empty()) continue;
+    const NodeId root = find_root(v);
+    int& c = root_component[static_cast<std::size_t>(root)];
+    if (c == kNoComponent) c = num_components++;
+    p.component_of_[static_cast<std::size_t>(v)] = c;
+  }
+
+  // CSR edge lists: count, prefix-sum, fill. Filling in global edge
+  // order keeps every per-component list ascending.
+  p.first_edge_.assign(static_cast<std::size_t>(num_components) + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const int c = p.component_of_[static_cast<std::size_t>(g.edge(e).from)];
+    MUSK_ASSERT(c != kNoComponent);
+    ++p.first_edge_[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < p.first_edge_.size(); ++c) {
+    p.first_edge_[c] += p.first_edge_[c - 1];
+  }
+  p.edges_.resize(static_cast<std::size_t>(m));
+  std::vector<std::size_t> cursor(p.first_edge_.begin(),
+                                  p.first_edge_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const int c = p.component_of_[static_cast<std::size_t>(g.edge(e).from)];
+    p.edges_[cursor[static_cast<std::size_t>(c)]++] = e;
+  }
+
+  MUSK_OBS_HISTOGRAM("flow.partition.components",
+                     static_cast<double>(num_components));
+  MUSK_OBS_HISTOGRAM("flow.partition.largest_component_edges",
+                     static_cast<double>(p.largest_component_edges()));
+  MUSK_OBS_HISTOGRAM("flow.partition.seconds", span.end());
+  return partition_;
+}
+
+}  // namespace musketeer::flow

@@ -1,0 +1,94 @@
+// Weakly-connected-component partitioning of a flow graph.
+//
+// Musketeer's welfare-maximizing circulation factors exactly over the
+// weakly-connected components of the bid graph: a circulation conserves
+// flow per node, every residual cycle stays inside one component, and
+// the solvers in src/flow never move information across components (see
+// DESIGN.md §13 for the per-solver argument). The Partitioner computes
+// that factorization once per topology so the solve path can run one
+// component at a time — or many at once.
+//
+// Determinism contract (what makes sharded solves bit-identical):
+//
+//   * Components are equivalence classes of *edges* under "shares an
+//     endpoint", computed by union–find over ALL bound edges — including
+//     capacity-0 edges. A masked or undepleted edge still occupies its
+//     arc slot in the network-simplex basis, so only the full edge set
+//     yields a partition every solver kind decomposes over.
+//   * Component ids are stable: components are numbered by their
+//     smallest member node, so the same topology always partitions the
+//     same way regardless of edge insertion history.
+//   * Per-component edge lists are ascending in global edge id, so a
+//     component subgraph built from one preserves the global relative
+//     edge order (the order Bellman–Ford relaxes arcs in and network
+//     simplex lays out its basis columns in).
+//
+// Nodes with no incident edges belong to no component (component_of ==
+// kNoComponent): they cannot carry flow, so no solver needs them.
+//
+// A Partitioner owns reusable scratch; run() allocates only when the
+// graph outgrows what previous runs sized (the zero-rebuild solve path
+// re-partitions only on topology changes, so steady-state epochs do no
+// partition work at all).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "flow/graph.hpp"
+
+namespace musketeer::flow {
+
+inline constexpr int kNoComponent = -1;
+
+/// The result of one partitioning pass. Views into Partitioner-owned
+/// storage stay valid until the next run().
+class Partition {
+ public:
+  int num_components() const {
+    return static_cast<int>(first_edge_.size()) - 1;
+  }
+
+  /// Component owning node `v`, or kNoComponent for an isolated node.
+  int component_of(NodeId v) const {
+    MUSK_ASSERT(v >= 0 && v < static_cast<NodeId>(component_of_.size()));
+    return component_of_[static_cast<std::size_t>(v)];
+  }
+
+  /// Global edge ids of component `c`, ascending.
+  std::span<const EdgeId> edges(int c) const {
+    MUSK_ASSERT(c >= 0 && c < num_components());
+    const auto begin = first_edge_[static_cast<std::size_t>(c)];
+    const auto end = first_edge_[static_cast<std::size_t>(c) + 1];
+    return std::span<const EdgeId>(edges_).subspan(begin, end - begin);
+  }
+
+  /// Edge count of the largest component (0 when there are none).
+  EdgeId largest_component_edges() const;
+
+ private:
+  friend class Partitioner;
+
+  std::vector<int> component_of_;      // per node; kNoComponent if isolated
+  std::vector<EdgeId> edges_;          // edge ids grouped by component
+  std::vector<std::size_t> first_edge_;  // CSR offsets, size = components+1
+};
+
+class Partitioner {
+ public:
+  /// Partitions `g` into weakly-connected components. The returned
+  /// reference (and every span it hands out) is owned by this
+  /// Partitioner and is invalidated by the next run().
+  const Partition& run(const Graph& g);
+
+  const Partition& partition() const { return partition_; }
+
+ private:
+  NodeId find_root(NodeId v);
+
+  Partition partition_;
+  std::vector<NodeId> parent_;       // union–find forest
+  std::vector<int> root_component_;  // root node -> component id (scratch)
+};
+
+}  // namespace musketeer::flow

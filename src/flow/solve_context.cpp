@@ -54,6 +54,32 @@ void SolveContext::mask_player(NodeId v) {
     graph_.set_capacity(e, 0);
   }
   masked_player_ = v;
+
+  // Route the mask to v's component slot so the next sharded solve
+  // re-solves only that component. A stale pool (no sharded solve since
+  // the last bind) is left alone: solve() falls back to the monolithic
+  // path for the masked call, which is bit-identical anyway.
+  mask_in_slots_ = sharding_enabled() && shards_current();
+  masked_slot_ = kNoComponent;
+  if (mask_in_slots_) {
+    const int c = partitioner_.partition().component_of(v);
+    masked_slot_ = c;
+    if (c != kNoComponent) {
+      ComponentSlot& slot = slots_[static_cast<std::size_t>(c)];
+      slot_saved_caps_.clear();
+      for (const EdgeId local : slot.graph.out_edges(v)) {
+        slot_saved_caps_.emplace_back(local, slot.graph.edge(local).capacity);
+        slot.graph.set_capacity(local, 0);
+      }
+      for (const EdgeId local : slot.graph.in_edges(v)) {
+        slot_saved_caps_.emplace_back(local, slot.graph.edge(local).capacity);
+        slot.graph.set_capacity(local, 0);
+      }
+      slot_saved_flow_ = slot.flow;
+      slot_saved_clean_ = slot.clean;
+      slot.clean = false;
+    }
+  }
 }
 
 void SolveContext::unmask() {
@@ -63,10 +89,80 @@ void SolveContext::unmask() {
   }
   saved_caps_.clear();
   masked_player_ = -1;
+
+  if (mask_in_slots_ && masked_slot_ != kNoComponent) {
+    // Restore the slot's capacities AND its pre-mask cached flow: the
+    // unmasked optimum of an untouched component is deterministic, so
+    // the saved cache is exactly what a re-solve would produce.
+    ComponentSlot& slot = slots_[static_cast<std::size_t>(masked_slot_)];
+    for (const auto& [local, cap] : slot_saved_caps_) {
+      slot.graph.set_capacity(local, cap);
+    }
+    slot_saved_caps_.clear();
+    slot.flow = std::move(slot_saved_flow_);
+    slot_saved_flow_ = Circulation();
+    slot.clean = slot_saved_clean_;
+  }
+  mask_in_slots_ = false;
+  masked_slot_ = kNoComponent;
+}
+
+void SolveContext::ensure_shards() {
+  MUSK_ASSERT_MSG(masked_player_ < 0,
+                  "shard pool may not be (re)built under an active mask");
+  if (shard_builds_mark_ != stats_.structure_builds) {
+    // Topology changed: re-partition and rebuild every slot graph. Each
+    // slot build is a real graph construction and is counted as one, so
+    // SolveStats::graph_rebuilds sums the sharded path's rebuild work
+    // across components instead of sampling one.
+    const Partition& part = partitioner_.run(graph_);
+    const int k = part.num_components();
+    slots_.resize(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      ComponentSlot& slot = slots_[static_cast<std::size_t>(c)];
+      const std::span<const EdgeId> edges = part.edges(c);
+      slot.edges.assign(edges.begin(), edges.end());
+      Graph g(graph_.num_nodes());
+      for (const EdgeId e : slot.edges) {
+        const Edge& edge = graph_.edge(e);
+        g.add_edge(edge.from, edge.to, edge.capacity, edge.gain);
+      }
+      slot.graph = std::move(g);
+      slot.clean = false;
+      ++stats_.structure_builds;
+      MUSK_OBS_COUNT("flow.graph.build_total", 1);
+    }
+    shard_builds_mark_ = stats_.structure_builds;
+    shard_sync_mark_ = stats_.structure_builds + stats_.rebinds;
+  } else if (shard_sync_mark_ != stats_.structure_builds + stats_.rebinds) {
+    // Same topology, fresh capacities/gains (a rebind): refresh every
+    // slot in place — the sharded analogue of the zero-rebuild rebind.
+    for (ComponentSlot& slot : slots_) {
+      for (std::size_t i = 0; i < slot.edges.size(); ++i) {
+        const Edge& edge = graph_.edge(slot.edges[i]);
+        const EdgeId local = static_cast<EdgeId>(i);
+        slot.graph.set_capacity(local, edge.capacity);
+        slot.graph.set_gain(local, edge.gain);
+      }
+      slot.clean = false;
+    }
+    shard_sync_mark_ = stats_.structure_builds + stats_.rebinds;
+  }
 }
 
 Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
   MUSK_ASSERT_MSG(bound_, "SolveContext::solve before bind");
+  // A masked solve may use the shard pool only if the mask reached it
+  // and nothing re-bound the context since (a stale pool would solve
+  // yesterday's gains). The monolithic fallback is bit-identical.
+  const bool masked_shardable = mask_in_slots_ && shards_current();
+  if (!sharding_enabled() || (masked_player_ >= 0 && !masked_shardable)) {
+    return solve_monolith(kind, stats);
+  }
+  return solve_sharded(kind, stats);
+}
+
+Circulation SolveContext::solve_monolith(SolverKind kind, SolveStats* stats) {
   MUSK_OBS_SPAN(span, solve_span_name(kind));
   span.set_detail(solver_kind_name(kind));
   SolveStats local;
@@ -76,7 +172,78 @@ Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
   builds_at_last_solve_ = stats_.structure_builds;
   ++stats_.solves;
   stats_.fallbacks += local.fallbacks;
+  last_components_ = graph_.num_edges() > 0 ? 1 : 0;
+  last_largest_component_ = graph_.num_edges();
   MUSK_OBS_COUNT("flow.solve.total", 1);
+  MUSK_OBS_COUNT("flow.solve.fallback_total",
+                 static_cast<std::uint64_t>(local.fallbacks));
+  MUSK_OBS_HISTOGRAM("flow.solve.seconds", span.end());
+  if (stats != nullptr) {
+    stats->cycles_cancelled += local.cycles_cancelled;
+    stats->units_pushed += local.units_pushed;
+    stats->fallbacks += local.fallbacks;
+    stats->graph_rebuilds += local.graph_rebuilds;
+  }
+  return f;
+}
+
+Circulation SolveContext::solve_sharded(SolverKind kind, SolveStats* stats) {
+  MUSK_OBS_SPAN(span, solve_span_name(kind));
+  span.set_detail(solver_kind_name(kind));
+  if (masked_player_ < 0) ensure_shards();
+
+  // Solve the dirty slots as disjoint executor tasks. Clean slots keep
+  // their cached optimum: a deterministic solver re-run on unchanged
+  // inputs would reproduce it bit for bit, so skipping it is exact.
+  dirty_slots_.clear();
+  for (std::size_t c = 0; c < slots_.size(); ++c) {
+    if (!slots_[c].clean) dirty_slots_.push_back(static_cast<int>(c));
+  }
+  slot_stats_.assign(dirty_slots_.size(), SolveStats{});
+  executor_->run(dirty_slots_.size(), [&](std::size_t i) {
+    ComponentSlot& slot =
+        slots_[static_cast<std::size_t>(dirty_slots_[i])];
+    MUSK_OBS_SPAN(component_span, "core.solve.component");
+    component_span.set_detail(solver_kind_name(kind));
+    slot.flow = solve_max_welfare(slot.graph, slot.ws, kind, &slot_stats_[i]);
+    slot.clean = true;
+    MUSK_OBS_HISTOGRAM("core.solve.component.seconds", component_span.end());
+  });
+
+  // Deterministic merge in component-id order: scatter each component's
+  // local flows to their global edge ids and sum the per-component
+  // counters (never "last component wins").
+  Circulation f = zero_circulation(graph_);
+  for (const ComponentSlot& slot : slots_) {
+    for (std::size_t i = 0; i < slot.edges.size(); ++i) {
+      f[static_cast<std::size_t>(slot.edges[i])] = slot.flow[i];
+    }
+  }
+  SolveStats local;
+  for (const SolveStats& s : slot_stats_) {
+    local.cycles_cancelled += s.cycles_cancelled;
+    local.units_pushed += s.units_pushed;
+    local.fallbacks += s.fallbacks;
+  }
+  local.graph_rebuilds =
+      static_cast<int>(stats_.structure_builds - builds_at_last_solve_);
+  builds_at_last_solve_ = stats_.structure_builds;
+  ++stats_.solves;
+  stats_.fallbacks += local.fallbacks;
+  last_components_ = static_cast<int>(slots_.size());
+  last_largest_component_ = partitioner_.partition().largest_component_edges();
+
+#if defined(MUSKETEER_AUDIT)
+  // Each component task already re-certified its own optimality; the
+  // merged circulation must additionally conserve flow on the full
+  // graph (components share no edges, so this can only fail on a
+  // merge-order bug — exactly what it is here to catch).
+  MUSK_ASSERT_MSG(is_feasible(graph_, f),
+                  "audit: sharded merge produced an infeasible circulation");
+#endif
+
+  MUSK_OBS_COUNT("flow.solve.total", 1);
+  MUSK_OBS_COUNT("flow.solve.sharded_total", 1);
   MUSK_OBS_COUNT("flow.solve.fallback_total",
                  static_cast<std::uint64_t>(local.fallbacks));
   MUSK_OBS_HISTOGRAM("flow.solve.seconds", span.end());
@@ -96,6 +263,26 @@ std::vector<CycleFlow> SolveContext::decompose(const Circulation& f) {
   MUSK_OBS_COUNT("flow.decompose.cycles_total", cycles.size());
   MUSK_OBS_HISTOGRAM("flow.decompose.seconds", span.end());
   return cycles;
+}
+
+const Graph& SolveContext::component_graph(int c) const {
+  MUSK_ASSERT_MSG(shards_ready(), "no current shard pool");
+  MUSK_ASSERT(c >= 0 && c < static_cast<int>(slots_.size()));
+  return slots_[static_cast<std::size_t>(c)].graph;
+}
+
+std::span<const EdgeId> SolveContext::component_edges(int c) const {
+  MUSK_ASSERT_MSG(shards_ready(), "no current shard pool");
+  MUSK_ASSERT(c >= 0 && c < static_cast<int>(slots_.size()));
+  return slots_[static_cast<std::size_t>(c)].edges;
+}
+
+const Circulation& SolveContext::component_flow(int c) const {
+  MUSK_ASSERT_MSG(shards_ready(), "no current shard pool");
+  MUSK_ASSERT(c >= 0 && c < static_cast<int>(slots_.size()));
+  const ComponentSlot& slot = slots_[static_cast<std::size_t>(c)];
+  MUSK_ASSERT_MSG(slot.clean, "component flow requested before its solve");
+  return slot.flow;
 }
 
 SolveContext& local_context() {

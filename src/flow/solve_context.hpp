@@ -21,11 +21,34 @@
 // Results are bit-identical to building a fresh Graph and calling the
 // legacy solvers: only buffers are reused, never algorithmic state.
 //
+// Component sharding (set_executor): when an Executor with
+// concurrency > 1 is attached, solve() partitions the bound graph into
+// weakly-connected components (flow::Partitioner) and solves them as
+// independent tasks, merging flows and stats in component-id order.
+// The merged result is bit-identical to the monolithic solve for every
+// solver kind (DESIGN.md §13 has the per-solver argument); SolveStats
+// counters sum across components. Each component keeps its own subgraph
+// (global node-id space, component edges in ascending global order),
+// workspace, and cached circulation:
+//
+//   * the shard pool is (re)built only on structure builds and its
+//     capacities/gains are refreshed in place on rebinds, so the
+//     zero-rebuild contract survives sharding — quiescent epochs still
+//     perform no partitioning and no graph construction;
+//   * mask_player(v) additionally masks only v's component and marks it
+//     dirty, so a masked solve re-solves exactly one component and
+//     reuses every other component's cached flow — the O(own-component)
+//     VCG reprice. An incremental solve's SolveStats cover only the
+//     re-solved components (the cached ones did no work).
+//
+// With no executor — or one with concurrency() == 1 — every call takes
+// the literal legacy whole-graph path ("--threads 1").
+//
 // Thread ownership: a SolveContext is single-threaded state, like the
-// Workspace it embeds. One context per thread; the thread_local
-// local_context() backs legacy entry points, and components that solve
-// from multiple threads (e.g. M2's parallel VCG exclusions) create one
-// context per worker. See DESIGN.md §9.
+// Workspace it embeds; only the component tasks it hands to the
+// executor run concurrently, and those touch disjoint slots. One
+// context per thread; the thread_local local_context() backs legacy
+// entry points. See DESIGN.md §9 and §13.
 #pragma once
 
 #include <span>
@@ -33,7 +56,9 @@
 #include <vector>
 
 #include "flow/decompose.hpp"
+#include "flow/executor.hpp"
 #include "flow/graph.hpp"
+#include "flow/partitioner.hpp"
 #include "flow/solver.hpp"
 #include "flow/workspace.hpp"
 #include "obs/obs.hpp"
@@ -42,7 +67,9 @@ namespace musketeer::flow {
 
 /// Lifetime counters of one SolveContext.
 struct ContextStats {
-  /// Full Graph (re)constructions (bind on a new/changed structure).
+  /// Full Graph (re)constructions: binds on a new/changed structure plus
+  /// per-component shard-pool (re)builds — one count per graph built, so
+  /// the sharded path's rebuild work is summed, not sampled.
   long long structure_builds = 0;
   /// In-place capacity/gain refreshes on an unchanged structure.
   long long rebinds = 0;
@@ -69,6 +96,13 @@ class SolveContext {
 
   Workspace& workspace() { return ws_; }
   const ContextStats& stats() const { return stats_; }
+
+  /// Attaches the executor the sharded solve path fans component tasks
+  /// out through (borrowed; must outlive the context or be detached with
+  /// nullptr). nullptr or concurrency() == 1 selects the legacy
+  /// whole-graph path.
+  void set_executor(Executor* executor) { executor_ = executor; }
+  Executor* executor() const { return executor_; }
 
   /// Adopts `g` as the bound graph (always a structure build).
   void bind(Graph&& g) {
@@ -119,25 +153,96 @@ class SolveContext {
 
   /// Zeroes the capacity of every edge incident to `v` (the paper's
   /// G_{-v}), saving the previous capacities. O(deg(v)). At most one
-  /// mask may be active at a time.
+  /// mask may be active at a time. With a current shard pool the mask
+  /// also lands on v's component slot only, so the next solve re-solves
+  /// just that component.
   void mask_player(NodeId v);
 
-  /// Restores the capacities saved by mask_player.
+  /// Restores the capacities saved by mask_player (and the masked
+  /// component's cached flow, so the shard pool is warm again).
   void unmask();
 
   /// Player currently masked, or -1.
   NodeId masked_player() const { return masked_player_; }
 
   /// Runs solve_max_welfare on the bound graph through the pooled
-  /// workspace. Bit-identical to the legacy entry point.
+  /// workspace — monolithically, or sharded by component when an
+  /// executor with concurrency > 1 is attached. Bit-identical to the
+  /// legacy entry point either way.
   Circulation solve(SolverKind kind = SolverKind::kBellmanFord,
                     SolveStats* stats = nullptr);
 
   /// Sign-consistent decomposition of `f` on the bound graph through the
-  /// pooled scratch.
+  /// pooled scratch. Always whole-graph: the peel order over global
+  /// start nodes is part of the outcome's bit-identity.
   std::vector<CycleFlow> decompose(const Circulation& f);
 
+  // --- Shard pool introspection (valid after a sharded solve) ---------
+
+  /// True when the last solve went through the sharded path and the
+  /// shard pool still matches the bound graph (no re-bind since). The
+  /// component accessors below require this.
+  bool shards_ready() const {
+    return sharding_enabled() && shards_current() && !slots_.empty();
+  }
+
+  int num_components() const {
+    MUSK_ASSERT_MSG(shards_ready(), "no current shard pool");
+    return partitioner_.partition().num_components();
+  }
+
+  /// Component owning node `v`, or flow::kNoComponent.
+  int component_of(NodeId v) const {
+    MUSK_ASSERT_MSG(shards_ready(), "no current shard pool");
+    return partitioner_.partition().component_of(v);
+  }
+
+  /// Component `c`'s subgraph: global node-id space, the component's
+  /// edges in ascending global order.
+  const Graph& component_graph(int c) const;
+
+  /// Global edge ids of component `c` (ascending); component_graph(c)'s
+  /// local edge i is global edge component_edges(c)[i].
+  std::span<const EdgeId> component_edges(int c) const;
+
+  /// Component `c`'s cached optimal local circulation from the last
+  /// solve (indexed like component_graph(c)'s edges).
+  const Circulation& component_flow(int c) const;
+
+  /// Components the last solve partitioned into (1 on the monolithic
+  /// path with a non-empty graph, 0 before any solve or on an empty
+  /// graph) and the largest component's edge count.
+  int last_component_count() const { return last_components_; }
+  EdgeId last_largest_component() const { return last_largest_component_; }
+
  private:
+  /// One weakly-connected component's private solve state.
+  struct ComponentSlot {
+    Graph graph{0};             ///< global node space, component edges
+    Workspace ws;
+    std::vector<EdgeId> edges;  ///< local -> global edge id (ascending)
+    Circulation flow;           ///< cached optimal local circulation
+    bool clean = false;         ///< flow matches graph's current caps/gains
+  };
+
+  /// True when an attached executor makes sharding worthwhile at all.
+  bool sharding_enabled() const {
+    return executor_ != nullptr && executor_->concurrency() > 1;
+  }
+
+  /// True when the shard pool mirrors the bound graph's structure and
+  /// its current capacities/gains.
+  bool shards_current() const {
+    return shard_builds_mark_ == stats_.structure_builds &&
+           shard_sync_mark_ == stats_.structure_builds + stats_.rebinds;
+  }
+
+  /// (Re)builds or refreshes the shard pool to mirror the bound graph.
+  void ensure_shards();
+
+  Circulation solve_monolith(SolverKind kind, SolveStats* stats);
+  Circulation solve_sharded(SolverKind kind, SolveStats* stats);
+
   Graph graph_{0};
   Workspace ws_;
   ContextStats stats_;
@@ -145,6 +250,30 @@ class SolveContext {
   NodeId masked_player_ = -1;
   std::vector<std::pair<EdgeId, Amount>> saved_caps_;
   long long builds_at_last_solve_ = 0;
+
+  // --- Shard pool (sharded path only) --------------------------------
+  Executor* executor_ = nullptr;  ///< borrowed
+  Partitioner partitioner_;
+  std::vector<ComponentSlot> slots_;
+  /// stats_.structure_builds value the pool's structure mirrors
+  /// (post-build, since slot builds themselves count), or -1.
+  long long shard_builds_mark_ = -1;
+  /// stats_.structure_builds + stats_.rebinds value the pool's
+  /// capacities/gains mirror, or -1.
+  long long shard_sync_mark_ = -1;
+  /// Slot masked alongside the context mask (kNoComponent when the
+  /// masked player is isolated), and whether the active mask reached the
+  /// pool at all (false when the pool was stale at mask time).
+  int masked_slot_ = kNoComponent;
+  bool mask_in_slots_ = false;
+  std::vector<std::pair<EdgeId, Amount>> slot_saved_caps_;  ///< local ids
+  Circulation slot_saved_flow_;
+  bool slot_saved_clean_ = false;
+  /// Per-solve scratch: dirty slot ids and their solve stats.
+  std::vector<int> dirty_slots_;
+  std::vector<SolveStats> slot_stats_;
+  int last_components_ = 0;
+  EdgeId last_largest_component_ = 0;
 };
 
 /// The calling thread's shared context. Backs the legacy (context-free)

@@ -113,8 +113,15 @@ class RebalanceBackend {
 /// graph. Use from one thread at a time, like the rest of the engine.
 class MechanismBackend final : public RebalanceBackend {
  public:
-  explicit MechanismBackend(const core::Mechanism& mechanism)
-      : mechanism_(&mechanism) {}
+  /// `executor` (borrowed, optional) turns on the component-sharded
+  /// solve path — attach a svc::ParallelExecutor to fan the per-epoch
+  /// solve out across components. Results are bit-identical with or
+  /// without it (DESIGN.md §13).
+  explicit MechanismBackend(const core::Mechanism& mechanism,
+                            flow::Executor* executor = nullptr)
+      : mechanism_(&mechanism) {
+    ctx_.set_executor(executor);
+  }
 
   pcn::RebalanceStats rebalance(pcn::Network& network,
                                 const pcn::RebalancePolicy& policy) override;

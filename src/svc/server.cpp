@@ -185,6 +185,10 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       msg.journal_bytes = stats.journal_bytes;
       msg.imbalance_gini = stats.imbalance_gini;
       msg.imbalance_mean = stats.imbalance_mean;
+      msg.solve_threads = static_cast<std::uint32_t>(stats.solve_threads);
+      msg.last_components = static_cast<std::uint32_t>(stats.last_components);
+      msg.largest_component =
+          static_cast<std::uint32_t>(stats.largest_component);
       msg.intake = stats.intake;
       msg.registry_json = obs::registry().to_json();
       send_frame(conn, MsgType::kStatsResponse, encode_stats_response(msg));

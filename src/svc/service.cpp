@@ -66,8 +66,13 @@ RebalanceService::RebalanceService(pcn::Network& network,
     : mechanism_(mechanism),
       config_(config),
       queue_(config.queue_capacity, network.num_nodes()),
+      executor_(config.threads),
       network_(network),
-      epochs_cleared_(config.first_epoch) {}
+      epochs_cleared_(config.first_epoch) {
+  // With concurrency 1 the context ignores the executor entirely and
+  // takes the literal legacy whole-graph path.
+  solve_context_.set_executor(&executor_);
+}
 
 RebalanceService::~RebalanceService() { stop(); }
 
@@ -195,6 +200,13 @@ EpochReport RebalanceService::run_epoch() {
     report.max_release_time = stats.max_release_time;
     report.graph_rebuilds = static_cast<int>(
         solve_context_.stats().structure_builds - builds_before);
+    report.solve_components = solve_context_.last_component_count();
+    report.largest_component =
+        static_cast<int>(solve_context_.last_largest_component());
+    last_components_.store(report.solve_components,
+                           std::memory_order_relaxed);
+    last_largest_component_.store(report.largest_component,
+                                  std::memory_order_relaxed);
     report.notices = build_notices(extracted.game, outcome);
   }
 
@@ -284,6 +296,10 @@ ServiceStats RebalanceService::stats_snapshot() const {
   }
   stats.imbalance_gini = imbalance_gini_.load(std::memory_order_relaxed);
   stats.imbalance_mean = imbalance_mean_.load(std::memory_order_relaxed);
+  stats.solve_threads = executor_.concurrency();
+  stats.last_components = last_components_.load(std::memory_order_relaxed);
+  stats.largest_component =
+      last_largest_component_.load(std::memory_order_relaxed);
   stats.intake = queue_.counters();
   return stats;
 }

@@ -40,6 +40,7 @@
 #include "pcn/network.hpp"
 #include "pcn/rebalancer.hpp"
 #include "svc/bid_queue.hpp"
+#include "svc/executor.hpp"
 #include "util/ordered_mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -68,6 +69,12 @@ struct ServiceConfig {
   /// it to RecoveryReport::next_epoch so epoch numbering continues
   /// seamlessly across a restart.
   int first_epoch = 0;
+  /// Solve concurrency: worker threads (including the clearing thread)
+  /// the epoch solve fans component tasks out across. 0 = hardware
+  /// concurrency; 1 = the literal legacy whole-graph path (no
+  /// partitioning, no pool). Outcomes are bit-identical at any value —
+  /// see DESIGN.md §13.
+  int threads = 0;
 };
 
 /// Per-player settlement notification for one epoch: what the node pays
@@ -98,6 +105,12 @@ struct ServiceStats {
   /// per-channel imbalances.
   double imbalance_gini = 0.0;
   double imbalance_mean = 0.0;
+  /// Solve concurrency the service was configured with (resolved: never
+  /// 0) and the last epoch's component shape, mirrored from its
+  /// EpochReport (0 before the first non-empty epoch).
+  int solve_threads = 1;
+  int last_components = 0;
+  int largest_component = 0;
   IntakeCounters intake;
 };
 
@@ -129,6 +142,11 @@ struct EpochReport {
   /// epoch rebinds in place and reports 0 — the zero-rebuild guarantee.
   /// Not part of the wire protocol (local observability only).
   int graph_rebuilds = 0;
+  /// Weakly-connected components the epoch's bid graph partitioned into
+  /// and the largest component's edge count (1 / game_edges on the
+  /// monolithic --threads 1 path; 0 for an empty epoch).
+  int solve_components = 0;
+  int largest_component = 0;
   /// pcn::Network::state_digest() of the settled network, taken under
   /// the network lock right after settlement: one u64 a client can check
   /// against a local replay to verify it observed the same state.
@@ -216,6 +234,11 @@ class RebalanceService {
   /// Rank note: epoch callbacks (socket broadcast) run with this held,
   /// so the server's locks rank *below* it (DESIGN.md §11).
   util::OrderedMutex clear_mutex_{util::LockRank::kService, "svc.clear"};
+  /// Worker pool the sharded solve path fans component tasks through
+  /// (kExecutor rank — submitted with clear_mutex_ held). Internally
+  /// synchronized by its own mutex, so clear_mutex_ does not guard it;
+  /// declared before solve_context_, which borrows it.
+  ParallelExecutor executor_;  // musk-lint: allow(unguarded-member)
   /// The epoch pipeline's solve context, reused across epochs so a
   /// steady-state clear performs zero flow-graph rebuilds and zero
   /// solver allocations. Owned by the clearing step.
@@ -250,6 +273,10 @@ class RebalanceService {
   /// atomics so stats_snapshot() reads them lock-free.
   std::atomic<double> imbalance_gini_{0.0};
   std::atomic<double> imbalance_mean_{0.0};
+  /// Last epoch's component shape, mirrored from its report so
+  /// stats_snapshot() stays lock-free.
+  std::atomic<int> last_components_{0};
+  std::atomic<int> last_largest_component_{0};
 };
 
 }  // namespace musketeer::svc

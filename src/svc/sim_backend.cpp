@@ -5,8 +5,10 @@
 namespace musketeer::svc {
 
 ServiceBackend::ServiceBackend(const core::Mechanism& mechanism,
-                               std::size_t queue_capacity)
-    : mechanism_(mechanism), queue_capacity_(queue_capacity) {}
+                               std::size_t queue_capacity, int threads)
+    : mechanism_(mechanism),
+      queue_capacity_(queue_capacity),
+      threads_(threads) {}
 
 ServiceBackend::~ServiceBackend() = default;
 
@@ -17,6 +19,7 @@ pcn::RebalanceStats ServiceBackend::rebalance(
     ServiceConfig config;
     config.policy = policy;
     config.queue_capacity = queue_capacity_;
+    config.threads = threads_;
     service_ = std::make_unique<RebalanceService>(network, mechanism_,
                                                   config);
   }

@@ -17,8 +17,10 @@ namespace musketeer::svc {
 
 class ServiceBackend final : public sim::RebalanceBackend {
  public:
+  /// `threads` is ServiceConfig::threads (0 = hardware concurrency,
+  /// 1 = legacy whole-graph solve).
   explicit ServiceBackend(const core::Mechanism& mechanism,
-                          std::size_t queue_capacity = 1024);
+                          std::size_t queue_capacity = 1024, int threads = 1);
   ~ServiceBackend() override;
 
   pcn::RebalanceStats rebalance(pcn::Network& network,
@@ -31,6 +33,7 @@ class ServiceBackend final : public sim::RebalanceBackend {
  private:
   const core::Mechanism& mechanism_;
   const std::size_t queue_capacity_;
+  const int threads_;
   pcn::Network* bound_network_ = nullptr;
   std::unique_ptr<RebalanceService> service_;
 };

@@ -227,6 +227,9 @@ std::string encode_stats_response(const StatsResponseMsg& msg) {
   put_u64(out, msg.journal_bytes);
   put_f64(out, msg.imbalance_gini);
   put_f64(out, msg.imbalance_mean);
+  put_u32(out, msg.solve_threads);
+  put_u32(out, msg.last_components);
+  put_u32(out, msg.largest_component);
   put_u64(out, msg.intake.accepted);
   put_u64(out, msg.intake.replaced);
   put_u64(out, msg.intake.rejected_full);
@@ -249,6 +252,9 @@ StatsResponseMsg decode_stats_response(std::string_view payload) {
   msg.journal_bytes = in.u64();
   msg.imbalance_gini = in.f64();
   msg.imbalance_mean = in.f64();
+  msg.solve_threads = in.u32();
+  msg.last_components = in.u32();
+  msg.largest_component = in.u32();
   msg.intake.accepted = in.u64();
   msg.intake.replaced = in.u64();
   msg.intake.rejected_full = in.u64();
@@ -261,8 +267,9 @@ StatsResponseMsg decode_stats_response(std::string_view payload) {
     throw WireError("non-finite stats-response field");
   }
   const std::size_t n = in.check_count(in.u32(), 1);
-  // Fixed-size prefix: u32 epoch + 3 doubles + 10 u64s + the u32 length.
-  constexpr std::size_t kPrefix = 4 + 8 * 3 + 8 * 10 + 4;
+  // Fixed-size prefix: u32 epoch + 3 doubles + 3 v4 solve u32s + 10 u64s
+  // + the u32 length.
+  constexpr std::size_t kPrefix = 4 + 8 * 3 + 4 * 3 + 8 * 10 + 4;
   msg.registry_json = std::string(payload.substr(kPrefix, n));
   // The JSON bytes were consumed via substr, not the reader.
   if (payload.size() != kPrefix + n) {

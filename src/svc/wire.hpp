@@ -37,9 +37,10 @@
 //
 // Version history: v1 (PR 2) had no submit-bid/ack sequence numbers and
 // a bare-string error payload. v2 (PR 5) added both. v3 adds the
-// kStatsRequest/kStatsResponse introspection pair. Versions are not
-// cross-compatible; both sides reject mismatched versions at the frame
-// header.
+// kStatsRequest/kStatsResponse introspection pair. v4 adds the solve
+// concurrency and component-shape fields to kStatsResponse. Versions are
+// not cross-compatible; both sides reject mismatched versions at the
+// frame header.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +54,7 @@
 namespace musketeer::svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
-inline constexpr std::uint16_t kWireVersion = 3;
+inline constexpr std::uint16_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
@@ -180,6 +181,10 @@ struct StatsResponseMsg {
   std::uint64_t journal_bytes = 0;
   double imbalance_gini = 0.0;
   double imbalance_mean = 0.0;
+  /// v4: solve concurrency and the last epoch's component shape.
+  std::uint32_t solve_threads = 1;
+  std::uint32_t last_components = 0;
+  std::uint32_t largest_component = 0;
   IntakeCounters intake;
   std::string registry_json;
 };

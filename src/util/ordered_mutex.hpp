@@ -25,6 +25,11 @@
 //   kJournal(40)   > epoch journal appends
 //   kReports(30)   > completed-epoch reports + wait_epochs
 //   kBidQueue(20)  > bid intake
+//   kExecutor(15)  > svc::ParallelExecutor dispatch (the epoch pipeline
+//                    submits work with kService held, so it ranks below
+//                    kService; the executor lock is never held while a
+//                    task body runs, so tasks may take kFaultRegistry /
+//                    kObsRegistry freely)
 //   kFaultRegistry(10) > util::fault schedule (hooks fire under
 //                        everything above, so it must rank low)
 //   kObsRegistry(5)    > obs metrics registry (instruments may be
@@ -56,6 +61,7 @@ enum class LockRank : int {
   kJournal = 40,
   kReports = 30,
   kBidQueue = 20,
+  kExecutor = 15,
   kFaultRegistry = 10,
   kObsRegistry = 5,
 };

@@ -1,0 +1,190 @@
+// flow::Partitioner: weakly-connected components of the bid graph.
+// Pins the determinism contract the sharded solve path builds on —
+// component ids ordered by smallest member node, edge lists ascending
+// in global order, capacity-0 edges included — against a brute-force
+// BFS reference on randomized graphs plus the boundary shapes.
+#include "flow/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "flow/graph.hpp"
+#include "gen/game_gen.hpp"
+#include "util/rng.hpp"
+
+namespace musketeer::flow {
+namespace {
+
+/// Reference implementation: BFS over the undirected edge set, numbering
+/// components by smallest member node, skipping isolated nodes.
+std::vector<int> bfs_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::vector<NodeId>> adjacent(static_cast<std::size_t>(n));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    adjacent[static_cast<std::size_t>(g.edge(e).from)].push_back(
+        g.edge(e).to);
+    adjacent[static_cast<std::size_t>(g.edge(e).to)].push_back(
+        g.edge(e).from);
+  }
+  std::vector<int> component(static_cast<std::size_t>(n), kNoComponent);
+  int next = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[static_cast<std::size_t>(start)] != kNoComponent ||
+        adjacent[static_cast<std::size_t>(start)].empty()) {
+      continue;
+    }
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    component[static_cast<std::size_t>(start)] = next;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId w : adjacent[static_cast<std::size_t>(v)]) {
+        if (component[static_cast<std::size_t>(w)] == kNoComponent) {
+          component[static_cast<std::size_t>(w)] = next;
+          frontier.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+void expect_matches_bfs(const Graph& g, const Partition& part) {
+  const std::vector<int> want = bfs_components(g);
+  const int num = *std::max_element(want.begin(), want.end()) + 1;
+  ASSERT_EQ(part.num_components(), std::max(num, 0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(part.component_of(v), want[static_cast<std::size_t>(v)])
+        << "node " << v;
+  }
+}
+
+/// Every edge appears in exactly its endpoints' component, lists are
+/// ascending (preserving global relative order), and local index i maps
+/// back to global edge edges(c)[i] with matching endpoints.
+void expect_edge_lists_consistent(const Graph& g, const Partition& part) {
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_edges()), false);
+  for (int c = 0; c < part.num_components(); ++c) {
+    const std::span<const EdgeId> edges = part.edges(c);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const EdgeId e = edges[i];
+      EXPECT_FALSE(seen[static_cast<std::size_t>(e)]) << "edge " << e;
+      seen[static_cast<std::size_t>(e)] = true;
+      if (i > 0) {
+        EXPECT_LT(edges[i - 1], e);
+      }
+      EXPECT_EQ(part.component_of(g.edge(e).from), c);
+      EXPECT_EQ(part.component_of(g.edge(e).to), c);
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(e)]) << "edge " << e;
+  }
+}
+
+TEST(PartitionerTest, EmptyGraphHasNoComponents) {
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(Graph(0));
+  EXPECT_EQ(part.num_components(), 0);
+  EXPECT_EQ(part.largest_component_edges(), 0);
+}
+
+TEST(PartitionerTest, IsolatedNodesBelongToNoComponent) {
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(Graph(5));
+  EXPECT_EQ(part.num_components(), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(part.component_of(v), kNoComponent);
+  }
+}
+
+TEST(PartitionerTest, SingleEdgeIsOneComponent) {
+  Graph g(3);
+  g.add_edge(0, 2, 5, 1.0);
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(g);
+  EXPECT_EQ(part.num_components(), 1);
+  EXPECT_EQ(part.component_of(0), 0);
+  EXPECT_EQ(part.component_of(1), kNoComponent);
+  EXPECT_EQ(part.component_of(2), 0);
+  ASSERT_EQ(part.edges(0).size(), 1u);
+  EXPECT_EQ(part.edges(0)[0], 0);
+  EXPECT_EQ(part.largest_component_edges(), 1);
+}
+
+TEST(PartitionerTest, FullyConnectedIsOneComponent) {
+  Graph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.add_edge(v, (v + 1) % 6, 4, 1.0);
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(g);
+  EXPECT_EQ(part.num_components(), 1);
+  EXPECT_EQ(part.edges(0).size(), 6u);
+  EXPECT_EQ(part.largest_component_edges(), 6);
+  expect_matches_bfs(g, part);
+}
+
+// Capacity-0 edges still union their endpoints: the partition must
+// mirror the arc layout the solvers (network simplex in particular)
+// see, not the currently routable sub-network.
+TEST(PartitionerTest, ZeroCapacityEdgesStillConnect) {
+  Graph g(4);
+  g.add_edge(0, 1, 3, 1.0);
+  g.add_edge(1, 2, 0, 1.0);  // masked/depleted, but structurally present
+  g.add_edge(2, 3, 3, 1.0);
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(g);
+  EXPECT_EQ(part.num_components(), 1);
+  EXPECT_EQ(part.edges(0).size(), 3u);
+}
+
+// Two disjoint triangles: component ids follow the smallest member node,
+// independent of edge insertion order.
+TEST(PartitionerTest, ComponentIdsOrderedBySmallestNode) {
+  Graph g(6);
+  // Insert the {3,4,5} triangle's edges FIRST; it must still be
+  // component 1 because node 0 is smaller than node 3.
+  g.add_edge(3, 4, 2, 1.0);
+  g.add_edge(4, 5, 2, 1.0);
+  g.add_edge(5, 3, 2, 1.0);
+  g.add_edge(0, 1, 2, 1.0);
+  g.add_edge(1, 2, 2, 1.0);
+  g.add_edge(2, 0, 2, 1.0);
+  Partitioner partitioner;
+  const Partition& part = partitioner.run(g);
+  ASSERT_EQ(part.num_components(), 2);
+  EXPECT_EQ(part.component_of(0), 0);
+  EXPECT_EQ(part.component_of(3), 1);
+  // Edge lists stay ascending in global order even though the global
+  // order interleaves insertion before the component split.
+  EXPECT_EQ(std::vector<EdgeId>(part.edges(0).begin(), part.edges(0).end()),
+            (std::vector<EdgeId>{3, 4, 5}));
+  EXPECT_EQ(std::vector<EdgeId>(part.edges(1).begin(), part.edges(1).end()),
+            (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(PartitionerTest, MatchesBfsOnRandomGraphsAndScratchReuses) {
+  util::Rng rng(0xBADCAB);
+  Partitioner partitioner;  // reused across rounds, like the solve path
+  for (int round = 0; round < 50; ++round) {
+    const NodeId n = 2 + static_cast<NodeId>(rng.uniform(41));
+    Graph g(n);
+    const int m = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(3 * n) + 1));
+    for (int e = 0; e < m; ++e) {
+      const NodeId from = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+      NodeId to = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (to == from) to = (to + 1) % n;
+      g.add_edge(from, to, static_cast<Amount>(rng.uniform(6)), 1.0);
+    }
+    const Partition& part = partitioner.run(g);
+    expect_matches_bfs(g, part);
+    expect_edge_lists_consistent(g, part);
+  }
+}
+
+}  // namespace
+}  // namespace musketeer::flow

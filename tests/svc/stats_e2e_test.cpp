@@ -40,6 +40,11 @@ TEST(StatsE2E, LiveSnapshotOverTheWire) {
   // Fresh daemon: nothing cleared, empty queue, sane static fields.
   const StatsResponseMsg before = client.stats();
   EXPECT_EQ(before.epoch, 0u);
+  // The solve-pool width is static daemon configuration (>= 1 even on
+  // the legacy single-thread path); component stats start at zero.
+  EXPECT_GE(before.solve_threads, 1u);
+  EXPECT_EQ(before.last_components, 0u);
+  EXPECT_EQ(before.largest_component, 0u);
   EXPECT_EQ(before.queue_depth, 0u);
   EXPECT_GT(before.queue_capacity, 0u);
   EXPECT_GE(before.uptime_seconds, 0.0);
@@ -80,13 +85,22 @@ TEST(StatsE2E, LiveSnapshotOverTheWire) {
   EXPECT_NE(after.registry_json.find("svc.epoch.total"), std::string::npos);
 #endif
 
-  // Stats responses must round-trip the wire codec exactly.
-  const std::string encoded = encode_stats_response(after);
+  // Stats responses must round-trip the wire codec exactly — including
+  // the v4 solve-shape fields, pinned to distinct values so a codec
+  // that drops or reorders them cannot pass.
+  StatsResponseMsg shaped = after;
+  shaped.solve_threads = 8;
+  shaped.last_components = 3;
+  shaped.largest_component = 41;
+  const std::string encoded = encode_stats_response(shaped);
   const StatsResponseMsg decoded = decode_stats_response(encoded);
-  EXPECT_EQ(decoded.epoch, after.epoch);
-  EXPECT_EQ(decoded.queue_capacity, after.queue_capacity);
-  EXPECT_EQ(decoded.intake.accepted, after.intake.accepted);
-  EXPECT_EQ(decoded.registry_json, after.registry_json);
+  EXPECT_EQ(decoded.epoch, shaped.epoch);
+  EXPECT_EQ(decoded.queue_capacity, shaped.queue_capacity);
+  EXPECT_EQ(decoded.intake.accepted, shaped.intake.accepted);
+  EXPECT_EQ(decoded.registry_json, shaped.registry_json);
+  EXPECT_EQ(decoded.solve_threads, 8u);
+  EXPECT_EQ(decoded.last_components, 3u);
+  EXPECT_EQ(decoded.largest_component, 41u);
 
   daemon->stop();
 }

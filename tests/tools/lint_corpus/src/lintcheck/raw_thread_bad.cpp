@@ -1,0 +1,6 @@
+// Fixture: a raw std::thread neither joins on scope exit nor carries a
+// stop_token; fan-out belongs behind svc::ParallelExecutor.
+void raw_thread_bad() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,8 @@
+// Fixture: the sanctioned spellings — a joining std::jthread for one-off
+// helpers, and std::this_thread (which the rule's exact-token regex does
+// not match).
+void raw_thread_ok() {
+  std::jthread worker([](const std::stop_token&) {});
+  const auto id = std::this_thread::get_id();
+  (void)id;
+}

@@ -1,6 +1,6 @@
 // Fixture: a detached thread races destructors and cannot be joined at
 // shutdown.
 void thread_detach_bad() {
-  std::thread t([] {});
+  std::thread t([] {});  // musk-lint: allow(raw-thread)
   t.detach();
 }

@@ -44,6 +44,13 @@ wait interruptible and every thread joined):
                  rethrows nor is explicitly allowed hides the very failures
                  the chaos suite injects. Cleanup-and-rethrow handlers
                  (a `throw;` within the next few lines) are fine.
+  raw-thread     No raw `std::thread` outside src/svc/executor.* -- a
+                 std::thread neither joins on scope exit nor carries a
+                 stop_token. Parallel fan-out goes through
+                 svc::ParallelExecutor (the one seam allowed to own a
+                 worker pool); a one-off helper thread is std::jthread so
+                 shutdown joins it. The executor files are exempt (they
+                 call std::thread::hardware_concurrency()).
   adhoc-timing   No `steady_clock::now()` (or high_resolution_clock /
                  system_clock) in src/ or tools/ outside src/obs/ -- time
                  a duration with obs::Timer, a span with MUSK_OBS_SPAN,
@@ -99,6 +106,11 @@ FLOAT_EQ = re.compile(r"[=!]=\s*-?\d+\.\d*|\d+\.\d*[fF]?\s*[=!]=")
 RAND = re.compile(r"(?<![A-Za-z0-9_.:])s?rand\s*\(")
 # `.detach(` on anything thread-like (member call spelling).
 THREAD_DETACH = re.compile(r"\.\s*detach\s*\(")
+# The exact `std::thread` token: `std::jthread` and `std::this_thread`
+# do not contain it and stay allowed.
+RAW_THREAD = re.compile(r"\bstd::thread\b")
+# The one seam allowed to construct raw threads / query the hardware.
+EXECUTOR_FILES = {Path("src/svc/executor.hpp"), Path("src/svc/executor.cpp")}
 # Naked sleeps: POSIX sleep/usleep/nanosleep and std::this_thread
 # sleep_for/sleep_until.
 NAKED_SLEEP = re.compile(
@@ -150,6 +162,7 @@ RULES = [
      lambda rel: rel.parts[:2] == ("src", "core")
      and MECHANISM_FILE.match(rel.name) is not None),
     ("thread-detach", THREAD_DETACH, lambda rel: True),
+    ("raw-thread", RAW_THREAD, lambda rel: rel not in EXECUTOR_FILES),
     ("naked-sleep", NAKED_SLEEP, lambda rel: True),
     ("system-call", SYSTEM_CALL, lambda rel: True),
     ("cv-wait", CV_WAIT, lambda rel: True),

@@ -12,7 +12,8 @@
 // daemon options (--spawn starts an in-process musketeerd on an
 // ephemeral loopback port):
 //   --nodes <n> --seed <s> --mechanism <m> --epoch-ms <ms>
-//   --queue-cap <n>
+//   --queue-cap <n> --threads <n> (epoch-solve concurrency;
+//   0 = hardware, 1 = legacy whole-graph solve)
 //
 // Each connection thread paces submissions open-loop (scheduled send
 // times, bursting to catch up if acks lag) and measures the ack round
@@ -55,7 +56,8 @@ int usage() {
                " [--connections n] [--rate r]\n"
                "                    [--duration-s s] [--players p] "
                "[--nodes n] [--seed s] [--mechanism m]\n"
-               "                    [--epoch-ms ms] [--queue-cap n]\n");
+               "                    [--epoch-ms ms] [--queue-cap n] "
+               "[--threads n]\n");
   return 1;
 }
 
@@ -146,6 +148,8 @@ int main(int argc, char** argv) {
       } else if (flag == "--queue-cap") {
         daemon_config.service.queue_capacity =
             static_cast<std::size_t>(std::stoull(value));
+      } else if (flag == "--threads") {
+        daemon_config.service.threads = static_cast<int>(std::stol(value));
       } else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return usage();

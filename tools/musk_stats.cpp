@@ -7,7 +7,8 @@
 //
 // Sends one kStatsRequest frame and renders the kStatsResponse: service
 // state (epoch counter, queue depth/capacity/high-watermark, journal
-// size, uptime), the Pickhardt-style imbalance gauges, the intake
+// size, uptime), the Pickhardt-style imbalance gauges, the solve
+// concurrency and last epoch's component shape, the intake
 // counters, and — with --json — the full metrics registry snapshot
 // (counters, gauges, histogram quantiles) the daemon serves.
 //
@@ -67,6 +68,11 @@ int main(int argc, char** argv) {
                    util::format("%.4f", stats.imbalance_gini)});
     table.add_row({"imbalance (mean)",
                    util::format("%.4f", stats.imbalance_mean)});
+    table.add_row({"solve threads", std::to_string(stats.solve_threads)});
+    table.add_row({"last epoch components",
+                   std::to_string(stats.last_components)});
+    table.add_row({"largest component (edges)",
+                   std::to_string(stats.largest_component)});
     table.print();
 
     const svc::IntakeCounters& in = stats.intake;

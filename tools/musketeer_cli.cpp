@@ -15,6 +15,11 @@
 //   --metrics-out <path>   dump per-epoch metrics (.json → JSON, else CSV)
 //   --backend <b>          inproc (historic inline call) or service
 //                          (route every epoch through svc::RebalanceService)
+//   --threads <n>          epoch-solve concurrency: shard the bid graph by
+//                          weakly-connected component across n threads
+//                          (0 = hardware concurrency, 1 = legacy
+//                          whole-graph solve; results are bit-identical
+//                          at any value)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on invalid input.
 #include <cstdio>
@@ -30,6 +35,7 @@
 #include "sim/engine.hpp"
 #include "sim/metrics_io.hpp"
 #include "sim/strategies.hpp"
+#include "svc/executor.hpp"
 #include "svc/sim_backend.hpp"
 #include "util/table.hpp"
 
@@ -47,7 +53,7 @@ int usage() {
                "       musketeer sim <mechanism> <players> <epochs> "
                "<payments-per-epoch> <seed> [options]\n"
                "                     [--metrics-out path] "
-               "[--backend inproc|service]\n");
+               "[--backend inproc|service] [--threads n]\n");
   return 1;
 }
 
@@ -57,6 +63,8 @@ struct CliOptions {
   core::MechanismOptions mechanism;
   std::string metrics_out;
   std::string backend = "inproc";
+  /// Epoch-solve concurrency (0 = hardware, 1 = legacy whole-graph).
+  int threads = 1;
 };
 
 CliOptions parse_options(int argc, char** argv, int first,
@@ -77,6 +85,8 @@ CliOptions parse_options(int argc, char** argv, int first,
       options.metrics_out = value;
     } else if (allow_sim_flags && flag == "--backend") {
       options.backend = value;
+    } else if (allow_sim_flags && flag == "--threads") {
+      options.threads = static_cast<int>(std::stol(value));
     } else {
       throw std::runtime_error("unknown option: " + flag);
     }
@@ -142,10 +152,16 @@ int cmd_sim(int argc, char** argv) {
     if (!mechanism) {
       throw std::runtime_error("--backend service needs a mechanism");
     }
-    svc::ServiceBackend backend(*mechanism);
+    svc::ServiceBackend backend(*mechanism, 1024, options.threads);
     result = sim::run_simulation(config, &backend, nullptr);
   } else if (options.backend == "inproc") {
-    result = sim::run_simulation(config, mechanism.get());
+    if (mechanism && options.threads != 1) {
+      svc::ParallelExecutor executor(options.threads);
+      sim::MechanismBackend backend(*mechanism, &executor);
+      result = sim::run_simulation(config, &backend, nullptr);
+    } else {
+      result = sim::run_simulation(config, mechanism.get());
+    }
   } else {
     throw std::runtime_error("unknown backend: " + options.backend);
   }

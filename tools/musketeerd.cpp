@@ -10,6 +10,11 @@
 //   --epoch-ms <ms>    epoch period                          [1000]
 //   --epochs <n>       stop after n epochs (0 = run forever) [0]
 //   --queue-cap <n>    intake queue capacity (players)       [1024]
+//   --threads <n>      epoch-solve concurrency: the clearing solve
+//                      shards the bid graph by weakly-connected
+//                      component across n threads (0 = hardware
+//                      concurrency, 1 = legacy whole-graph solve;
+//                      outcomes are bit-identical either way)  [0]
 //   --journal <path>   crash-safe epoch journal (WAL); on restart the
 //                      daemon replays it against the genesis network
 //                      (same --nodes/--seed/--skew) and resumes at the
@@ -50,7 +55,8 @@ int usage() {
                "usage: musketeerd [--listen tcp:PORT|unix:PATH] "
                "[--mechanism m] [--nodes n] [--seed s] [--skew x]\n"
                "                  [--epoch-ms ms] [--epochs n] "
-               "[--queue-cap n] [--journal path] [--trace-out path]\n");
+               "[--queue-cap n] [--threads n] [--journal path] "
+               "[--trace-out path]\n");
   return 1;
 }
 
@@ -87,6 +93,8 @@ int main(int argc, char** argv) {
       } else if (flag == "--queue-cap") {
         config.service.queue_capacity =
             static_cast<std::size_t>(std::stoull(value));
+      } else if (flag == "--threads") {
+        config.service.threads = static_cast<int>(std::stol(value));
       } else if (flag == "--journal") {
         config.journal_path = value;
       } else if (flag == "--trace-out") {
