@@ -120,7 +120,8 @@ std::vector<double> M2Vcg::vcg_prices(flow::SolveContext& ctx,
     std::vector<std::pair<flow::EdgeId, flow::Amount>> saved;
     for (const PlayerId v : by_component[static_cast<std::size_t>(c)]) {
       mask_in(g, v, saved);
-      const flow::Circulation local = flow::solve_max_welfare(g, ws, solver_);
+      const flow::Circulation local =
+          flow::solve_max_welfare(g, ws, solver_, nullptr, ctx.cancel());
       for (const auto& [e, cap] : saved) g.set_capacity(e, cap);
       // Scatter overwrites every component entry, so f_minus needs no
       // reset between buyers; outside the component it stays equal to f

@@ -12,7 +12,8 @@ std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
 
 std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
                                                  const Circulation& f,
-                                                 DecomposeScratch& scratch) {
+                                                 DecomposeScratch& scratch,
+                                                 util::CancelToken* cancel) {
   MUSK_ASSERT_MSG(is_feasible(g, f), "can only decompose feasible circulations");
   Circulation& remaining = scratch.remaining;
   remaining = f;
@@ -39,6 +40,7 @@ std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
 
   for (NodeId start = 0; start < g.num_nodes(); ++start) {
     for (;;) {
+      MUSK_CANCEL_POINT(cancel);
       if (next_positive_out(start) < 0) break;
       // Walk forward along positive-flow edges until a node repeats.
       std::vector<NodeId>& path_nodes = scratch.path_nodes;

@@ -14,6 +14,7 @@
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
 #include "flow/workspace.hpp"
+#include "util/deadline.hpp"
 
 namespace musketeer::flow {
 
@@ -34,10 +35,12 @@ std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
                                                  const Circulation& f);
 
 /// Scratch-reusing variant (bit-identical result): the peel's remaining
-/// flow, cursors and walk buffers live in `scratch`.
-std::vector<CycleFlow> decompose_sign_consistent(const Graph& g,
-                                                 const Circulation& f,
-                                                 DecomposeScratch& scratch);
+/// flow, cursors and walk buffers live in `scratch`. A non-null `cancel`
+/// is checked once per peeled cycle; on SolveCancelled the partially
+/// peeled scratch is stale but structurally reusable.
+std::vector<CycleFlow> decompose_sign_consistent(
+    const Graph& g, const Circulation& f, DecomposeScratch& scratch,
+    util::CancelToken* cancel = nullptr);
 
 /// Reconstitutes the circulation represented by a set of cycle flows.
 Circulation recompose(const Graph& g, const std::vector<CycleFlow>& cycles);

@@ -68,16 +68,19 @@ Amount Dinic::dfs(NodeId v, NodeId sink, Amount limit) {
   return 0;
 }
 
-Amount Dinic::solve(NodeId source, NodeId sink) {
+Amount Dinic::solve(NodeId source, NodeId sink,
+                    util::CancelToken* cancel) {
   MUSK_ASSERT(source != sink);
   Amount total = 0;
   while (bfs(source, sink)) {
+    MUSK_CANCEL_POINT(cancel);
     iter_.assign(adj_.size(), 0);
     for (;;) {
       const Amount pushed =
           dfs(source, sink, std::numeric_limits<Amount>::max());
       if (pushed == 0) break;
       total += pushed;
+      MUSK_CANCEL_POINT(cancel);
     }
   }
 #if defined(MUSKETEER_AUDIT)

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flow/graph.hpp"
+#include "util/deadline.hpp"
 
 namespace musketeer::flow {
 
@@ -22,7 +23,11 @@ class Dinic {
   int add_edge(NodeId from, NodeId to, Amount capacity);
 
   /// Computes the maximum s-t flow. May be called once per instance.
-  Amount solve(NodeId source, NodeId sink);
+  /// A non-null `cancel` is checked once per level phase and once per
+  /// augmenting path; SolveCancelled leaves the instance unusable
+  /// (residual capacities are partially consumed) — discard it.
+  Amount solve(NodeId source, NodeId sink,
+               util::CancelToken* cancel = nullptr);
 
   /// Flow routed through the edge returned by add_edge (valid after
   /// solve()).

@@ -23,6 +23,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/deadline.hpp"
+
 namespace musketeer::flow {
 
 class Executor {
@@ -38,6 +40,16 @@ class Executor {
   /// rethrown on the caller after all tasks finished.
   virtual void run(std::size_t count,
                    const std::function<void(std::size_t)>& fn) = 0;
+
+  /// Attaches a cancellation token (borrowed; nullptr detaches). Once
+  /// the token fires, an implementation MAY skip tasks that have not
+  /// started yet — run() then throws util::SolveCancelled after the
+  /// barrier instead of completing the batch. In-flight tasks are never
+  /// interrupted by the executor itself; they observe the same token at
+  /// their own MUSK_CANCEL_POINTs. The default keeps the legacy
+  /// run-everything behavior (inline/serial executors rely on the task
+  /// bodies' own cancel points).
+  virtual void set_cancel(util::CancelToken* /*token*/) {}
 };
 
 /// Inline executor: runs every task sequentially on the caller. Useful

@@ -56,13 +56,14 @@ class NetworkSimplex {
 
   /// Runs pivots to optimality. Returns false if the pivot cap was hit
   /// (caller should fall back to a different solver).
-  bool solve(SolveStats* stats) {
+  bool solve(SolveStats* stats, util::CancelToken* cancel) {
     const long long bland_threshold =
         16LL * static_cast<long long>(ws_.arcs.size()) + 256;
     const long long pivot_cap =
         256LL * static_cast<long long>(ws_.arcs.size()) + 4096;
     long long pivots = 0;
     for (;;) {
+      MUSK_CANCEL_POINT(cancel);
       const bool bland = pivots > bland_threshold;
       const int entering = find_entering(bland);
       if (entering < 0) return true;
@@ -265,15 +266,16 @@ Circulation solve_network_simplex(const Graph& g, SolveStats* stats) {
 }
 
 Circulation solve_network_simplex(const Graph& g, Workspace& ws,
-                                  SolveStats* stats) {
+                                  SolveStats* stats,
+                                  util::CancelToken* cancel) {
   if (g.num_edges() == 0) return zero_circulation(g);
   NetworkSimplex simplex(g, ws.ns);
-  if (!simplex.solve(stats)) {
+  if (!simplex.solve(stats, cancel)) {
     // Degenerate pivoting hit the cap: fall back to the proven canceller
     // rather than risk a stale answer. Surface the event so benchmarks
     // and callers can see that the reported timings include a fallback.
     if (stats != nullptr) ++stats->fallbacks;
-    return solve_max_welfare(g, ws, SolverKind::kBellmanFord, stats);
+    return solve_max_welfare(g, ws, SolverKind::kBellmanFord, stats, cancel);
   }
   Circulation f = simplex.extract();
   MUSK_ASSERT_MSG(is_feasible(g, f),

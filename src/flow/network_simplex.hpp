@@ -31,8 +31,10 @@ Circulation solve_network_simplex(const Graph& g, SolveStats* stats = nullptr);
 /// Scratch-reusing variant (bit-identical result): the basis, tree and
 /// potential buffers live in `ws` and are reused across solves. The full
 /// Workspace is taken (not just SimplexScratch) so the pivot-cap fallback
-/// path can reuse the Bellman–Ford scratch too.
+/// path can reuse the Bellman–Ford scratch too. `cancel` is checked once
+/// per pivot (and forwarded into the fallback canceller).
 Circulation solve_network_simplex(const Graph& g, Workspace& ws,
-                                  SolveStats* stats = nullptr);
+                                  SolveStats* stats = nullptr,
+                                  util::CancelToken* cancel = nullptr);
 
 }  // namespace musketeer::flow

@@ -156,17 +156,35 @@ Circulation SolveContext::solve(SolverKind kind, SolveStats* stats) {
   // and nothing re-bound the context since (a stale pool would solve
   // yesterday's gains). The monolithic fallback is bit-identical.
   const bool masked_shardable = mask_in_slots_ && shards_current();
-  if (!sharding_enabled() || (masked_player_ >= 0 && !masked_shardable)) {
-    return solve_monolith(kind, stats);
+  const bool monolith =
+      !sharding_enabled() || (masked_player_ >= 0 && !masked_shardable);
+  try {
+    return monolith ? solve_monolith(kind, stats)
+                    : solve_sharded(kind, stats);
+  } catch (const util::SolveCancelled&) {
+    // All-or-nothing: the partial iterate died with the unwind (sharded
+    // merges happen only after every task finished), so the caller sees
+    // no result at all. Completed component slots keep their cached
+    // optimum; interrupted ones stay dirty and re-solve next call.
+    cancel_dirty_ = true;
+    ++stats_.cancelled;
+    if (stats != nullptr) ++stats->cancelled;
+    MUSK_OBS_COUNT("flow.solve.cancelled_total", 1);
+    throw;
   }
-  return solve_sharded(kind, stats);
 }
 
 Circulation SolveContext::solve_monolith(SolverKind kind, SolveStats* stats) {
   MUSK_OBS_SPAN(span, solve_span_name(kind));
   span.set_detail(solver_kind_name(kind));
   SolveStats local;
-  Circulation f = solve_max_welfare(graph_, ws_, kind, &local);
+  if (cancel_dirty_) {
+    // The whole-graph re-run after an interrupted solve counts as one
+    // rebound unit of work (the monolith has a single "slot").
+    local.rebinds_after_cancel = 1;
+    cancel_dirty_ = false;
+  }
+  Circulation f = solve_max_welfare(graph_, ws_, kind, &local, cancel_);
   local.graph_rebuilds =
       static_cast<int>(stats_.structure_builds - builds_at_last_solve_);
   builds_at_last_solve_ = stats_.structure_builds;
@@ -183,6 +201,7 @@ Circulation SolveContext::solve_monolith(SolverKind kind, SolveStats* stats) {
     stats->units_pushed += local.units_pushed;
     stats->fallbacks += local.fallbacks;
     stats->graph_rebuilds += local.graph_rebuilds;
+    stats->rebinds_after_cancel += local.rebinds_after_cancel;
   }
   return f;
 }
@@ -199,13 +218,20 @@ Circulation SolveContext::solve_sharded(SolverKind kind, SolveStats* stats) {
   for (std::size_t c = 0; c < slots_.size(); ++c) {
     if (!slots_[c].clean) dirty_slots_.push_back(static_cast<int>(c));
   }
+  int rebinds_after_cancel = 0;
+  if (cancel_dirty_) {
+    // Every slot the interrupted solve left (or made) dirty re-runs now.
+    rebinds_after_cancel = static_cast<int>(dirty_slots_.size());
+    cancel_dirty_ = false;
+  }
   slot_stats_.assign(dirty_slots_.size(), SolveStats{});
   executor_->run(dirty_slots_.size(), [&](std::size_t i) {
     ComponentSlot& slot =
         slots_[static_cast<std::size_t>(dirty_slots_[i])];
     MUSK_OBS_SPAN(component_span, "core.solve.component");
     component_span.set_detail(solver_kind_name(kind));
-    slot.flow = solve_max_welfare(slot.graph, slot.ws, kind, &slot_stats_[i]);
+    slot.flow =
+        solve_max_welfare(slot.graph, slot.ws, kind, &slot_stats_[i], cancel_);
     slot.clean = true;
     MUSK_OBS_HISTOGRAM("core.solve.component.seconds", component_span.end());
   });
@@ -220,6 +246,7 @@ Circulation SolveContext::solve_sharded(SolverKind kind, SolveStats* stats) {
     }
   }
   SolveStats local;
+  local.rebinds_after_cancel = rebinds_after_cancel;
   for (const SolveStats& s : slot_stats_) {
     local.cycles_cancelled += s.cycles_cancelled;
     local.units_pushed += s.units_pushed;
@@ -252,6 +279,7 @@ Circulation SolveContext::solve_sharded(SolverKind kind, SolveStats* stats) {
     stats->units_pushed += local.units_pushed;
     stats->fallbacks += local.fallbacks;
     stats->graph_rebuilds += local.graph_rebuilds;
+    stats->rebinds_after_cancel += local.rebinds_after_cancel;
   }
   return f;
 }
@@ -259,7 +287,8 @@ Circulation SolveContext::solve_sharded(SolverKind kind, SolveStats* stats) {
 std::vector<CycleFlow> SolveContext::decompose(const Circulation& f) {
   MUSK_ASSERT_MSG(bound_, "SolveContext::decompose before bind");
   MUSK_OBS_SPAN(span, "flow.decompose");
-  std::vector<CycleFlow> cycles = decompose_sign_consistent(graph_, f, ws_.dec);
+  std::vector<CycleFlow> cycles =
+      decompose_sign_consistent(graph_, f, ws_.dec, cancel_);
   MUSK_OBS_COUNT("flow.decompose.cycles_total", cycles.size());
   MUSK_OBS_HISTOGRAM("flow.decompose.seconds", span.end());
   return cycles;

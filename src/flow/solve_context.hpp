@@ -77,6 +77,8 @@ struct ContextStats {
   long long solves = 0;
   /// Network-simplex pivot-cap fallbacks observed across those solves.
   long long fallbacks = 0;
+  /// Solves a cancel token interrupted (each threw util::SolveCancelled).
+  long long cancelled = 0;
 };
 
 class SolveContext {
@@ -103,6 +105,20 @@ class SolveContext {
   /// whole-graph path.
   void set_executor(Executor* executor) { executor_ = executor; }
   Executor* executor() const { return executor_; }
+
+  /// Attaches the cancellation token (borrowed; nullptr detaches) that
+  /// every solve and decompose checks at its iteration boundaries, and
+  /// hands it to the attached executor so queued component tasks are
+  /// skipped once it fires. Call after set_executor(). A cancelled solve
+  /// throws util::SolveCancelled; interrupted component slots stay dirty
+  /// and are re-solved on the next call (counted in
+  /// SolveStats::rebinds_after_cancel) — the zero-rebuild contract is
+  /// only promised for non-cancelled epochs.
+  void set_cancel(util::CancelToken* token) {
+    cancel_ = token;
+    if (executor_ != nullptr) executor_->set_cancel(token);
+  }
+  util::CancelToken* cancel() const { return cancel_; }
 
   /// Adopts `g` as the bound graph (always a structure build).
   void bind(Graph&& g) {
@@ -247,6 +263,10 @@ class SolveContext {
   Workspace ws_;
   ContextStats stats_;
   bool bound_ = false;
+  util::CancelToken* cancel_ = nullptr;  ///< borrowed
+  /// The previous solve was cancelled: the next one re-runs interrupted
+  /// work and reports it as rebinds_after_cancel.
+  bool cancel_dirty_ = false;
   NodeId masked_player_ = -1;
   std::vector<std::pair<EdgeId, Amount>> saved_caps_;
   long long builds_at_last_solve_ = 0;

@@ -10,9 +10,11 @@ namespace musketeer::flow {
 namespace {
 
 Circulation solve_bellman_ford(const Graph& g, Workspace& ws,
-                               SolveStats* stats) {
+                               SolveStats* stats,
+                               util::CancelToken* cancel) {
   Circulation f = zero_circulation(g);
   for (;;) {
+    MUSK_CANCEL_POINT(cancel);
     build_residual(g, f, ws.arcs);
     // Single-cycle cancelling measures faster here than harvesting every
     // disjoint cycle per pass (find_negative_cycles): on PCN-like graphs
@@ -30,9 +32,11 @@ Circulation solve_bellman_ford(const Graph& g, Workspace& ws,
   return f;
 }
 
-Circulation solve_min_mean(const Graph& g, Workspace& ws, SolveStats* stats) {
+Circulation solve_min_mean(const Graph& g, Workspace& ws, SolveStats* stats,
+                           util::CancelToken* cancel) {
   Circulation f = zero_circulation(g);
   for (;;) {
+    MUSK_CANCEL_POINT(cancel);
     build_residual(g, f, ws.arcs);
     const auto mmc = min_mean_cycle(g.num_nodes(), ws.arcs, ws.mmc);
     if (!mmc || !mmc->mean.is_negative()) break;
@@ -47,7 +51,8 @@ Circulation solve_min_mean(const Graph& g, Workspace& ws, SolveStats* stats) {
 }
 
 Circulation solve_capacity_scaling(const Graph& g, Workspace& ws,
-                                   SolveStats* stats) {
+                                   SolveStats* stats,
+                                   util::CancelToken* cancel) {
   Circulation f = zero_circulation(g);
   Amount max_capacity = 0;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -58,6 +63,7 @@ Circulation solve_capacity_scaling(const Graph& g, Workspace& ws,
 
   for (; delta >= 1; delta /= 2) {
     for (;;) {
+      MUSK_CANCEL_POINT(cancel);
       build_residual(g, f, ws.arcs);
       std::vector<ResidualArc>& wide = ws.wide;
       wide.clear();
@@ -91,21 +97,29 @@ Circulation solve_max_welfare(const Graph& g, SolverKind kind,
 }
 
 Circulation solve_max_welfare(const Graph& g, Workspace& ws, SolverKind kind,
-                              SolveStats* stats) {
+                              SolveStats* stats, util::CancelToken* cancel) {
   Circulation f;
-  switch (kind) {
-    case SolverKind::kBellmanFord:
-      f = solve_bellman_ford(g, ws, stats);
-      break;
-    case SolverKind::kMinMean:
-      f = solve_min_mean(g, ws, stats);
-      break;
-    case SolverKind::kCapacityScaling:
-      f = solve_capacity_scaling(g, ws, stats);
-      break;
-    case SolverKind::kNetworkSimplex:
-      f = solve_network_simplex(g, ws, stats);
-      break;
+  try {
+    switch (kind) {
+      case SolverKind::kBellmanFord:
+        f = solve_bellman_ford(g, ws, stats, cancel);
+        break;
+      case SolverKind::kMinMean:
+        f = solve_min_mean(g, ws, stats, cancel);
+        break;
+      case SolverKind::kCapacityScaling:
+        f = solve_capacity_scaling(g, ws, stats, cancel);
+        break;
+      case SolverKind::kNetworkSimplex:
+        f = solve_network_simplex(g, ws, stats, cancel);
+        break;
+    }
+  } catch (const util::SolveCancelled&) {
+    // The partial iterate dies with the unwind; callers treat the
+    // workspace as stale scratch. Count the interruption where stats
+    // outlive the throw (the SolveContext sums these per slot).
+    if (stats != nullptr) ++stats->cancelled;
+    throw;
   }
   MUSK_ASSERT_MSG(is_feasible(g, f), "solver produced infeasible circulation");
 #if defined(MUSKETEER_AUDIT)

@@ -28,6 +28,7 @@
 #include "flow/circulation.hpp"
 #include "flow/graph.hpp"
 #include "flow/workspace.hpp"
+#include "util/deadline.hpp"
 
 namespace musketeer::flow {
 
@@ -55,6 +56,15 @@ struct SolveStats {
   /// solve ran on since its previous solve (0 when solving through a bare
   /// Graph or a warm rebind-only context). See flow/solve_context.hpp.
   int graph_rebuilds = 0;
+  /// Solves (whole-graph or per-component) a cancel token interrupted
+  /// before optimality. A cancelled solve throws util::SolveCancelled
+  /// after bumping this, so the count is only observable on stats objects
+  /// that outlive the throw (e.g. SolveContext::stats()).
+  int cancelled = 0;
+  /// Component slots a post-cancellation solve had to re-run from scratch
+  /// because the previous, cancelled solve left them dirty. Always 0 in
+  /// non-cancelled steady state — the zero-rebuild contract's counter.
+  int rebinds_after_cancel = 0;
 };
 
 /// Computes a feasible circulation maximizing sum(gain(e) * f(e)).
@@ -66,9 +76,15 @@ Circulation solve_max_welfare(const Graph& g,
 /// lives in `ws` and is reused across calls. After the first solve on a
 /// topology, subsequent same-size solves allocate nothing on the solve
 /// path beyond the returned circulation itself.
+///
+/// When `cancel` is non-null, every solver checks it at its iteration
+/// boundaries (MUSK_CANCEL_POINT) and throws util::SolveCancelled once
+/// it fires — the workspace stays structurally valid (only its scratch
+/// contents are stale) and the next call reuses it normally.
 Circulation solve_max_welfare(const Graph& g, Workspace& ws,
                               SolverKind kind = SolverKind::kBellmanFord,
-                              SolveStats* stats = nullptr);
+                              SolveStats* stats = nullptr,
+                              util::CancelToken* cancel = nullptr);
 
 /// True iff `f` is a welfare-optimal feasible circulation on `g`
 /// (certified by the absence of negative residual cycles — exact).

@@ -15,6 +15,7 @@ const char* to_string(IntakeStatus status) {
     case IntakeStatus::kRejectedInvalid: return "rejected-invalid";
     case IntakeStatus::kRejectedClosed: return "rejected-closed";
     case IntakeStatus::kDuplicate: return "duplicate";
+    case IntakeStatus::kRejectedOverload: return "rejected-overload";
   }
   return "unknown";
 }
@@ -98,6 +99,16 @@ std::vector<BidSubmission> BidQueue::drain() {
 void BidQueue::close() {
   const util::OrderedLock lock(mutex_);
   closed_ = true;
+}
+
+bool BidQueue::pending(core::PlayerId player) const {
+  const util::OrderedLock lock(mutex_);
+  return index_.contains(player);
+}
+
+void BidQueue::count_overload_rejection() {
+  const util::OrderedLock lock(mutex_);
+  ++counters_.rejected_overload;
 }
 
 std::size_t BidQueue::size() const {

@@ -63,6 +63,7 @@ enum class IntakeStatus : std::uint8_t {
   kRejectedInvalid = 3, // bid outside the valid box / non-finite player
   kRejectedClosed = 4,  // service shutting down
   kDuplicate = 5,       // seq already taken: the earlier copy stands
+  kRejectedOverload = 6,  // shed by admission control (service overloaded)
 };
 
 const char* to_string(IntakeStatus status);
@@ -80,10 +81,14 @@ struct IntakeCounters {
   std::uint64_t rejected_invalid = 0;
   std::uint64_t rejected_closed = 0;
   std::uint64_t duplicate = 0;
+  /// Bids shed by the service's overload admission control before they
+  /// reached the queue (counted here so the stats endpoint reports one
+  /// intake ledger).
+  std::uint64_t rejected_overload = 0;
 
   std::uint64_t total() const {
     return accepted + replaced + rejected_full + rejected_invalid +
-           rejected_closed + duplicate;
+           rejected_closed + duplicate + rejected_overload;
   }
 };
 
@@ -103,6 +108,16 @@ class BidQueue {
 
   /// Further submits return kRejectedClosed; pending bids stay drainable.
   void close() MUSK_EXCLUDES(mutex_);
+
+  /// True when `player` has a bid pending for the next epoch. Advisory
+  /// (the answer can be stale by the time the caller acts on it) — used
+  /// by the service's overload shedding to prefer resubmissions over
+  /// new players.
+  bool pending(core::PlayerId player) const MUSK_EXCLUDES(mutex_);
+
+  /// Counts one bid the service shed before it reached submit() (the
+  /// admission controller's kRejectedOverload answer).
+  void count_overload_rejection() MUSK_EXCLUDES(mutex_);
 
   std::size_t size() const MUSK_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }

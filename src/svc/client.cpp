@@ -188,36 +188,61 @@ BidAckMsg Client::submit(const BidSubmission& bid,
   // collapse an ambiguous-timeout resubmission into kDuplicate.
   if (tagged.seq == 0) tagged.seq = ++player_seq_[tagged.player];
 
+  std::uint64_t slept_ms = 0;
+  const std::uint64_t budget_ms =
+      config_.retry_budget.count() > 0
+          ? static_cast<std::uint64_t>(config_.retry_budget.count())
+          : 0;
   for (int attempt = 1;; ++attempt) {
     std::uint32_t server_hint_ms = 0;
+    bool shed = false;
     try {
       if (fd_ < 0) reconnect();
       return submit_once(tagged, timeout);
     } catch (const ServerBusyError& busy) {
       if (attempt >= config_.max_attempts) throw;
       server_hint_ms = busy.retry_after_ms;
+      shed = true;
     } catch (const std::runtime_error&) {
       // Connection loss, ack timeout (ambiguous — the bid may have
       // landed), remote error, corrupt stream: with the sequence
       // number pinned, resubmitting is safe in every one of these.
       if (attempt >= config_.max_attempts) throw;
     }
-    backoff(attempt, server_hint_ms);
+    const std::uint64_t wait_ms = backoff_delay_ms(attempt, server_hint_ms);
+    // Cumulative retry-sleep cap: a permanently-shedding server answers
+    // every attempt with a (scaled) kRetryAfter hint; without a budget
+    // the retry loop would sleep out the sum of all of them. When the
+    // next sleep would push past the budget, the overload is terminal
+    // for this call.
+    if (budget_ms > 0 && slept_ms + wait_ms > budget_ms) {
+      throw OverloadedError(
+          shed ? "server overloaded: retry budget exhausted after " +
+                     std::to_string(slept_ms) + " ms of backoff"
+               : "retry budget exhausted after " + std::to_string(slept_ms) +
+                     " ms of backoff",
+          slept_ms);
+    }
+    if (wait_ms > 0) {
+      // poll(2) with no fds: the lint-sanctioned bounded block.
+      ::poll(nullptr, 0, static_cast<int>(wait_ms));
+    }
+    slept_ms += wait_ms;
   }
 }
 
-void Client::backoff(int attempt, std::uint32_t server_hint_ms) {
+std::uint64_t Client::backoff_delay_ms(int attempt,
+                                       std::uint32_t server_hint_ms) {
   const long long cap = config_.backoff_max.count();
   long long wait = config_.backoff_base.count();
   for (int i = 1; i < attempt && wait < cap; ++i) wait *= 2;
   wait = std::min(wait, cap);
   wait = std::max<long long>(wait, server_hint_ms);
-  if (wait <= 0) return;
+  if (wait <= 0) return 0;
   // Up to +50% jitter so a shed herd does not reconnect in lockstep.
   wait += static_cast<long long>(
       jitter_rng_.uniform(static_cast<std::uint64_t>(wait) / 2 + 1));
-  // poll(2) with no fds: the lint-sanctioned bounded block.
-  ::poll(nullptr, 0, static_cast<int>(wait));
+  return static_cast<std::uint64_t>(wait);
 }
 
 StatsResponseMsg Client::stats(std::chrono::milliseconds timeout) {

@@ -46,6 +46,19 @@ class RemoteError : public WireError {
   using WireError::WireError;
 };
 
+/// Terminal overload: submit() exhausted its cumulative retry-sleep
+/// budget (ClientConfig::retry_budget) while the server kept shedding.
+/// Unlike ServerBusyError (one shed answer, retried internally), this
+/// is the client library giving up — more retries are pointless until
+/// the operator drains the overload. total_backoff_ms is how long the
+/// client slept across all attempts before surrendering.
+class OverloadedError : public WireError {
+ public:
+  OverloadedError(const std::string& what, std::uint64_t slept_ms)
+      : WireError(what), total_backoff_ms(slept_ms) {}
+  std::uint64_t total_backoff_ms = 0;
+};
+
 struct ClientConfig {
   /// Submission/connect attempts before an error propagates. The
   /// default 1 is the legacy fail-fast behavior; resilient callers set
@@ -57,6 +70,13 @@ struct ClientConfig {
   std::chrono::milliseconds backoff_max{2000};
   /// Jitter seed (deterministic tests; 0 picks the Rng default).
   std::uint64_t jitter_seed = 0;
+  /// Cap on submit()'s CUMULATIVE retry sleep across all attempts
+  /// (0 = uncapped). A permanently-shedding server keeps answering
+  /// kRetryAfter with growing hints; without this cap a high
+  /// max_attempts client would sleep for the sum of every hint. Once
+  /// the next backoff would push the total past the budget, submit()
+  /// throws OverloadedError instead of sleeping.
+  std::chrono::milliseconds retry_budget{15000};
 };
 
 class Client {
@@ -122,9 +142,10 @@ class Client {
   void send_frame(MsgType type, std::string_view payload);
   BidAckMsg submit_once(const BidSubmission& bid,
                         std::chrono::milliseconds timeout);
-  /// Blocks for the attempt's backoff (exponential, jittered, at least
-  /// the server hint).
-  void backoff(int attempt, std::uint32_t server_hint_ms);
+  /// Computes the attempt's backoff (exponential, jittered, at least
+  /// the server hint) without sleeping — submit() checks it against the
+  /// cumulative retry budget before blocking.
+  std::uint64_t backoff_delay_ms(int attempt, std::uint32_t server_hint_ms);
 
   std::string endpoint_;
   ClientConfig config_;

@@ -42,8 +42,20 @@ void ParallelExecutor::drain_batch() {
     fn = batch_fn_;
     count = batch_count_;
   }
+  util::CancelToken* const cancel = cancel_.load(std::memory_order_relaxed);
   for (std::size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
        i < count; i = next_task_.fetch_add(1, std::memory_order_relaxed)) {
+    if (cancel != nullptr && cancel->poll()) {
+      // Deadline fast path: stop claiming — the indices this thread
+      // would have run are skipped, and run() surfaces the cancellation
+      // after the barrier. In-flight siblings unwind at their own
+      // cancel points.
+      util::OrderedLock lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(util::SolveCancelled());
+      }
+      break;
+    }
     try {
       (*fn)(i);
     } catch (...) {  // musk-lint: allow(bare-catch) -- run() rethrows it
@@ -78,8 +90,14 @@ void ParallelExecutor::run(std::size_t count,
                            const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (threads_ == 1 || count == 1) {
-    // Inline legacy path: no locks, no cross-thread handoff.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    // Inline legacy path: no locks, no cross-thread handoff. The cancel
+    // check mirrors drain_batch's so "--threads 1" degrades under a
+    // deadline exactly like the pool does.
+    util::CancelToken* const cancel = cancel_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->poll()) throw util::SolveCancelled();
+      fn(i);
+    }
     return;
   }
 

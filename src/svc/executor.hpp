@@ -60,8 +60,21 @@ class ParallelExecutor final : public flow::Executor {
   /// not thread-safe: one run() at a time, from one submitting thread
   /// (the epoch pipeline's). The first exception a task throws is
   /// rethrown here after the barrier.
+  ///
+  /// With a cancel token attached (set_cancel) the exactly-once promise
+  /// weakens to at-most-once: once the token fires, indices nobody has
+  /// claimed yet are skipped and run() throws util::SolveCancelled after
+  /// the barrier — the deadline path's fast unwind. Callers treat a
+  /// throwing run() as producing no results at all.
   void run(std::size_t count, const std::function<void(std::size_t)>& fn)
       override;
+
+  /// Propagates the epoch's cancel token to the claim loops (atomic;
+  /// callable between run()s from the epoch thread, and read by workers
+  /// mid-batch). The watchdog fires the token itself, not this.
+  void set_cancel(util::CancelToken* token) override {
+    cancel_.store(token, std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop(std::stop_token stop);
@@ -82,6 +95,8 @@ class ParallelExecutor final : public flow::Executor {
   std::exception_ptr first_error_ MUSK_GUARDED_BY(mutex_);
   /// Shared claim cursor — atomic so claiming needs no lock.
   std::atomic<std::size_t> next_task_{0};
+  /// Cancel token consulted before each claim (null = never cancel).
+  std::atomic<util::CancelToken*> cancel_{nullptr};
 
   std::vector<std::jthread> workers_;
 };

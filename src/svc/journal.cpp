@@ -119,7 +119,7 @@ Journal::Journal(std::string path) : path_(std::move(path)) {
       if (load_u32(rec) != kRecordMagic) break;
       const std::uint8_t type = static_cast<std::uint8_t>(rec[4]);
       if (type < static_cast<std::uint8_t>(RecordType::kBegin) ||
-          type > static_cast<std::uint8_t>(RecordType::kAborted)) {
+          type > static_cast<std::uint8_t>(RecordType::kDegraded)) {
         break;
       }
       const std::uint32_t len = load_u32(rec + 17);
@@ -177,6 +177,14 @@ void Journal::append_aborted(int epoch, std::uint64_t pre_digest) {
   append(RecordType::kAborted, epoch, pre_digest, std::string());
 }
 
+void Journal::append_degraded(int epoch, std::uint64_t pre_digest, int level,
+                              const std::string& reason) {
+  std::string payload;
+  core::codec::put_u8(payload, static_cast<std::uint8_t>(level));
+  payload += reason;
+  append(RecordType::kDegraded, epoch, pre_digest, payload);
+}
+
 namespace {
 
 [[maybe_unused]] const char* record_type_name(RecordType type) {
@@ -185,6 +193,7 @@ namespace {
     case RecordType::kOutcome: return "outcome";
     case RecordType::kSettled: return "settled";
     case RecordType::kAborted: return "aborted";
+    case RecordType::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -305,6 +314,19 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
         ++report.epochs_settled;
         phase = Phase::kIdle;
         report.next_epoch = current + 1;
+        break;
+      case RecordType::kDegraded:
+        if (phase != Phase::kBegun || r.epoch != current) {
+          throw JournalError("journal " + journal.path() +
+                             ": DEGRADED without matching BEGIN at epoch " +
+                             std::to_string(r.epoch));
+        }
+        // Annotation only: the failed attempt was rolled back before the
+        // record was written, so the network still sits at the epoch's
+        // pre-state. The record exists so replay can prove the degraded
+        // outcome came from the documented ladder, not silent drift.
+        check_digest(r, "degraded");
+        ++report.degraded_epochs;
         break;
       case RecordType::kAborted:
         if (phase != Phase::kBegun || r.epoch != current) {

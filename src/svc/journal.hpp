@@ -9,9 +9,15 @@
 //   SETTLED(epoch, post_digest)       settlement reached the network
 //
 // plus ABORTED(epoch, pre_digest) when the mechanism throws and the
-// service released the locks instead of settling. The fsync'd OUTCOME
-// record is the commit point: recovery (replay_journal) rebuilds the
-// network from its genesis state and re-runs the journal forward —
+// service released the locks instead of settling, and
+// DEGRADED(epoch, pre_digest, level + reason) each time the epoch
+// deadline expired and the service retried the same epoch one rung down
+// the degradation ladder (DESIGN.md §14) — zero or more DEGRADED
+// records sit between a BEGIN and its OUTCOME/ABORTED, so replay
+// reproduces exactly the mechanism the degraded epoch actually cleared
+// with. The fsync'd OUTCOME record is the commit point: recovery
+// (replay_journal) rebuilds the network from its genesis state and
+// re-runs the journal forward —
 //
 //   * every OUTCOME is re-applied exactly once (extraction from an
 //     identical pre-state is deterministic, verified by pre_digest);
@@ -72,6 +78,10 @@ enum class RecordType : std::uint8_t {
   kOutcome = 2,
   kSettled = 3,
   kAborted = 4,
+  /// Deadline expired mid-epoch; the service is retrying the same epoch
+  /// with a cheaper mechanism. Annotation only — the network state is
+  /// unchanged (digest repeats the epoch's pre-digest).
+  kDegraded = 5,
 };
 
 struct JournalRecord {
@@ -80,7 +90,10 @@ struct JournalRecord {
   /// BEGIN/OUTCOME/ABORTED carry the pre-settlement network digest;
   /// SETTLED carries the post-settlement digest.
   std::uint64_t digest = 0;
-  /// OUTCOME only: codec::encode_outcome bytes.
+  /// OUTCOME: codec::encode_outcome bytes. DEGRADED: u8 ladder level
+  /// (1 = first retry rung) followed by the reason string — the
+  /// mechanism name the retry is about to run with, or the literal
+  /// "watchdog" prefix when the watchdog forced the cancellation.
   std::string payload;
 };
 
@@ -118,6 +131,13 @@ class Journal {
       MUSK_EXCLUDES(mutex_);
   void append_aborted(int epoch, std::uint64_t pre_digest)
       MUSK_EXCLUDES(mutex_);
+  /// Records one rung of the degradation ladder: the epoch's deadline
+  /// expired at `level - 1` attempts and the service is about to retry
+  /// with the mechanism named in `reason`. `pre_digest` must equal the
+  /// epoch's BEGIN digest — the failed attempt was rolled back before
+  /// this record is written.
+  void append_degraded(int epoch, std::uint64_t pre_digest, int level,
+                       const std::string& reason) MUSK_EXCLUDES(mutex_);
 
  private:
   /// Encodes, writes, and fsyncs one record; only then is it added to
@@ -155,8 +175,12 @@ struct RecoveryReport {
   /// BEGIN records with no OUTCOME/ABORTED: the locks died with the
   /// process, nothing durable happened, the epoch number is reused.
   int rolled_back = 0;
-  /// ABORTED records seen (mechanism threw; epoch number was reused).
+  /// ABORTED records seen (mechanism threw or the degradation ladder
+  /// was exhausted; epoch number was reused).
   int aborted_epochs = 0;
+  /// DEGRADED records seen: ladder rungs taken across all epochs (one
+  /// epoch that fell two rungs counts twice).
+  int degraded_epochs = 0;
   /// Epoch the restarted service must resume at.
   int next_epoch = 0;
   /// network.state_digest() after replay.

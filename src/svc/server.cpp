@@ -92,8 +92,11 @@ void SocketServer::accept_loop(const std::stop_token& stop) {
       // close.
       ErrorMsg shed;
       shed.code = ErrorCode::kRetryAfter;
-      shed.retry_after_ms =
-          static_cast<std::uint32_t>(config_.shed_retry_after_ms);
+      // The hint scales with the service's shed level: a server that is
+      // both connection-full and epoch-degraded wants clients to back
+      // off much harder than one that is merely popular.
+      shed.retry_after_ms = service_.retry_after_hint(
+          static_cast<std::uint32_t>(config_.shed_retry_after_ms));
       shed.message = "server at connection capacity";
       std::string frame;
       append_frame(frame, MsgType::kError, encode_error(shed));
@@ -168,6 +171,18 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       ack.intake_epoch =
           static_cast<std::uint32_t>(service_.epochs_cleared());
       ack.status = service_.submit(bid);
+      if (ack.status == IntakeStatus::kRejectedOverload) {
+        // Bid-level load shedding: instead of an ack the client gets a
+        // retry-after whose hint is scaled by the shed level, so a
+        // degrading server pushes its herd back exponentially.
+        ErrorMsg shed;
+        shed.code = ErrorCode::kRetryAfter;
+        shed.retry_after_ms = service_.retry_after_hint(
+            static_cast<std::uint32_t>(config_.shed_retry_after_ms));
+        shed.message = "bid shed: service overloaded";
+        send_frame(conn, MsgType::kError, encode_error(shed));
+        return;
+      }
       send_frame(conn, MsgType::kBidAck, encode_bid_ack(ack));
       return;
     }
@@ -189,6 +204,12 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       msg.last_components = static_cast<std::uint32_t>(stats.last_components);
       msg.largest_component =
           static_cast<std::uint32_t>(stats.largest_component);
+      msg.shed_level = static_cast<std::uint32_t>(stats.shed_level);
+      msg.ewma_clear_seconds = stats.ewma_clear_seconds;
+      msg.deadline_exceeded = stats.deadline_exceeded;
+      msg.degraded_epochs = stats.degraded_epochs;
+      msg.watchdog_fired = stats.watchdog_fired;
+      msg.aborted_epochs = stats.aborted_epochs;
       msg.intake = stats.intake;
       msg.registry_json = obs::registry().to_json();
       send_frame(conn, MsgType::kStatsResponse, encode_stats_response(msg));

@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <unordered_map>
 
+#include "core/mechanism_factory.hpp"
 #include "obs/obs.hpp"
 #include "svc/journal.hpp"
 #include "util/assert.hpp"
@@ -66,17 +68,45 @@ RebalanceService::RebalanceService(pcn::Network& network,
     : mechanism_(mechanism),
       config_(config),
       queue_(config.queue_capacity, network.num_nodes()),
+      admission_(config.admission_alpha,
+                 config.epoch_deadline.count() > 0
+                     ? std::chrono::duration<double>(config.epoch_deadline)
+                           .count()
+                     : 0.0),
       executor_(config.threads),
       network_(network),
       epochs_cleared_(config.first_epoch) {
   // With concurrency 1 the context ignores the executor entirely and
   // takes the literal legacy whole-graph path.
   solve_context_.set_executor(&executor_);
+  // The ladder only matters once a deadline or watchdog can cancel an
+  // attempt, but it is built unconditionally so a bad name fails at
+  // construction, not during the first overload.
+  for (const std::string& name : config_.degradation_ladder) {
+    std::unique_ptr<core::Mechanism> rung =
+        core::make_mechanism(name, core::MechanismOptions{});
+    MUSK_ASSERT_MSG(rung != nullptr, "unknown degradation-ladder mechanism");
+    ladder_.push_back(std::move(rung));
+  }
+  if (config_.watchdog_timeout.count() > 0) {
+    watchdog_ = std::jthread(
+        [this](const std::stop_token& stop) { watchdog_loop(stop); });
+  }
 }
 
 RebalanceService::~RebalanceService() { stop(); }
 
 IntakeStatus RebalanceService::submit(const BidSubmission& bid) {
+  // Overload shedding, cheapest first: level >= 3 sheds everything,
+  // level 2 sheds only players with no bid already pending (a pending
+  // player's replacement costs the epoch nothing extra — the drain
+  // takes one bid per player either way).
+  const int shed = admission_.shed_level();
+  if (shed >= 3 || (shed == 2 && !queue_.pending(bid.player))) {
+    queue_.count_overload_rejection();
+    MUSK_OBS_COUNT("svc.intake.shed_total", 1);
+    return IntakeStatus::kRejectedOverload;
+  }
   return queue_.submit(bid);
 }
 
@@ -146,11 +176,59 @@ EpochReport RebalanceService::run_epoch() {
     core::Outcome outcome;
     const long long builds_before = solve_context_.stats().structure_builds;
     try {
-      {
-        MUSK_OBS_SPAN(solve_span, "svc.clear");
-        solve_span.set_epoch(trace_id);
-        outcome = mechanism_.run(solve_context_, extracted.game, bids);
-        report.solve_seconds = solve_span.end();
+      bool cleared = run_attempt(mechanism_, extracted.game, bids, trace_id,
+                                 report, outcome);
+      while (!cleared &&
+             report.degradation_level < static_cast<int>(ladder_.size())) {
+        const int rung = report.degradation_level + 1;
+        // The rung is journaled BEFORE it runs: replay must know which
+        // mechanism produced the eventual OUTCOME even if the daemon
+        // dies mid-rung.
+        if (journal != nullptr) {
+          journal->append_degraded(
+              report.epoch, pre_digest, rung,
+              config_.degradation_ladder[static_cast<std::size_t>(rung - 1)]);
+        }
+        report.degradation_level = rung;
+        degraded_total_.fetch_add(1, std::memory_order_relaxed);
+        MUSK_OBS_COUNT("svc.epoch.degraded_total", 1);
+        MUSK_OBS_GAUGE("svc.epoch.degradation_level",
+                       static_cast<double>(rung));
+        // Chaos hook: an injected rung failure descends immediately,
+        // exactly as if the rung itself had timed out.
+        if (MUSK_FAULT_FAIL("degrade.fail")) continue;
+        cleared = run_attempt(*ladder_[static_cast<std::size_t>(rung - 1)],
+                              extracted.game, bids, trace_id, report, outcome);
+      }
+      if (!cleared) {
+        // Ladder exhausted: all-or-nothing abort. Locks released, the
+        // abort journaled, the epoch number reused — and run_epoch
+        // returns normally, because a deadline abort is an operating
+        // mode, not a failure: the scheduler must keep clearing.
+        {
+          const util::OrderedLock net_lock(network_mutex_);
+          pcn::release_locks(network_, extracted);
+        }
+        if (journal != nullptr) {
+          try {
+            journal->append_aborted(report.epoch, pre_digest);
+          } catch (const util::fault::CrashPoint&) {
+            throw;
+          } catch (const std::exception& err) {
+            std::fprintf(
+                stderr,
+                "musketeer: failed to journal abort of epoch %d: %s\n",
+                report.epoch, err.what());
+          }
+        }
+        report.aborted = true;
+        report.clear_seconds = t0.seconds();
+        aborted_epochs_.fetch_add(1, std::memory_order_relaxed);
+        MUSK_OBS_COUNT("svc.epoch.aborted_total", 1);
+        admission_.record(report.clear_seconds);
+        MUSK_OBS_GAUGE("svc.admission.shed_level",
+                       static_cast<double>(admission_.shed_level()));
+        return report;
       }
       MUSK_FAULT_HIT("svc.crash_before_commit");
       // The fsync'd OUTCOME record is the commit point: once it returns,
@@ -232,6 +310,9 @@ EpochReport RebalanceService::run_epoch() {
 
   report.clear_seconds = t0.seconds();
   epoch_span.end();
+  admission_.record(report.clear_seconds);
+  MUSK_OBS_GAUGE("svc.admission.shed_level",
+                 static_cast<double>(admission_.shed_level()));
   MUSK_OBS_COUNT("svc.epoch.total", 1);
   MUSK_OBS_HISTOGRAM("svc.epoch.clear_seconds", report.clear_seconds);
   MUSK_OBS_GAUGE("svc.queue.high_watermark",
@@ -247,6 +328,92 @@ EpochReport RebalanceService::run_epoch() {
   return report;
 }
 
+bool RebalanceService::run_attempt(const core::Mechanism& mechanism,
+                                   const core::Game& game,
+                                   const core::BidVector& bids,
+                                   std::uint64_t trace_id,
+                                   EpochReport& report,
+                                   core::Outcome& outcome) {
+  const bool deadline_enabled = config_.epoch_deadline.count() > 0;
+  const bool watchdog_enabled = watchdog_.joinable();
+  const bool cancellable = deadline_enabled || watchdog_enabled;
+  if (cancellable) {
+    watchdog_fired_attempt_.store(false, std::memory_order_relaxed);
+    cancel_token_.arm(deadline_enabled
+                          ? util::Deadline::after(config_.epoch_deadline)
+                          : util::Deadline::never());
+    solve_context_.set_cancel(&cancel_token_);
+    if (watchdog_enabled) {
+      watchdog_deadline_at_.store(
+          uptime_timer_.seconds() +
+              std::chrono::duration<double>(config_.watchdog_timeout).count(),
+          std::memory_order_relaxed);
+    }
+    // Chaos hook: a delay here burns the attempt's entire deadline
+    // budget, so `deadline.expire@N=delay:...` deterministically expires
+    // attempt N without load (the token is armed already).
+    MUSK_FAULT_HIT("deadline.expire");
+  }
+  try {
+    MUSK_OBS_SPAN(solve_span, "svc.clear");
+    solve_span.set_epoch(trace_id);
+    outcome = mechanism.run(solve_context_, game, bids);
+    report.solve_seconds += solve_span.end();
+  } catch (const util::SolveCancelled&) {
+    // Disarm, then repair context state the unwind skipped: a VCG
+    // exclusion cancelled mid-repricing throws through its unmask().
+    watchdog_deadline_at_.store(0.0, std::memory_order_relaxed);
+    solve_context_.set_cancel(nullptr);
+    if (solve_context_.masked_player() >= 0) solve_context_.unmask();
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    MUSK_OBS_COUNT("svc.epoch.deadline_exceeded_total", 1);
+    if (watchdog_fired_attempt_.load(std::memory_order_relaxed)) {
+      // The watchdog, not the attempt's own deadline, broke this
+      // attempt; the fault point lets chaos runs crash or delay at the
+      // exact moment the intervention takes effect.
+      MUSK_FAULT_HIT("watchdog.fire");
+      report.watchdog_fired = true;
+    }
+    return false;
+  } catch (...) {
+    watchdog_deadline_at_.store(0.0, std::memory_order_relaxed);
+    solve_context_.set_cancel(nullptr);
+    throw;
+  }
+  if (cancellable) {
+    watchdog_deadline_at_.store(0.0, std::memory_order_relaxed);
+    solve_context_.set_cancel(nullptr);
+  }
+  return true;
+}
+
+void RebalanceService::watchdog_loop(const std::stop_token& stop) {
+  // Poll cadence: fine enough to fire promptly at short test timeouts,
+  // bounded (repo rule: every wait re-checks on a cadence) so teardown
+  // never stalls on this thread.
+  const auto period = std::chrono::milliseconds(
+      std::clamp<long long>(config_.watchdog_timeout.count() / 4, 1, 100));
+  util::OrderedUniqueLock lock(watchdog_mutex_);
+  while (!stop.stop_requested()) {
+    watchdog_cv_.wait_for(lock, stop, period, [] { return false; });
+    if (stop.stop_requested()) break;
+    double at = watchdog_deadline_at_.load(std::memory_order_relaxed);
+    if (at <= 0.0 || uptime_timer_.seconds() < at) continue;
+    // CAS-claim the firing: a clearing thread disarming concurrently
+    // wins and the watchdog stands down (its stale cancel would only
+    // be cleared by the next arm() anyway, but the counter must not
+    // report interventions that never happened).
+    if (!watchdog_deadline_at_.compare_exchange_strong(
+            at, 0.0, std::memory_order_relaxed)) {
+      continue;
+    }
+    watchdog_fired_attempt_.store(true, std::memory_order_relaxed);
+    watchdog_fired_total_.fetch_add(1, std::memory_order_relaxed);
+    MUSK_OBS_COUNT("svc.epoch.watchdog_fired_total", 1);
+    cancel_token_.cancel();
+  }
+}
+
 void RebalanceService::start() {
   MUSK_ASSERT_MSG(!started_.exchange(true), "RebalanceService started twice");
   scheduler_ = std::jthread(
@@ -259,6 +426,11 @@ void RebalanceService::stop() {
     scheduler_.request_stop();
     scheduler_cv_.notify_all();
     scheduler_.join();
+  }
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_cv_.notify_all();
+    watchdog_.join();
   }
 }
 
@@ -300,6 +472,12 @@ ServiceStats RebalanceService::stats_snapshot() const {
   stats.last_components = last_components_.load(std::memory_order_relaxed);
   stats.largest_component =
       last_largest_component_.load(std::memory_order_relaxed);
+  stats.shed_level = admission_.shed_level();
+  stats.ewma_clear_seconds = admission_.ewma_seconds();
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.degraded_epochs = degraded_total_.load(std::memory_order_relaxed);
+  stats.watchdog_fired = watchdog_fired_total_.load(std::memory_order_relaxed);
+  stats.aborted_epochs = aborted_epochs_.load(std::memory_order_relaxed);
   stats.intake = queue_.counters();
   return stats;
 }

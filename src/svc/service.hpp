@@ -32,6 +32,8 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,8 +41,10 @@
 #include "obs/trace.hpp"
 #include "pcn/network.hpp"
 #include "pcn/rebalancer.hpp"
+#include "svc/admission.hpp"
 #include "svc/bid_queue.hpp"
 #include "svc/executor.hpp"
+#include "util/deadline.hpp"
 #include "util/ordered_mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -75,6 +79,28 @@ struct ServiceConfig {
   /// partitioning, no pool). Outcomes are bit-identical at any value —
   /// see DESIGN.md §13.
   int threads = 0;
+  /// Per-attempt clearing deadline (0 = disabled, the legacy run-to-
+  /// completion behavior). When an attempt's solve exceeds it, the solve
+  /// is cooperatively cancelled (util::CancelToken through the flow
+  /// layer) and the epoch retries down `degradation_ladder`; once the
+  /// ladder is exhausted the epoch is journaled ABORTED, its locks are
+  /// released, and its number is reused — run_epoch returns a report
+  /// flagged `aborted` instead of throwing. See DESIGN.md §14.
+  std::chrono::milliseconds epoch_deadline{0};
+  /// Mechanism names (core::make_mechanism spelling) tried in order
+  /// after the primary mechanism times out, cheapest last. Each rung is
+  /// journaled as a DEGRADED record so replay reproduces the degraded
+  /// outcome bit for bit. Unknown names throw at construction.
+  std::vector<std::string> degradation_ladder{"m2-minfee", "m1"};
+  /// Watchdog force-cancel timeout (0 = no watchdog thread). A daemon
+  /// backstop for an attempt that fails to observe its own deadline:
+  /// once an attempt has run this long, the watchdog thread fires the
+  /// cancel token from outside. Set it comfortably above epoch_deadline.
+  std::chrono::milliseconds watchdog_timeout{0};
+  /// EWMA smoothing factor for the overload admission controller
+  /// (weight of the newest epoch; 0 disables admission control). The
+  /// controller is active only when epoch_deadline is set.
+  double admission_alpha = 0.2;
 };
 
 /// Per-player settlement notification for one epoch: what the node pays
@@ -111,6 +137,15 @@ struct ServiceStats {
   int solve_threads = 1;
   int last_components = 0;
   int largest_component = 0;
+  /// v5 health fields: overload shed level (0-3), the admission
+  /// controller's EWMA of epoch clear time, and the degradation
+  /// counters (see DESIGN.md §14).
+  int shed_level = 0;
+  double ewma_clear_seconds = 0.0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded_epochs = 0;
+  std::uint64_t watchdog_fired = 0;
+  std::uint64_t aborted_epochs = 0;
   IntakeCounters intake;
 };
 
@@ -147,6 +182,17 @@ struct EpochReport {
   /// monolithic --threads 1 path; 0 for an empty epoch).
   int solve_components = 0;
   int largest_component = 0;
+  /// Degradation ladder rungs this epoch descended before clearing
+  /// (0 = the primary mechanism cleared within its deadline). Rung k
+  /// means the epoch cleared with degradation_ladder[k-1].
+  int degradation_level = 0;
+  /// True when the ladder was exhausted: the epoch was journaled
+  /// ABORTED, its locks released, and its number will be reused by the
+  /// next clear. The report carries no outcome fields.
+  bool aborted = false;
+  /// True when the watchdog (not the cooperative deadline) forced at
+  /// least one of this epoch's attempts to cancel.
+  bool watchdog_fired = false;
   /// pcn::Network::state_digest() of the settled network, taken under
   /// the network lock right after settlement: one u64 a client can check
   /// against a local replay to verify it observed the same state.
@@ -198,6 +244,16 @@ class RebalanceService {
   std::size_t queue_capacity() const { return queue_.capacity(); }
   const pcn::RebalancePolicy& policy() const { return config_.policy; }
 
+  /// Current overload shed level (0-3; 0 with no deadline configured).
+  int shed_level() const { return admission_.shed_level(); }
+
+  /// Scales a base kRetryAfter hint by the shed level so clients of a
+  /// hot server back off harder (lock-free; called by the socket server
+  /// on its shedding paths).
+  std::uint32_t retry_after_hint(std::uint32_t base_ms) const {
+    return admission_.scale_retry_after(base_ms);
+  }
+
   /// Live service state for the stats endpoint. Safe to call from any
   /// thread at any time: every field comes from an atomic or a
   /// short-critical-section accessor — never the epoch or network lock.
@@ -212,6 +268,24 @@ class RebalanceService {
  private:
   void scheduler_loop(const std::stop_token& stop)
       MUSK_EXCLUDES(scheduler_mutex_, clear_mutex_);
+
+  /// Watchdog thread body: parks on watchdog_cv_ (rank kWatchdog, below
+  /// every service lock) and force-fires the cancel token when an
+  /// attempt outlives watchdog_timeout. It communicates with the
+  /// clearing thread exclusively through atomics — it never takes a
+  /// lock above kWatchdog, so it can never participate in a clearing
+  /// deadlock (the condition it exists to break).
+  void watchdog_loop(const std::stop_token& stop)
+      MUSK_EXCLUDES(watchdog_mutex_);
+
+  /// One mechanism attempt under the armed token; returns false when
+  /// the attempt was cancelled (deadline or watchdog), true when
+  /// `outcome` holds the cleared result. Any other exception
+  /// propagates to run_epoch's abort path unchanged.
+  bool run_attempt(const core::Mechanism& mechanism, const core::Game& game,
+                   const core::BidVector& bids, std::uint64_t trace_id,
+                   EpochReport& report, core::Outcome& outcome)
+      MUSK_REQUIRES(clear_mutex_);
 
   /// Drains + HTLC-locks the epoch's game under the network lock and
   /// reports the pre-extraction digest (what recovery verifies against).
@@ -228,7 +302,13 @@ class RebalanceService {
 
   const core::Mechanism& mechanism_;
   const ServiceConfig config_;
+  /// Degradation ladder, built from config_.degradation_ladder names at
+  /// construction (so a typo fails fast, not mid-overload). Tried in
+  /// order after the primary mechanism times out.
+  std::vector<std::unique_ptr<core::Mechanism>> ladder_;
   BidQueue queue_;
+  /// EWMA-driven overload shedding (inert when epoch_deadline is 0).
+  AdmissionController admission_;
 
   /// Serializes epochs so manual and periodic clears cannot interleave.
   /// Rank note: epoch callbacks (socket broadcast) run with this held,
@@ -266,6 +346,27 @@ class RebalanceService {
 
   std::jthread scheduler_;
   std::atomic<bool> started_{false};
+
+  /// Epoch cancellation: armed per attempt by the clearing thread;
+  /// fired by the attempt's own deadline (via poll) or by the watchdog
+  /// from outside. Only the flag inside is shared — see CancelToken.
+  util::CancelToken cancel_token_;
+  /// Uptime-seconds (uptime_timer_ clock) at which the watchdog fires;
+  /// 0 = no attempt in flight. Written by the clearing thread at
+  /// attempt start/end, CAS-claimed by the watchdog when it fires.
+  std::atomic<double> watchdog_deadline_at_{0.0};
+  /// Set by the watchdog when it force-cancelled the current attempt,
+  /// cleared by the clearing thread at the next attempt start.
+  std::atomic<bool> watchdog_fired_attempt_{false};
+  /// Degradation counters, mirrored into ServiceStats lock-free.
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> degraded_total_{0};
+  std::atomic<std::uint64_t> watchdog_fired_total_{0};
+  std::atomic<std::uint64_t> aborted_epochs_{0};
+  util::OrderedMutex watchdog_mutex_{util::LockRank::kWatchdog,
+                                     "svc.watchdog"};
+  util::OrderedCondVar watchdog_cv_;
+  std::jthread watchdog_;
 
   /// Service start time (uptime for the stats endpoint).
   const obs::Timer uptime_timer_;

@@ -132,7 +132,7 @@ BidAckMsg decode_bid_ack(std::string_view payload) {
   BidAckMsg msg;
   msg.client_tag = in.u64();
   const std::uint8_t status = in.u8();
-  if (status > static_cast<std::uint8_t>(IntakeStatus::kDuplicate)) {
+  if (status > static_cast<std::uint8_t>(IntakeStatus::kRejectedOverload)) {
     throw WireError("unknown intake status in ack");
   }
   msg.status = static_cast<IntakeStatus>(status);
@@ -230,12 +230,19 @@ std::string encode_stats_response(const StatsResponseMsg& msg) {
   put_u32(out, msg.solve_threads);
   put_u32(out, msg.last_components);
   put_u32(out, msg.largest_component);
+  put_u32(out, msg.shed_level);
+  put_f64(out, msg.ewma_clear_seconds);
+  put_u64(out, msg.deadline_exceeded);
+  put_u64(out, msg.degraded_epochs);
+  put_u64(out, msg.watchdog_fired);
+  put_u64(out, msg.aborted_epochs);
   put_u64(out, msg.intake.accepted);
   put_u64(out, msg.intake.replaced);
   put_u64(out, msg.intake.rejected_full);
   put_u64(out, msg.intake.rejected_invalid);
   put_u64(out, msg.intake.rejected_closed);
   put_u64(out, msg.intake.duplicate);
+  put_u64(out, msg.intake.rejected_overload);
   put_u32(out, static_cast<std::uint32_t>(msg.registry_json.size()));
   out.append(msg.registry_json.data(), msg.registry_json.size());
   return out;
@@ -255,21 +262,30 @@ StatsResponseMsg decode_stats_response(std::string_view payload) {
   msg.solve_threads = in.u32();
   msg.last_components = in.u32();
   msg.largest_component = in.u32();
+  msg.shed_level = in.u32();
+  msg.ewma_clear_seconds = in.f64();
+  msg.deadline_exceeded = in.u64();
+  msg.degraded_epochs = in.u64();
+  msg.watchdog_fired = in.u64();
+  msg.aborted_epochs = in.u64();
   msg.intake.accepted = in.u64();
   msg.intake.replaced = in.u64();
   msg.intake.rejected_full = in.u64();
   msg.intake.rejected_invalid = in.u64();
   msg.intake.rejected_closed = in.u64();
   msg.intake.duplicate = in.u64();
+  msg.intake.rejected_overload = in.u64();
   if (!std::isfinite(msg.uptime_seconds) ||
       !std::isfinite(msg.imbalance_gini) ||
-      !std::isfinite(msg.imbalance_mean)) {
+      !std::isfinite(msg.imbalance_mean) ||
+      !std::isfinite(msg.ewma_clear_seconds)) {
     throw WireError("non-finite stats-response field");
   }
   const std::size_t n = in.check_count(in.u32(), 1);
-  // Fixed-size prefix: u32 epoch + 3 doubles + 3 v4 solve u32s + 10 u64s
-  // + the u32 length.
-  constexpr std::size_t kPrefix = 4 + 8 * 3 + 4 * 3 + 8 * 10 + 4;
+  // Fixed-size prefix: 5 u32s (epoch, 3 v4 solve fields, v5 shed level)
+  // + 4 doubles (uptime, gini, mean, v5 EWMA) + 15 u64s (4 queue/journal,
+  // 4 v5 degradation counters, 7 intake) + the u32 length.
+  constexpr std::size_t kPrefix = 4 * 5 + 8 * 4 + 8 * 15 + 4;
   msg.registry_json = std::string(payload.substr(kPrefix, n));
   // The JSON bytes were consumed via substr, not the reader.
   if (payload.size() != kPrefix + n) {

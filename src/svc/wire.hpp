@@ -38,9 +38,11 @@
 // Version history: v1 (PR 2) had no submit-bid/ack sequence numbers and
 // a bare-string error payload. v2 (PR 5) added both. v3 adds the
 // kStatsRequest/kStatsResponse introspection pair. v4 adds the solve
-// concurrency and component-shape fields to kStatsResponse. Versions are
-// not cross-compatible; both sides reject mismatched versions at the
-// frame header.
+// concurrency and component-shape fields to kStatsResponse. v5 adds the
+// overload-health fields (shed level, clear-time EWMA, degradation
+// counters, shed-intake counter) to kStatsResponse and the
+// kRejectedOverload intake status. Versions are not cross-compatible;
+// both sides reject mismatched versions at the frame header.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +56,7 @@
 namespace musketeer::svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
-inline constexpr std::uint16_t kWireVersion = 4;
+inline constexpr std::uint16_t kWireVersion = 5;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
@@ -185,6 +187,14 @@ struct StatsResponseMsg {
   std::uint32_t solve_threads = 1;
   std::uint32_t last_components = 0;
   std::uint32_t largest_component = 0;
+  /// v5 health fields: overload shed level (0-3), clear-time EWMA, and
+  /// the degradation counters (see ServiceStats).
+  std::uint32_t shed_level = 0;
+  double ewma_clear_seconds = 0.0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t degraded_epochs = 0;
+  std::uint64_t watchdog_fired = 0;
+  std::uint64_t aborted_epochs = 0;
   IntakeCounters intake;
   std::string registry_json;
 };

@@ -25,6 +25,9 @@ constexpr const char* kPoints[] = {
     "svc.crash_before_commit", // outcome computed, OUTCOME not yet durable
     "svc.crash_after_commit",  // OUTCOME durable, settle not yet applied
     "svc.crash_mid_settle",    // settle applied, SETTLED not yet journaled
+    "deadline.expire",         // epoch clear attempt armed its deadline
+    "watchdog.fire",           // watchdog about to force-cancel an epoch
+    "degrade.fail",            // degradation rung about to run
 };
 
 enum class Action { kCrash, kFail, kDrop, kTruncate, kCorrupt, kDelay };

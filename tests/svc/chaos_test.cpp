@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "svc/journal.hpp"
 #include "svc/service.hpp"
 #include "svc_test_util.hpp"
+#include "util/deadline.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
 
@@ -100,10 +102,10 @@ Baseline run_baseline(const sim::SimulationConfig& config) {
 /// no cleanup, then "reboot" — reopen the journal, replay it onto a
 /// fresh genesis network, and resume until kTotalEpochs have settled.
 /// Returns the recovery report for the caller's exactly-once checks.
-RecoveryReport crash_and_recover(const sim::SimulationConfig& config,
-                                 const std::string& journal_path,
-                                 const std::string& spec, int crash_epoch,
-                                 const Baseline& baseline) {
+RecoveryReport crash_and_recover(
+    const sim::SimulationConfig& config, const std::string& journal_path,
+    const std::string& spec, int crash_epoch, const Baseline& baseline,
+    const std::function<void(ServiceConfig&)>& tweak = {}) {
   core::M3DoubleAuction mechanism;
   log_artifact("schedules.txt", journal_path + ": " + spec);
   {
@@ -112,6 +114,7 @@ RecoveryReport crash_and_recover(const sim::SimulationConfig& config,
     ServiceConfig service_config;
     service_config.policy = config.policy;
     service_config.journal = &journal;
+    if (tweak) tweak(service_config);
     RebalanceService service(net, mechanism, service_config);
     for (int epoch = 0; epoch < crash_epoch; ++epoch) service.run_epoch();
     fault::configure(spec);
@@ -127,6 +130,7 @@ RecoveryReport crash_and_recover(const sim::SimulationConfig& config,
   service_config.policy = config.policy;
   service_config.journal = &journal;
   service_config.first_epoch = recovery.next_epoch;
+  if (tweak) tweak(service_config);
   RebalanceService service(net, mechanism, service_config);
   for (int epoch = recovery.next_epoch; epoch < kTotalEpochs; ++epoch) {
     const EpochReport report = service.run_epoch();
@@ -150,7 +154,8 @@ TEST(Chaos, RegistryAndScheduleGrammar) {
       "sock.connect",          "journal.write",
       "journal.fsync",         "svc.crash_after_begin",
       "svc.crash_before_commit", "svc.crash_after_commit",
-      "svc.crash_mid_settle"};
+      "svc.crash_mid_settle",  "deadline.expire",
+      "watchdog.fire",         "degrade.fail"};
   const std::vector<std::string> registered = fault::points();
   for (const std::string& point : expected) {
     EXPECT_NE(std::find(registered.begin(), registered.end(), point),
@@ -524,6 +529,156 @@ TEST(Chaos, ShedConnectionCarriesRetryAfterHint) {
   const BidAckMsg ack = third.submit(b2, std::chrono::milliseconds(500));
   EXPECT_TRUE(intake_ok(ack.status));
   daemon->stop();
+}
+
+// --- deadline / degradation chaos -------------------------------------
+
+/// Wedges until cancelled: the deadline-chaos tests use it to make the
+/// watchdog's intervention (and the crash scheduled on it) inevitable.
+class WedgedMechanism : public core::Mechanism {
+ public:
+  std::string_view name() const override { return "wedged-test"; }
+  bool claims_individual_rationality() const override { return false; }
+
+ protected:
+  core::Outcome run_impl(flow::SolveContext& ctx, const core::Game&,
+                         const core::BidVector&) const override {
+    for (;;) MUSK_CANCEL_POINT(ctx.cancel());
+  }
+};
+
+/// Arms a (never-firing) deadline on every epoch so the deadline fault
+/// points are live, without changing any outcome.
+void with_deadline(ServiceConfig& config) {
+  config.epoch_deadline = std::chrono::milliseconds(60000);
+}
+
+// Crashing at the moment an attempt arms its deadline — or at the
+// moment a degradation rung is journaled — must recover exactly like
+// any other pre-commit kill: the epoch rolls back and the rebooted
+// daemon converges to the fault-free oracle.
+TEST(Chaos, CrashAtDeadlinePointsConverges) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+  ASSERT_GT(baseline.reports[kCrashEpoch].game_edges, 0);
+
+  {
+    SCOPED_TRACE("deadline.expire");
+    const RecoveryReport recovery = crash_and_recover(
+        config, scratch_path("deadline_expire.jrn"),
+        "deadline.expire@1=crash", kCrashEpoch, baseline, with_deadline);
+    EXPECT_FALSE(recovery.applied_inflight);
+    EXPECT_EQ(recovery.rolled_back, 1);
+    EXPECT_EQ(recovery.next_epoch, kCrashEpoch);
+  }
+  {
+    // A 300 ms injected delay burns the 150 ms deadline, so the primary
+    // attempt is cancelled deterministically; the crash then lands on
+    // the degrade.fail hook, right after the DEGRADED record.
+    SCOPED_TRACE("degrade.fail");
+    const RecoveryReport recovery = crash_and_recover(
+        config, scratch_path("degrade_fail.jrn"),
+        "deadline.expire@1=delay:300;degrade.fail@1=crash", kCrashEpoch,
+        baseline, [](ServiceConfig& service_config) {
+          service_config.epoch_deadline = std::chrono::milliseconds(150);
+        });
+    EXPECT_FALSE(recovery.applied_inflight);
+    EXPECT_EQ(recovery.rolled_back, 1);
+    EXPECT_EQ(recovery.next_epoch, kCrashEpoch);
+    // The dangling DEGRADED record replays as exactly one degraded rung.
+    EXPECT_EQ(recovery.degraded_epochs, 1);
+  }
+}
+
+// A crash at the instant the watchdog's force-cancel takes effect (the
+// clearing thread observing the intervention) recovers like any other
+// pre-commit kill, and the restarted daemon — with the wedged mechanism
+// swapped out — converges to the oracle.
+TEST(Chaos, CrashAtWatchdogFireConverges) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+  const std::string path = scratch_path("watchdog_fire.jrn");
+
+  WedgedMechanism wedged;
+  {
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    service_config.watchdog_timeout = std::chrono::milliseconds(100);
+    service_config.degradation_ladder = {"m3"};
+    RebalanceService service(net, wedged, service_config);
+    fault::configure("watchdog.fire@1=crash");
+    EXPECT_THROW(service.run_epoch(), fault::CrashPoint);
+    fault::clear();
+  }
+
+  core::M3DoubleAuction mechanism;
+  Journal journal(path);
+  pcn::Network net = make_network(config);
+  const RecoveryReport recovery = replay_journal(journal, net, config.policy);
+  EXPECT_FALSE(recovery.applied_inflight);
+  EXPECT_EQ(recovery.rolled_back, 1);
+  EXPECT_EQ(recovery.next_epoch, 0);
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  service_config.journal = &journal;
+  service_config.first_epoch = recovery.next_epoch;
+  RebalanceService service(net, mechanism, service_config);
+  for (int epoch = 0; epoch < kTotalEpochs; ++epoch) {
+    const EpochReport report = service.run_epoch();
+    EXPECT_EQ(report.network_digest,
+              baseline.reports[static_cast<std::size_t>(epoch)].network_digest)
+        << "epoch " << epoch;
+  }
+  EXPECT_EQ(net.state_digest(), baseline.final_net.state_digest());
+  expect_networks_equal(net, baseline.final_net);
+}
+
+// A deterministically induced degradation (injected delay burns epoch
+// 1's deadline, the m2-minfee rung clears it) must survive the full
+// journal round trip: replay reproduces the degraded epoch's digest bit
+// for bit and reports it as degraded.
+TEST(Chaos, InjectedDeadlineExpiryDegradesAndReplaysConsistently) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const std::string path = scratch_path("degraded_replay.jrn");
+
+  core::M3DoubleAuction mechanism;
+  std::uint64_t live_digest = 0;
+  {
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    service_config.epoch_deadline = std::chrono::milliseconds(150);
+    service_config.degradation_ladder = {"m2-minfee"};
+    RebalanceService service(net, mechanism, service_config);
+    // Hit 2 of deadline.expire is epoch 1's primary attempt; the rung
+    // re-arms a fresh deadline (hit 3) and clears unhindered.
+    fault::configure("deadline.expire@2=delay:300");
+    for (int epoch = 0; epoch < kTotalEpochs; ++epoch) {
+      const EpochReport report = service.run_epoch();
+      EXPECT_FALSE(report.aborted);
+      EXPECT_EQ(report.degradation_level, epoch == 1 ? 1 : 0)
+          << "epoch " << epoch;
+    }
+    fault::clear();
+    live_digest = net.state_digest();
+  }
+
+  Journal reopened(path);
+  pcn::Network recovered = make_network(config);
+  const RecoveryReport recovery =
+      replay_journal(reopened, recovered, config.policy);
+  EXPECT_EQ(recovery.epochs_settled, kTotalEpochs);
+  EXPECT_EQ(recovery.degraded_epochs, 1);
+  EXPECT_EQ(recovery.next_epoch, kTotalEpochs);
+  EXPECT_EQ(recovered.state_digest(), live_digest);
 }
 
 // The CI entry point: MUSK_CHAOS_SEED picks which service point dies and

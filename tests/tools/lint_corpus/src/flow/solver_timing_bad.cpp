@@ -1,0 +1,14 @@
+// Fixture: a solver that owns its own timeout. Every line here is a way
+// a solver can bypass the cancellation contract — naming a clock,
+// reading one (directly or through the Clock alias dodge), arming a
+// Deadline itself, or polling expiry by hand mid-iteration. Also fires
+// adhoc-timing on the alias read: the rules overlap on purpose.
+void solver_timing_bad() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto budget = musketeer::util::Deadline::after(
+      std::chrono::milliseconds(50));
+  while (!budget.expired()) {
+    if (Clock::now() - start > std::chrono::milliseconds(50)) break;
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture: the sanctioned shape — a solver loop that observes time only
+// by polling its CancelToken at iteration boundaries. Naming the token
+// type or the macro never trips solver-timing.
+void solver_timing_ok(musketeer::util::CancelToken* cancel, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    MUSK_CANCEL_POINT(cancel);
+  }
+}

@@ -1,0 +1,20 @@
+// Fixture: mirrors the one sanctioned adhoc-timing exemption. This path
+// (src/util/deadline.hpp) is the designated home for cancellation-
+// deadline clock reads, so the alias read below must stay silent here —
+// and nowhere else.
+#pragma once
+
+namespace musketeer::util {
+
+class DeadlineFixture {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace musketeer::util

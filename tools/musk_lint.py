@@ -52,12 +52,24 @@ wait interruptible and every thread joined):
                  shutdown joins it. The executor files are exempt (they
                  call std::thread::hardware_concurrency()).
   adhoc-timing   No `steady_clock::now()` (or high_resolution_clock /
-                 system_clock) in src/ or tools/ outside src/obs/ -- time
-                 a duration with obs::Timer, a span with MUSK_OBS_SPAN,
-                 and get a raw time_point (deadline arithmetic) from
+                 system_clock, or a `Clock::now()` alias read) in src/ or
+                 tools/ outside src/obs/ -- time a duration with
+                 obs::Timer, a span with MUSK_OBS_SPAN, and get a raw
+                 time_point (deadline arithmetic) from
                  obs::Timer::clock(), so every measurement flows through
-                 the one observability clock. bench/ and tests/ are
+                 the one observability clock. src/util/deadline.hpp is
+                 the one sanctioned exemption: cancellation deadlines
+                 must stay off the obs seam so disabling observability
+                 cannot change solve behavior. bench/ and tests/ are
                  exempt: harnesses time whatever they like.
+  solver-timing  No clock types, clock reads, or deadline construction
+                 (`Deadline::after` / `.expired()`) anywhere in src/flow.
+                 Solvers do not own time: a hand-rolled timeout loop in a
+                 solver bypasses the cancellation contract (cancel points
+                 at iteration boundaries only, DESIGN.md section 14) and
+                 can unwind mid-push. A solver observes time exclusively
+                 by polling its util::CancelToken via MUSK_CANCEL_POINT;
+                 arming deadlines is the service layer's job.
 
 Lock-discipline rules (every lock in the tree carries a rank from the
 hierarchy in DESIGN.md section 11 and its guarded state is annotated):
@@ -132,9 +144,21 @@ BARE_CATCH_LOOKAHEAD = 20
 # to a context-owned graph are fine and do not match.
 GRAPH_IN_MECH = re.compile(r"\bGraph\s+[A-Za-z_]|\.\s*build_graph(?:_without)?\s*\(")
 # A raw clock read. Naming a clock type (steady_clock::time_point in a
-# deadline parameter) is fine; *reading* it outside src/obs is not.
+# deadline parameter) is fine; *reading* it outside src/obs is not. The
+# `Clock::now(` arm closes the alias dodge (`using Clock = steady_clock`).
 ADHOC_TIMING = re.compile(
-    r"\b(?:steady_clock|high_resolution_clock|system_clock)\s*::\s*now\s*\(")
+    r"\b(?:steady_clock|high_resolution_clock|system_clock|Clock)"
+    r"\s*::\s*now\s*\(")
+# The sanctioned home for cancellation-deadline clock reads (see the
+# header's own comment): deliberately not routed through obs::Timer so
+# MUSKETEER_OBS=OFF builds keep bit-identical cancellation behavior.
+DEADLINE_HEADER = Path("src/util/deadline.hpp")
+# Solvers may not own time at all: any clock type mention, any `::now(`
+# read (aliases included), or any Deadline construction / expiry check
+# inside src/flow is a hand-rolled timeout bypassing MUSK_CANCEL_POINT.
+SOLVER_TIMING = re.compile(
+    r"\b(?:steady_clock|high_resolution_clock|system_clock)\b"
+    r"|::\s*now\s*\(|\bDeadline\s*::\s*after\b|\.\s*expired\s*\(")
 # Any raw standard-library mutex or condition variable type. OrderedMutex
 # wraps these inside src/util/, which is exempt via the path predicate.
 UNRANKED_MUTEX = re.compile(
@@ -171,7 +195,9 @@ RULES = [
      and rel.parts[:2] not in {("src", "util"), ("src", "obs")}),
     ("adhoc-timing", ADHOC_TIMING,
      lambda rel: rel.parts[0] in {"src", "tools"}
-     and rel.parts[:2] != ("src", "obs")),
+     and rel.parts[:2] != ("src", "obs") and rel != DEADLINE_HEADER),
+    ("solver-timing", SOLVER_TIMING,
+     lambda rel: rel.parts[:2] == ("src", "flow")),
 ]
 
 

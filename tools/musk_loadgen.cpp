@@ -8,12 +8,18 @@
 //   --rate <r>          aggregate target bids/sec            [1000]
 //   --duration-s <s>    run length in seconds                [5]
 //   --players <p>       player-id space to cycle through     [nodes]
+//   --retry-budget-ms <ms>  cumulative backoff each submit may burn
+//                       retrying through shed / lost connections before
+//                       surrendering (0 = fail fast)         [2000]
 //
 // daemon options (--spawn starts an in-process musketeerd on an
 // ephemeral loopback port):
 //   --nodes <n> --seed <s> --mechanism <m> --epoch-ms <ms>
 //   --queue-cap <n> --threads <n> (epoch-solve concurrency;
 //   0 = hardware, 1 = legacy whole-graph solve)
+//   --deadline-ms <ms> --degrade <m,m,...> --watchdog-ms <ms>
+//   (per-epoch clearing deadline, degradation ladder, and watchdog
+//   backstop — see musketeerd; useful for demoing overload shedding)
 //
 // Each connection thread paces submissions open-loop (scheduled send
 // times, bursting to catch up if acks lag) and measures the ack round
@@ -57,7 +63,9 @@ int usage() {
                "                    [--duration-s s] [--players p] "
                "[--nodes n] [--seed s] [--mechanism m]\n"
                "                    [--epoch-ms ms] [--queue-cap n] "
-               "[--threads n]\n");
+               "[--threads n] [--deadline-ms ms]\n"
+               "                    [--degrade m,m,...] [--watchdog-ms ms] "
+               "[--retry-budget-ms ms]\n");
   return 1;
 }
 
@@ -67,7 +75,9 @@ struct WorkerStats {
   std::uint64_t rejected_full = 0;
   std::uint64_t rejected_invalid = 0;
   std::uint64_t rejected_closed = 0;
+  std::uint64_t rejected_overload = 0;
   std::uint64_t duplicate = 0;
+  std::uint64_t overloaded = 0;
   std::uint64_t errors = 0;
 };
 
@@ -110,6 +120,7 @@ int main(int argc, char** argv) {
   double rate = 1000.0;
   double duration_s = 5.0;
   flow::NodeId players = 0;
+  long retry_budget_ms = 2000;
   std::string mechanism_name = "m3";
   sim::SimulationConfig sim_config;
   sim_config.initial_skew = 0.4;
@@ -136,6 +147,8 @@ int main(int argc, char** argv) {
         duration_s = std::stod(value);
       } else if (flag == "--players") {
         players = static_cast<flow::NodeId>(std::stol(value));
+      } else if (flag == "--retry-budget-ms") {
+        retry_budget_ms = std::stol(value);
       } else if (flag == "--nodes") {
         sim_config.num_nodes = static_cast<flow::NodeId>(std::stol(value));
       } else if (flag == "--seed") {
@@ -150,6 +163,27 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::stoull(value));
       } else if (flag == "--threads") {
         daemon_config.service.threads = static_cast<int>(std::stol(value));
+      } else if (flag == "--deadline-ms") {
+        daemon_config.service.epoch_deadline =
+            std::chrono::milliseconds(std::stol(value));
+      } else if (flag == "--watchdog-ms") {
+        daemon_config.service.watchdog_timeout =
+            std::chrono::milliseconds(std::stol(value));
+      } else if (flag == "--degrade") {
+        daemon_config.service.degradation_ladder.clear();
+        std::size_t pos = 0;
+        while (pos <= value.size()) {
+          const std::size_t comma = value.find(',', pos);
+          const std::string name =
+              value.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+          if (!name.empty()) {
+            daemon_config.service.degradation_ladder.push_back(name);
+          }
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
       } else {
         std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
         return usage();
@@ -194,7 +228,20 @@ int main(int argc, char** argv) {
       workers.emplace_back([&, t] {
         WorkerStats& my = stats[static_cast<std::size_t>(t)];
         try {
-          svc::Client client(connect);
+          // Resilient client: a load generator must outlive shedding —
+          // retries are budget-limited, not attempt-limited, so a hot
+          // server costs bounded backoff per bid instead of a dead
+          // worker. Per-worker jitter seed keeps the herd staggered but
+          // the run reproducible.
+          svc::ClientConfig client_config;
+          client_config.max_attempts = 8;
+          client_config.backoff_base = std::chrono::milliseconds(25);
+          client_config.backoff_max = std::chrono::milliseconds(1000);
+          client_config.retry_budget =
+              std::chrono::milliseconds(retry_budget_ms);
+          client_config.jitter_seed =
+              sim_config.seed * 997 + static_cast<std::uint64_t>(t) + 1;
+          svc::Client client(connect, client_config);
           client.hello(static_cast<core::PlayerId>(t) % players);
           TimePoint next = obs::Timer::clock();
           std::uint64_t k = 0;
@@ -211,6 +258,19 @@ int main(int argc, char** argv) {
             svc::BidAckMsg ack;
             try {
               ack = client.submit(bid);
+            } catch (const svc::OverloadedError&) {
+              // Terminal shed: the client's retry budget ran dry while
+              // the server kept answering kRetryAfter. Keep the worker
+              // alive — the next paced bid probes whether the overload
+              // drained — but count the surrender.
+              ++my.overloaded;
+              continue;
+            } catch (const svc::ServerBusyError&) {
+              // Still shedding after max_attempts: the admission
+              // controller refused this bid. Rejection is an answer —
+              // count it and keep pacing.
+              ++my.rejected_overload;
+              continue;
             } catch (const std::exception&) {
               ++my.errors;
               break;
@@ -227,6 +287,9 @@ int main(int argc, char** argv) {
                 break;
               case svc::IntakeStatus::kRejectedClosed:
                 ++my.rejected_closed;
+                break;
+              case svc::IntakeStatus::kRejectedOverload:
+                ++my.rejected_overload;
                 break;
               case svc::IntakeStatus::kDuplicate: ++my.duplicate; break;
             }
@@ -261,7 +324,9 @@ int main(int argc, char** argv) {
       total.rejected_full += s.rejected_full;
       total.rejected_invalid += s.rejected_invalid;
       total.rejected_closed += s.rejected_closed;
+      total.rejected_overload += s.rejected_overload;
       total.duplicate += s.duplicate;
+      total.overloaded += s.overloaded;
       total.errors += s.errors;
     }
     if (daemon) {
@@ -274,7 +339,7 @@ int main(int argc, char** argv) {
     const std::uint64_t queued = total.accepted + total.replaced;
     const std::uint64_t submitted =
         queued + total.rejected_full + total.rejected_invalid +
-        total.rejected_closed + total.duplicate;
+        total.rejected_closed + total.rejected_overload + total.duplicate;
     std::printf("connections %d, target %.0f bids/s, ran %.2f s\n",
                 connections, rate, elapsed);
     std::printf("submitted %llu (%.1f/s), queued %llu (%.1f/s): "
@@ -286,15 +351,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total.accepted),
                 static_cast<unsigned long long>(total.replaced));
     std::printf("shed: %llu rejected-full, %llu rejected-invalid, "
-                "%llu rejected-closed, %llu duplicate, "
+                "%llu rejected-closed, %llu rejected-overload, "
+                "%llu duplicate, %llu budget-exhausted, "
                 "%llu transport errors\n",
                 static_cast<unsigned long long>(total.rejected_full),
                 static_cast<unsigned long long>(total.rejected_invalid),
                 static_cast<unsigned long long>(total.rejected_closed),
+                static_cast<unsigned long long>(total.rejected_overload),
                 static_cast<unsigned long long>(total.duplicate),
+                static_cast<unsigned long long>(total.overloaded),
                 static_cast<unsigned long long>(total.errors));
     print_percentiles("ack latency ms", ack_hist.snapshot());
     print_percentiles("epoch clear ms", epoch_hist.snapshot());
+    if (daemon) {
+      // The spawned service's own overload picture: aborted epochs
+      // never produce reports, so the health counters are the only
+      // place an all-degraded run shows up.
+      const svc::ServiceStats health = daemon->service().stats_snapshot();
+      std::printf(
+          "service: %d cleared, %llu deadline-exceeded, %llu degraded, "
+          "%llu aborted, %llu watchdog-fired, shed level %d "
+          "(ewma clear %.1f ms)\n",
+          health.epochs_cleared,
+          static_cast<unsigned long long>(health.deadline_exceeded),
+          static_cast<unsigned long long>(health.degraded_epochs),
+          static_cast<unsigned long long>(health.aborted_epochs),
+          static_cast<unsigned long long>(health.watchdog_fired),
+          health.shed_level, 1e3 * health.ewma_clear_seconds);
+    }
 
     if (daemon) daemon->stop();
     return 0;

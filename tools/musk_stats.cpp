@@ -73,17 +73,27 @@ int main(int argc, char** argv) {
                    std::to_string(stats.last_components)});
     table.add_row({"largest component (edges)",
                    std::to_string(stats.largest_component)});
+    table.add_row({"shed level", std::to_string(stats.shed_level)});
+    table.add_row({"clear EWMA",
+                   util::format("%.3f ms", 1e3 * stats.ewma_clear_seconds)});
+    table.add_row({"deadline exceeded",
+                   std::to_string(stats.deadline_exceeded)});
+    table.add_row({"degraded rungs", std::to_string(stats.degraded_epochs)});
+    table.add_row({"watchdog fired", std::to_string(stats.watchdog_fired)});
+    table.add_row({"epochs aborted", std::to_string(stats.aborted_epochs)});
     table.print();
 
     const svc::IntakeCounters& in = stats.intake;
     std::printf("\nintake: %llu accepted, %llu replaced, %llu rejected-full, "
-                "%llu rejected-invalid, %llu rejected-closed, %llu duplicate\n",
+                "%llu rejected-invalid, %llu rejected-closed, %llu duplicate, "
+                "%llu rejected-overload\n",
                 static_cast<unsigned long long>(in.accepted),
                 static_cast<unsigned long long>(in.replaced),
                 static_cast<unsigned long long>(in.rejected_full),
                 static_cast<unsigned long long>(in.rejected_invalid),
                 static_cast<unsigned long long>(in.rejected_closed),
-                static_cast<unsigned long long>(in.duplicate));
+                static_cast<unsigned long long>(in.duplicate),
+                static_cast<unsigned long long>(in.rejected_overload));
 
     if (dump_json) {
       std::printf("\n%s\n", stats.registry_json.c_str());

@@ -19,6 +19,14 @@
 //                      daemon replays it against the genesis network
 //                      (same --nodes/--seed/--skew) and resumes at the
 //                      recovered epoch                       [off]
+//   --deadline-ms <ms> per-epoch clearing deadline: a solve that runs
+//                      past it is cooperatively cancelled and the epoch
+//                      retries down the degradation ladder, finally
+//                      journaling ABORTED (0 = off)          [0]
+//   --degrade <list>   comma-separated degradation ladder of mechanism
+//                      names tried after a timeout           [m2-minfee,m1]
+//   --watchdog-ms <ms> force-cancel backstop for an attempt that fails
+//                      to observe its own deadline (0 = off) [0]
 //   --trace-out <path> collect epoch trace spans while running and, on
 //                      shutdown, write them as Chrome trace_event JSON
 //                      (load at chrome://tracing)            [off]
@@ -56,7 +64,9 @@ int usage() {
                "[--mechanism m] [--nodes n] [--seed s] [--skew x]\n"
                "                  [--epoch-ms ms] [--epochs n] "
                "[--queue-cap n] [--threads n] [--journal path] "
-               "[--trace-out path]\n");
+               "[--trace-out path]\n"
+               "                  [--deadline-ms ms] [--degrade m,m,...] "
+               "[--watchdog-ms ms]\n");
   return 1;
 }
 
@@ -97,6 +107,27 @@ int main(int argc, char** argv) {
         config.service.threads = static_cast<int>(std::stol(value));
       } else if (flag == "--journal") {
         config.journal_path = value;
+      } else if (flag == "--deadline-ms") {
+        config.service.epoch_deadline =
+            std::chrono::milliseconds(std::stol(value));
+      } else if (flag == "--watchdog-ms") {
+        config.service.watchdog_timeout =
+            std::chrono::milliseconds(std::stol(value));
+      } else if (flag == "--degrade") {
+        config.service.degradation_ladder.clear();
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const std::size_t comma = value.find(',', start);
+          const std::string name =
+              value.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+          if (!name.empty()) {
+            config.service.degradation_ladder.push_back(name);
+          }
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
       } else if (flag == "--trace-out") {
         trace_out = value;
       } else {
@@ -124,20 +155,24 @@ int main(int argc, char** argv) {
     if (!config.journal_path.empty()) {
       const svc::RecoveryReport& rec = daemon.recovery();
       std::printf("musketeerd: journal %s: %d epoch(s) replayed"
-                  "%s, %d rolled back, %d aborted; resuming at epoch %d\n",
+                  "%s, %d rolled back, %d aborted, %d degraded rung(s); "
+                  "resuming at epoch %d\n",
                   config.journal_path.c_str(), rec.epochs_settled,
                   rec.applied_inflight ? " (1 in-flight outcome applied)"
                                        : "",
-                  rec.rolled_back, rec.aborted_epochs, rec.next_epoch);
+                  rec.rolled_back, rec.aborted_epochs, rec.degraded_epochs,
+                  rec.next_epoch);
     }
     daemon.service().on_epoch([](const svc::EpochReport& report) {
       std::printf("epoch %d: bids %zu, edges %d, cycles %d, volume %lld, "
-                  "fees %.6f, clear %.3f ms, state %016llx\n",
+                  "fees %.6f, clear %.3f ms, state %016llx%s%s\n",
                   report.epoch, report.bids_applied, report.game_edges,
                   report.cycles_executed,
                   static_cast<long long>(report.rebalanced_volume),
                   report.fees_paid, 1e3 * report.clear_seconds,
-                  static_cast<unsigned long long>(report.network_digest));
+                  static_cast<unsigned long long>(report.network_digest),
+                  report.degradation_level > 0 ? " [degraded]" : "",
+                  report.watchdog_fired ? " [watchdog]" : "");
       std::fflush(stdout);
     });
     daemon.start();
