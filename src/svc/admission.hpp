@@ -53,16 +53,18 @@ class AdmissionController {
             : clear_seconds;
     seeded_.store(true, std::memory_order_relaxed);
     ewma_seconds_.store(next, std::memory_order_relaxed);
-    const double u = next / deadline_;
-    int level = 0;
-    if (u >= 1.0) {
-      level = 3;
-    } else if (u >= 0.8) {
-      level = 2;
-    } else if (u >= 0.5) {
-      level = 1;
-    }
-    shed_level_.store(level, std::memory_order_relaxed);
+    shed_level_.store(level_for(next), std::memory_order_relaxed);
+  }
+
+  /// Restores the EWMA from a recovered checkpoint so a restarted
+  /// daemon resumes shedding at its pre-crash level instead of
+  /// re-warming from zero. Called before the service starts clearing
+  /// (single-writer, like record()).
+  void seed(double ewma_seconds) {
+    if (!enabled() || ewma_seconds <= 0.0) return;
+    seeded_.store(true, std::memory_order_relaxed);
+    ewma_seconds_.store(ewma_seconds, std::memory_order_relaxed);
+    shed_level_.store(level_for(ewma_seconds), std::memory_order_relaxed);
   }
 
   /// Current shed level in [0, 3]; 0 when disabled.
@@ -83,6 +85,14 @@ class AdmissionController {
   }
 
  private:
+  int level_for(double ewma_seconds) const {
+    const double u = ewma_seconds / deadline_;
+    if (u >= 1.0) return 3;
+    if (u >= 0.8) return 2;
+    if (u >= 0.5) return 1;
+    return 0;
+  }
+
   const double alpha_;
   const double deadline_;
   std::atomic<bool> seeded_{false};

@@ -126,4 +126,14 @@ std::size_t BidQueue::high_watermark() const {
   return high_watermark_;
 }
 
+void BidQueue::restore_watermarks(
+    const std::vector<std::pair<core::PlayerId, std::uint32_t>>& marks) {
+  const util::OrderedLock lock(mutex_);
+  for (const auto& [player, seq] : marks) {
+    if (seq == 0) continue;
+    std::uint32_t& have = last_seq_[player];
+    have = std::max(have, seq);
+  }
+}
+
 }  // namespace musketeer::svc

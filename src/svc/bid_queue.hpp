@@ -128,6 +128,14 @@ class BidQueue {
   /// signal the stats endpoint reports.
   std::size_t high_watermark() const MUSK_EXCLUDES(mutex_);
 
+  /// Max-merges recovered per-player seq watermarks into last_seq_, so
+  /// duplicate detection survives a daemon restart: a bid whose seq was
+  /// drained into a *committed* pre-crash epoch stays kDuplicate.
+  /// Called once, before intake opens (journal/snapshot recovery).
+  void restore_watermarks(
+      const std::vector<std::pair<core::PlayerId, std::uint32_t>>& marks)
+      MUSK_EXCLUDES(mutex_);
+
  private:
   const std::size_t capacity_;
   const core::PlayerId num_players_;

@@ -9,12 +9,26 @@ Daemon::Daemon(pcn::Network network,
                DaemonConfig config)
     : network_(std::move(network)), mechanism_(std::move(mechanism)) {
   if (!config.journal_path.empty()) {
-    // Replay before the service exists: recovery mutates the network
+    // Recover before the service exists: recovery mutates the network
     // single-threaded, and the service resumes at the recovered epoch.
-    journal_ = std::make_unique<Journal>(config.journal_path);
-    recovery_ = replay_journal(*journal_, network_, config.service.policy);
+    // The snapshot store is opened even when checkpointing is disabled
+    // so a daemon restarted with --snapshot-every 0 still recovers from
+    // snapshots a previous run left behind (the journal may already be
+    // compacted below genesis).
+    JournalConfig jconfig;
+    jconfig.max_segment_bytes = config.max_segment_bytes;
+    journal_ = std::make_unique<Journal>(config.journal_path, jconfig);
+    snapshots_ = std::make_unique<SnapshotStore>(
+        config.journal_path, config.keep_snapshots < 1 ? 1
+                                                       : config.keep_snapshots);
+    recovery_ = recover(*journal_, *snapshots_, network_,
+                        config.service.policy);
     config.service.journal = journal_.get();
+    config.service.snapshots = snapshots_.get();
     config.service.first_epoch = recovery_.next_epoch;
+    config.service.snapshot_every = config.snapshot_every;
+    config.service.initial_watermarks = recovery_.watermarks;
+    config.service.initial_ewma_seconds = recovery_.ewma_seconds;
   }
   service_ = std::make_unique<RebalanceService>(network_, *mechanism_,
                                                 config.service);

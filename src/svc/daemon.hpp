@@ -13,6 +13,7 @@
 #include "svc/journal.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
+#include "svc/snapshot.hpp"
 
 namespace musketeer::svc {
 
@@ -25,6 +26,18 @@ struct DaemonConfig {
   /// same genesis state the journal was started against (digest-checked
   /// on replay).
   std::string journal_path;
+  /// Checkpoint cadence: every N settled epochs the daemon snapshots the
+  /// recovered state and compacts journal segments the snapshot covers.
+  /// 0 disables checkpointing (journal-only, replay from genesis).
+  /// Ignored when journal_path is empty.
+  int snapshot_every = 0;
+  /// Journal segment size bound: when a segment reaches this many bytes
+  /// the journal rolls to a new segment at the next epoch boundary.
+  /// 0 = never roll on size (checkpoints still roll once per snapshot).
+  std::uint64_t max_segment_bytes = 0;
+  /// How many validated snapshots to retain (newest-first); older ones
+  /// are unlinked after each successful write. Minimum 1.
+  int keep_snapshots = 2;
 };
 
 class Daemon {
@@ -63,12 +76,16 @@ class Daemon {
   /// The epoch journal, or nullptr when none is configured.
   Journal* journal() { return journal_.get(); }
 
+  /// The snapshot store, or nullptr when checkpointing is disabled.
+  SnapshotStore* snapshots() { return snapshots_.get(); }
+
  private:
   pcn::Network network_;
   std::unique_ptr<core::Mechanism> mechanism_;
-  /// Declared before service_: the service borrows the journal, so the
-  /// journal must outlive it (and be destroyed after it).
+  /// Declared before service_: the service borrows the journal and the
+  /// snapshot store, so both must outlive it (and be destroyed after it).
   std::unique_ptr<Journal> journal_;
+  std::unique_ptr<SnapshotStore> snapshots_;
   RecoveryReport recovery_;
   std::unique_ptr<RebalanceService> service_;
   std::unique_ptr<SocketServer> server_;

@@ -1,10 +1,15 @@
 #include "svc/journal.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <map>
 
 #include "core/io.hpp"
 #include "obs/obs.hpp"
@@ -16,6 +21,8 @@ namespace {
 
 constexpr char kHeader[] = "MUSKJRN1";
 constexpr std::size_t kHeaderBytes = 8;
+constexpr char kManifestHeader[] = "MUSKMAN1";
+constexpr std::size_t kManifestHeaderBytes = 8;
 // 'M' 'J' 'R' 'N' little-endian.
 constexpr std::uint32_t kRecordMagic = 0x4E524A4DU;
 // magic + type + epoch + digest + payload_len.
@@ -62,9 +69,12 @@ std::string encode_record(RecordType type, int epoch, std::uint64_t digest,
   return out;
 }
 
-[[noreturn]] void io_fail(const std::string& path, const char* what) {
-  throw JournalError("journal " + path + ": " + what + ": " +
-                     std::strerror(errno));
+[[noreturn]] void io_fail(const std::string& path, const char* op,
+                          const char* what) {
+  const int saved = errno;
+  throw JournalError(
+      "journal " + path + ": " + what + ": " + std::strerror(saved), op,
+      saved);
 }
 
 void write_all(int fd, const std::string& path, const char* data,
@@ -73,84 +83,402 @@ void write_all(int fd, const std::string& path, const char* data,
     const ssize_t wrote = ::write(fd, data, n);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      io_fail(path, "write failed");
+      io_fail(path, "write", "write failed");
     }
     data += wrote;
     n -= static_cast<std::size_t>(wrote);
   }
 }
 
-}  // namespace
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
 
-Journal::Journal(std::string path) : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd_ < 0) io_fail(path_, "open failed");
+std::string base_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Durability of creates/renames/unlinks needs the directory entry itself
+// on disk. Best-effort: a directory that cannot be opened (exotic FS)
+// degrades to POSIX-default behaviour, it does not fail the operation.
+void fsync_parent_dir(const std::string& path) {
+  const int fd =
+      ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string read_file(const std::string& path, bool* exists) {
+  std::string buf;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (exists != nullptr) *exists = false;
+    if (errno == ENOENT) return buf;
+    io_fail(path, "open", "open failed");
+  }
+  if (exists != nullptr) *exists = true;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      io_fail(path, "read", "read failed");
+    }
+    if (got == 0) break;
+    buf.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return buf;
+}
+
+// Atomic small-file publication: tmp + rename. Deliberately NO fsync
+// anywhere: this is only used for the manifest, which is advisory — a
+// crash can leave the old bytes, the new bytes, or a torn file, and
+// every reader (parse_manifest) treats all three as "rebuild from the
+// directory scan". Fsyncing here would buy durability nothing needs
+// while doubling the fsync bill of every checkpoint (the manifest is
+// rewritten on both the roll and the compaction halves).
+void publish_file(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_fail(tmp, "open", "open failed");
   try {
-    std::string buf;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
-      if (got < 0) {
-        if (errno == EINTR) continue;
-        io_fail(path_, "read failed");
-      }
-      if (got == 0) break;
-      buf.append(chunk, static_cast<std::size_t>(got));
-    }
+    write_all(fd, tmp, bytes.data(), bytes.size());
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    io_fail(path, "rename", "rename failed");
+  }
+}
 
-    if (buf.empty()) {
-      write_all(fd_, path_, kHeader, kHeaderBytes);
-      if (::fsync(fd_) != 0) io_fail(path_, "fsync failed");
-      committed_bytes_ = kHeaderBytes;
-      return;
-    }
-    if (buf.size() < kHeaderBytes ||
-        std::memcmp(buf.data(), kHeader, kHeaderBytes) != 0) {
-      throw JournalError("journal " + path_ +
-                         ": bad header (not a musketeer journal)");
-    }
+std::string encode_manifest(const std::vector<std::uint64_t>& seqs) {
+  std::string out(kManifestHeader, kManifestHeaderBytes);
+  std::string body;
+  core::codec::put_u32(body, static_cast<std::uint32_t>(seqs.size()));
+  for (const std::uint64_t seq : seqs) core::codec::put_u64(body, seq);
+  out += body;
+  core::codec::put_u64(out, fnv1a(body.data(), body.size()));
+  return out;
+}
 
-    // Keep the longest prefix of intact records; everything after the
-    // first torn or corrupt one is a crash artifact and is discarded.
-    std::size_t off = kHeaderBytes;
-    while (buf.size() - off >=
-           kRecordHeaderBytes + kChecksumBytes) {
-      const char* rec = buf.data() + off;
-      if (load_u32(rec) != kRecordMagic) break;
-      const std::uint8_t type = static_cast<std::uint8_t>(rec[4]);
-      if (type < static_cast<std::uint8_t>(RecordType::kBegin) ||
-          type > static_cast<std::uint8_t>(RecordType::kDegraded)) {
-        break;
-      }
-      const std::uint32_t len = load_u32(rec + 17);
-      if (len > kMaxRecordPayload ||
-          buf.size() - off - kRecordHeaderBytes < len + kChecksumBytes) {
-        break;
-      }
-      if (fnv1a(rec + 4, kRecordHeaderBytes - 4 + len) !=
-          load_u64(rec + kRecordHeaderBytes + len)) {
-        break;
-      }
+// Parses the manifest; returns false (without touching `seqs`) when the
+// file is missing, torn, or checksum-corrupt — the manifest is advisory
+// and the directory scan is the ground truth.
+bool parse_manifest(const std::string& path, std::vector<std::uint64_t>* seqs) {
+  bool exists = false;
+  std::string buf;
+  try {
+    buf = read_file(path, &exists);
+  } catch (const JournalError&) {
+    return false;
+  }
+  if (!exists || buf.size() < kManifestHeaderBytes + 4 + kChecksumBytes) {
+    return false;
+  }
+  if (std::memcmp(buf.data(), kManifestHeader, kManifestHeaderBytes) != 0) {
+    return false;
+  }
+  const char* body = buf.data() + kManifestHeaderBytes;
+  const std::size_t body_len = buf.size() - kManifestHeaderBytes -
+                               kChecksumBytes;
+  if (fnv1a(body, body_len) != load_u64(body + body_len)) return false;
+  const std::uint32_t count = load_u32(body);
+  if (body_len != 4 + static_cast<std::size_t>(count) * 8) return false;
+  seqs->clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    seqs->push_back(load_u64(body + 4 + static_cast<std::size_t>(i) * 8));
+  }
+  return true;
+}
+
+void write_manifest(const std::string& base_path,
+                    const std::vector<std::uint64_t>& seqs) {
+  publish_file(manifest_path(base_path), encode_manifest(seqs));
+}
+
+// Parses one segment file's bytes: fills `stat` and appends intact
+// records to `records` (when non-null).
+void scan_segment_bytes(const std::string& buf, SegmentStat* stat,
+                        std::vector<JournalRecord>* records) {
+  stat->file_bytes = buf.size();
+  stat->header_ok = buf.size() >= kHeaderBytes &&
+                    std::memcmp(buf.data(), kHeader, kHeaderBytes) == 0;
+  if (!stat->header_ok) {
+    stat->valid_bytes = 0;
+    stat->clean = false;
+    return;
+  }
+  std::size_t off = kHeaderBytes;
+  while (buf.size() - off >= kRecordHeaderBytes + kChecksumBytes) {
+    const char* rec = buf.data() + off;
+    if (load_u32(rec) != kRecordMagic) break;
+    const std::uint8_t type = static_cast<std::uint8_t>(rec[4]);
+    if (type < static_cast<std::uint8_t>(RecordType::kBegin) ||
+        type > static_cast<std::uint8_t>(RecordType::kDegraded)) {
+      break;
+    }
+    const std::uint32_t len = load_u32(rec + 17);
+    if (len > kMaxRecordPayload ||
+        buf.size() - off - kRecordHeaderBytes < len + kChecksumBytes) {
+      break;
+    }
+    if (fnv1a(rec + 4, kRecordHeaderBytes - 4 + len) !=
+        load_u64(rec + kRecordHeaderBytes + len)) {
+      break;
+    }
+    if (records != nullptr) {
       JournalRecord record;
       record.type = static_cast<RecordType>(type);
       record.epoch = static_cast<int>(load_u32(rec + 5));
       record.digest = load_u64(rec + 9);
       record.payload.assign(rec + kRecordHeaderBytes, len);
-      records_.push_back(std::move(record));
-      off += kRecordHeaderBytes + len + kChecksumBytes;
+      records->push_back(std::move(record));
     }
-    committed_bytes_ = off;
-    if (off < buf.size()) {
-      truncated_tail_bytes_ = buf.size() - off;
-      if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
-        io_fail(path_, "truncate of torn tail failed");
+    ++stat->records;
+    off += kRecordHeaderBytes + len + kChecksumBytes;
+  }
+  stat->valid_bytes = off;
+  stat->clean = off == buf.size();
+}
+
+}  // namespace
+
+std::string encode_watermarks(const SeqWatermarks& watermarks) {
+  std::string out;
+  // An empty watermark set encodes as an empty payload, byte-identical
+  // to a pre-checkpoint BEGIN record.
+  if (watermarks.empty()) return out;
+  core::codec::put_u32(out, static_cast<std::uint32_t>(watermarks.size()));
+  for (const auto& [player, seq] : watermarks) {
+    core::codec::put_u32(out, static_cast<std::uint32_t>(player));
+    core::codec::put_u32(out, seq);
+  }
+  return out;
+}
+
+SeqWatermarks decode_watermarks(std::string_view payload) {
+  SeqWatermarks out;
+  if (payload.empty()) return out;
+  core::codec::Reader in(payload);
+  const std::size_t n = in.check_count(in.u32(), 8);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto player = static_cast<core::PlayerId>(in.u32());
+    const std::uint32_t seq = in.u32();
+    out.emplace_back(player, seq);
+  }
+  in.expect_end();
+  return out;
+}
+
+std::string segment_path(const std::string& base_path, std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".%06llu.wal",
+                static_cast<unsigned long long>(seq));
+  return base_path + buf;
+}
+
+std::string manifest_path(const std::string& base_path) {
+  return base_path + ".manifest";
+}
+
+std::vector<std::uint64_t> list_segments(const std::string& base_path) {
+  std::vector<std::uint64_t> seqs;
+  const std::string dir = dir_of(base_path);
+  const std::string prefix = base_of(base_path) + ".";
+  constexpr char kSuffix[] = ".wal";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return seqs;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() != prefix.size() + 6 + 4) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - 4, 4, kSuffix) != 0) continue;
+    bool digits = true;
+    std::uint64_t seq = 0;
+    for (std::size_t i = prefix.size(); i < prefix.size() + 6; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
       }
-      if (::fsync(fd_) != 0) io_fail(path_, "fsync failed");
+      seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
     }
-  } catch (...) {
-    ::close(fd_);
-    fd_ = -1;
-    throw;
+    if (digits) seqs.push_back(seq);
+  }
+  ::closedir(d);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+JournalScan scan_journal(const std::string& base_path) {
+  JournalScan scan;
+  const std::vector<std::uint64_t> seqs = list_segments(base_path);
+
+  const auto flag = [&scan](const std::string& note) {
+    scan.clean = false;
+    if (scan.note.empty()) scan.note = note;
+  };
+
+  // Records accumulate across the chain only while every earlier
+  // segment was fully clean and the seqs are contiguous; anything past
+  // the first damaged point is a crash artifact, not data.
+  bool chain_valid = true;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    SegmentStat stat;
+    stat.seq = seqs[i];
+    stat.path = segment_path(base_path, seqs[i]);
+    std::string buf;
+    try {
+      buf = read_file(stat.path, nullptr);
+    } catch (const JournalError& e) {
+      flag(e.what());
+      chain_valid = false;
+      scan.segments.push_back(std::move(stat));
+      continue;
+    }
+    if (chain_valid && i > 0 && seqs[i] != seqs[i - 1] + 1) {
+      flag("segment gap: " + stat.path + " does not follow segment " +
+           std::to_string(seqs[i - 1]));
+      chain_valid = false;
+    }
+    scan_segment_bytes(buf, &stat,
+                       chain_valid ? &scan.records : nullptr);
+    if (!stat.clean) {
+      if (chain_valid && !stat.header_ok) {
+        flag("bad segment header: " + stat.path);
+      } else if (chain_valid) {
+        flag("torn/corrupt tail in " + stat.path + " at byte " +
+             std::to_string(stat.valid_bytes));
+      }
+      chain_valid = false;
+    }
+    scan.segments.push_back(std::move(stat));
+  }
+
+  std::vector<std::uint64_t> manifest_seqs;
+  if (!parse_manifest(manifest_path(base_path), &manifest_seqs) ||
+      manifest_seqs != seqs) {
+    scan.manifest_ok = false;
+  }
+  return scan;
+}
+
+Journal::Journal(std::string base_path, JournalConfig config)
+    : path_(std::move(base_path)), config_(config) {
+  const JournalScan scan = scan_journal(path_);
+
+  // Decide the longest usable prefix of the segment chain; everything
+  // after it (rest of a torn segment + all later segments) is removed.
+  std::size_t keep = 0;            // fully clean segments kept
+  bool keep_cut_segment = false;   // also keep scan.segments[keep]'s prefix
+  for (const SegmentStat& seg : scan.segments) {
+    const bool contiguous =
+        keep == 0 || seg.seq == scan.segments[keep - 1].seq + 1;
+    if (!contiguous || !seg.header_ok) break;
+    if (!seg.clean) {
+      keep_cut_segment = true;
+      break;
+    }
+    ++keep;
+  }
+  if (keep == 0 && !keep_cut_segment && !scan.segments.empty() &&
+      scan.segments[0].file_bytes > 0) {
+    // The oldest segment is not a musketeer journal at all: refuse to
+    // touch it. (Later segments with bad headers are crash-roll
+    // artifacts and are repaired below; the oldest one being garbage
+    // means the operator pointed the daemon at the wrong file.)
+    throw JournalError("journal " + scan.segments[0].path +
+                       ": bad header (not a musketeer journal)");
+  }
+
+  std::size_t live = keep + (keep_cut_segment ? 1 : 0);
+  bool repaired = false;
+  std::size_t record_index = 0;
+  for (std::size_t i = 0; i < live; ++i) {
+    const SegmentStat& seg = scan.segments[i];
+    segments_.push_back(LiveSegment{seg.seq, seg.valid_bytes, record_index});
+    record_index += seg.records;
+  }
+  records_.assign(scan.records.begin(),
+                  scan.records.begin() +
+                      static_cast<std::ptrdiff_t>(record_index));
+
+  // Unlink the discarded tail segments (crash artifacts past the cut).
+  for (std::size_t i = live; i < scan.segments.size(); ++i) {
+    truncated_tail_bytes_ += scan.segments[i].file_bytes;
+    if (::unlink(scan.segments[i].path.c_str()) != 0 && errno != ENOENT) {
+      io_fail(scan.segments[i].path, "unlink",
+              "unlink of crash-artifact segment failed");
+    }
+    repaired = true;
+  }
+  if (repaired) fsync_parent_dir(path_);
+
+  if (segments_.empty()) {
+    // Fresh journal (no segments, or a single empty segment-0 file).
+    segments_.push_back(LiveSegment{0, kHeaderBytes, 0});
+    const std::string path0 = segment_path(path_, 0);
+    fd_ = ::open(path0.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0) io_fail(path0, "open", "open failed");
+    try {
+      write_all(fd_, path0, kHeader, kHeaderBytes);
+      if (::fsync(fd_) != 0) io_fail(path0, "fsync", "fsync failed");
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+    fsync_parent_dir(path_);
+    repaired = true;
+  } else {
+    const LiveSegment& tail = segments_.back();
+    const std::string tail_path = segment_path(path_, tail.seq);
+    fd_ = ::open(tail_path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd_ < 0) io_fail(tail_path, "open", "open failed");
+    try {
+      if (keep_cut_segment) {
+        // Cut the torn/corrupt tail of the last kept segment back to
+        // its longest valid prefix.
+        const SegmentStat& cut = scan.segments[live - 1];
+        truncated_tail_bytes_ += cut.file_bytes - cut.valid_bytes;
+        if (::ftruncate(fd_, static_cast<off_t>(cut.valid_bytes)) != 0) {
+          io_fail(tail_path, "ftruncate", "truncate of torn tail failed");
+        }
+        if (::fsync(fd_) != 0) io_fail(tail_path, "fsync", "fsync failed");
+        repaired = true;
+      }
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  }
+
+  std::uint64_t total = 0;
+  for (const LiveSegment& seg : segments_) total += seg.bytes;
+  committed_bytes_.store(total, std::memory_order_relaxed);
+  segment_count_.store(segments_.size(), std::memory_order_relaxed);
+
+  if (repaired || !scan.manifest_ok) {
+    std::vector<std::uint64_t> seqs;
+    for (const LiveSegment& seg : segments_) seqs.push_back(seg.seq);
+    write_manifest(path_, seqs);
   }
 }
 
@@ -158,8 +486,102 @@ Journal::~Journal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+std::uint64_t Journal::current_segment() const {
+  const util::OrderedLock lock(mutex_);
+  return segments_.back().seq;
+}
+
+std::uint64_t Journal::oldest_segment() const {
+  const util::OrderedLock lock(mutex_);
+  return segments_.front().seq;
+}
+
+std::size_t Journal::records_from_segment(std::uint64_t seq) const {
+  const util::OrderedLock lock(mutex_);
+  for (const LiveSegment& seg : segments_) {
+    if (seg.seq >= seq) return seg.first_record;
+  }
+  return records_.size();
+}
+
+void Journal::roll_segment() {
+  const util::OrderedLock lock(mutex_);
+  roll_locked();
+}
+
+void Journal::roll_locked() {
+  // Models kill -9 between "snapshot decided" and "fresh segment
+  // exists": the journal must recover with the old segment still
+  // active.
+  MUSK_FAULT_HIT("segment.roll");
+  const std::uint64_t next_seq = segments_.back().seq + 1;
+  const std::string next_path = segment_path(path_, next_seq);
+  const int nfd =
+      ::open(next_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (nfd < 0) io_fail(next_path, "open", "open of new segment failed");
+  try {
+    write_all(nfd, next_path, kHeader, kHeaderBytes);
+    if (::fsync(nfd) != 0) io_fail(next_path, "fsync", "fsync failed");
+  } catch (...) {
+    ::close(nfd);
+    ::unlink(next_path.c_str());
+    throw;
+  }
+  fsync_parent_dir(path_);
+  ::close(fd_);
+  fd_ = nfd;
+  segments_.push_back(LiveSegment{next_seq, kHeaderBytes, records_.size()});
+  segment_count_.store(segments_.size(), std::memory_order_relaxed);
+  committed_bytes_.fetch_add(kHeaderBytes, std::memory_order_relaxed);
+  MUSK_OBS_COUNT("svc.journal.segment_rolls_total", 1);
+  write_manifest_locked();
+}
+
+void Journal::write_manifest_locked() {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(segments_.size());
+  for (const LiveSegment& seg : segments_) seqs.push_back(seg.seq);
+  write_manifest(path_, seqs);
+}
+
+std::size_t Journal::compact_below(std::uint64_t seq_bound) {
+  const util::OrderedLock lock(mutex_);
+  std::size_t removed = 0;
+  while (segments_.size() > 1 && segments_.front().seq < seq_bound) {
+    // Models kill -9 after the snapshot rename but before (or during)
+    // compaction: both the snapshot and the pre-compaction segments
+    // survive, and recovery must prefer the snapshot.
+    MUSK_FAULT_HIT("compact.unlink");
+    const LiveSegment seg = segments_.front();
+    const std::string seg_file = segment_path(path_, seg.seq);
+    if (::unlink(seg_file.c_str()) != 0 && errno != ENOENT) {
+      io_fail(seg_file, "unlink", "unlink of compacted segment failed");
+    }
+    committed_bytes_.fetch_sub(seg.bytes, std::memory_order_relaxed);
+    segments_.erase(segments_.begin());
+    ++removed;
+  }
+  if (removed > 0) {
+    segment_count_.store(segments_.size(), std::memory_order_relaxed);
+    // No directory fsync for the unlinks: if a crash resurrects a
+    // compacted segment, the chain just regrows a contiguous prefix
+    // below the snapshot bound — recovery skips it (the snapshot wins)
+    // and the next checkpoint removes it again. Durability of *freeing*
+    // space is not a correctness property.
+    MUSK_OBS_COUNT("svc.journal.segments_compacted_total",
+                   static_cast<std::uint64_t>(removed));
+    write_manifest_locked();
+  }
+  return removed;
+}
+
 void Journal::append_begin(int epoch, std::uint64_t pre_digest) {
   append(RecordType::kBegin, epoch, pre_digest, std::string());
+}
+
+void Journal::append_begin(int epoch, std::uint64_t pre_digest,
+                           const SeqWatermarks& drained) {
+  append(RecordType::kBegin, epoch, pre_digest, encode_watermarks(drained));
 }
 
 void Journal::append_outcome(int epoch, std::uint64_t pre_digest,
@@ -218,10 +640,35 @@ void Journal::append(RecordType type, int epoch, std::uint64_t digest,
   MUSK_FAULT_MUTATE("journal.write", bytes);
   const bool torn = bytes.size() != full;
 
-  if (::lseek(fd_, static_cast<off_t>(committed_bytes_), SEEK_SET) < 0) {
-    io_fail(path_, "seek failed");
+  const std::uint64_t seg_off = segments_.back().bytes;
+  const std::string seg_file = segment_path(path_, segments_.back().seq);
+  if (::lseek(fd_, static_cast<off_t>(seg_off), SEEK_SET) < 0) {
+    io_fail(seg_file, "lseek", "seek failed");
   }
-  write_all(fd_, path_, bytes.data(), bytes.size());
+  if (MUSK_FAULT_FAIL("disk.full")) {
+    // Simulated ENOSPC mid-record: half the bytes land, then the disk
+    // is full. The committed prefix must be restored — a partial record
+    // surviving as "data" would be a silent torn write.
+    write_all(fd_, seg_file, bytes.data(), bytes.size() / 2);
+    if (::ftruncate(fd_, static_cast<off_t>(seg_off)) != 0) {
+      poisoned_ = true;
+      throw JournalError("journal " + path_ +
+                         ": write and truncate both failed; journal poisoned");
+    }
+    ::fsync(fd_);
+    errno = ENOSPC;
+    io_fail(seg_file, "write", "write failed");
+  }
+  try {
+    write_all(fd_, seg_file, bytes.data(), bytes.size());
+  } catch (const JournalError&) {
+    // Real short write (ENOSPC, EROFS, ...): scrub the partial record
+    // so the committed prefix stays the durable truth, then surface
+    // the structured error. If even the scrub fails, poison the
+    // journal — nothing may append after an unknown partial write.
+    if (::ftruncate(fd_, static_cast<off_t>(seg_off)) != 0) poisoned_ = true;
+    throw;
+  }
   if (torn) {
     // A drop/truncate fault left a partial record on disk, exactly like
     // a crash mid-write; make it durable so recovery sees the torn tail.
@@ -232,14 +679,15 @@ void Journal::append(RecordType type, int epoch, std::uint64_t digest,
     // The record reached the page cache but is not durable. It must not
     // resurface on replay (the service will abort this epoch), so cut
     // the file back to the committed prefix before reporting failure.
-    if (::ftruncate(fd_, static_cast<off_t>(committed_bytes_)) != 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(seg_off)) != 0) {
       poisoned_ = true;
       throw JournalError("journal " + path_ +
                          ": fsync and truncate both failed; journal poisoned");
     }
-    throw JournalError("journal " + path_ + ": fsync failed");
+    throw JournalError("journal " + path_ + ": fsync failed", "fsync", EIO);
   }
-  committed_bytes_ += full;
+  segments_.back().bytes += full;
+  committed_bytes_.fetch_add(full, std::memory_order_relaxed);
   MUSK_OBS_COUNT("svc.journal.append_total", 1);
   MUSK_OBS_HISTOGRAM("svc.journal.append_seconds", span.end());
   JournalRecord record;
@@ -248,14 +696,45 @@ void Journal::append(RecordType type, int epoch, std::uint64_t digest,
   record.digest = digest;
   record.payload = payload;
   records_.push_back(std::move(record));
+
+  // Size-based auto-roll, at epoch boundaries only so an epoch's
+  // records never straddle segments. The record above is already
+  // durable, so a failed roll is reported but never fatal — the
+  // segment just keeps growing until the next boundary.
+  if (config_.max_segment_bytes > 0 &&
+      (type == RecordType::kSettled || type == RecordType::kAborted) &&
+      segments_.back().bytes >= config_.max_segment_bytes) {
+    try {
+      roll_locked();
+    } catch (const util::fault::CrashPoint&) {
+      throw;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "musketeer: journal %s: segment roll failed: %s\n",
+                   path_.c_str(), e.what());
+    }
+  }
 }
 
-RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
-                              const pcn::RebalancePolicy& policy) {
-  RecoveryReport report;
+RecoveryReport replay_records(Journal& journal, pcn::Network& network,
+                              const pcn::RebalancePolicy& policy,
+                              std::size_t first_record, RecoveryReport seed) {
+  RecoveryReport report = std::move(seed);
   enum class Phase { kIdle, kBegun, kCommitted };
   Phase phase = Phase::kIdle;
   int current = 0;
+
+  // Watermarks of committed epochs only: a BEGIN's drained seqs become
+  // durable at its OUTCOME. Bids drained into a rolled-back or aborted
+  // epoch had no effect, so their seqs must stay resubmittable.
+  std::map<core::PlayerId, std::uint32_t> marks(report.watermarks.begin(),
+                                                report.watermarks.end());
+  SeqWatermarks pending_marks;
+  const auto commit_marks = [&marks](const SeqWatermarks& pending) {
+    for (const auto& [player, seq] : pending) {
+      std::uint32_t& have = marks[player];
+      have = std::max(have, seq);
+    }
+  };
 
   const auto check_digest = [&](const JournalRecord& r, const char* when) {
     const std::uint64_t have = network.state_digest();
@@ -271,7 +750,7 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
   // Iterate by index over the records present at entry: closing an
   // in-flight epoch appends to the journal below, after the scan.
   const std::size_t n = journal.records().size();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = first_record; i < n; ++i) {
     const JournalRecord& r = journal.records()[i];
     switch (r.type) {
       case RecordType::kBegin:
@@ -287,6 +766,7 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
         phase = Phase::kBegun;
         current = r.epoch;
         report.next_epoch = r.epoch;
+        pending_marks = decode_watermarks(r.payload);
         break;
       case RecordType::kOutcome: {
         if (phase != Phase::kBegun || r.epoch != current) {
@@ -301,6 +781,8 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
         const core::Outcome outcome =
             core::codec::outcome_from_bytes(r.payload);
         pcn::apply_outcome(network, extracted, outcome);
+        commit_marks(pending_marks);
+        pending_marks.clear();
         phase = Phase::kCommitted;
         break;
       }
@@ -311,6 +793,11 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
                              std::to_string(r.epoch));
         }
         check_digest(r, "settled");
+        // Empty epochs journal BEGIN -> SETTLED with no OUTCOME, yet the
+        // drained seqs were still consumed — commit here too (a second
+        // commit after kOutcome is a no-op: pending is already empty).
+        commit_marks(pending_marks);
+        pending_marks.clear();
         ++report.epochs_settled;
         phase = Phase::kIdle;
         report.next_epoch = current + 1;
@@ -339,6 +826,7 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
         // reused by the next clear.
         check_digest(r, "aborted");
         ++report.aborted_epochs;
+        pending_marks.clear();
         phase = Phase::kIdle;
         report.next_epoch = current;
         break;
@@ -360,7 +848,20 @@ RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
     report.next_epoch = current + 1;
   }
   report.final_digest = network.state_digest();
+  report.watermarks.assign(marks.begin(), marks.end());
   return report;
+}
+
+RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
+                              const pcn::RebalancePolicy& policy) {
+  if (journal.oldest_segment() != 0) {
+    throw JournalError(
+        "journal " + journal.path() + ": segments before " +
+        std::to_string(journal.oldest_segment()) +
+        " were compacted away; replay from genesis is impossible — recover "
+        "from a snapshot (svc::recover) instead");
+  }
+  return replay_records(journal, network, policy, 0, RecoveryReport{});
 }
 
 }  // namespace musketeer::svc

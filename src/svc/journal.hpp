@@ -1,9 +1,13 @@
 // Crash-safe epoch journal: an append-only, checksummed write-ahead log
-// that makes settlement atomic across daemon restarts.
+// that makes settlement atomic across daemon restarts — now stored as a
+// sequence of rotated segments so checkpointing (svc/snapshot.hpp) can
+// compact history the newest snapshot already covers.
 //
 // Per epoch the service appends up to three records:
 //
-//   BEGIN(epoch, pre_digest)          queue drained, capacities locked
+//   BEGIN(epoch, pre_digest)          queue drained, capacities locked;
+//                                     payload carries the drained
+//                                     (player, seq) intake watermarks
 //   OUTCOME(epoch, pre_digest, bytes) the cleared outcome, fsync'd
 //                                     *before* apply_outcome runs
 //   SETTLED(epoch, post_digest)       settlement reached the network
@@ -29,15 +33,27 @@
 //     record, so the epoch settles exactly once no matter how many
 //     times recovery itself is interrupted.
 //
-// File format: an 8-byte header "MUSKJRN1", then records
+// On-disk layout (DESIGN.md §15): the journal at base path `P` is the
+// segment files `P.<seq>.wal` (6-digit zero-padded seq) plus an
+// advisory manifest `P.manifest`. Each segment starts with the 8-byte
+// header "MUSKJRN1", then records
 //
 //   u32 magic 'MJRN' | u8 type | u32 epoch | u64 digest |
 //   u32 payload_len | payload | u64 fnv1a(type..payload)
 //
-// On open the journal scans the file, keeps the longest valid prefix,
-// and truncates any torn/corrupt tail (a crash mid-write loses at most
-// the record being written — never a committed one, because append
-// returns only after fsync).
+// Appends go to the newest segment. Segments roll at epoch boundaries —
+// explicitly before each snapshot (so a recovery tail always starts at
+// a BEGIN) and automatically once the active segment exceeds
+// JournalConfig::max_segment_bytes. compact_below(seq) unlinks whole
+// segments a durable snapshot has made redundant. The manifest lists
+// the live segment seqs; it is rewritten (tmp + fsync + rename) on
+// every roll/compact but the directory scan is the ground truth on
+// open — a crash between a roll and the manifest rewrite costs nothing.
+//
+// On open the journal scans the segment chain in seq order, keeps the
+// longest valid record prefix, and discards the torn/corrupt tail (the
+// rest of the damaged segment and every later segment — those can only
+// be crash artifacts, because append returns only after fsync).
 //
 // Scope: the journal records rebalancing settlements only. A recovered
 // network equals the crashed daemon's network exactly when rebalancing
@@ -54,9 +70,11 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/outcome.hpp"
+#include "core/types.hpp"
 #include "pcn/network.hpp"
 #include "pcn/rebalancer.hpp"
 #include "util/ordered_mutex.hpp"
@@ -67,10 +85,27 @@ namespace musketeer::svc {
 /// Thrown on an unusable journal (wrong header, I/O failure, replay
 /// digest mismatch). Distinct from a torn tail, which open() repairs
 /// silently — a JournalError means the operator pointed the daemon at
-/// the wrong file or the wrong genesis network.
+/// the wrong file, the wrong genesis network, or the disk itself
+/// failed. I/O failures carry the failing operation and its errno so
+/// callers can distinguish ENOSPC / EROFS from corruption.
 class JournalError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+  JournalError(const std::string& what, std::string op, int saved_errno)
+      : std::runtime_error(what),
+        op_(std::move(op)),
+        saved_errno_(saved_errno) {}
+
+  /// The syscall-level operation that failed ("write", "fsync",
+  /// "rename", ...); empty for logical errors (bad header, digest
+  /// mismatch, malformed record sequence).
+  const std::string& op() const { return op_; }
+  /// errno captured at the failure site; 0 for logical errors.
+  int saved_errno() const { return saved_errno_; }
+
+ private:
+  std::string op_;
+  int saved_errno_ = 0;
 };
 
 enum class RecordType : std::uint8_t {
@@ -90,6 +125,8 @@ struct JournalRecord {
   /// BEGIN/OUTCOME/ABORTED carry the pre-settlement network digest;
   /// SETTLED carries the post-settlement digest.
   std::uint64_t digest = 0;
+  /// BEGIN: encode_watermarks of the (player, seq) pairs drained into
+  /// the epoch (empty when no sequenced bids were drained).
   /// OUTCOME: codec::encode_outcome bytes. DEGRADED: u8 ladder level
   /// (1 = first retry rung) followed by the reason string — the
   /// mechanism name the retry is about to run with, or the literal
@@ -97,11 +134,70 @@ struct JournalRecord {
   std::string payload;
 };
 
+/// Per-player intake sequence watermarks, sorted by player id. Carried
+/// in BEGIN payloads and snapshots so a restarted daemon can keep
+/// answering kDuplicate for bids that were drained into a *committed*
+/// epoch before the crash (bids drained into rolled-back epochs had no
+/// effect, so their seqs must stay resubmittable).
+using SeqWatermarks = std::vector<std::pair<core::PlayerId, std::uint32_t>>;
+
+std::string encode_watermarks(const SeqWatermarks& watermarks);
+/// Throws core::CodecError on malformed payload bytes.
+SeqWatermarks decode_watermarks(std::string_view payload);
+
+/// Path of segment `seq` of the journal at `base_path`
+/// (`<base>.<seq 6-digit>.wal`).
+std::string segment_path(const std::string& base_path, std::uint64_t seq);
+/// Path of the advisory segment manifest (`<base>.manifest`).
+std::string manifest_path(const std::string& base_path);
+/// Segment seqs present on disk for `base_path`, ascending. Read-only.
+std::vector<std::uint64_t> list_segments(const std::string& base_path);
+
+/// One segment file as seen by a read-only scan.
+struct SegmentStat {
+  std::uint64_t seq = 0;
+  std::string path;
+  /// Bytes on disk / bytes of the longest valid prefix (header +
+  /// intact records). Differ exactly when the segment is torn/corrupt.
+  std::uint64_t file_bytes = 0;
+  std::uint64_t valid_bytes = 0;
+  std::size_t records = 0;
+  bool header_ok = false;
+  bool clean = false;  ///< header_ok and no torn/corrupt tail
+};
+
+/// Result of a read-only walk over the journal's on-disk state: what
+/// Journal::open would recover, without mutating anything. Used by
+/// `musk_journal inspect|verify` and the recovery fuzzer.
+struct JournalScan {
+  std::vector<SegmentStat> segments;  ///< ascending seq
+  /// The longest valid record prefix across the segment chain (records
+  /// past the first damaged segment are crash artifacts and excluded).
+  std::vector<JournalRecord> records;
+  bool clean = true;        ///< every segment clean, chain contiguous
+  bool manifest_ok = true;  ///< manifest present, intact, matches disk
+  std::string note;         ///< first problem found (diagnostic)
+};
+
+/// Scans segments + manifest without opening anything for write. Never
+/// repairs; never throws on corruption (corruption is the *answer*).
+JournalScan scan_journal(const std::string& base_path);
+
+struct JournalConfig {
+  /// Roll to a fresh segment once the active one exceeds this many
+  /// bytes (checked at epoch boundaries, so an epoch's records never
+  /// straddle a roll). 0 = roll only explicitly (roll_segment()).
+  std::uint64_t max_segment_bytes = 0;
+};
+
 class Journal {
  public:
-  /// Opens (creating if absent) the journal at `path`, validates the
-  /// header, loads every intact record, and truncates a torn tail.
-  explicit Journal(std::string path);
+  /// Opens (creating if absent) the journal at `base_path`, validates
+  /// the segment chain, loads every intact record, and truncates or
+  /// unlinks any torn/corrupt tail.
+  explicit Journal(std::string base_path)
+      : Journal(std::move(base_path), JournalConfig{}) {}
+  Journal(std::string base_path, JournalConfig config);
   ~Journal();
 
   Journal(const Journal&) = delete;
@@ -110,10 +206,12 @@ class Journal {
   const std::string& path() const { return path_; }
 
   /// Every committed record: what open() recovered plus every append
-  /// since, in file order.
+  /// since, in stream order. Compaction removes files, not this
+  /// in-memory view (indices stay stable for records_from_segment).
   const std::vector<JournalRecord>& records() const { return records_; }
 
-  /// Bytes of committed (written + fsync'd) journal. Atomic so the
+  /// Bytes of committed (written + fsync'd) journal across all *live*
+  /// segments — compaction subtracts what it unlinks. Atomic so the
   /// stats endpoint can read it while the clearing thread appends (the
   /// other read accessors remain quiescent-only).
   std::uint64_t committed_bytes() const {
@@ -123,8 +221,35 @@ class Journal {
   /// Bytes discarded by open() as a torn/corrupt tail (observability).
   std::uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
 
+  /// Live segment count / active (newest) segment seq / oldest live
+  /// segment seq. segment_count() is atomic for the stats endpoint.
+  std::uint64_t segment_count() const {
+    return segment_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t current_segment() const MUSK_EXCLUDES(mutex_);
+  std::uint64_t oldest_segment() const MUSK_EXCLUDES(mutex_);
+
+  /// Index into records() of the first record stored in a live segment
+  /// with seq >= `seq` (records().size() when no such record): the
+  /// recovery tail for a snapshot whose first_segment is `seq`.
+  std::size_t records_from_segment(std::uint64_t seq) const
+      MUSK_EXCLUDES(mutex_);
+
+  /// Closes the active segment and opens a fresh one (header written
+  /// and fsync'd, manifest rewritten). Called at epoch boundaries only.
+  void roll_segment() MUSK_EXCLUDES(mutex_);
+
+  /// Unlinks every live segment with seq < `seq_bound` (never the
+  /// active one) and rewrites the manifest; returns how many segments
+  /// were removed. The caller guarantees a durable snapshot covers the
+  /// removed history (svc::SnapshotStore::oldest_retained_first_segment).
+  std::size_t compact_below(std::uint64_t seq_bound) MUSK_EXCLUDES(mutex_);
+
   void append_begin(int epoch, std::uint64_t pre_digest)
       MUSK_EXCLUDES(mutex_);
+  /// BEGIN carrying the intake watermarks drained into the epoch.
+  void append_begin(int epoch, std::uint64_t pre_digest,
+                    const SeqWatermarks& drained) MUSK_EXCLUDES(mutex_);
   void append_outcome(int epoch, std::uint64_t pre_digest,
                       const core::Outcome& outcome) MUSK_EXCLUDES(mutex_);
   void append_settled(int epoch, std::uint64_t post_digest)
@@ -140,6 +265,12 @@ class Journal {
                        const std::string& reason) MUSK_EXCLUDES(mutex_);
 
  private:
+  struct LiveSegment {
+    std::uint64_t seq = 0;
+    std::uint64_t bytes = 0;        ///< committed bytes incl. header
+    std::size_t first_record = 0;   ///< index into records_
+  };
+
   /// Encodes, writes, and fsyncs one record; only then is it added to
   /// records_ and counted in committed_bytes_. On fsync failure the
   /// file is truncated back to the committed prefix (a written but
@@ -148,22 +279,28 @@ class Journal {
   /// every later append throws.
   void append(RecordType type, int epoch, std::uint64_t digest,
               const std::string& payload) MUSK_EXCLUDES(mutex_);
+  void roll_locked() MUSK_REQUIRES(mutex_);
+  void write_manifest_locked() MUSK_REQUIRES(mutex_);
 
   std::string path_;
+  const JournalConfig config_;
 
-  /// Serializes appends (the file offset and poison state are one
-  /// atomically-advanced unit). records_/committed_bytes_ are written
-  /// under it too but read through the quiescent-only accessors above.
-  util::OrderedMutex mutex_{util::LockRank::kJournal, "journal"};
+  /// Serializes appends and segment transitions (the file offset,
+  /// poison state, and segment chain are one atomically-advanced
+  /// unit). records_/committed_bytes_ are written under it too but
+  /// read through the quiescent-only accessors above.
+  mutable util::OrderedMutex mutex_{util::LockRank::kJournal, "journal"};
   int fd_ MUSK_GUARDED_BY(mutex_) = -1;
   bool poisoned_ MUSK_GUARDED_BY(mutex_) = false;
+  std::vector<LiveSegment> segments_ MUSK_GUARDED_BY(mutex_);
 
   std::vector<JournalRecord> records_;
   std::atomic<std::uint64_t> committed_bytes_{0};
+  std::atomic<std::uint64_t> segment_count_{0};
   std::uint64_t truncated_tail_bytes_ = 0;
 };
 
-/// Outcome of replaying a journal onto the genesis network at startup.
+/// Outcome of replaying a journal onto a base network at startup.
 struct RecoveryReport {
   /// Epochs fully replayed (SETTLED seen, including the close-out
   /// SETTLED that recovery itself appends for an in-flight outcome).
@@ -185,13 +322,41 @@ struct RecoveryReport {
   int next_epoch = 0;
   /// network.state_digest() after replay.
   std::uint64_t final_digest = 0;
+
+  /// Checkpointed-recovery fields (svc::recover). All zero/false when
+  /// recovery replayed from genesis.
+  bool from_snapshot = false;
+  /// next_epoch the snapshot was taken at (recovery replayed only the
+  /// journal tail past it).
+  int snapshot_epoch = 0;
+  /// Snapshot files skipped because their checksum or digest failed.
+  int snapshots_discarded = 0;
+  /// Live segments whose records were replayed.
+  int segments_replayed = 0;
+  /// Intake watermarks of every *committed* epoch (snapshot state plus
+  /// replayed BEGIN payloads), for BidQueue::restore_watermarks.
+  SeqWatermarks watermarks;
+  /// Admission-controller EWMA restored from the snapshot (0 when
+  /// recovering from genesis or a pre-checkpoint journal).
+  double ewma_seconds = 0.0;
+  int shed_level = 0;
 };
 
 /// Replays `journal` onto `network`, which must be in the same genesis
 /// state the journal was started against (verified record-by-record via
-/// digests; mismatch throws JournalError). Mutates the journal only to
-/// close an in-flight epoch with its missing SETTLED record.
+/// digests; mismatch throws JournalError, as does a compacted journal
+/// whose genesis history is gone — use svc::recover for those). Mutates
+/// the journal only to close an in-flight epoch with its missing
+/// SETTLED record.
 RecoveryReport replay_journal(Journal& journal, pcn::Network& network,
                               const pcn::RebalancePolicy& policy);
+
+/// Core of the recovery state machine: replays
+/// journal.records()[first_record..] onto `network`, starting from the
+/// counters in `seed` (snapshot state, or zeroes for genesis). Shared
+/// by replay_journal and svc::recover.
+RecoveryReport replay_records(Journal& journal, pcn::Network& network,
+                              const pcn::RebalancePolicy& policy,
+                              std::size_t first_record, RecoveryReport seed);
 
 }  // namespace musketeer::svc

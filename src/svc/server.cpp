@@ -61,7 +61,11 @@ void SocketServer::stop() {
     if (conn->thread.joinable()) conn->thread.join();
     ::close(conn->fd);
   }
-  if (started_ && endpoint_.is_unix) ::unlink(endpoint_.path.c_str());
+  // Best-effort cleanup of the listening socket node: nothing durable
+  // lives at this path and a leftover node is reclaimed by the next
+  // bind's connect-probe.
+  if (started_ && endpoint_.is_unix)
+    ::unlink(endpoint_.path.c_str());  // musk-lint: allow(unchecked-rename)
 }
 
 std::string SocketServer::endpoint() const { return to_string(endpoint_); }
@@ -210,6 +214,10 @@ void SocketServer::handle_frame(Connection* conn, const Frame& frame) {
       msg.degraded_epochs = stats.degraded_epochs;
       msg.watchdog_fired = stats.watchdog_fired;
       msg.aborted_epochs = stats.aborted_epochs;
+      msg.snapshot_age_seconds = stats.snapshot_age_seconds;
+      msg.epochs_since_snapshot = stats.epochs_since_snapshot;
+      msg.snapshots_taken = stats.snapshots_taken;
+      msg.journal_segments = stats.journal_segments;
       msg.intake = stats.intake;
       msg.registry_json = obs::registry().to_json();
       send_frame(conn, MsgType::kStatsResponse, encode_stats_response(msg));

@@ -10,6 +10,7 @@
 #include "core/mechanism_factory.hpp"
 #include "obs/obs.hpp"
 #include "svc/journal.hpp"
+#include "svc/snapshot.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 #include "util/stats.hpp"
@@ -88,6 +89,14 @@ RebalanceService::RebalanceService(pcn::Network& network,
     MUSK_ASSERT_MSG(rung != nullptr, "unknown degradation-ladder mechanism");
     ladder_.push_back(std::move(rung));
   }
+  // Recovered state: duplicate detection and the committed-watermark
+  // set resume where the pre-crash daemon left them, and the admission
+  // controller re-enters at its pre-crash shed level.
+  queue_.restore_watermarks(config_.initial_watermarks);
+  admission_.seed(config_.initial_ewma_seconds);
+  for (const auto& [player, seq] : config_.initial_watermarks) {
+    if (seq != 0) applied_watermarks_[player] = seq;
+  }
   if (config_.watchdog_timeout.count() > 0) {
     watchdog_ = std::jthread(
         [this](const std::stop_token& stop) { watchdog_loop(stop); });
@@ -143,6 +152,15 @@ EpochReport RebalanceService::run_epoch() {
   const std::vector<BidSubmission> subs = queue_.drain();
   report.drain_seconds = drain_span.end();
 
+  // Sequenced bids drained into this epoch. They ride the BEGIN record
+  // and become committed watermarks only if the epoch settles — bids
+  // of a rolled-back or aborted epoch must stay resubmittable after a
+  // restart. subs is sorted by player, so the payload is canonical.
+  SeqWatermarks epoch_marks;
+  for (const BidSubmission& s : subs) {
+    if (s.seq != 0) epoch_marks.emplace_back(s.player, s.seq);
+  }
+
   // Snapshot: the extracted game is a value copy whose capacities are
   // HTLC-locked on the live network, so clearing can proceed off-lock.
   // The pre-lock digest is what recovery verifies extraction against.
@@ -158,7 +176,9 @@ EpochReport RebalanceService::run_epoch() {
 
   Journal* const journal = config_.journal;
   try {
-    if (journal != nullptr) journal->append_begin(report.epoch, pre_digest);
+    if (journal != nullptr) {
+      journal->append_begin(report.epoch, pre_digest, epoch_marks);
+    }
     MUSK_FAULT_HIT("svc.crash_after_begin");
   } catch (const util::fault::CrashPoint&) {
     // Simulated kill -9: no cleanup runs. The locks die with the
@@ -307,6 +327,18 @@ EpochReport RebalanceService::run_epoch() {
   if (journal != nullptr) {
     journal->append_settled(report.epoch, report.network_digest);
   }
+  // The epoch is fully durable: its drained seqs join the committed
+  // watermark set the next snapshot captures.
+  for (const auto& [player, seq] : epoch_marks) {
+    std::uint32_t& have = applied_watermarks_[player];
+    have = std::max(have, seq);
+  }
+  epochs_since_snapshot_.fetch_add(1, std::memory_order_relaxed);
+  if (journal != nullptr && config_.snapshots != nullptr &&
+      config_.snapshot_every > 0 &&
+      (report.epoch + 1) % config_.snapshot_every == 0) {
+    checkpoint(report);
+  }
 
   report.clear_seconds = t0.seconds();
   epoch_span.end();
@@ -326,6 +358,53 @@ EpochReport RebalanceService::run_epoch() {
   reports_cv_.notify_all();
   for (const auto& callback : callbacks_) callback(report);
   return report;
+}
+
+void RebalanceService::checkpoint(EpochReport& report) {
+  MUSK_OBS_SPAN(span, "svc.checkpoint");
+  span.set_epoch(static_cast<std::uint64_t>(report.epoch));
+  Journal& journal = *config_.journal;
+  SnapshotStore& store = *config_.snapshots;
+  try {
+    // Roll first: the snapshot's recovery tail then starts at a fresh,
+    // empty segment, so the first replayed record (if any) is a BEGIN
+    // whose pre-digest equals the snapshot digest.
+    journal.roll_segment();
+    SnapshotData data;
+    data.next_epoch = report.epoch + 1;
+    data.first_segment = journal.current_segment();
+    data.shed_level = admission_.shed_level();
+    data.ewma_seconds = admission_.ewma_seconds();
+    data.watermarks.assign(applied_watermarks_.begin(),
+                           applied_watermarks_.end());
+    std::sort(data.watermarks.begin(), data.watermarks.end());
+    {
+      const util::OrderedLock net_lock(network_mutex_);
+      data.digest = network_.state_digest();
+      data.network_bytes = encode_network(network_);
+    }
+    store.write(data);
+    // Segments every retained snapshot has made redundant go away; an
+    // invalid snapshot in the set conservatively pins everything.
+    journal.compact_below(store.oldest_retained_first_segment());
+    report.checkpointed = true;
+    snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+    epochs_since_snapshot_.store(0, std::memory_order_relaxed);
+    last_snapshot_uptime_.store(uptime_timer_.seconds(),
+                                std::memory_order_relaxed);
+    MUSK_OBS_COUNT("svc.checkpoint.total", 1);
+    MUSK_OBS_HISTOGRAM("svc.checkpoint.seconds", span.end());
+  } catch (const util::fault::CrashPoint&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Every epoch this checkpoint covers is already durable in the
+    // journal: a failed checkpoint (ENOSPC, read-only FS, torn roll)
+    // only means recovery replays a longer tail. Report and keep
+    // clearing; the previous snapshots and live segments are untouched.
+    MUSK_OBS_COUNT("svc.checkpoint.failed_total", 1);
+    std::fprintf(stderr, "musketeer: checkpoint at epoch %d failed: %s\n",
+                 report.epoch, e.what());
+  }
 }
 
 bool RebalanceService::run_attempt(const core::Mechanism& mechanism,
@@ -465,6 +544,7 @@ ServiceStats RebalanceService::stats_snapshot() const {
   stats.queue_high_watermark = queue_.high_watermark();
   if (config_.journal != nullptr) {
     stats.journal_bytes = config_.journal->committed_bytes();
+    stats.journal_segments = config_.journal->segment_count();
   }
   stats.imbalance_gini = imbalance_gini_.load(std::memory_order_relaxed);
   stats.imbalance_mean = imbalance_mean_.load(std::memory_order_relaxed);
@@ -478,6 +558,12 @@ ServiceStats RebalanceService::stats_snapshot() const {
   stats.degraded_epochs = degraded_total_.load(std::memory_order_relaxed);
   stats.watchdog_fired = watchdog_fired_total_.load(std::memory_order_relaxed);
   stats.aborted_epochs = aborted_epochs_.load(std::memory_order_relaxed);
+  stats.snapshots_taken = snapshots_taken_.load(std::memory_order_relaxed);
+  stats.epochs_since_snapshot =
+      epochs_since_snapshot_.load(std::memory_order_relaxed);
+  const double snap_at = last_snapshot_uptime_.load(std::memory_order_relaxed);
+  stats.snapshot_age_seconds =
+      snap_at < 0.0 ? -1.0 : stats.uptime_seconds - snap_at;
   stats.intake = queue_.counters();
   return stats;
 }

@@ -35,6 +35,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/mechanism.hpp"
@@ -44,13 +45,14 @@
 #include "svc/admission.hpp"
 #include "svc/bid_queue.hpp"
 #include "svc/executor.hpp"
+#include "svc/journal.hpp"
 #include "util/deadline.hpp"
 #include "util/ordered_mutex.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace musketeer::svc {
 
-class Journal;
+class SnapshotStore;
 
 struct ServiceConfig {
   pcn::RebalancePolicy policy;
@@ -101,6 +103,25 @@ struct ServiceConfig {
   /// (weight of the newest epoch; 0 disables admission control). The
   /// controller is active only when epoch_deadline is set.
   double admission_alpha = 0.2;
+  /// Checkpointing (DESIGN.md §15): after every `snapshot_every`
+  /// settled epochs the service rolls the journal to a fresh segment,
+  /// writes a snapshot of the full recovery state, and compacts away
+  /// the segments no retained snapshot needs. Requires both `journal`
+  /// and `snapshots`; 0 disables checkpointing. A failed checkpoint is
+  /// reported but never fatal — the epoch it followed is already
+  /// durable in the journal.
+  int snapshot_every = 0;
+  /// Snapshot store beside the journal (borrowed; must outlive the
+  /// service). nullptr disables checkpointing.
+  SnapshotStore* snapshots = nullptr;
+  /// Recovered intake watermarks (RecoveryReport::watermarks): seeds
+  /// duplicate detection and the committed-watermark set the next
+  /// snapshot captures.
+  SeqWatermarks initial_watermarks;
+  /// Recovered admission EWMA (RecoveryReport::ewma_seconds): a
+  /// restarted overloaded daemon resumes shedding instead of re-warming
+  /// from zero.
+  double initial_ewma_seconds = 0.0;
 };
 
 /// Per-player settlement notification for one epoch: what the node pays
@@ -147,6 +168,13 @@ struct ServiceStats {
   std::uint64_t watchdog_fired = 0;
   std::uint64_t aborted_epochs = 0;
   IntakeCounters intake;
+  /// v6 checkpoint health: seconds since the last successful snapshot
+  /// (-1 = none this process), epochs settled since it, snapshots taken
+  /// by this process, and live journal segments (0 without a journal).
+  double snapshot_age_seconds = -1.0;
+  std::uint64_t epochs_since_snapshot = 0;
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t journal_segments = 0;
 };
 
 struct EpochReport {
@@ -193,6 +221,9 @@ struct EpochReport {
   /// True when the watchdog (not the cooperative deadline) forced at
   /// least one of this epoch's attempts to cancel.
   bool watchdog_fired = false;
+  /// True when this epoch's settlement was followed by a successful
+  /// checkpoint (segment roll + snapshot + compaction).
+  bool checkpointed = false;
   /// pcn::Network::state_digest() of the settled network, taken under
   /// the network lock right after settlement: one u64 a client can check
   /// against a local replay to verify it observed the same state.
@@ -292,6 +323,15 @@ class RebalanceService {
   pcn::ExtractedGame extract_snapshot(std::uint64_t& pre_digest)
       MUSK_EXCLUDES(network_mutex_);
 
+  /// One checkpoint: rolls the journal to a fresh segment, snapshots
+  /// the full recovery state, and compacts the segments no retained
+  /// snapshot needs. Runs after append_settled when the cadence is due.
+  /// CrashPoint (simulated kill -9) propagates; every other failure is
+  /// reported and swallowed — the settled epoch is already durable, a
+  /// failed checkpoint only lengthens the next recovery's tail.
+  void checkpoint(EpochReport& report)
+      MUSK_REQUIRES(clear_mutex_) MUSK_EXCLUDES(network_mutex_);
+
   /// Condition-variable predicate read. The analysis checks a predicate
   /// lambda out of context and cannot see that wait_for re-acquires
   /// reports_mutex_ around every evaluation, so the read lives in this
@@ -327,6 +367,12 @@ class RebalanceService {
   /// before start(), but manual run_epoch() callers may race a late
   /// on_epoch(), so the vector itself is guarded by the epoch lock.
   std::vector<std::function<void(const EpochReport&)>> callbacks_
+      MUSK_GUARDED_BY(clear_mutex_);
+  /// Committed intake watermarks: per player, the highest seq drained
+  /// into an epoch that reached its OUTCOME commit point. Seeded from
+  /// recovery, merged at each commit (never for rolled-back or aborted
+  /// epochs), captured into every snapshot.
+  std::unordered_map<core::PlayerId, std::uint32_t> applied_watermarks_
       MUSK_GUARDED_BY(clear_mutex_);
 
   /// Guards the live network (extraction + settlement + snapshots).
@@ -378,6 +424,12 @@ class RebalanceService {
   /// stats_snapshot() stays lock-free.
   std::atomic<int> last_components_{0};
   std::atomic<int> last_largest_component_{0};
+  /// Checkpoint health, mirrored lock-free into stats_snapshot():
+  /// snapshots taken by this process, epochs settled since the last
+  /// one, and the uptime-seconds at which it completed (-1 = never).
+  std::atomic<std::uint64_t> snapshots_taken_{0};
+  std::atomic<std::uint64_t> epochs_since_snapshot_{0};
+  std::atomic<double> last_snapshot_uptime_{-1.0};
 };
 
 }  // namespace musketeer::svc

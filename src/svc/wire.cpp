@@ -236,6 +236,10 @@ std::string encode_stats_response(const StatsResponseMsg& msg) {
   put_u64(out, msg.degraded_epochs);
   put_u64(out, msg.watchdog_fired);
   put_u64(out, msg.aborted_epochs);
+  put_f64(out, msg.snapshot_age_seconds);
+  put_u64(out, msg.epochs_since_snapshot);
+  put_u64(out, msg.snapshots_taken);
+  put_u64(out, msg.journal_segments);
   put_u64(out, msg.intake.accepted);
   put_u64(out, msg.intake.replaced);
   put_u64(out, msg.intake.rejected_full);
@@ -268,6 +272,10 @@ StatsResponseMsg decode_stats_response(std::string_view payload) {
   msg.degraded_epochs = in.u64();
   msg.watchdog_fired = in.u64();
   msg.aborted_epochs = in.u64();
+  msg.snapshot_age_seconds = in.f64();
+  msg.epochs_since_snapshot = in.u64();
+  msg.snapshots_taken = in.u64();
+  msg.journal_segments = in.u64();
   msg.intake.accepted = in.u64();
   msg.intake.replaced = in.u64();
   msg.intake.rejected_full = in.u64();
@@ -278,14 +286,17 @@ StatsResponseMsg decode_stats_response(std::string_view payload) {
   if (!std::isfinite(msg.uptime_seconds) ||
       !std::isfinite(msg.imbalance_gini) ||
       !std::isfinite(msg.imbalance_mean) ||
-      !std::isfinite(msg.ewma_clear_seconds)) {
+      !std::isfinite(msg.ewma_clear_seconds) ||
+      // -1 is the "no snapshot yet" sentinel; anything non-finite is torn.
+      !std::isfinite(msg.snapshot_age_seconds)) {
     throw WireError("non-finite stats-response field");
   }
   const std::size_t n = in.check_count(in.u32(), 1);
   // Fixed-size prefix: 5 u32s (epoch, 3 v4 solve fields, v5 shed level)
-  // + 4 doubles (uptime, gini, mean, v5 EWMA) + 15 u64s (4 queue/journal,
-  // 4 v5 degradation counters, 7 intake) + the u32 length.
-  constexpr std::size_t kPrefix = 4 * 5 + 8 * 4 + 8 * 15 + 4;
+  // + 5 doubles (uptime, gini, mean, v5 EWMA, v6 snapshot age) + 18 u64s
+  // (4 queue/journal, 4 v5 degradation counters, 3 v6 checkpoint
+  // counters, 7 intake) + the u32 length.
+  constexpr std::size_t kPrefix = 4 * 5 + 8 * 5 + 8 * 18 + 4;
   msg.registry_json = std::string(payload.substr(kPrefix, n));
   // The JSON bytes were consumed via substr, not the reader.
   if (payload.size() != kPrefix + n) {

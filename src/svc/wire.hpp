@@ -41,7 +41,9 @@
 // concurrency and component-shape fields to kStatsResponse. v5 adds the
 // overload-health fields (shed level, clear-time EWMA, degradation
 // counters, shed-intake counter) to kStatsResponse and the
-// kRejectedOverload intake status. Versions are not cross-compatible;
+// kRejectedOverload intake status. v6 adds the checkpoint-health fields
+// (snapshot age, epochs since snapshot, snapshots taken, journal
+// segment count) to kStatsResponse. Versions are not cross-compatible;
 // both sides reject mismatched versions at the frame header.
 #pragma once
 
@@ -56,7 +58,7 @@
 namespace musketeer::svc {
 
 inline constexpr std::uint32_t kWireMagic = 0x4B53554D;  // "MUSK"
-inline constexpr std::uint16_t kWireVersion = 5;
+inline constexpr std::uint16_t kWireVersion = 6;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
@@ -195,6 +197,13 @@ struct StatsResponseMsg {
   std::uint64_t degraded_epochs = 0;
   std::uint64_t watchdog_fired = 0;
   std::uint64_t aborted_epochs = 0;
+  /// v6 checkpoint health: seconds since the last snapshot (-1 when no
+  /// snapshot has been taken this run), settled epochs since it, total
+  /// snapshots this run, and live journal segment count.
+  double snapshot_age_seconds = -1.0;
+  std::uint64_t epochs_since_snapshot = 0;
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t journal_segments = 0;
   IntakeCounters intake;
   std::string registry_json;
 };

@@ -28,6 +28,11 @@ constexpr const char* kPoints[] = {
     "deadline.expire",         // epoch clear attempt armed its deadline
     "watchdog.fire",           // watchdog about to force-cancel an epoch
     "degrade.fail",            // degradation rung about to run
+    "segment.roll",            // journal about to open a fresh segment
+    "snapshot.write",          // encoded snapshot bytes before tmp write
+    "snapshot.rename",         // snapshot tmp written, rename not yet issued
+    "compact.unlink",          // compaction about to unlink a segment
+    "disk.full",               // journal/snapshot write hits simulated ENOSPC
 };
 
 enum class Action { kCrash, kFail, kDrop, kTruncate, kCorrupt, kDelay };

@@ -29,6 +29,7 @@
 #include "svc/daemon.hpp"
 #include "svc/journal.hpp"
 #include "svc/service.hpp"
+#include "svc/snapshot.hpp"
 #include "svc_test_util.hpp"
 #include "util/deadline.hpp"
 #include "util/fault.hpp"
@@ -64,7 +65,7 @@ std::string scratch_path(const std::string& name) {
   }
   std::string path = dir + "chaos_" + name;
   std::replace(path.begin(), path.end(), '.', '_');
-  std::remove(path.c_str());
+  testutil::remove_journal_files(path);
   return path;
 }
 
@@ -155,7 +156,10 @@ TEST(Chaos, RegistryAndScheduleGrammar) {
       "journal.fsync",         "svc.crash_after_begin",
       "svc.crash_before_commit", "svc.crash_after_commit",
       "svc.crash_mid_settle",  "deadline.expire",
-      "watchdog.fire",         "degrade.fail"};
+      "watchdog.fire",         "degrade.fail",
+      "segment.roll",          "snapshot.write",
+      "snapshot.rename",       "compact.unlink",
+      "disk.full"};
   const std::vector<std::string> registered = fault::points();
   for (const std::string& point : expected) {
     EXPECT_NE(std::find(registered.begin(), registered.end(), point),
@@ -365,6 +369,341 @@ TEST(Chaos, DaemonRestartWithJournalResumesSeamlessly) {
   EXPECT_EQ(report.epoch, 3);
   EXPECT_EQ(report.network_digest, baseline.reports[3].network_digest);
   expect_networks_equal(daemon.network_snapshot(), baseline.final_net);
+  daemon.stop();
+}
+
+// --- checkpoint / compaction chaos ------------------------------------
+
+/// Like crash_and_recover, but with checkpointing live (snapshot every 2
+/// epochs, so the FIRST checkpoint runs inside epoch 1's run_epoch) and
+/// recovery going through the snapshot-aware recover() path. The spec is
+/// armed before epoch 1, whose trailing checkpoint is where the new
+/// fault points fire. Asserts convergence to the oracle and returns the
+/// recovery report for precedence checks.
+RecoveryReport checkpoint_crash_and_recover(const sim::SimulationConfig& config,
+                                            const std::string& path,
+                                            const std::string& spec,
+                                            const Baseline& baseline) {
+  constexpr int kSnapshotEvery = 2;
+  core::M3DoubleAuction mechanism;
+  log_artifact("schedules.txt", path + ": " + spec);
+  {
+    Journal journal(path);
+    SnapshotStore snapshots(path);
+    pcn::Network net = make_network(config);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    service_config.snapshots = &snapshots;
+    service_config.snapshot_every = kSnapshotEvery;
+    RebalanceService service(net, mechanism, service_config);
+    service.run_epoch();
+    fault::configure(spec);
+    EXPECT_THROW(service.run_epoch(), fault::CrashPoint)
+        << "spec " << spec << " did not kill the checkpoint";
+    fault::clear();
+  }  // dead process, mid-checkpoint
+
+  // Epoch 1 settled before the checkpoint began, so whatever the crash
+  // left on disk, recovery must land on the epoch-2 boundary.
+  Journal journal(path);
+  SnapshotStore snapshots(path);
+  pcn::Network net = make_network(config);
+  const RecoveryReport recovery = recover(journal, snapshots, net,
+                                          config.policy);
+  EXPECT_EQ(recovery.next_epoch, 2) << "spec " << spec;
+  EXPECT_EQ(net.state_digest(), baseline.reports[1].network_digest)
+      << "spec " << spec;
+
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  service_config.journal = &journal;
+  service_config.snapshots = &snapshots;
+  service_config.snapshot_every = kSnapshotEvery;
+  service_config.first_epoch = recovery.next_epoch;
+  service_config.initial_watermarks = recovery.watermarks;
+  service_config.initial_ewma_seconds = recovery.ewma_seconds;
+  RebalanceService service(net, mechanism, service_config);
+  for (int epoch = recovery.next_epoch; epoch < kTotalEpochs; ++epoch) {
+    const EpochReport report = service.run_epoch();
+    EXPECT_EQ(report.epoch, epoch);
+    EXPECT_EQ(report.network_digest,
+              baseline.reports[static_cast<std::size_t>(epoch)].network_digest)
+        << "spec " << spec << " diverged at epoch " << epoch;
+  }
+  EXPECT_EQ(net.state_digest(), baseline.final_net.state_digest())
+      << "spec " << spec;
+  expect_networks_equal(net, baseline.final_net);
+  return recovery;
+}
+
+// Kill -9 at every stage of the checkpoint protocol — before the roll,
+// before the snapshot tmp write, between tmp write and rename, and
+// after the rename but before compaction — must recover to the exact
+// fault-free state. The epoch itself settled first, so nothing is ever
+// lost; the crash only determines which artifacts recovery starts from.
+TEST(Chaos, CrashAtEveryCheckpointPointConverges) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+
+  {
+    // Before the roll: no new segment, no snapshot — genesis replay.
+    SCOPED_TRACE("segment.roll");
+    const RecoveryReport recovery = checkpoint_crash_and_recover(
+        config, scratch_path("ckpt_roll.jrn"), "segment.roll@1=crash",
+        baseline);
+    EXPECT_FALSE(recovery.from_snapshot);
+    EXPECT_EQ(recovery.epochs_settled, 2);
+  }
+  {
+    // Before the snapshot tmp write: segment rolled, no snapshot.
+    SCOPED_TRACE("snapshot.write");
+    const RecoveryReport recovery = checkpoint_crash_and_recover(
+        config, scratch_path("ckpt_write.jrn"), "snapshot.write@1=crash",
+        baseline);
+    EXPECT_FALSE(recovery.from_snapshot);
+  }
+  {
+    // Between tmp write and rename: an orphaned tmp, no snapshot.
+    SCOPED_TRACE("snapshot.rename");
+    const RecoveryReport recovery = checkpoint_crash_and_recover(
+        config, scratch_path("ckpt_rename.jrn"), "snapshot.rename@1=crash",
+        baseline);
+    EXPECT_FALSE(recovery.from_snapshot);
+  }
+  {
+    // After the rename, before compaction: snapshot AND the full
+    // pre-checkpoint history both on disk — recovery must prefer the
+    // snapshot (and tolerate the redundant segments).
+    SCOPED_TRACE("compact.unlink");
+    const std::string path = scratch_path("ckpt_unlink.jrn");
+    const RecoveryReport recovery = checkpoint_crash_and_recover(
+        config, path, "compact.unlink@1=crash", baseline);
+    EXPECT_TRUE(recovery.from_snapshot);
+    EXPECT_EQ(recovery.snapshot_epoch, 2);
+    EXPECT_EQ(recovery.snapshots_discarded, 0);
+    // The freshly rolled tail segment is always scanned, even though
+    // nothing past the snapshot was ever written into it.
+    EXPECT_EQ(recovery.segments_replayed, 1);
+    EXPECT_EQ(recovery.epochs_settled, 0);
+  }
+}
+
+// Bits rot on the way to disk: the checkpoint publishes a corrupt
+// snapshot it cannot detect and dies. Recovery's end-to-end validation
+// must reject it and fall back — here to genesis replay, since the
+// first checkpoint never completed and segment 0 still exists.
+TEST(Chaos, CorruptPublishedSnapshotDiscardedOnRecovery) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+  const RecoveryReport recovery = checkpoint_crash_and_recover(
+      config, scratch_path("ckpt_corrupt.jrn"),
+      "seed=42;snapshot.write@1=corrupt", baseline);
+  EXPECT_FALSE(recovery.from_snapshot);
+  EXPECT_EQ(recovery.snapshots_discarded, 1);
+  EXPECT_EQ(recovery.epochs_settled, 2);
+}
+
+// ENOSPC while writing the snapshot: the checkpoint fails, the service
+// must shrug it off — the epoch is already durable in the journal, the
+// previous snapshot and the live segments are untouched, and the next
+// checkpoint simply tries again.
+TEST(Chaos, DiskFullDuringSnapshotIsNonFatalAndPreservesPredecessor) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+  const std::string path = scratch_path("ckpt_enospc.jrn");
+
+  core::M3DoubleAuction mechanism;
+  Journal journal(path);
+  SnapshotStore snapshots(path);
+  pcn::Network net = make_network(config);
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  service_config.journal = &journal;
+  service_config.snapshots = &snapshots;
+  service_config.snapshot_every = 2;
+  RebalanceService service(net, mechanism, service_config);
+
+  // Epochs 0-2 land normally, with the first checkpoint after epoch 1.
+  service.run_epoch();
+  service.run_epoch();
+  service.run_epoch();
+  ASSERT_EQ(snapshots.entries().size(), 1u);
+  const std::uint64_t first_snapshot_segment = journal.oldest_segment();
+
+  // Epoch 3's trailing checkpoint hits ENOSPC on the snapshot write:
+  // the epoch's BEGIN/OUTCOME/SETTLED appends are disk.full hits 1-3,
+  // the snapshot body is hit 4.
+  fault::configure("disk.full@4=fail");
+  const EpochReport report = service.run_epoch();
+  fault::clear();
+
+  // Non-fatal: the epoch settled and matches the oracle bit for bit.
+  EXPECT_FALSE(report.aborted);
+  EXPECT_EQ(report.network_digest, baseline.reports[3].network_digest);
+  expect_networks_equal(net, baseline.final_net);
+  // The failed snapshot disturbed nothing: same single valid snapshot,
+  // no stray tmp promoted, no history compacted.
+  ASSERT_EQ(snapshots.entries().size(), 1u);
+  EXPECT_TRUE(snapshots.entries()[0].valid);
+  EXPECT_EQ(journal.oldest_segment(), first_snapshot_segment);
+
+  // And the service is not wedged: the next cadence boundary checkpoints
+  // successfully.
+  service.run_epoch();
+  service.run_epoch();
+  EXPECT_EQ(snapshots.entries().size(), 2u);
+}
+
+// A degraded epoch in the recovery tail: the epoch after the last
+// checkpoint degrades down the ladder (DEGRADED records between BEGIN
+// and OUTCOME), and a restart must replay it bit-for-bit from the
+// snapshot, counting it as degraded.
+TEST(Chaos, SnapshotThenDegradedTailReplaysExactly) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const std::string path = scratch_path("ckpt_degraded_tail.jrn");
+
+  core::M3DoubleAuction mechanism;
+  std::uint64_t live_digest = 0;
+  {
+    Journal journal(path);
+    SnapshotStore snapshots(path);
+    pcn::Network net = make_network(config);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    service_config.snapshots = &snapshots;
+    service_config.snapshot_every = 2;
+    service_config.epoch_deadline = std::chrono::milliseconds(150);
+    service_config.degradation_ladder = {"m2-minfee"};
+    RebalanceService service(net, mechanism, service_config);
+    // Checkpoints after epochs 1 and 3; deadline hit 5 is epoch 4's
+    // primary attempt, so the degraded epoch is squarely in the tail.
+    fault::configure("deadline.expire@5=delay:300");
+    for (int epoch = 0; epoch < 5; ++epoch) {
+      const EpochReport report = service.run_epoch();
+      EXPECT_FALSE(report.aborted);
+      EXPECT_EQ(report.degradation_level, epoch == 4 ? 1 : 0);
+    }
+    fault::clear();
+    live_digest = net.state_digest();
+  }
+
+  Journal journal(path);
+  SnapshotStore snapshots(path);
+  pcn::Network net = make_network(config);
+  const RecoveryReport recovery = recover(journal, snapshots, net,
+                                          config.policy);
+  EXPECT_TRUE(recovery.from_snapshot);
+  EXPECT_EQ(recovery.snapshot_epoch, 4);
+  EXPECT_EQ(recovery.degraded_epochs, 1);
+  EXPECT_EQ(recovery.next_epoch, 5);
+  EXPECT_EQ(net.state_digest(), live_digest);
+}
+
+// Recovery itself crashing (the close-out SETTLED append dies) and
+// being retried must still apply the in-flight outcome exactly once.
+TEST(Chaos, DoubleCrashDuringRecoveryStaysExactlyOnce) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(5);
+  const Baseline baseline = run_baseline(config);
+  const std::string path = scratch_path("double_crash.jrn");
+
+  core::M3DoubleAuction mechanism;
+  {
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    ServiceConfig service_config;
+    service_config.policy = config.policy;
+    service_config.journal = &journal;
+    RebalanceService service(net, mechanism, service_config);
+    service.run_epoch();
+    fault::configure("svc.crash_after_commit@1=crash");
+    EXPECT_THROW(service.run_epoch(), fault::CrashPoint);
+    fault::clear();
+  }
+
+  // First recovery attempt: the journal append of the close-out SETTLED
+  // record is itself killed — the second crash.
+  {
+    Journal journal(path);
+    pcn::Network net = make_network(config);
+    fault::configure("journal.write@1=crash");
+    EXPECT_THROW(replay_journal(journal, net, config.policy),
+                 fault::CrashPoint);
+    fault::clear();
+  }
+
+  // Second attempt sees the identical BEGIN+OUTCOME tail (the crashed
+  // close-out wrote nothing durable) and applies the outcome once.
+  Journal journal(path);
+  pcn::Network net = make_network(config);
+  const RecoveryReport recovery = replay_journal(journal, net, config.policy);
+  EXPECT_TRUE(recovery.applied_inflight);
+  EXPECT_EQ(recovery.next_epoch, 2);
+  EXPECT_EQ(net.state_digest(), baseline.reports[1].network_digest);
+  ASSERT_FALSE(journal.records().empty());
+  EXPECT_EQ(journal.records().back().type, RecordType::kSettled);
+
+  // Resume to the end of the oracle run.
+  ServiceConfig service_config;
+  service_config.policy = config.policy;
+  service_config.journal = &journal;
+  service_config.first_epoch = recovery.next_epoch;
+  RebalanceService service(net, mechanism, service_config);
+  for (int epoch = recovery.next_epoch; epoch < kTotalEpochs; ++epoch) {
+    service.run_epoch();
+  }
+  expect_networks_equal(net, baseline.final_net);
+}
+
+// Duplicate suppression across a checkpointed restart: a sequenced bid
+// drained into a committed epoch must still answer kDuplicate after the
+// daemon reboots from a snapshot — the watermark rides the snapshot,
+// not just the BEGIN payloads (which compaction may have removed).
+TEST(Chaos, ResubmitAfterCheckpointedRestartIsDuplicate) {
+  SKIP_WITHOUT_FAULTS();
+  const sim::SimulationConfig config = small_config(11);
+  const std::string path = scratch_path("restart_dup.jrn");
+
+  DaemonConfig daemon_config;
+  daemon_config.service.policy = config.policy;
+  daemon_config.server.listen = "tcp:0";
+  daemon_config.journal_path = path;
+  daemon_config.snapshot_every = 1;
+  {
+    Daemon daemon(make_network(config), core::make_mechanism("m3", {}),
+                  daemon_config);
+    daemon.start(/*periodic_epochs=*/false);
+    Client client(daemon.endpoint());
+    BidSubmission bid;
+    bid.player = 3;
+    const BidAckMsg ack = client.submit(bid);
+    ASSERT_EQ(ack.status, IntakeStatus::kAccepted);
+    ASSERT_EQ(ack.seq, 1u);
+    // Drained into epoch 0, committed, checkpointed (cadence 1), and
+    // the covered segments compacted away.
+    daemon.service().run_epoch();
+    daemon.service().run_epoch();
+    daemon.stop();
+  }
+
+  Daemon daemon(make_network(config), core::make_mechanism("m3", {}),
+                daemon_config);
+  EXPECT_TRUE(daemon.recovery().from_snapshot);
+  daemon.start(/*periodic_epochs=*/false);
+  // The ambiguous-timeout replay: same player, same pinned seq.
+  Client client(daemon.endpoint());
+  BidSubmission bid;
+  bid.player = 3;
+  bid.seq = 1;
+  const BidAckMsg ack = client.submit(bid);
+  EXPECT_EQ(ack.status, IntakeStatus::kDuplicate);
+  EXPECT_EQ(daemon.service().intake_counters().accepted, 0u);
   daemon.stop();
 }
 

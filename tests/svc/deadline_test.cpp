@@ -64,7 +64,7 @@ class SlowMechanism : public core::Mechanism {
 
 std::string temp_journal(const std::string& name) {
   std::string path = ::testing::TempDir() + "deadline_" + name;
-  std::remove(path.c_str());
+  testutil::remove_journal_files(path);
   return path;
 }
 

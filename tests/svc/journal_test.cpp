@@ -22,7 +22,7 @@ using testutil::small_config;
 
 std::string temp_journal(const std::string& name) {
   const std::string path = ::testing::TempDir() + "musk_journal_" + name;
-  std::remove(path.c_str());
+  testutil::remove_journal_files(path);
   return path;
 }
 
@@ -75,7 +75,7 @@ TEST(Journal, TornTailTruncatedOnOpen) {
     committed = journal.committed_bytes();
   }
   // A crash mid-write leaves a partial record: magic plus a few bytes.
-  append_raw(path, std::string("MJRN\x01garbage", 12));
+  append_raw(segment_path(path, 0), std::string("MJRN\x01garbage", 12));
 
   Journal journal(path);
   EXPECT_EQ(journal.records().size(), 2u);
@@ -103,7 +103,9 @@ TEST(Journal, CorruptRecordDropsItAndEverythingAfter) {
   // Flip a byte inside the second record's digest field: its checksum
   // no longer matches, so it and the intact record after it are both
   // discarded (the scan keeps only the longest valid prefix).
-  flip_byte(path, static_cast<std::size_t>(after_first) + 10);
+  // committed_bytes counts from the segment-file start (header included),
+  // so it doubles as the second record's file offset.
+  flip_byte(segment_path(path, 0), static_cast<std::size_t>(after_first) + 10);
 
   Journal journal(path);
   ASSERT_EQ(journal.records().size(), 1u);
@@ -114,12 +116,139 @@ TEST(Journal, CorruptRecordDropsItAndEverythingAfter) {
 
 TEST(Journal, BadHeaderRejected) {
   const std::string path = temp_journal("badheader");
-  append_raw(path, "NOTAJRNL and then some");
+  append_raw(segment_path(path, 0), "NOTAJRNL and then some");
   EXPECT_THROW(Journal journal(path), JournalError);
   // A short file cannot be a journal either.
   const std::string short_path = temp_journal("shortheader");
-  append_raw(short_path, "MU");
+  append_raw(segment_path(short_path, 0), "MU");
   EXPECT_THROW(Journal journal(short_path), JournalError);
+}
+
+TEST(Journal, SegmentsRollAtEpochBoundariesAndSurviveReopen) {
+  const std::string path = temp_journal("rotate");
+  JournalConfig config;
+  config.max_segment_bytes = 1;  // every settled/aborted record rolls
+  {
+    Journal journal(path, config);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      journal.append_begin(epoch, 10 + epoch);
+      journal.append_settled(epoch, 11 + epoch);
+    }
+    // Three rolls: segments 0..3, the last one empty and current.
+    EXPECT_EQ(journal.segment_count(), 4u);
+    EXPECT_EQ(journal.oldest_segment(), 0u);
+    EXPECT_EQ(journal.current_segment(), 3u);
+  }
+  EXPECT_EQ(list_segments(path), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+  // Reopen stitches the chain back together, records in order.
+  Journal journal(path);
+  ASSERT_EQ(journal.records().size(), 6u);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_EQ(journal.records()[static_cast<std::size_t>(epoch) * 2].epoch,
+              epoch);
+  }
+  EXPECT_EQ(journal.truncated_tail_bytes(), 0u);
+  const JournalScan scan = scan_journal(path);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_TRUE(scan.manifest_ok);
+}
+
+TEST(Journal, CompactBelowUnlinksCoveredSegments) {
+  const std::string path = temp_journal("compact");
+  std::size_t records_kept = 0;
+  {
+    JournalConfig config;
+    config.max_segment_bytes = 1;
+    Journal journal(path, config);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      journal.append_begin(epoch, 20 + epoch);
+      journal.append_settled(epoch, 21 + epoch);
+    }
+    // Segments 0..3; epoch 2's records live in segment 2, segment 3 is
+    // the empty current tail.
+    records_kept =
+        journal.records().size() - journal.records_from_segment(2);
+
+    EXPECT_EQ(journal.compact_below(2), 2u);
+    EXPECT_EQ(journal.oldest_segment(), 2u);
+    EXPECT_EQ(journal.segment_count(), 2u);
+    EXPECT_EQ(list_segments(path), (std::vector<std::uint64_t>{2, 3}));
+    // Idempotent: nothing left below the bound.
+    EXPECT_EQ(journal.compact_below(2), 0u);
+  }
+
+  // A reopen sees only the surviving records...
+  Journal reopened(path);
+  EXPECT_EQ(reopened.records().size(), records_kept);
+  EXPECT_EQ(reopened.oldest_segment(), 2u);
+  // ...and genesis replay must refuse: history below the snapshot bound
+  // is gone, so a replay that silently started mid-stream would hand
+  // back a wrong network.
+  pcn::Network network = make_network(small_config(7));
+  EXPECT_THROW(replay_journal(reopened, network, small_config(7).policy),
+               JournalError);
+
+  // However aggressive the bound, the current tail segment never goes.
+  EXPECT_EQ(reopened.compact_below(99), 1u);
+  EXPECT_EQ(reopened.segment_count(), 1u);
+  EXPECT_EQ(reopened.current_segment(), 3u);
+}
+
+TEST(Journal, ManifestIsAdvisoryAndRebuiltOnOpen) {
+  const std::string path = temp_journal("manifest");
+  {
+    JournalConfig config;
+    config.max_segment_bytes = 1;
+    Journal journal(path, config);
+    journal.append_begin(0, 5);
+    journal.append_settled(0, 6);
+  }
+  EXPECT_TRUE(scan_journal(path).manifest_ok);
+
+  // A corrupt manifest never hides data: the scan flags it, the
+  // directory walk still finds every segment, and the next open
+  // rewrites it.
+  flip_byte(manifest_path(path), 9);
+  {
+    const JournalScan scan = scan_journal(path);
+    EXPECT_FALSE(scan.manifest_ok);
+    EXPECT_TRUE(scan.clean);
+    EXPECT_EQ(scan.records.size(), 2u);
+    Journal journal(path);
+    EXPECT_EQ(journal.records().size(), 2u);
+  }
+  EXPECT_TRUE(scan_journal(path).manifest_ok);
+
+  // Same story for a missing manifest.
+  std::remove(manifest_path(path).c_str());
+  EXPECT_FALSE(scan_journal(path).manifest_ok);
+  Journal journal(path);
+  EXPECT_TRUE(scan_journal(path).manifest_ok);
+}
+
+TEST(Journal, WatermarksCommitAtOutcomeSettleAndDropAtAbort) {
+  const sim::SimulationConfig config = small_config(7);
+  pcn::Network network = make_network(config);
+  const std::uint64_t genesis = network.state_digest();
+  const std::string path = temp_journal("watermarks");
+  {
+    Journal journal(path);
+    // Epoch 0: an *empty* epoch (BEGIN straight to SETTLED, no OUTCOME)
+    // that still drained sequenced bids — their watermarks must commit.
+    journal.append_begin(0, genesis, SeqWatermarks{{2, 4}});
+    journal.append_settled(0, genesis);
+    // Epoch 1: aborted — its drained seqs must stay resubmittable.
+    journal.append_begin(1, genesis, SeqWatermarks{{3, 9}});
+    journal.append_aborted(1, genesis);
+    // Epoch 1 retried: dangling BEGIN (crash before commit) — dropped.
+    journal.append_begin(1, genesis, SeqWatermarks{{2, 7}});
+  }
+  Journal journal(path);
+  const RecoveryReport report = replay_journal(journal, network, config.policy);
+  EXPECT_EQ(report.rolled_back, 1);
+  EXPECT_EQ(report.aborted_epochs, 1);
+  EXPECT_EQ(report.watermarks, (SeqWatermarks{{2, 4}}));
 }
 
 TEST(Journal, EmptyJournalReplaysToGenesis) {

@@ -140,7 +140,7 @@ TEST(LockOrder, CleanEpochNestsServiceLocks) {
   pcn::Network net = testutil::make_network(config);
   core::M3DoubleAuction mechanism;
   const std::string path = ::testing::TempDir() + "musk_lock_order.journal";
-  std::remove(path.c_str());
+  testutil::remove_journal_files(path);
   Journal journal(path);
 
   ServiceConfig service_config;
@@ -155,7 +155,7 @@ TEST(LockOrder, CleanEpochNestsServiceLocks) {
          "network/journal locks";
   EXPECT_EQ(util::lock_rank::held_depth(), 0)
       << "run_epoch leaked a lock";
-  std::remove(path.c_str());
+  testutil::remove_journal_files(path);
 }
 
 // Regression for a race the annotation sweep surfaced: on_epoch() used

@@ -272,7 +272,7 @@ TEST(Service, MechanismThrowReleasesLocksAndReusesEpoch) {
   const sim::SimulationConfig config = small_config(5);
   const std::string journal_path =
       ::testing::TempDir() + "musk_service_abort.jrn";
-  std::remove(journal_path.c_str());
+  testutil::remove_journal_files(journal_path);
   pcn::Network network = make_network(config);
   pcn::Network reference = make_network(config);
   const std::uint64_t genesis = network.state_digest();

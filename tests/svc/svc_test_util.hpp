@@ -1,13 +1,35 @@
 // Shared helpers for the service test suite.
 #pragma once
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "pcn/network.hpp"
 #include "sim/engine.hpp"
+#include "svc/journal.hpp"
+#include "svc/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace musketeer::svc::testutil {
+
+/// Removes every on-disk artifact a journal base can own — rotated
+/// segments, manifest, snapshots, stray tmp files — so a test starts
+/// from a genuinely fresh journal (std::remove on the bare base stopped
+/// being enough when the journal became segmented).
+inline void remove_journal_files(const std::string& base) {
+  for (const std::uint64_t seq : list_segments(base)) {
+    std::remove(segment_path(base, seq).c_str());
+  }
+  for (const std::uint64_t seq : list_snapshots(base)) {
+    std::remove(snapshot_path(base, seq).c_str());
+  }
+  std::remove(manifest_path(base).c_str());
+  std::remove((base + ".snap.tmp").c_str());
+  std::remove((manifest_path(base) + ".tmp").c_str());
+  std::remove(base.c_str());
+}
 
 /// Channel-by-channel exact equality, the bar the ISSUE's end-to-end
 /// acceptance sets: balances are integer coins, so a service-backed run

@@ -1,0 +1,10 @@
+// Fixture: the allowed spellings — scratch-file cleanup via
+// std::remove / std::filesystem::remove, member calls, foreign
+// qualifiers, and an explicitly justified opt-out.
+void unchecked_rename_ok(const char* path) {
+  std::remove(path);
+  std::filesystem::remove(path);
+  fs::rename(path, path);
+  store.rename(path);
+  ::unlink(path);  // musk-lint: allow(unchecked-rename)
+}

@@ -1,0 +1,8 @@
+// Fixture: src/svc/snapshot.cpp owns the checked tmp-write/fsync/
+// rename/dir-fsync publication protocol — raw rename/unlink here must
+// stay silent (the real file checks every return code).
+void snapshot_publish(const char* tmp, const char* dest) {
+  if (::rename(tmp, dest) != 0) {
+    ::unlink(tmp);
+  }
+}

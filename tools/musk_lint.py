@@ -70,6 +70,18 @@ wait interruptible and every thread joined):
                  can unwind mid-push. A solver observes time exclusively
                  by polling its util::CancelToken via MUSK_CANCEL_POINT;
                  arming deadlines is the service layer's job.
+  unchecked-rename
+                 No raw `rename(` / `unlink(` outside src/svc/journal.* and
+                 src/svc/snapshot.* -- those two files own the
+                 tmp-write/fsync/rename/dir-fsync publication protocol and
+                 check every return code (DESIGN.md section 15). A bare
+                 rename or unlink elsewhere either skips durability (the
+                 rename "succeeds" but vanishes on power loss) or silently
+                 ignores failure, and bypasses the crash-recovery
+                 invariants the chaos suite enforces. Delete scratch files
+                 with std::remove / std::filesystem::remove, or route
+                 journal-directory mutations through Journal /
+                 SnapshotStore.
 
 Lock-discipline rules (every lock in the tree carries a rank from the
 hierarchy in DESIGN.md section 11 and its guarded state is annotated):
@@ -159,6 +171,14 @@ DEADLINE_HEADER = Path("src/util/deadline.hpp")
 SOLVER_TIMING = re.compile(
     r"\b(?:steady_clock|high_resolution_clock|system_clock)\b"
     r"|::\s*now\s*\(|\bDeadline\s*::\s*after\b|\.\s*expired\s*\(")
+# A raw POSIX rename/unlink call (optionally ::/std:: qualified). Member
+# spellings (`x.rename(`) and foreign qualifiers (`fs::rename(`) do not
+# match; std::remove / std::filesystem::remove stay allowed for scratch
+# cleanup. The durable-publication protocol lives in journal/snapshot.
+UNCHECKED_RENAME = re.compile(
+    r"(?<![A-Za-z0-9_.:])(?:std::|::)?(?:rename|unlink)\s*\(")
+# The two files that own checked rename/unlink (and the corpus mirrors).
+RENAME_OWNERS = re.compile(r"^src/svc/(?:journal|snapshot)\.(?:cpp|hpp)$")
 # Any raw standard-library mutex or condition variable type. OrderedMutex
 # wraps these inside src/util/, which is exempt via the path predicate.
 UNRANKED_MUTEX = re.compile(
@@ -198,6 +218,8 @@ RULES = [
      and rel.parts[:2] != ("src", "obs") and rel != DEADLINE_HEADER),
     ("solver-timing", SOLVER_TIMING,
      lambda rel: rel.parts[:2] == ("src", "flow")),
+    ("unchecked-rename", UNCHECKED_RENAME,
+     lambda rel: RENAME_OWNERS.match(rel.as_posix()) is None),
 ]
 
 

@@ -8,8 +8,9 @@
 // Sends one kStatsRequest frame and renders the kStatsResponse: service
 // state (epoch counter, queue depth/capacity/high-watermark, journal
 // size, uptime), the Pickhardt-style imbalance gauges, the solve
-// concurrency and last epoch's component shape, the intake
-// counters, and — with --json — the full metrics registry snapshot
+// concurrency and last epoch's component shape, the checkpoint health
+// (snapshot age, epochs since snapshot, journal segment count), the
+// intake counters, and — with --json — the full metrics registry snapshot
 // (counters, gauges, histogram quantiles) the daemon serves.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 when the daemon is
@@ -81,6 +82,15 @@ int main(int argc, char** argv) {
     table.add_row({"degraded rungs", std::to_string(stats.degraded_epochs)});
     table.add_row({"watchdog fired", std::to_string(stats.watchdog_fired)});
     table.add_row({"epochs aborted", std::to_string(stats.aborted_epochs)});
+    table.add_row({"snapshot age",
+                   stats.snapshot_age_seconds < 0.0
+                       ? std::string("(none this run)")
+                       : util::format("%.1f s", stats.snapshot_age_seconds)});
+    table.add_row({"epochs since snapshot",
+                   std::to_string(stats.epochs_since_snapshot)});
+    table.add_row({"snapshots taken", std::to_string(stats.snapshots_taken)});
+    table.add_row({"journal segments",
+                   std::to_string(stats.journal_segments)});
     table.print();
 
     const svc::IntakeCounters& in = stats.intake;

@@ -16,9 +16,21 @@
 //                      concurrency, 1 = legacy whole-graph solve;
 //                      outcomes are bit-identical either way)  [0]
 //   --journal <path>   crash-safe epoch journal (WAL); on restart the
-//                      daemon replays it against the genesis network
-//                      (same --nodes/--seed/--skew) and resumes at the
+//                      daemon recovers from the newest valid snapshot
+//                      (if any) plus the journal tail — falling back to
+//                      a full replay against the genesis network (same
+//                      --nodes/--seed/--skew) — and resumes at the
 //                      recovered epoch                       [off]
+//   --snapshot-every <n>  checkpoint cadence: every n settled epochs,
+//                      snapshot the recovery state and compact journal
+//                      segments the snapshot covers, bounding both the
+//                      journal's disk footprint and restart time by the
+//                      tail length (0 = journal-only)        [0]
+//   --segment-bytes <n>  roll the journal to a new segment once the
+//                      live segment reaches n bytes (at an epoch
+//                      boundary; 0 = size-based rolls off)   [0]
+//   --journal-keep <n> validated snapshots to retain; older ones are
+//                      deleted after each successful snapshot [2]
 //   --deadline-ms <ms> per-epoch clearing deadline: a solve that runs
 //                      past it is cooperatively cancelled and the epoch
 //                      retries down the degradation ladder, finally
@@ -66,7 +78,9 @@ int usage() {
                "[--queue-cap n] [--threads n] [--journal path] "
                "[--trace-out path]\n"
                "                  [--deadline-ms ms] [--degrade m,m,...] "
-               "[--watchdog-ms ms]\n");
+               "[--watchdog-ms ms]\n"
+               "                  [--snapshot-every n] [--segment-bytes n] "
+               "[--journal-keep n]\n");
   return 1;
 }
 
@@ -107,6 +121,12 @@ int main(int argc, char** argv) {
         config.service.threads = static_cast<int>(std::stol(value));
       } else if (flag == "--journal") {
         config.journal_path = value;
+      } else if (flag == "--snapshot-every") {
+        config.snapshot_every = static_cast<int>(std::stol(value));
+      } else if (flag == "--segment-bytes") {
+        config.max_segment_bytes = std::stoull(value);
+      } else if (flag == "--journal-keep") {
+        config.keep_snapshots = static_cast<int>(std::stol(value));
       } else if (flag == "--deadline-ms") {
         config.service.epoch_deadline =
             std::chrono::milliseconds(std::stol(value));
@@ -154,14 +174,31 @@ int main(int argc, char** argv) {
     svc::Daemon daemon(std::move(network), std::move(mechanism), config);
     if (!config.journal_path.empty()) {
       const svc::RecoveryReport& rec = daemon.recovery();
-      std::printf("musketeerd: journal %s: %d epoch(s) replayed"
-                  "%s, %d rolled back, %d aborted, %d degraded rung(s); "
-                  "resuming at epoch %d\n",
-                  config.journal_path.c_str(), rec.epochs_settled,
-                  rec.applied_inflight ? " (1 in-flight outcome applied)"
-                                       : "",
-                  rec.rolled_back, rec.aborted_epochs, rec.degraded_epochs,
-                  rec.next_epoch);
+      if (rec.from_snapshot) {
+        std::printf("musketeerd: journal %s: restored snapshot at epoch %d"
+                    " (%llu segment(s) replayed%s), %d epoch(s) replayed"
+                    "%s, %d rolled back, %d aborted, %d degraded rung(s); "
+                    "resuming at epoch %d\n",
+                    config.journal_path.c_str(), rec.snapshot_epoch,
+                    static_cast<unsigned long long>(rec.segments_replayed),
+                    rec.snapshots_discarded > 0 ? ", older snapshot(s) "
+                                                  "discarded as invalid"
+                                                : "",
+                    rec.epochs_settled,
+                    rec.applied_inflight ? " (1 in-flight outcome applied)"
+                                         : "",
+                    rec.rolled_back, rec.aborted_epochs, rec.degraded_epochs,
+                    rec.next_epoch);
+      } else {
+        std::printf("musketeerd: journal %s: %d epoch(s) replayed"
+                    "%s, %d rolled back, %d aborted, %d degraded rung(s); "
+                    "resuming at epoch %d\n",
+                    config.journal_path.c_str(), rec.epochs_settled,
+                    rec.applied_inflight ? " (1 in-flight outcome applied)"
+                                         : "",
+                    rec.rolled_back, rec.aborted_epochs, rec.degraded_epochs,
+                    rec.next_epoch);
+      }
     }
     daemon.service().on_epoch([](const svc::EpochReport& report) {
       std::printf("epoch %d: bids %zu, edges %d, cycles %d, volume %lld, "
